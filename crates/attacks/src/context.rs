@@ -1,0 +1,78 @@
+//! What a Byzantine agent can observe when forging its report.
+
+use abft_linalg::Vector;
+
+/// The information available to a Byzantine agent at one iteration.
+///
+/// Every faulty agent knows the server's broadcast estimate `x_t` and its
+/// own true gradient (it *is* an agent, after all). Omniscient attacks
+/// additionally see the honest agents' gradients — the strongest adversary
+/// model in the robust-aggregation literature, used for worst-case stress
+/// tests.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackContext<'a> {
+    /// Iteration index `t`.
+    pub iteration: usize,
+    /// The gradient this agent would send if it were honest.
+    pub true_gradient: &'a Vector,
+    /// The server's current estimate `x_t`.
+    pub estimate: &'a Vector,
+    /// Honest agents' gradients, when the harness grants omniscience.
+    pub honest_gradients: Option<&'a [Vector]>,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Context for a non-omniscient attack.
+    pub fn new(iteration: usize, true_gradient: &'a Vector, estimate: &'a Vector) -> Self {
+        AttackContext {
+            iteration,
+            true_gradient,
+            estimate,
+            honest_gradients: None,
+        }
+    }
+
+    /// Context including honest gradients for omniscient attacks.
+    pub fn omniscient(
+        iteration: usize,
+        true_gradient: &'a Vector,
+        estimate: &'a Vector,
+        honest_gradients: &'a [Vector],
+    ) -> Self {
+        AttackContext {
+            iteration,
+            true_gradient,
+            estimate,
+            honest_gradients: Some(honest_gradients),
+        }
+    }
+
+    /// Decision dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.true_gradient.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_context_has_no_honest_view() {
+        let g = Vector::ones(3);
+        let x = Vector::zeros(3);
+        let ctx = AttackContext::new(7, &g, &x);
+        assert_eq!(ctx.iteration, 7);
+        assert_eq!(ctx.dim(), 3);
+        assert!(ctx.honest_gradients.is_none());
+    }
+
+    #[test]
+    fn omniscient_context_exposes_honest_gradients() {
+        let g = Vector::ones(2);
+        let x = Vector::zeros(2);
+        let honest = vec![Vector::from(vec![1.0, 2.0])];
+        let ctx = AttackContext::omniscient(0, &g, &x, &honest);
+        assert_eq!(ctx.honest_gradients.unwrap().len(), 1);
+    }
+}

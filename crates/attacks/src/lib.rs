@@ -1,0 +1,62 @@
+//! Byzantine behaviour substrate.
+//!
+//! A Byzantine agent "may send arbitrary incorrect and inconsistent
+//! information" (Section 1). This crate models concrete fault behaviours as
+//! [`ByzantineStrategy`] implementations:
+//!
+//! * the paper's two regression-experiment faults — **gradient-reverse**
+//!   ([`GradientReverse`]) and **random** Gaussian vectors with σ = 200
+//!   ([`RandomGaussian`]);
+//! * the paper's ML fault **label-flip** is a *data* fault and lives in
+//!   `abft-ml` (labels are remapped `y → 9 − y` before training);
+//! * standard literature attacks for stress tests: scaled reverse, zero
+//!   (free-rider), constant, "a little is enough" (ALIE), and inner-product
+//!   manipulation — the latter two are *omniscient* (they inspect honest
+//!   gradients).
+//!
+//! # Example
+//!
+//! ```
+//! use abft_attacks::{AttackContext, ByzantineStrategy, GradientReverse};
+//! use abft_linalg::Vector;
+//!
+//! let mut attack = GradientReverse::new();
+//! let honest = Vector::from(vec![1.0, -2.0]);
+//! let estimate = Vector::zeros(2);
+//! let ctx = AttackContext::new(0, &honest, &estimate);
+//! let sent = attack.corrupt(&ctx);
+//! assert_eq!(sent.as_slice(), &[-1.0, 2.0]);
+//! ```
+
+pub mod context;
+pub mod omniscient;
+pub mod registry;
+pub mod simple;
+
+pub use context::AttackContext;
+pub use omniscient::{InnerProductManipulation, LittleIsEnough};
+pub use registry::{all_attacks, attack_by_name, ATTACK_NAMES};
+pub use simple::{ConstantVector, GradientReverse, RandomGaussian, ScaledReverse, ZeroGradient};
+
+use abft_linalg::Vector;
+
+/// A Byzantine fault behaviour: given what the agent knows at this
+/// iteration, produce the (arbitrary) vector it sends to the server.
+///
+/// Strategies take `&mut self` because stateful attacks (e.g. random ones)
+/// advance an internal RNG; they must be `Send` so the threaded runtime can
+/// move them into agent threads.
+pub trait ByzantineStrategy: Send {
+    /// The vector this faulty agent reports instead of its true gradient.
+    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector;
+
+    /// A stable, lowercase identifier (used by the registry and reports).
+    fn name(&self) -> &'static str;
+
+    /// `true` when the strategy needs visibility of honest gradients
+    /// (omniscient attacks). The simulation harness only provides them when
+    /// this returns `true`.
+    fn is_omniscient(&self) -> bool {
+        false
+    }
+}

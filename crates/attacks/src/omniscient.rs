@@ -1,0 +1,161 @@
+//! Omniscient attacks: colluding Byzantine agents that can inspect the
+//! honest gradients before forging their own.
+
+use crate::context::AttackContext;
+use crate::ByzantineStrategy;
+use abft_linalg::Vector;
+
+/// "A little is enough" (ALIE, Baruch et al. 2019).
+///
+/// Colluding attackers estimate the per-coordinate mean `µ_k` and standard
+/// deviation `σ_k` of the honest gradients and send `µ_k − z·σ_k`: a vector
+/// *inside* the honest spread (hence hard to filter by magnitude) but
+/// consistently biased. Moderate `z` (≈ 1) evades norm- and
+/// order-statistic-based filters far better than gross outliers.
+#[derive(Debug, Clone, Copy)]
+pub struct LittleIsEnough {
+    z: f64,
+}
+
+impl LittleIsEnough {
+    /// Creates the attack with deviation multiplier `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `z` is non-finite.
+    pub fn new(z: f64) -> Self {
+        assert!(z.is_finite(), "z must be finite");
+        LittleIsEnough { z }
+    }
+}
+
+impl ByzantineStrategy for LittleIsEnough {
+    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
+        match ctx.honest_gradients {
+            Some(honest) if !honest.is_empty() => {
+                let m = honest.len() as f64;
+                let mean = Vector::mean_of(honest).expect("non-empty honest set");
+                let std = Vector::from_fn(ctx.dim(), |k| {
+                    let var = honest
+                        .iter()
+                        .map(|g| (g[k] - mean[k]) * (g[k] - mean[k]))
+                        .sum::<f64>()
+                        / m;
+                    var.sqrt()
+                });
+                &mean - &std.scale(self.z)
+            }
+            // Without omniscience, degrade to reversing the own gradient.
+            _ => -ctx.true_gradient,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "little-is-enough"
+    }
+
+    fn is_omniscient(&self) -> bool {
+        true
+    }
+}
+
+/// Inner-product manipulation (Xie et al.): sends `−scale · mean(honest)`,
+/// aiming to make the aggregate's inner product with the true descent
+/// direction negative — exactly the quantity `φ_t` that Theorem 3's
+/// convergence condition bounds from below.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerProductManipulation {
+    scale: f64,
+}
+
+impl InnerProductManipulation {
+    /// Creates the attack with the given amplification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is non-finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite(), "scale must be finite");
+        InnerProductManipulation { scale }
+    }
+}
+
+impl ByzantineStrategy for InnerProductManipulation {
+    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
+        match ctx.honest_gradients {
+            Some(honest) if !honest.is_empty() => {
+                Vector::mean_of(honest)
+                    .expect("non-empty honest set")
+                    .scale(-self.scale)
+            }
+            _ => ctx.true_gradient.scale(-self.scale),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "inner-product"
+    }
+
+    fn is_omniscient(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alie_stays_inside_honest_spread() {
+        let honest = vec![
+            Vector::from(vec![1.0, 10.0]),
+            Vector::from(vec![2.0, 11.0]),
+            Vector::from(vec![3.0, 12.0]),
+        ];
+        let own = Vector::from(vec![2.0, 11.0]);
+        let x = Vector::zeros(2);
+        let ctx = AttackContext::omniscient(0, &own, &x, &honest);
+        let sent = LittleIsEnough::new(1.0).corrupt(&ctx);
+        // mean = (2, 11), population std = (√(2/3), √(2/3)).
+        let s = (2.0f64 / 3.0).sqrt();
+        assert!(sent.approx_eq(&Vector::from(vec![2.0 - s, 11.0 - s]), 1e-9));
+        // The forged vector is well within the honest hull — that is the point.
+        assert!(sent[0] > 1.0 && sent[0] < 3.0);
+    }
+
+    #[test]
+    fn alie_degrades_to_reverse_without_omniscience() {
+        let own = Vector::from(vec![4.0]);
+        let x = Vector::zeros(1);
+        let ctx = AttackContext::new(0, &own, &x);
+        let sent = LittleIsEnough::new(1.5).corrupt(&ctx);
+        assert_eq!(sent[0], -4.0);
+    }
+
+    #[test]
+    fn inner_product_opposes_honest_mean() {
+        let honest = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![3.0, 0.0]),
+        ];
+        let own = Vector::from(vec![2.0, 0.0]);
+        let x = Vector::zeros(2);
+        let ctx = AttackContext::omniscient(0, &own, &x, &honest);
+        let sent = InnerProductManipulation::new(2.0).corrupt(&ctx);
+        assert!(sent.approx_eq(&Vector::from(vec![-4.0, 0.0]), 1e-12));
+        // Negative inner product with the honest mean.
+        assert!(sent.dot(&Vector::from(vec![2.0, 0.0])) < 0.0);
+    }
+
+    #[test]
+    fn both_declare_omniscience() {
+        assert!(LittleIsEnough::new(1.0).is_omniscient());
+        assert!(InnerProductManipulation::new(1.0).is_omniscient());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LittleIsEnough::new(1.0).name(), "little-is-enough");
+        assert_eq!(InnerProductManipulation::new(1.0).name(), "inner-product");
+    }
+}

@@ -1,0 +1,92 @@
+//! Name-based attack registry used by the experiment grid.
+
+use crate::omniscient::{InnerProductManipulation, LittleIsEnough};
+use crate::simple::{GradientReverse, RandomGaussian, ScaledReverse, ZeroGradient};
+use crate::ByzantineStrategy;
+
+/// The stable list of registered attack names.
+pub const ATTACK_NAMES: [&str; 6] = [
+    "gradient-reverse",
+    "random",
+    "scaled-reverse",
+    "zero",
+    "little-is-enough",
+    "inner-product",
+];
+
+/// Looks an attack up by its stable name, seeding any internal randomness
+/// from `seed`.
+///
+/// Parameterized attacks use their canonical configurations: `random` is the
+/// paper's σ = 200 fault; `scaled-reverse` uses factor 10;
+/// `little-is-enough` uses z = 1; `inner-product` uses scale 2.
+///
+/// # Example
+///
+/// ```
+/// let attack = abft_attacks::attack_by_name("gradient-reverse", 0).expect("registered");
+/// assert_eq!(attack.name(), "gradient-reverse");
+/// assert!(abft_attacks::attack_by_name("nonsense", 0).is_none());
+/// ```
+pub fn attack_by_name(name: &str, seed: u64) -> Option<Box<dyn ByzantineStrategy>> {
+    match name {
+        "gradient-reverse" => Some(Box::new(GradientReverse::new())),
+        "random" => Some(Box::new(RandomGaussian::paper(seed))),
+        "scaled-reverse" => Some(Box::new(ScaledReverse::new(10.0))),
+        "zero" => Some(Box::new(ZeroGradient::new())),
+        "little-is-enough" => Some(Box::new(LittleIsEnough::new(1.0))),
+        "inner-product" => Some(Box::new(InnerProductManipulation::new(2.0))),
+        _ => None,
+    }
+}
+
+/// All registered attacks, in a stable order, each seeded from `seed`.
+pub fn all_attacks(seed: u64) -> Vec<Box<dyn ByzantineStrategy>> {
+    ATTACK_NAMES
+        .iter()
+        .map(|name| attack_by_name(name, seed).expect("registry names are self-consistent"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for name in ATTACK_NAMES {
+            let attack = attack_by_name(name, 7).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(attack.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(attack_by_name("", 0).is_none());
+        assert!(attack_by_name("Random", 0).is_none());
+    }
+
+    #[test]
+    fn all_attacks_matches_name_list() {
+        let attacks = all_attacks(0);
+        assert_eq!(attacks.len(), ATTACK_NAMES.len());
+        for (attack, name) in attacks.iter().zip(ATTACK_NAMES) {
+            assert_eq!(attack.name(), name);
+        }
+    }
+
+    #[test]
+    fn attacks_produce_correct_dimension() {
+        use crate::context::AttackContext;
+        use abft_linalg::Vector;
+        let g = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = Vector::zeros(3);
+        let honest = vec![g.clone(), Vector::ones(3)];
+        for mut attack in all_attacks(11) {
+            let ctx = AttackContext::omniscient(0, &g, &x, &honest);
+            let sent = attack.corrupt(&ctx);
+            assert_eq!(sent.dim(), 3, "{} output dim", attack.name());
+            assert!(!sent.has_non_finite(), "{} produced NaN", attack.name());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! EIG Byzantine-broadcast cost: message count grows with the `f + 1` round
+//! tree, the price of the peer-to-peer architecture (Figure 1, right).
+
+use abft_core::SystemConfig;
+use abft_runtime::eig::EquivocationPlan;
+use abft_runtime::eig_broadcast;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_broadcast");
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
+        let config = SystemConfig::new_peer_to_peer(n, f).expect("3f < n");
+        // Worst-ish case: an equivocating sender.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(
+            0usize,
+            EquivocationPlan::Split {
+                low: 7u64,
+                high: 9u64,
+                boundary: n / 2,
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("equivocating_sender", format!("n{n}_f{f}")),
+            &faulty,
+            |b, faulty| {
+                b.iter(|| {
+                    black_box(
+                        eig_broadcast(config, 0, 42u64, 0u64, black_box(faulty))
+                            .expect("valid broadcast")
+                            .messages,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

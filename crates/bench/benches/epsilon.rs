@@ -1,0 +1,43 @@
+//! Redundancy-measurement bench: the Appendix-J ε procedure, whose cost is
+//! `C(n, f)·C(n−f, f)` least-squares solves.
+
+use abft_bench::{fan_fixture, paper_fixture};
+use abft_redundancy::{measure_redundancy, RegressionOracle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measure_redundancy");
+    group.bench_function("paper_n6_f1", |b| {
+        let (problem, _) = paper_fixture();
+        let oracle = RegressionOracle::new(&problem);
+        b.iter(|| {
+            black_box(
+                measure_redundancy(black_box(&oracle), *problem.config())
+                    .expect("measurable")
+                    .epsilon,
+            )
+        });
+    });
+    for (n, f) in [(10usize, 2usize), (12, 3)] {
+        let (problem, _) = fan_fixture(n, f);
+        group.bench_with_input(
+            BenchmarkId::new("fan", format!("n{n}_f{f}")),
+            &problem,
+            |b, problem| {
+                let oracle = RegressionOracle::new(problem);
+                b.iter(|| {
+                    black_box(
+                        measure_redundancy(black_box(&oracle), *problem.config())
+                            .expect("measurable")
+                            .epsilon,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon);
+criterion_main!(benches);

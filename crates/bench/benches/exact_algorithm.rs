@@ -1,0 +1,39 @@
+//! The exact algorithm's combinatorial blow-up — quantifying the paper's
+//! remark that Theorem 2's construction "is not a very practical algorithm".
+//!
+//! The enumeration touches `C(n, f)` candidate sets × `C(n−f, f)` inner
+//! subsets, each requiring a least-squares solve; growing `(n, f)` at fixed
+//! ratio multiplies the work combinatorially.
+
+use abft_bench::fan_fixture;
+use abft_redundancy::{exact_resilient_output, RegressionOracle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_algorithm");
+    // The (15, 4) case runs ~450k least-squares solves per call; cap the
+    // sample count so the blow-up is measured without dominating the suite.
+    group.sample_size(10);
+    for (n, f) in [(6usize, 1usize), (9, 2), (12, 3), (15, 4)] {
+        let (problem, _) = fan_fixture(n, f);
+        group.bench_with_input(
+            BenchmarkId::new("fan", format!("n{n}_f{f}")),
+            &problem,
+            |b, problem| {
+                let oracle = RegressionOracle::new(problem);
+                b.iter(|| {
+                    black_box(
+                        exact_resilient_output(black_box(&oracle), *problem.config())
+                            .expect("computable")
+                            .score,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 2/3 driver bench: the 1500-iteration trace generation for the
+//! plotted algorithms under the gradient-reverse fault.
+
+use abft_attacks::GradientReverse;
+use abft_bench::paper_fixture;
+use abft_dgd::{DgdSimulation, RunOptions};
+use abft_filters::{by_name, GradientFilter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn run_curve(filter: &dyn GradientFilter, iterations: usize) -> usize {
+    let (problem, x_h) = paper_fixture();
+    let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+        .expect("costs match config")
+        .with_byzantine(0, Box::new(GradientReverse::new()))
+        .expect("agent 0, f = 1");
+    let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+    sim.run(filter, &options).expect("curve runs").trace.len()
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_curve");
+    group.sample_size(10);
+    for name in ["cge", "cwtm", "mean"] {
+        let filter = by_name(name).expect("registered");
+        group.bench_with_input(BenchmarkId::new(name, 1500usize), &1500usize, |b, &iters| {
+            b.iter(|| black_box(run_curve(filter.as_ref(), iters)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

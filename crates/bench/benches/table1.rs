@@ -1,0 +1,48 @@
+//! Table 1 driver bench: one full 500-iteration DGD execution per paper
+//! cell (filter × fault) on the Appendix-J instance.
+
+use abft_attacks::{ByzantineStrategy, GradientReverse, RandomGaussian};
+use abft_bench::paper_fixture;
+use abft_dgd::{DgdSimulation, RunOptions};
+use abft_filters::{Cge, Cwtm, GradientFilter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+type AttackFactory = fn() -> Box<dyn ByzantineStrategy>;
+
+fn run_cell(filter: &dyn GradientFilter, attack: AttackFactory) -> f64 {
+    let (problem, x_h) = paper_fixture();
+    let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+        .expect("costs match config")
+        .with_byzantine(0, attack())
+        .expect("agent 0, f = 1");
+    let options = RunOptions::paper_defaults(x_h);
+    sim.run(filter, &options)
+        .expect("paper cell runs")
+        .final_distance()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cell");
+    group.sample_size(20);
+    let cells: [(&str, AttackFactory); 2] = [
+        ("gradient-reverse", || Box::new(GradientReverse::new())),
+        ("random", || Box::new(RandomGaussian::paper(2021))),
+    ];
+    for (attack_name, attack) in cells {
+        group.bench_with_input(
+            BenchmarkId::new("cge", attack_name),
+            &attack,
+            |b, attack| b.iter(|| black_box(run_cell(&Cge::new(), *attack))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cwtm", attack_name),
+            &attack,
+            |b, attack| b.iter(|| black_box(run_cell(&Cwtm::new(), *attack))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

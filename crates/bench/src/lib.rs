@@ -1,0 +1,69 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Each bench target regenerates (or exercises the driver of) one paper
+//! table/figure — see `DESIGN.md` §5 — plus ablation benches for filter
+//! throughput, the exact algorithm's combinatorial cost, and the EIG
+//! broadcast.
+
+use abft_core::SystemConfig;
+use abft_linalg::rng::{gaussian_vector, seeded_rng};
+use abft_linalg::Vector;
+use abft_problems::RegressionProblem;
+
+/// A bundle of `n` pseudo-gradients (honest cluster + `f` outliers) for
+/// filter throughput benches.
+pub fn gradient_bundle(n: usize, f: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let scale = if i < f { 100.0 } else { 1.0 };
+        out.push(gaussian_vector(&mut rng, dim, 0.0, scale));
+    }
+    out
+}
+
+/// The paper's regression instance plus its honest minimizer.
+pub fn paper_fixture() -> (RegressionProblem, Vector) {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("paper stack is full rank");
+    (problem, x_h)
+}
+
+/// A fan instance of arbitrary size with its honest minimizer (agents
+/// `f..n` honest).
+pub fn fan_fixture(n: usize, f: usize) -> (RegressionProblem, Vector) {
+    let config = SystemConfig::new(n, f).expect("valid (n, f)");
+    let problem =
+        RegressionProblem::fan(config, 160.0, 0.02, 7).expect("fan instance generable");
+    let honest: Vec<usize> = (f..n).collect();
+    let x_h = problem
+        .subset_minimizer(&honest)
+        .expect("fan stack is full rank");
+    (problem, x_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_has_requested_shape() {
+        let gs = gradient_bundle(8, 2, 16, 1);
+        assert_eq!(gs.len(), 8);
+        assert!(gs.iter().all(|g| g.dim() == 16));
+        // Outliers are the first f and visibly larger.
+        assert!(gs[0].norm() > gs[7].norm());
+    }
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let (p, x_h) = paper_fixture();
+        assert_eq!(p.config().n(), 6);
+        assert_eq!(x_h.dim(), 2);
+        let (p, x_h) = fan_fixture(9, 2);
+        assert_eq!(p.config().n(), 9);
+        assert_eq!(x_h.dim(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Agent identities and roles.
+
+use std::fmt;
+
+/// Identifier of an agent in the system.
+///
+/// Agents are indexed `0..n`, matching the paper's `{1, …, n}` up to the
+/// zero-based shift. The identity of *which* agents are Byzantine is never
+/// revealed to the algorithms under test — [`AgentRole`] exists only so the
+/// simulation harness and the evaluation code can compute ground truth
+/// (e.g. the honest aggregate minimizer `x_H`).
+///
+/// # Example
+///
+/// ```
+/// use abft_core::AgentId;
+///
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "agent-3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an agent identifier from a zero-based index.
+    pub fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// Returns the zero-based index of this agent.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent-{}", self.0)
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+impl From<AgentId> for usize {
+    fn from(id: AgentId) -> Self {
+        id.0
+    }
+}
+
+/// Ground-truth role of an agent in a simulated execution.
+///
+/// This is *simulation metadata*: the server-side algorithms never observe
+/// it. It drives which behaviour an agent simulates and which agents count
+/// toward the honest aggregate when evaluating resilience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentRole {
+    /// The agent follows the protocol and reports true gradients.
+    Honest,
+    /// The agent is Byzantine faulty and may report arbitrary values.
+    Byzantine,
+}
+
+impl AgentRole {
+    /// Returns `true` for [`AgentRole::Honest`].
+    pub fn is_honest(self) -> bool {
+        matches!(self, AgentRole::Honest)
+    }
+
+    /// Returns `true` for [`AgentRole::Byzantine`].
+    pub fn is_byzantine(self) -> bool {
+        matches!(self, AgentRole::Byzantine)
+    }
+}
+
+impl fmt::Display for AgentRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentRole::Honest => write!(f, "honest"),
+            AgentRole::Byzantine => write!(f, "byzantine"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_id_round_trips_through_usize() {
+        let id = AgentId::new(7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(AgentId::from(7usize), id);
+    }
+
+    #[test]
+    fn agent_id_orders_by_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+        assert_eq!(AgentId::new(4), AgentId::new(4));
+    }
+
+    #[test]
+    fn agent_id_display_is_stable() {
+        assert_eq!(AgentId::new(0).to_string(), "agent-0");
+        assert_eq!(AgentId::new(12).to_string(), "agent-12");
+    }
+
+    #[test]
+    fn roles_classify() {
+        assert!(AgentRole::Honest.is_honest());
+        assert!(!AgentRole::Honest.is_byzantine());
+        assert!(AgentRole::Byzantine.is_byzantine());
+        assert!(!AgentRole::Byzantine.is_honest());
+    }
+
+    #[test]
+    fn role_display_is_lowercase() {
+        assert_eq!(AgentRole::Honest.to_string(), "honest");
+        assert_eq!(AgentRole::Byzantine.to_string(), "byzantine");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the core configuration and trace types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The `(n, f)` pair violates an admissibility rule (e.g. Lemma 1).
+    InvalidConfig {
+        /// Total number of agents requested.
+        n: usize,
+        /// Fault tolerance requested.
+        f: usize,
+        /// Human-readable explanation of which rule was violated.
+        reason: String,
+    },
+    /// A trace or CSV operation failed (e.g. writing to disk).
+    Io(String),
+    /// A caller supplied structurally inconsistent data (e.g. a row with the
+    /// wrong number of columns).
+    Shape {
+        /// What was expected.
+        expected: String,
+        /// What was received.
+        actual: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { n, f: faults, reason } => {
+                write!(f, "invalid system configuration (n = {n}, f = {faults}): {reason}")
+            }
+            CoreError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            CoreError::Shape { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<std::io::Error> for CoreError {
+    fn from(err: std::io::Error) -> Self {
+        CoreError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameters() {
+        let err = CoreError::InvalidConfig {
+            n: 4,
+            f: 2,
+            reason: "f >= n/2".to_string(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("n = 4"));
+        assert!(msg.contains("f = 2"));
+        assert!(msg.contains("f >= n/2"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = CoreError::from(io);
+        assert!(matches!(err, CoreError::Io(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn shape_error_display() {
+        let err = CoreError::Shape {
+            expected: "4 columns".into(),
+            actual: "3 columns".into(),
+        };
+        assert!(err.to_string().contains("expected 4 columns"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<CoreError>();
+    }
+}

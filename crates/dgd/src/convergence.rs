@@ -1,0 +1,79 @@
+//! Empirical checks of Theorem 3's convergence condition.
+//!
+//! Theorem 3: with diminishing steps, if
+//! `φ_t = ⟨x_t − x*, GradFilter(…)⟩ ≥ ξ > 0` whenever `‖x_t − x*‖ ≥ D*`,
+//! then `lim ‖x_t − x*‖ ≤ D*`. These helpers let experiments *verify* the
+//! premise and the conclusion on recorded traces, rather than trusting the
+//! algebra.
+
+use abft_core::Trace;
+
+/// Checks Theorem 3's premise on a recorded trace: every record with
+/// `distance ≥ d_star` has `φ_t ≥ xi`.
+///
+/// Returns the first violating iteration, or `None` when the premise holds
+/// throughout.
+pub fn phi_lower_bound_holds(trace: &Trace, d_star: f64, xi: f64) -> Option<usize> {
+    trace
+        .records()
+        .iter()
+        .find(|r| r.distance >= d_star && r.phi < xi)
+        .map(|r| r.iteration)
+}
+
+/// Checks Theorem 3's conclusion on a recorded trace: the distance stays at
+/// or below `radius` (with `slack` tolerance) for the entire final
+/// `suffix_len` records.
+///
+/// Returns `false` when the trace is shorter than `suffix_len`.
+pub fn settles_within(trace: &Trace, radius: f64, slack: f64, suffix_len: usize) -> bool {
+    match trace.max_distance_over_last(suffix_len) {
+        Some(max_tail) => max_tail <= radius + slack,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_core::IterationRecord;
+
+    fn trace_from(records: &[(usize, f64, f64)]) -> Trace {
+        let mut t = Trace::new("test");
+        for &(iteration, distance, phi) in records {
+            t.push(IterationRecord {
+                iteration,
+                loss: 0.0,
+                distance,
+                grad_norm: 1.0,
+                phi,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn premise_detects_violations() {
+        // Far from x* (distance 2 ≥ 1) with phi below ξ = 0.5 at iteration 1.
+        let t = trace_from(&[(0, 2.0, 1.0), (1, 2.0, 0.1), (2, 0.5, -1.0)]);
+        assert_eq!(phi_lower_bound_holds(&t, 1.0, 0.5), Some(1));
+        // Records inside the D* ball are exempt (iteration 2 is fine).
+        let t = trace_from(&[(0, 2.0, 1.0), (1, 0.5, -1.0)]);
+        assert_eq!(phi_lower_bound_holds(&t, 1.0, 0.5), None);
+    }
+
+    #[test]
+    fn settling_checks_the_tail_only() {
+        let t = trace_from(&[(0, 10.0, 1.0), (1, 5.0, 1.0), (2, 0.2, 1.0), (3, 0.3, 1.0)]);
+        assert!(settles_within(&t, 0.3, 1e-9, 2));
+        assert!(!settles_within(&t, 0.25, 1e-9, 2));
+        assert!(!settles_within(&t, 100.0, 0.0, 9)); // suffix longer than trace
+    }
+
+    #[test]
+    fn settling_with_slack() {
+        let t = trace_from(&[(0, 1.05, 1.0)]);
+        assert!(settles_within(&t, 1.0, 0.1, 1));
+        assert!(!settles_within(&t, 1.0, 0.01, 1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the DGD driver.
+
+use abft_core::CoreError;
+use abft_filters::FilterError;
+use std::fmt;
+
+/// Errors produced while configuring or running a DGD simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DgdError {
+    /// The gradient filter rejected its inputs.
+    Filter(FilterError),
+    /// Configuration problem (agent counts, duplicate Byzantine assignment…).
+    Config(String),
+    /// Core-level configuration failure.
+    Core(CoreError),
+    /// Dimension mismatch between costs, initial estimate, or reference.
+    Dimension {
+        /// What was expected.
+        expected: String,
+        /// What was supplied.
+        actual: String,
+    },
+    /// The estimate diverged to non-finite values (only possible when the
+    /// projection set is unbounded and the filter is non-robust).
+    Diverged {
+        /// Iteration at which non-finite values appeared.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for DgdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgdError::Filter(e) => write!(f, "gradient filter failure: {e}"),
+            DgdError::Config(msg) => write!(f, "simulation configuration error: {msg}"),
+            DgdError::Core(e) => write!(f, "core failure: {e}"),
+            DgdError::Dimension { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            DgdError::Diverged { iteration } => {
+                write!(f, "estimate became non-finite at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DgdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DgdError::Filter(e) => Some(e),
+            DgdError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FilterError> for DgdError {
+    fn from(e: FilterError) -> Self {
+        DgdError::Filter(e)
+    }
+}
+
+impl From<CoreError> for DgdError {
+    fn from(e: CoreError) -> Self {
+        DgdError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = DgdError::from(FilterError::Empty);
+        assert!(matches!(e, DgdError::Filter(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(DgdError::Diverged { iteration: 7 }.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The synchronous DGD driver (steps S1/S2 of Section 4.1).
+
+use crate::error::DgdError;
+use crate::projection::ProjectionSet;
+use crate::schedule::StepSchedule;
+use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_filters::GradientFilter;
+use abft_problems::{total_value, SharedCost};
+use abft_linalg::Vector;
+use std::collections::BTreeMap;
+
+/// Options for one DGD execution.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Initial estimate `x_0` (chosen arbitrarily by the server).
+    pub x0: Vector,
+    /// Number of iterations `T`.
+    pub iterations: usize,
+    /// Step-size schedule `η_t`.
+    pub schedule: StepSchedule,
+    /// The compact convex constraint set `W`.
+    pub projection: ProjectionSet,
+    /// The reference point for the recorded `distance`/`φ_t` series —
+    /// normally the honest minimizer `x_H`.
+    pub reference: Vector,
+}
+
+impl RunOptions {
+    /// The paper's Section-5 configuration: `x_0 = (−0.0085, −0.5643)ᵀ`,
+    /// 500 iterations, `η_t = 1.5/(t+1)`, `W = [−1000, 1000]²`, with the
+    /// caller-supplied reference (normally `x_H`).
+    ///
+    /// (Appendix J quotes `x_0 = (0, 0)ᵀ` for the same experiment — one of
+    /// the paper's two internal inconsistencies; see `EXPERIMENTS.md`. The
+    /// Section-5 value is used here.)
+    pub fn paper_defaults(reference: Vector) -> Self {
+        RunOptions {
+            x0: Vector::from(vec![-0.0085, -0.5643]),
+            iterations: 500,
+            schedule: StepSchedule::paper(),
+            projection: ProjectionSet::paper(),
+            reference,
+        }
+    }
+
+    /// Same as [`RunOptions::paper_defaults`] but with the iteration count
+    /// overridden (Figure 2 runs 1500 iterations).
+    pub fn paper_defaults_with_iterations(reference: Vector, iterations: usize) -> Self {
+        let mut opts = Self::paper_defaults(reference);
+        opts.iterations = iterations;
+        opts
+    }
+}
+
+/// The result of one DGD execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-iteration records: `iterations + 1` entries, one per visited
+    /// estimate `x_0, …, x_T` (the final record's gradient fields are
+    /// computed at `x_T`).
+    pub trace: Trace,
+    /// The final estimate `x_T` — the paper's `x_out`.
+    pub final_estimate: Vector,
+}
+
+impl RunResult {
+    /// Final approximation error `‖x_T − reference‖`.
+    pub fn final_distance(&self) -> f64 {
+        self.trace
+            .final_distance()
+            .expect("trace always has at least the initial record")
+    }
+}
+
+/// A synchronous server-based DGD simulation: `n` agents, of which some are
+/// Byzantine, driven through steps S1/S2 (Section 4.1).
+///
+/// Agents hold their *true* costs; Byzantine agents additionally carry a
+/// [`ByzantineStrategy`] that forges what they report. Agents can also be
+/// configured to crash (stop replying), exercising the S1 elimination rule.
+pub struct DgdSimulation {
+    config: SystemConfig,
+    costs: Vec<SharedCost>,
+    strategies: BTreeMap<usize, Box<dyn ByzantineStrategy>>,
+    crash_at: BTreeMap<usize, usize>,
+}
+
+impl DgdSimulation {
+    /// Creates an all-honest simulation over the agents' true costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgdError::Config`] when the cost count differs from
+    /// `config.n()` or the costs disagree on dimension.
+    pub fn new(config: SystemConfig, costs: Vec<SharedCost>) -> Result<Self, DgdError> {
+        if costs.len() != config.n() {
+            return Err(DgdError::Config(format!(
+                "{} costs supplied for {} agents",
+                costs.len(),
+                config.n()
+            )));
+        }
+        let dim = costs[0].dim();
+        if costs.iter().any(|c| c.dim() != dim) {
+            return Err(DgdError::Dimension {
+                expected: format!("all costs of dim {dim}"),
+                actual: "mixed dimensions".to_string(),
+            });
+        }
+        Ok(DgdSimulation {
+            config,
+            costs,
+            strategies: BTreeMap::new(),
+            crash_at: BTreeMap::new(),
+        })
+    }
+
+    /// Marks `agent` as Byzantine with the given behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgdError::Config`] when the index is out of range, the
+    /// agent is already faulty, or the fault budget `f` would be exceeded.
+    pub fn with_byzantine(
+        mut self,
+        agent: usize,
+        strategy: Box<dyn ByzantineStrategy>,
+    ) -> Result<Self, DgdError> {
+        self.check_fault_assignment(agent)?;
+        self.strategies.insert(agent, strategy);
+        Ok(self)
+    }
+
+    /// Marks `agent` as crashing: it behaves honestly before iteration
+    /// `at_iteration` and sends nothing from then on, triggering the S1
+    /// elimination rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DgdError::Config`] under the same conditions as
+    /// [`DgdSimulation::with_byzantine`].
+    pub fn with_crash(mut self, agent: usize, at_iteration: usize) -> Result<Self, DgdError> {
+        self.check_fault_assignment(agent)?;
+        self.crash_at.insert(agent, at_iteration);
+        Ok(self)
+    }
+
+    fn check_fault_assignment(&self, agent: usize) -> Result<(), DgdError> {
+        if agent >= self.config.n() {
+            return Err(DgdError::Config(format!(
+                "agent {agent} out of range for n = {}",
+                self.config.n()
+            )));
+        }
+        if self.strategies.contains_key(&agent) || self.crash_at.contains_key(&agent) {
+            return Err(DgdError::Config(format!("agent {agent} is already faulty")));
+        }
+        if self.strategies.len() + self.crash_at.len() >= self.config.f() {
+            return Err(DgdError::Config(format!(
+                "fault budget f = {} exhausted",
+                self.config.f()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Indices of the honest agents (ground truth, unknown to the server).
+    pub fn honest_agents(&self) -> Vec<usize> {
+        (0..self.config.n())
+            .filter(|i| !self.strategies.contains_key(i) && !self.crash_at.contains_key(i))
+            .collect()
+    }
+
+    /// Runs DGD with the given filter.
+    ///
+    /// The returned trace records, at each visited estimate: the honest
+    /// aggregate loss `Σ_{i∈H} Q_i(x_t)`, the distance `‖x_t − reference‖`,
+    /// the filtered gradient norm, and `φ_t = ⟨x_t − reference, filtered⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter failures ([`DgdError::Filter`]), reports dimension
+    /// mismatches, and returns [`DgdError::Diverged`] if the estimate leaves
+    /// the finite range (possible only with a non-robust filter and huge
+    /// attacks, since `W` is compact).
+    pub fn run(
+        &mut self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+    ) -> Result<RunResult, DgdError> {
+        let dim = self.costs[0].dim();
+        if options.x0.dim() != dim || options.reference.dim() != dim {
+            return Err(DgdError::Dimension {
+                expected: format!("x0 and reference of dim {dim}"),
+                actual: format!(
+                    "x0 dim {}, reference dim {}",
+                    options.x0.dim(),
+                    options.reference.dim()
+                ),
+            });
+        }
+
+        let honest = self.honest_agents();
+        let mut trace = Trace::new(filter.name());
+        // Agents eliminated via the S1 no-reply rule. The server-side view
+        // (n, f) shrinks accordingly.
+        let mut eliminated: Vec<bool> = vec![false; self.config.n()];
+        let mut server_f = self.config.f();
+
+        let mut x = options.projection.project(&options.x0);
+        for t in 0..options.iterations {
+            let (gradients, active) =
+                self.collect_round(t, &x, &honest, &mut eliminated, &mut server_f);
+            let aggregated = filter.aggregate(&gradients, server_f)?;
+            if aggregated.has_non_finite() || x.has_non_finite() {
+                return Err(DgdError::Diverged { iteration: t });
+            }
+            trace.push(self.record(t, &x, &aggregated, &honest, options));
+            let _ = active;
+            let eta = options.schedule.eta(t);
+            let step = &x - &aggregated.scale(eta);
+            x = options.projection.project(&step);
+        }
+
+        // Final record at x_T (gradient fields recomputed there).
+        let (gradients, _) = self.collect_round(
+            options.iterations,
+            &x,
+            &honest,
+            &mut eliminated,
+            &mut server_f,
+        );
+        let aggregated = filter.aggregate(&gradients, server_f)?;
+        trace.push(self.record(options.iterations, &x, &aggregated, &honest, options));
+
+        Ok(RunResult {
+            trace,
+            final_estimate: x,
+        })
+    }
+
+    /// Step S1: collect one round of gradients from the non-eliminated
+    /// agents, applying Byzantine strategies and the crash/elimination rule.
+    // Agent ids index several parallel per-agent tables; ranging over the id
+    // is the clearest expression.
+    #[allow(clippy::needless_range_loop)]
+    fn collect_round(
+        &mut self,
+        t: usize,
+        x: &Vector,
+        honest: &[usize],
+        eliminated: &mut [bool],
+        server_f: &mut usize,
+    ) -> (Vec<Vector>, Vec<usize>) {
+        // Honest gradients are computed first so omniscient strategies can
+        // inspect them.
+        let honest_gradients: Vec<Vector> =
+            honest.iter().map(|&i| self.costs[i].gradient(x)).collect();
+
+        let mut round = Vec::with_capacity(self.config.n());
+        let mut active = Vec::with_capacity(self.config.n());
+        for i in 0..self.config.n() {
+            if eliminated[i] {
+                continue;
+            }
+            if let Some(&crash) = self.crash_at.get(&i) {
+                if t >= crash {
+                    // No reply: the server eliminates the agent and updates
+                    // its (n, f) view — it knows a silent agent is faulty.
+                    eliminated[i] = true;
+                    *server_f = server_f.saturating_sub(1);
+                    continue;
+                }
+            }
+            let true_gradient = self.costs[i].gradient(x);
+            let g = match self.strategies.get_mut(&i) {
+                Some(strategy) => {
+                    let ctx = if strategy.is_omniscient() {
+                        AttackContext::omniscient(t, &true_gradient, x, &honest_gradients)
+                    } else {
+                        AttackContext::new(t, &true_gradient, x)
+                    };
+                    strategy.corrupt(&ctx)
+                }
+                None => true_gradient,
+            };
+            round.push(g);
+            active.push(i);
+        }
+        (round, active)
+    }
+
+    /// Builds one trace record at estimate `x`.
+    fn record(
+        &self,
+        t: usize,
+        x: &Vector,
+        aggregated: &Vector,
+        honest: &[usize],
+        options: &RunOptions,
+    ) -> IterationRecord {
+        let offset = x - &options.reference;
+        IterationRecord {
+            iteration: t,
+            loss: total_value(&self.costs, honest, x),
+            distance: offset.norm(),
+            grad_norm: aggregated.norm(),
+            phi: offset.dot(aggregated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_attacks::{GradientReverse, RandomGaussian, ZeroGradient};
+    use abft_filters::{Cge, Cwtm, Mean};
+    use abft_problems::RegressionProblem;
+
+    fn paper_setup() -> (DgdSimulation, Vector) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let sim = DgdSimulation::new(*problem.config(), problem.costs()).unwrap();
+        (sim, x_h)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let problem = RegressionProblem::paper_instance();
+        let config = *problem.config();
+        let mut costs = problem.costs();
+        costs.pop();
+        assert!(DgdSimulation::new(config, costs).is_err());
+    }
+
+    #[test]
+    fn fault_budget_is_enforced() {
+        let (sim, _) = paper_setup();
+        // f = 1: the first assignment is fine, the second must fail.
+        let sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        assert!(sim
+            .with_byzantine(1, Box::new(GradientReverse::new()))
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_assignments_rejected() {
+        let (sim, _) = paper_setup();
+        assert!(sim
+            .with_byzantine(9, Box::new(GradientReverse::new()))
+            .is_err());
+        let (sim, _) = paper_setup();
+        let sim = sim.with_crash(2, 10).unwrap();
+        // f budget of 1 is used up by the crash.
+        assert!(sim.with_byzantine(2, Box::new(ZeroGradient::new())).is_err());
+    }
+
+    #[test]
+    fn honest_agents_excludes_faulty() {
+        let (sim, _) = paper_setup();
+        let sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        assert_eq!(sim.honest_agents(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fault_free_dgd_converges_to_global_minimizer() {
+        let problem = RegressionProblem::paper_instance();
+        let x_all = problem.subset_minimizer(&[0, 1, 2, 3, 4, 5]).unwrap();
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs()).unwrap();
+        let options = RunOptions::paper_defaults(x_all.clone());
+        let result = sim.run(&Mean::new(), &options).unwrap();
+        assert!(
+            result.final_distance() < 1e-2,
+            "fault-free distance = {}",
+            result.final_distance()
+        );
+        // Trace covers x_0..x_500.
+        assert_eq!(result.trace.len(), 501);
+    }
+
+    #[test]
+    fn cge_survives_gradient_reverse() {
+        let (sim, x_h) = paper_setup();
+        let mut sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let options = RunOptions::paper_defaults(x_h.clone());
+        let result = sim.run(&Cge::new(), &options).unwrap();
+        // Paper Table 1: dist = 0.0239 < eps = 0.0890.
+        assert!(
+            result.final_distance() < 0.089,
+            "CGE distance = {}",
+            result.final_distance()
+        );
+    }
+
+    #[test]
+    fn cwtm_survives_random_attack() {
+        let (sim, x_h) = paper_setup();
+        let mut sim = sim
+            .with_byzantine(0, Box::new(RandomGaussian::paper(42)))
+            .unwrap();
+        let options = RunOptions::paper_defaults(x_h.clone());
+        let result = sim.run(&Cwtm::new(), &options).unwrap();
+        assert!(
+            result.final_distance() < 0.089,
+            "CWTM distance = {}",
+            result.final_distance()
+        );
+    }
+
+    #[test]
+    fn plain_mean_fails_under_attack() {
+        let (sim, x_h) = paper_setup();
+        let mut sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let options = RunOptions::paper_defaults(x_h.clone());
+        let robust = sim.run(&Cge::new(), &options).unwrap().final_distance();
+        let mut sim2 = {
+            let (s, _) = paper_setup();
+            s.with_byzantine(0, Box::new(GradientReverse::new())).unwrap()
+        };
+        let naive = sim2.run(&Mean::new(), &options).unwrap().final_distance();
+        assert!(
+            naive > 5.0 * robust,
+            "mean ({naive}) should be far worse than CGE ({robust})"
+        );
+    }
+
+    #[test]
+    fn crashed_agent_is_eliminated_not_fatal() {
+        let (sim, x_h) = paper_setup();
+        let mut sim = sim.with_crash(0, 5).unwrap();
+        let options = RunOptions::paper_defaults(x_h.clone());
+        let result = sim.run(&Cge::new(), &options).unwrap();
+        // After elimination the system is fault-free: convergence to x_H.
+        assert!(
+            result.final_distance() < 1e-2,
+            "distance after crash-elimination = {}",
+            result.final_distance()
+        );
+    }
+
+    #[test]
+    fn estimates_stay_inside_w() {
+        let (sim, x_h) = paper_setup();
+        let mut sim = sim
+            .with_byzantine(0, Box::new(RandomGaussian::new(1e6, 1)))
+            .unwrap();
+        let mut options = RunOptions::paper_defaults(x_h);
+        options.projection = ProjectionSet::centered_box(-2.0, 2.0);
+        options.iterations = 50;
+        let result = sim.run(&Mean::new(), &options).unwrap();
+        assert!(options.projection.contains(&result.final_estimate));
+    }
+
+    #[test]
+    fn run_validates_dimensions() {
+        let (mut sim, _) = paper_setup();
+        let options = RunOptions {
+            x0: Vector::zeros(3), // wrong dim
+            iterations: 1,
+            schedule: StepSchedule::paper(),
+            projection: ProjectionSet::paper(),
+            reference: Vector::zeros(2),
+        };
+        assert!(matches!(
+            sim.run(&Cge::new(), &options),
+            Err(DgdError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed: u64, filter: &dyn abft_filters::GradientFilter| {
+            let (sim, x_h) = paper_setup();
+            let mut sim = sim
+                .with_byzantine(0, Box::new(RandomGaussian::paper(seed)))
+                .unwrap();
+            let mut options = RunOptions::paper_defaults(x_h);
+            options.iterations = 50;
+            sim.run(filter, &options).unwrap().final_estimate
+        };
+        assert!(run(7, &Cge::new()).approx_eq(&run(7, &Cge::new()), 0.0));
+        // Seed differences are visible through the non-robust mean (CGE
+        // eliminates the huge random vectors, making it seed-insensitive —
+        // which is exactly its job).
+        assert!(!run(7, &Mean::new()).approx_eq(&run(8, &Mean::new()), 1e-12));
+    }
+}

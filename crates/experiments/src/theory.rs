@@ -1,0 +1,249 @@
+//! The Section-5 scalars, the Theorem 4/5/6 bounds, and the exact algorithm.
+
+use abft_core::csv::CsvTable;
+use abft_core::subsets::KSubsets;
+use abft_core::SystemConfig;
+use abft_problems::analysis::{convexity_constants, gradient_diversity};
+use abft_problems::RegressionProblem;
+use abft_redundancy::{
+    cge_alpha, cge_resilience_factor, cge_v2_alpha, cge_v2_resilience_factor,
+    cwtm_lambda_threshold, cwtm_resilience_factor, exact_resilient_output, measure_redundancy,
+    NecessityScenario, RegressionOracle,
+};
+use std::error::Error;
+use std::path::Path;
+
+/// Reproduces the Section-5 scalar values: ε = 0.0890,
+/// x_H = (1.0780, 0.9825)ᵀ, µ = 2, γ = 0.712 (and the Appendix-J halved
+/// convention µ = 1, γ = 0.356).
+pub fn epsilon(out_dir: &Path) -> Result<(), Box<dyn Error>> {
+    let problem = RegressionProblem::paper_instance();
+    let config = *problem.config();
+    let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
+    let report = measure_redundancy(&RegressionOracle::new(&problem), config)?;
+    let constants = convexity_constants(&problem)?;
+
+    let mut table = CsvTable::new(vec!["quantity".into(), "measured".into(), "paper".into()]);
+    table.push_row(vec![
+        "eps (2f,eps)-redundancy".into(),
+        format!("{:.4}", report.epsilon),
+        "0.0890".into(),
+    ])?;
+    table.push_row(vec![
+        "x_H[0]".into(),
+        format!("{:.4}", x_h[0]),
+        "1.0780".into(),
+    ])?;
+    table.push_row(vec![
+        "x_H[1]".into(),
+        format!("{:.4}", x_h[1]),
+        "0.9825".into(),
+    ])?;
+    table.push_row(vec![
+        "mu (Section-5 convention)".into(),
+        format!("{:.3}", constants.mu),
+        "2".into(),
+    ])?;
+    table.push_row(vec![
+        "gamma (Section-5 convention)".into(),
+        format!("{:.3}", constants.gamma),
+        "0.712".into(),
+    ])?;
+    table.push_row(vec![
+        "mu (Appendix-J convention)".into(),
+        format!("{:.3}", constants.mu / 2.0),
+        "1".into(),
+    ])?;
+    table.push_row(vec![
+        "gamma (Appendix-J convention)".into(),
+        format!("{:.3}", constants.gamma / 2.0),
+        "0.356".into(),
+    ])?;
+
+    println!("=== Section-5 scalars ===\n");
+    print!("{}", table.to_aligned_string());
+    println!(
+        "\nworst redundancy pair: S = {:?}, S-hat = {:?} ({} pairs examined)",
+        report.worst_outer, report.worst_inner, report.pairs_examined
+    );
+    table.write_to_path(out_dir.join("epsilon.csv"))?;
+    Ok(())
+}
+
+/// The Theorem 4/5/6 resilience factors evaluated on the paper instance.
+pub fn bounds(out_dir: &Path) -> Result<(), Box<dyn Error>> {
+    let problem = RegressionProblem::paper_instance();
+    let config = *problem.config();
+    let (n, f, d) = (config.n(), config.f(), problem.dim());
+    let c = convexity_constants(&problem)?;
+    let eps = measure_redundancy(&RegressionOracle::new(&problem), config)?.epsilon;
+    let lambda = gradient_diversity(&problem, &[1, 2, 3, 4, 5], 10.0);
+    let lambda_threshold = cwtm_lambda_threshold(d, c.mu, c.gamma);
+
+    let mut table = CsvTable::new(vec![
+        "theorem".into(),
+        "admissibility".into(),
+        "factor D".into(),
+        "certified radius D*eps".into(),
+    ]);
+
+    let a4 = cge_alpha(n, f, c.mu, c.gamma);
+    match cge_resilience_factor(n, f, c.mu, c.gamma) {
+        Some(d4) => table.push_row(vec![
+            "Thm 4 (CGE)".into(),
+            format!("alpha = {a4:.3} > 0"),
+            format!("{d4:.2}"),
+            format!("{:.3}", d4 * eps),
+        ])?,
+        None => table.push_row(vec![
+            "Thm 4 (CGE)".into(),
+            format!("alpha = {a4:.3} <= 0 — VACUOUS for the paper instance"),
+            "-".into(),
+            "-".into(),
+        ])?,
+    }
+    let a5 = cge_v2_alpha(n, f, c.mu, c.gamma);
+    match cge_v2_resilience_factor(n, f, c.mu, c.gamma) {
+        Some(d5) => table.push_row(vec![
+            "Thm 5 (CGE, sharper)".into(),
+            format!("alpha = {a5:.3} > 0"),
+            format!("{d5:.2}"),
+            format!("{:.3}", d5 * eps),
+        ])?,
+        None => table.push_row(vec![
+            "Thm 5 (CGE, sharper)".into(),
+            format!("alpha = {a5:.3} <= 0"),
+            "-".into(),
+            "-".into(),
+        ])?,
+    }
+    match cwtm_resilience_factor(n, d, c.mu, c.gamma, lambda) {
+        Some(dp) => table.push_row(vec![
+            "Thm 6 (CWTM)".into(),
+            format!("lambda = {lambda:.3} < {lambda_threshold:.3}"),
+            format!("{dp:.2}"),
+            format!("{:.3}", dp * eps),
+        ])?,
+        None => table.push_row(vec![
+            "Thm 6 (CWTM)".into(),
+            format!(
+                "lambda = {lambda:.3} >= threshold {lambda_threshold:.3} — VACUOUS \
+                 (empirical diversity too large)"
+            ),
+            "-".into(),
+            "-".into(),
+        ])?,
+    }
+
+    println!("=== Resilience bounds on the paper instance ===");
+    println!("(n = {n}, f = {f}, d = {d}, mu = {:.3}, gamma = {:.3}, eps = {eps:.4})\n", c.mu, c.gamma);
+    print!("{}", table.to_aligned_string());
+    println!(
+        "\nnote: Theorem 4's condition f/n < 1/(1 + 2mu/gamma) = {:.3} fails at f/n = {:.3};\n\
+         the v5 paper's added Theorem 5 is the one that certifies the instance.",
+        1.0 / (1.0 + 2.0 * c.mu / c.gamma),
+        config.fault_fraction()
+    );
+    table.write_to_path(out_dir.join("bounds.csv"))?;
+    Ok(())
+}
+
+/// Theorem-3 monitor: records φ_t = ⟨x_t − x_H, GradFilter(…)⟩ along a CGE
+/// run and verifies the convergence condition empirically — the premise
+/// (φ_t ≥ ξ outside a ball) and the conclusion (the trajectory settles in
+/// that ball).
+pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
+    use abft_attacks::GradientReverse;
+    use abft_dgd::{phi_lower_bound_holds, settles_within, DgdSimulation, RunOptions};
+    use abft_filters::Cge;
+
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
+    let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
+        .with_byzantine(0, Box::new(GradientReverse::new()))?;
+    let options = RunOptions::paper_defaults_with_iterations(x_h, 1000);
+    let run = sim.run(&Cge::new(), &options)?;
+
+    let mut table = CsvTable::new(vec![
+        "iteration".into(),
+        "distance".into(),
+        "phi".into(),
+        "grad norm".into(),
+    ]);
+    for r in run.trace.records().iter().step_by(50) {
+        table.push_row(vec![
+            r.iteration.to_string(),
+            format!("{:.6e}", r.distance),
+            format!("{:.6e}", r.phi),
+            format!("{:.6e}", r.grad_norm),
+        ])?;
+    }
+    println!("=== Theorem-3 monitor: φ_t along DGD + CGE (gradient-reverse fault) ===\n");
+    print!("{}", table.to_aligned_string());
+
+    // Empirical premise: the smallest D* such that φ > 0 whenever
+    // distance ≥ D* over the recorded trajectory.
+    let d_star = run
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.phi <= 0.0)
+        .map(|r| r.distance)
+        .fold(0.0f64, f64::max)
+        .max(1e-6);
+    let premise_violated_at = phi_lower_bound_holds(&run.trace, d_star * 1.0001, 0.0);
+    let settles = settles_within(&run.trace, d_star, 0.01, 100);
+    println!("\nempirical D* (phi > 0 outside this radius): {d_star:.4e}");
+    println!("premise holds outside D*: {}", premise_violated_at.is_none());
+    println!("trajectory settles within D* (+0.01 slack) over the last 100 records: {settles}");
+    table.write_to_path(out_dir.join("phi_monitor.csv"))?;
+    Ok(())
+}
+
+/// Theorem 2's exact algorithm on honest and corrupted submissions, plus the
+/// Theorem-1 impossibility witness.
+pub fn exact(out_dir: &Path) -> Result<(), Box<dyn Error>> {
+    let problem = RegressionProblem::paper_instance();
+    let config = *problem.config();
+    let oracle = RegressionOracle::new(&problem);
+    let eps = measure_redundancy(&oracle, config)?.epsilon;
+
+    println!("=== Theorem 2: the exact (f, 2eps)-resilient algorithm ===\n");
+    let out = exact_resilient_output(&oracle, config)?;
+    let mut table = CsvTable::new(vec!["candidate set T".into(), "score r_T".into()]);
+    for (subset, score) in &out.all_scores {
+        table.push_row(vec![format!("{subset:?}"), format!("{score:.4}")])?;
+    }
+    print!("{}", table.to_aligned_string());
+    println!(
+        "\nchosen S = {:?}, output = {}, r_S = {:.4} <= eps = {eps:.4}",
+        out.chosen_subset, out.output, out.score
+    );
+    let mut worst: f64 = 0.0;
+    for subset in KSubsets::new(config.n(), config.honest_quorum()) {
+        let x_s = problem.subset_minimizer(&subset)?;
+        worst = worst.max(out.output.dist(&x_s));
+    }
+    println!("worst distance to any (n-f)-subset minimizer: {worst:.4} (bound 2eps = {:.4})", 2.0 * eps);
+    table.write_to_path(out_dir.join("exact_scores.csv"))?;
+
+    println!("\n=== Theorem 1: the impossibility witness ===\n");
+    let cfg = SystemConfig::new(5, 1)?;
+    let scenario = NecessityScenario::build(cfg, 0.5, 0.1)?;
+    let witness = exact_resilient_output(&scenario, cfg)?;
+    let (d1, d2) = scenario.judge(witness.output[0]);
+    println!(
+        "construction: x_S = {:.2}, x_B∪Ŝ = {:.2} (gap 2(eps+delta) = {:.2})",
+        scenario.x_s(),
+        scenario.x_bs(),
+        scenario.x_bs() - scenario.x_s()
+    );
+    println!(
+        "exact algorithm output {:.3} → distances ({d1:.3}, {d2:.3}); \
+         resilience at eps = {} fails in at least one scenario: {}",
+        witness.output[0],
+        scenario.epsilon(),
+        d1 > scenario.epsilon() || d2 > scenario.epsilon()
+    );
+    Ok(())
+}

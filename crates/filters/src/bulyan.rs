@@ -1,0 +1,168 @@
+//! Bulyan (El Mhamdi–Guerraoui–Rouault, ICML 2018 — the paper's
+//! reference \[20\]).
+
+use crate::error::FilterError;
+use crate::krum::krum_scores_with;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::stats::trimmed_mean;
+use abft_linalg::Vector;
+
+/// The Bulyan gradient filter.
+///
+/// Two stages:
+/// 1. **Selection**: repeatedly run Krum over the remaining gradients,
+///    moving each winner into a selection set, until `θ = n − 2f` gradients
+///    are selected.
+/// 2. **Aggregation**: output the coordinate-wise trimmed mean of the
+///    selection with trim level `f` (averaging the `θ − 2f` central values
+///    of each coordinate).
+///
+/// Requires `n ≥ 4f + 3` so that every intermediate Krum call sees at least
+/// `2f + 3` gradients and the final trim keeps at least one value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bulyan;
+
+impl Bulyan {
+    /// Creates the Bulyan filter.
+    pub fn new() -> Self {
+        Bulyan
+    }
+}
+
+impl GradientFilter for Bulyan {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("bulyan", gradients, f)?;
+        let n = gradients.len();
+        if n < 4 * f + 3 {
+            return Err(FilterError::TooFewGradients {
+                filter: "bulyan",
+                n,
+                f,
+                requirement: "n >= 4f + 3".to_string(),
+            });
+        }
+
+        // Stage 1: iterative Krum selection of θ = n − 2f gradients. As the
+        // pool shrinks below Krum's canonical n ≥ 2f + 3 regime, the
+        // neighbour count is clamped (standard in Bulyan implementations):
+        // the top-level n ≥ 4f + 3 requirement carries the guarantee.
+        let theta = n - 2 * f;
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut selection: Vec<usize> = Vec::with_capacity(theta);
+        while selection.len() < theta {
+            let pool: Vec<Vector> = remaining.iter().map(|&i| gradients[i].clone()).collect();
+            let neighbours = pool.len().saturating_sub(f + 2).max(1);
+            let scores = krum_scores_with(&pool, neighbours);
+            // Ties are broken by the gradient's lexicographic value (not its
+            // index) so the selection depends only on the received multiset,
+            // keeping the filter permutation-invariant.
+            let winner_in_pool = scores
+                .iter()
+                .enumerate()
+                .min_by(|(i, a), (j, b)| {
+                    a.partial_cmp(b)
+                        .expect("finite scores")
+                        .then_with(|| {
+                            pool[*i]
+                                .as_slice()
+                                .partial_cmp(pool[*j].as_slice())
+                                .expect("finite entries")
+                        })
+                })
+                .map(|(i, _)| i)
+                .expect("pool is non-empty while selection is incomplete");
+            let winner = remaining.remove(winner_in_pool);
+            selection.push(winner);
+        }
+
+        // Stage 2: coordinate-wise trimmed mean over the selection with
+        // trim f (keeps θ − 2f ≥ 3 values; n ≥ 4f+3 guarantees positivity).
+        let mut out = Vector::zeros(dim);
+        let mut column = vec![0.0; selection.len()];
+        for k in 0..dim {
+            for (slot, &i) in selection.iter().enumerate() {
+                column[slot] = gradients[i][k];
+            }
+            out[k] = trimmed_mean(&column, f).expect("theta > 2f by n >= 4f + 3");
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "bulyan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// n = 7, f = 1 satisfies n ≥ 4f + 3.
+    fn cluster_with_outlier() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+            Vector::from(vec![1.05, 0.95]),
+            Vector::from(vec![0.95, 1.05]),
+            Vector::from(vec![1.02, 1.02]),
+            Vector::from(vec![-1000.0, 1000.0]),
+        ]
+    }
+
+    #[test]
+    fn resists_gross_outlier() {
+        let out = Bulyan::new().aggregate(&cluster_with_outlier(), 1).unwrap();
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 0.2);
+    }
+
+    #[test]
+    fn requires_4f_plus_3() {
+        let gs = vec![Vector::zeros(1); 6];
+        assert!(matches!(
+            Bulyan::new().aggregate(&gs, 1),
+            Err(FilterError::TooFewGradients { .. })
+        ));
+        let gs = vec![Vector::zeros(1); 7];
+        assert!(Bulyan::new().aggregate(&gs, 1).is_ok());
+    }
+
+    #[test]
+    fn identical_inputs_pass_through() {
+        let gs = vec![Vector::from(vec![3.0, -1.0]); 7];
+        let out = Bulyan::new().aggregate(&gs, 1).unwrap();
+        assert!(out.approx_eq(&Vector::from(vec![3.0, -1.0]), 1e-12));
+    }
+
+    #[test]
+    fn fault_free_is_unbiased_on_symmetric_input() {
+        // Symmetric spread around (0, 0) with f = 0: output ≈ centroid.
+        let gs = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![-1.0, 0.0]),
+            Vector::from(vec![0.0, 1.0]),
+            Vector::from(vec![0.0, -1.0]),
+            Vector::from(vec![0.5, 0.5]),
+            Vector::from(vec![-0.5, -0.5]),
+            Vector::from(vec![0.0, 0.0]),
+        ];
+        let out = Bulyan::new().aggregate(&gs, 0).unwrap();
+        assert!(out.norm() < 0.3);
+    }
+
+    #[test]
+    fn output_is_within_selection_hull_per_coordinate() {
+        let gs = cluster_with_outlier();
+        let out = Bulyan::new().aggregate(&gs, 1).unwrap();
+        // Honest cluster spans [0.9, 1.1] per coordinate; the trimmed mean of
+        // any selection (which contains ≥ honest values only after trimming)
+        // must stay within the full input hull at minimum.
+        assert!(out[0] >= -1000.0 && out[0] <= 1.1 + 1e-9);
+        assert!(out[1] >= 0.9 - 1e-9 && out[1] <= 1000.0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Bulyan::new().name(), "bulyan");
+    }
+}

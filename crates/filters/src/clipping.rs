@@ -1,0 +1,195 @@
+//! Clipping-based filters: centered clipping (Karimireddy–He–Jaggi, the
+//! paper's reference \[28\]) and norm clipping.
+
+use crate::error::FilterError;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::Vector;
+
+/// Centered clipping: iteratively refines an aggregate `v` by averaging
+/// *clipped* deviations,
+///
+/// `v ← v + (1/n)·Σᵢ clip(gᵢ − v, τ)`
+///
+/// where `clip(u, τ)` rescales `u` to norm at most `τ`. A few iterations
+/// from `v₀ = 0` suffice in practice; the clip radius bounds the influence
+/// any single Byzantine gradient can exert to `τ/n` per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct CenteredClipping {
+    radius: f64,
+    iterations: usize,
+}
+
+impl CenteredClipping {
+    /// Creates the filter with clip radius `radius` and `iterations`
+    /// refinement steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for non-positive radius or
+    /// zero iterations.
+    pub fn new(radius: f64, iterations: usize) -> Result<Self, FilterError> {
+        if radius <= 0.0 || !radius.is_finite() {
+            return Err(FilterError::InvalidParameter {
+                filter: "centered-clipping",
+                reason: format!("clip radius must be positive and finite, got {radius}"),
+            });
+        }
+        if iterations == 0 {
+            return Err(FilterError::InvalidParameter {
+                filter: "centered-clipping",
+                reason: "iteration count must be positive".into(),
+            });
+        }
+        Ok(CenteredClipping { radius, iterations })
+    }
+
+    /// Clips `u` to Euclidean norm at most `radius`.
+    fn clip(u: &Vector, radius: f64) -> Vector {
+        let n = u.norm();
+        if n <= radius || n == 0.0 {
+            u.clone()
+        } else {
+            u.scale(radius / n)
+        }
+    }
+}
+
+impl GradientFilter for CenteredClipping {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("centered-clipping", gradients, f)?;
+        let mut v = Vector::zeros(dim);
+        for _ in 0..self.iterations {
+            let mut correction = Vector::zeros(dim);
+            for g in gradients {
+                correction += &Self::clip(&(g - &v), self.radius);
+            }
+            correction.scale_mut(1.0 / gradients.len() as f64);
+            v += &correction;
+        }
+        Ok(v)
+    }
+
+    fn name(&self) -> &'static str {
+        "centered-clipping"
+    }
+}
+
+/// Norm clipping: rescales every gradient to norm at most `radius`, then
+/// averages. A simple robustness baseline — bounded influence but biased
+/// when honest gradients exceed the radius.
+#[derive(Debug, Clone, Copy)]
+pub struct NormClipping {
+    radius: f64,
+}
+
+impl NormClipping {
+    /// Creates the filter with the given clip radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for a non-positive radius.
+    pub fn new(radius: f64) -> Result<Self, FilterError> {
+        if radius <= 0.0 || !radius.is_finite() {
+            return Err(FilterError::InvalidParameter {
+                filter: "norm-clipping",
+                reason: format!("clip radius must be positive and finite, got {radius}"),
+            });
+        }
+        Ok(NormClipping { radius })
+    }
+}
+
+impl GradientFilter for NormClipping {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("norm-clipping", gradients, f)?;
+        let mut acc = Vector::zeros(dim);
+        for g in gradients {
+            acc += &CenteredClipping::clip(g, self.radius);
+        }
+        acc.scale_mut(1.0 / gradients.len() as f64);
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "norm-clipping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CenteredClipping::new(0.0, 3).is_err());
+        assert!(CenteredClipping::new(-1.0, 3).is_err());
+        assert!(CenteredClipping::new(1.0, 0).is_err());
+        assert!(CenteredClipping::new(f64::NAN, 1).is_err());
+        assert!(CenteredClipping::new(1.0, 3).is_ok());
+        assert!(NormClipping::new(0.0).is_err());
+        assert!(NormClipping::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn clip_preserves_small_and_rescales_large() {
+        let small = Vector::from(vec![0.3, 0.4]);
+        assert!(CenteredClipping::clip(&small, 1.0).approx_eq(&small, 0.0));
+        let large = Vector::from(vec![3.0, 4.0]);
+        let clipped = CenteredClipping::clip(&large, 1.0);
+        assert!((clipped.norm() - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((clipped[0] / clipped[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_clipping_bounds_outlier_influence() {
+        let mut gs = vec![Vector::from(vec![1.0, 1.0]); 9];
+        gs.push(Vector::from(vec![1e9, -1e9]));
+        let out = CenteredClipping::new(1.0, 5)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .unwrap();
+        // The outlier contributes at most radius/n per iteration.
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 1.0);
+    }
+
+    #[test]
+    fn centered_clipping_exact_on_identical_inputs() {
+        let gs = vec![Vector::from(vec![0.4, -0.2]); 5];
+        let out = CenteredClipping::new(1.0, 10)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .unwrap();
+        assert!(out.approx_eq(&gs[0], 1e-9));
+    }
+
+    #[test]
+    fn norm_clipping_averages_clipped() {
+        let gs = vec![
+            Vector::from(vec![10.0, 0.0]), // clipped to (1, 0)
+            Vector::from(vec![0.0, 0.5]),  // untouched
+        ];
+        let out = NormClipping::new(1.0).unwrap().aggregate(&gs, 0).unwrap();
+        assert!(out.approx_eq(&Vector::from(vec![0.5, 0.25]), 1e-12));
+    }
+
+    #[test]
+    fn norm_clipping_bounds_output() {
+        let gs = vec![
+            Vector::from(vec![1e12, 0.0]),
+            Vector::from(vec![0.0, -1e12]),
+            Vector::from(vec![1e12, 1e12]),
+        ];
+        let out = NormClipping::new(2.0).unwrap().aggregate(&gs, 1).unwrap();
+        assert!(out.norm() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            CenteredClipping::new(1.0, 1).unwrap().name(),
+            "centered-clipping"
+        );
+        assert_eq!(NormClipping::new(1.0).unwrap().name(), "norm-clipping");
+    }
+}

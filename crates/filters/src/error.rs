@@ -1,0 +1,99 @@
+//! Error type for gradient filters.
+
+use std::fmt;
+
+/// Errors produced by gradient aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// No gradients were supplied.
+    Empty,
+    /// The filter needs more inputs than it received for the given `f`
+    /// (e.g. CWTM needs `n > 2f`, Krum needs `n ≥ 2f + 3`).
+    TooFewGradients {
+        /// Filter that rejected the input.
+        filter: &'static str,
+        /// Number of gradients received.
+        n: usize,
+        /// Fault tolerance requested.
+        f: usize,
+        /// Human-readable statement of the requirement.
+        requirement: String,
+    },
+    /// Input gradients have inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first gradient.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// A filter parameter is invalid (e.g. zero groups for median-of-means).
+    InvalidParameter {
+        /// Filter that rejected its configuration.
+        filter: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// An input gradient contains NaN or infinity. Byzantine agents may send
+    /// such values; filters reject them uniformly at the boundary rather
+    /// than letting NaN poison comparisons silently.
+    NonFinite {
+        /// Index of the offending gradient.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Empty => write!(f, "no gradients to aggregate"),
+            FilterError::TooFewGradients {
+                filter,
+                n,
+                f: faults,
+                requirement,
+            } => write!(
+                f,
+                "{filter} cannot aggregate n = {n} gradients with f = {faults}: {requirement}"
+            ),
+            FilterError::DimensionMismatch { expected, actual } => {
+                write!(f, "gradient dimensions disagree: {expected} vs {actual}")
+            }
+            FilterError::InvalidParameter { filter, reason } => {
+                write!(f, "invalid {filter} configuration: {reason}")
+            }
+            FilterError::NonFinite { index } => {
+                write!(f, "gradient {index} contains NaN or infinite entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_filter() {
+        let e = FilterError::TooFewGradients {
+            filter: "krum",
+            n: 4,
+            f: 1,
+            requirement: "n >= 2f + 3".into(),
+        };
+        assert!(e.to_string().contains("krum"));
+        assert!(e.to_string().contains("n >= 2f + 3"));
+    }
+
+    #[test]
+    fn non_finite_names_index() {
+        assert!(FilterError::NonFinite { index: 3 }.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<FilterError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! FABA — Fast Aggregation against Byzantine Attacks (Xia et al., 2019).
+//!
+//! A simple outlier-peeling baseline: repeat `f` times — compute the mean
+//! of the remaining gradients, discard the gradient farthest from it — then
+//! average what is left. Contrast with CGE, which sorts by *norm* once: FABA
+//! re-centres after every removal, so it also catches faulty gradients whose
+//! norm blends in but whose direction is off.
+
+use crate::error::FilterError;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::Vector;
+
+/// The FABA gradient filter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Faba;
+
+impl Faba {
+    /// Creates the FABA filter.
+    pub fn new() -> Self {
+        Faba
+    }
+}
+
+impl GradientFilter for Faba {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("faba", gradients, f)?;
+        let mut remaining: Vec<usize> = (0..gradients.len()).collect();
+
+        for _ in 0..f {
+            // Mean of the remaining gradients.
+            let mut mean = Vector::zeros(dim);
+            for &i in &remaining {
+                mean += &gradients[i];
+            }
+            mean.scale_mut(1.0 / remaining.len() as f64);
+
+            // Discard the farthest-from-mean gradient; ties break by the
+            // gradient's lexicographic value for permutation invariance.
+            let (slot, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by(|(_, &i), (_, &j)| {
+                    gradients[i]
+                        .dist(&mean)
+                        .partial_cmp(&gradients[j].dist(&mean))
+                        .expect("finite distances")
+                        .then_with(|| {
+                            gradients[i]
+                                .as_slice()
+                                .partial_cmp(gradients[j].as_slice())
+                                .expect("finite entries")
+                        })
+                })
+                .expect("remaining is non-empty while peeling");
+            remaining.remove(slot);
+        }
+
+        let mut out = Vector::zeros(dim);
+        for &i in &remaining {
+            out += &gradients[i];
+        }
+        out.scale_mut(1.0 / remaining.len() as f64);
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "faba"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peels_the_gross_outlier() {
+        let gs = vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+            Vector::from(vec![1e6, -1e6]),
+        ];
+        let out = Faba::new().aggregate(&gs, 1).unwrap();
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 0.2);
+    }
+
+    #[test]
+    fn catches_direction_outliers_cge_misses() {
+        // All gradients share the same norm; one points the opposite way.
+        // CGE's norm sort cannot distinguish it — FABA's distance-to-mean
+        // peeling can.
+        let gs = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![0.98, 0.199]),
+            Vector::from(vec![0.98, -0.199]),
+            Vector::from(vec![-1.0, 0.0]), // same norm, reversed
+        ];
+        let out = Faba::new().aggregate(&gs, 1).unwrap();
+        assert!(out[0] > 0.9, "reversed gradient not peeled: {out}");
+    }
+
+    #[test]
+    fn f_zero_is_the_mean() {
+        let gs = vec![Vector::from(vec![1.0]), Vector::from(vec![3.0])];
+        let out = Faba::new().aggregate(&gs, 0).unwrap();
+        assert_eq!(out[0], 2.0);
+    }
+
+    #[test]
+    fn respects_n_greater_than_2f() {
+        let gs = vec![Vector::zeros(1); 4];
+        assert!(Faba::new().aggregate(&gs, 2).is_err());
+        assert!(Faba::new().aggregate(&gs, 1).is_ok());
+    }
+
+    #[test]
+    fn identical_inputs_pass_through() {
+        let gs = vec![Vector::from(vec![2.5, -1.5]); 5];
+        let out = Faba::new().aggregate(&gs, 2).unwrap();
+        assert!(out.approx_eq(&gs[0], 1e-12));
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Faba::new().name(), "faba");
+    }
+}

@@ -1,0 +1,289 @@
+//! Geometric median (Weiszfeld) and geometric median-of-means.
+
+use crate::error::FilterError;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::Vector;
+
+/// Geometric median via the (smoothed) Weiszfeld algorithm.
+///
+/// The geometric median `argmin_z Σᵢ‖z − gᵢ‖` is a classic robust aggregator
+/// (cited by the paper via Chen–Su–Xu's GMoM \[14\]); it tolerates strictly
+/// fewer than half corrupted points.
+///
+/// Weiszfeld iterations are smoothed with a small `epsilon` in the
+/// denominators so the iteration is well-defined when the iterate lands on
+/// an input point.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricMedian {
+    max_iters: usize,
+    tol: f64,
+    epsilon: f64,
+}
+
+impl Default for GeometricMedian {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeometricMedian {
+    /// Creates the filter with default iteration budget (`200`) and
+    /// tolerance (`1e-10`).
+    pub fn new() -> Self {
+        GeometricMedian {
+            max_iters: 200,
+            tol: 1e-10,
+            epsilon: 1e-12,
+        }
+    }
+
+    /// Overrides the iteration budget and tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for a zero iteration budget
+    /// or non-positive tolerance.
+    pub fn with_tolerance(max_iters: usize, tol: f64) -> Result<Self, FilterError> {
+        if max_iters == 0 {
+            return Err(FilterError::InvalidParameter {
+                filter: "geomed",
+                reason: "max_iters must be positive".into(),
+            });
+        }
+        if tol <= 0.0 {
+            return Err(FilterError::InvalidParameter {
+                filter: "geomed",
+                reason: format!("tol must be positive, got {tol}"),
+            });
+        }
+        Ok(GeometricMedian {
+            max_iters,
+            tol,
+            epsilon: 1e-12,
+        })
+    }
+
+    /// Computes the geometric median of a non-empty point set.
+    pub(crate) fn compute(&self, points: &[Vector], dim: usize) -> Vector {
+        // Start from the coordinate-wise mean.
+        let mut z = Vector::zeros(dim);
+        for p in points {
+            z += p;
+        }
+        z.scale_mut(1.0 / points.len() as f64);
+
+        for _ in 0..self.max_iters {
+            let mut numerator = Vector::zeros(dim);
+            let mut denominator = 0.0;
+            for p in points {
+                let w = 1.0 / (z.dist(p) + self.epsilon);
+                numerator.axpy(w, p);
+                denominator += w;
+            }
+            let next = numerator.scale(1.0 / denominator);
+            let step = next.dist(&z);
+            z = next;
+            if step <= self.tol {
+                break;
+            }
+        }
+        z
+    }
+}
+
+impl GradientFilter for GeometricMedian {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("geomed", gradients, f)?;
+        Ok(self.compute(gradients, dim))
+    }
+
+    fn name(&self) -> &'static str {
+        "geomed"
+    }
+}
+
+/// Geometric median-of-means (GMoM, Chen–Su–Xu 2017 — the paper's ref \[14\]).
+///
+/// Partitions the `n` gradients into `groups` buckets (round-robin by
+/// index), averages each bucket, and returns the geometric median of the
+/// bucket means. Robust as long as fewer than half the buckets contain a
+/// Byzantine gradient, so `groups` should exceed `2f`.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricMedianOfMeans {
+    groups: usize,
+    inner: GeometricMedian,
+}
+
+impl GeometricMedianOfMeans {
+    /// Creates the filter with the given number of buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for zero buckets.
+    pub fn new(groups: usize) -> Result<Self, FilterError> {
+        if groups == 0 {
+            return Err(FilterError::InvalidParameter {
+                filter: "gmom",
+                reason: "group count must be positive".into(),
+            });
+        }
+        Ok(GeometricMedianOfMeans {
+            groups,
+            inner: GeometricMedian::new(),
+        })
+    }
+
+    /// The configured bucket count.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl GradientFilter for GeometricMedianOfMeans {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("gmom", gradients, f)?;
+        if self.groups > gradients.len() {
+            return Err(FilterError::TooFewGradients {
+                filter: "gmom",
+                n: gradients.len(),
+                f,
+                requirement: format!("n >= {} groups", self.groups),
+            });
+        }
+        if self.groups <= 2 * f {
+            return Err(FilterError::InvalidParameter {
+                filter: "gmom",
+                reason: format!(
+                    "groups = {} must exceed 2f = {} for a Byzantine-minority of buckets",
+                    self.groups,
+                    2 * f
+                ),
+            });
+        }
+        // Round-robin bucketing over a canonical (lexicographic) order so the
+        // filter is permutation-invariant: agents are anonymous, and the
+        // deterministic-algorithm framing of the paper requires the output to
+        // depend only on the multiset of received gradients.
+        let mut order: Vec<usize> = (0..gradients.len()).collect();
+        order.sort_by(|&i, &j| {
+            gradients[i]
+                .as_slice()
+                .partial_cmp(gradients[j].as_slice())
+                .expect("finite entries are comparable")
+        });
+        let mut sums = vec![Vector::zeros(dim); self.groups];
+        let mut counts = vec![0usize; self.groups];
+        for (slot, &i) in order.iter().enumerate() {
+            let b = slot % self.groups;
+            sums[b] += &gradients[i];
+            counts[b] += 1;
+        }
+        let means: Vec<Vector> = sums
+            .into_iter()
+            .zip(counts)
+            .map(|(s, c)| s.scale(1.0 / c as f64))
+            .collect();
+        Ok(self.inner.compute(&means, dim))
+    }
+
+    fn name(&self) -> &'static str {
+        "gmom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_collinear_points() {
+        // For points on a line, the geometric median is the 1-D median.
+        let gs = vec![
+            Vector::from(vec![0.0, 0.0]),
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![10.0, 0.0]),
+        ];
+        let out = GeometricMedian::new().aggregate(&gs, 1).unwrap();
+        assert!((out[0] - 1.0).abs() < 1e-5);
+        assert!(out[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn resists_one_outlier() {
+        let gs = vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+            Vector::from(vec![1e9, -1e9]),
+        ];
+        let out = GeometricMedian::new().aggregate(&gs, 1).unwrap();
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 0.5);
+    }
+
+    #[test]
+    fn symmetric_input_gives_center() {
+        let gs = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![-1.0, 0.0]),
+            Vector::from(vec![0.0, 1.0]),
+            Vector::from(vec![0.0, -1.0]),
+        ];
+        let out = GeometricMedian::new().aggregate(&gs, 1).unwrap();
+        assert!(out.norm() < 1e-6);
+    }
+
+    #[test]
+    fn configuration_validation() {
+        assert!(GeometricMedian::with_tolerance(0, 1e-8).is_err());
+        assert!(GeometricMedian::with_tolerance(10, 0.0).is_err());
+        assert!(GeometricMedian::with_tolerance(10, 1e-8).is_ok());
+        assert!(GeometricMedianOfMeans::new(0).is_err());
+        assert_eq!(GeometricMedianOfMeans::new(3).unwrap().groups(), 3);
+    }
+
+    #[test]
+    fn gmom_requires_enough_groups_and_inputs() {
+        let gs = vec![Vector::zeros(2); 5];
+        // groups > n
+        assert!(GeometricMedianOfMeans::new(6)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .is_err());
+        // groups <= 2f
+        assert!(GeometricMedianOfMeans::new(2)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .is_err());
+        // valid
+        assert!(GeometricMedianOfMeans::new(3)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn gmom_resists_bucket_minority_corruption() {
+        // 9 gradients, 3 buckets; the single faulty gradient corrupts one
+        // bucket, and the geometric median of bucket means ignores it.
+        let mut gs = vec![Vector::from(vec![1.0]); 9];
+        gs[0] = Vector::from(vec![1e9]);
+        let out = GeometricMedianOfMeans::new(3)
+            .unwrap()
+            .aggregate(&gs, 1)
+            .unwrap();
+        assert!((out[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_inputs_are_a_fixed_point() {
+        let gs = vec![Vector::from(vec![2.0, -3.0]); 4];
+        let out = GeometricMedian::new().aggregate(&gs, 1).unwrap();
+        assert!(out.approx_eq(&gs[0], 1e-9));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(GeometricMedian::new().name(), "geomed");
+        assert_eq!(GeometricMedianOfMeans::new(3).unwrap().name(), "gmom");
+    }
+}

@@ -1,0 +1,244 @@
+//! Krum and Multi-Krum (Blanchard et al., NeurIPS 2017 — the paper's
+//! reference \[6\]).
+
+use crate::error::FilterError;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::Vector;
+
+/// Computes each gradient's Krum score: the sum of squared distances to its
+/// `neighbours` nearest neighbours. Krum proper uses `n − f − 2` neighbours;
+/// Bulyan's inner selections shrink the pool and clamp the count.
+pub(crate) fn krum_scores_with(gradients: &[Vector], neighbours: usize) -> Vec<f64> {
+    let n = gradients.len();
+    let mut scores = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| gradients[i].dist(&gradients[j]).powi(2))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        scores.push(dists.iter().take(neighbours).sum());
+    }
+    scores
+}
+
+/// Krum scores with the canonical `n − f − 2` neighbour count.
+fn krum_scores(gradients: &[Vector], f: usize) -> Vec<f64> {
+    krum_scores_with(gradients, gradients.len() - f - 2)
+}
+
+/// Validates Krum's `n ≥ 2f + 3` requirement.
+fn validate_krum(
+    filter: &'static str,
+    gradients: &[Vector],
+    f: usize,
+) -> Result<usize, FilterError> {
+    let dim = validate_inputs(filter, gradients, f)?;
+    if gradients.len() < 2 * f + 3 {
+        return Err(FilterError::TooFewGradients {
+            filter,
+            n: gradients.len(),
+            f,
+            requirement: "n >= 2f + 3".to_string(),
+        });
+    }
+    Ok(dim)
+}
+
+/// The Krum gradient filter: selects the *single* received gradient whose
+/// summed squared distance to its `n − f − 2` nearest neighbours is
+/// smallest.
+///
+/// Requires `n ≥ 2f + 3`. This is the paper's reference \[6\], included as a
+/// baseline for the filter-vs-attack grid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Krum;
+
+impl Krum {
+    /// Creates the Krum filter.
+    pub fn new() -> Self {
+        Krum
+    }
+
+    /// The index Krum selects (ties broken by lowest index).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`GradientFilter::aggregate`].
+    pub fn selected_index(gradients: &[Vector], f: usize) -> Result<usize, FilterError> {
+        validate_krum("krum", gradients, f)?;
+        let scores = krum_scores(gradients, f);
+        Ok(scores
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("non-empty scores"))
+    }
+}
+
+impl GradientFilter for Krum {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let idx = Self::selected_index(gradients, f)?;
+        Ok(gradients[idx].clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+}
+
+/// Multi-Krum: averages the `m` gradients with the best Krum scores.
+///
+/// `m = 1` reduces to [`Krum`]; `m = n − f` approaches the mean over a
+/// plausible honest set.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiKrum {
+    m: usize,
+}
+
+impl MultiKrum {
+    /// Creates Multi-Krum selecting the best `m` gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for `m == 0`.
+    pub fn new(m: usize) -> Result<Self, FilterError> {
+        if m == 0 {
+            return Err(FilterError::InvalidParameter {
+                filter: "multi-krum",
+                reason: "selection size m must be positive".into(),
+            });
+        }
+        Ok(MultiKrum { m })
+    }
+
+    /// The indices of the `m` best-scoring gradients, best first.
+    pub(crate) fn selected_indices(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+    ) -> Result<Vec<usize>, FilterError> {
+        validate_krum("multi-krum", gradients, f)?;
+        if self.m > gradients.len() - f {
+            return Err(FilterError::InvalidParameter {
+                filter: "multi-krum",
+                reason: format!(
+                    "m = {} exceeds the honest quorum n - f = {}",
+                    self.m,
+                    gradients.len() - f
+                ),
+            });
+        }
+        let scores = krum_scores(gradients, f);
+        let mut order: Vec<usize> = (0..gradients.len()).collect();
+        order.sort_by(|&i, &j| {
+            scores[i]
+                .partial_cmp(&scores[j])
+                .expect("finite scores")
+                .then(i.cmp(&j))
+        });
+        order.truncate(self.m);
+        Ok(order)
+    }
+}
+
+impl GradientFilter for MultiKrum {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let selected = self.selected_indices(gradients, f)?;
+        let dim = gradients[0].dim();
+        let mut acc = Vector::zeros(dim);
+        for &i in &selected {
+            acc += &gradients[i];
+        }
+        acc.scale_mut(1.0 / selected.len() as f64);
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-krum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 5 clustered honest gradients + 1 far outlier (n = 6, f = 1).
+    fn clustered_with_outlier() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+            Vector::from(vec![1.05, 1.0]),
+            Vector::from(vec![0.95, 1.0]),
+            Vector::from(vec![500.0, -500.0]),
+        ]
+    }
+
+    #[test]
+    fn krum_picks_a_clustered_gradient() {
+        let gs = clustered_with_outlier();
+        let idx = Krum::selected_index(&gs, 1).unwrap();
+        assert!(idx < 5, "krum selected the outlier");
+        let out = Krum::new().aggregate(&gs, 1).unwrap();
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 0.5);
+    }
+
+    #[test]
+    fn krum_output_is_one_of_the_inputs() {
+        let gs = clustered_with_outlier();
+        let out = Krum::new().aggregate(&gs, 1).unwrap();
+        assert!(gs.iter().any(|g| g.approx_eq(&out, 0.0)));
+    }
+
+    #[test]
+    fn krum_requires_2f_plus_3() {
+        let gs = vec![Vector::zeros(1); 4];
+        assert!(matches!(
+            Krum::new().aggregate(&gs, 1),
+            Err(FilterError::TooFewGradients { .. })
+        ));
+        let gs = vec![Vector::zeros(1); 5];
+        assert!(Krum::new().aggregate(&gs, 1).is_ok());
+    }
+
+    #[test]
+    fn multi_krum_averages_best_m() {
+        let gs = clustered_with_outlier();
+        let out = MultiKrum::new(3).unwrap().aggregate(&gs, 1).unwrap();
+        assert!(out.dist(&Vector::from(vec![1.0, 1.0])) < 0.2);
+    }
+
+    #[test]
+    fn multi_krum_m1_equals_krum() {
+        let gs = clustered_with_outlier();
+        let krum = Krum::new().aggregate(&gs, 1).unwrap();
+        let mk = MultiKrum::new(1).unwrap().aggregate(&gs, 1).unwrap();
+        assert!(krum.approx_eq(&mk, 0.0));
+    }
+
+    #[test]
+    fn multi_krum_validates_m() {
+        assert!(MultiKrum::new(0).is_err());
+        let gs = clustered_with_outlier();
+        // m > n − f = 5.
+        assert!(MultiKrum::new(6).unwrap().aggregate(&gs, 1).is_err());
+    }
+
+    #[test]
+    fn scores_prefer_dense_neighbourhoods() {
+        let gs = clustered_with_outlier();
+        let scores = krum_scores(&gs, 1);
+        let outlier_score = scores[5];
+        for s in &scores[..5] {
+            assert!(s < &outlier_score);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Krum::new().name(), "krum");
+        assert_eq!(MultiKrum::new(2).unwrap().name(), "multi-krum");
+    }
+}

@@ -1,0 +1,131 @@
+//! Name-based filter registry used by the experiment grid.
+
+use crate::bulyan::Bulyan;
+use crate::cge::Cge;
+use crate::clipping::{CenteredClipping, NormClipping};
+use crate::cwtm::{CoordinateWiseMedian, Cwtm};
+use crate::faba::Faba;
+use crate::geomed::{GeometricMedian, GeometricMedianOfMeans};
+use crate::krum::{Krum, MultiKrum};
+use crate::mean::Mean;
+use crate::sign::SignMajority;
+use crate::traits::GradientFilter;
+
+/// Default clip radius for the clipping filters in the registry. Experiments
+/// that need a tuned radius construct the filters directly.
+const DEFAULT_CLIP_RADIUS: f64 = 10.0;
+
+/// Default refinement iterations for centered clipping.
+const DEFAULT_CLIP_ITERS: usize = 5;
+
+/// Looks a filter up by its stable name.
+///
+/// Recognized names: `mean`, `cge`, `cge-avg`, `cwtm`, `cwmed`, `geomed`,
+/// `gmom` (3 groups), `krum`, `multi-krum` (m = 3), `bulyan`, `faba`,
+/// `centered-clipping`, `norm-clipping`, `sign-majority`.
+///
+/// # Example
+///
+/// ```
+/// let filter = abft_filters::by_name("cge").expect("cge is registered");
+/// assert_eq!(filter.name(), "cge");
+/// assert!(abft_filters::by_name("nonsense").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn GradientFilter>> {
+    match name {
+        "mean" => Some(Box::new(Mean::new())),
+        "cge" => Some(Box::new(Cge::new())),
+        "cge-avg" => Some(Box::new(Cge::averaged())),
+        "cwtm" => Some(Box::new(Cwtm::new())),
+        "cwmed" => Some(Box::new(CoordinateWiseMedian::new())),
+        "geomed" => Some(Box::new(GeometricMedian::new())),
+        "gmom" => Some(Box::new(
+            GeometricMedianOfMeans::new(3).expect("3 groups is valid"),
+        )),
+        "krum" => Some(Box::new(Krum::new())),
+        "multi-krum" => Some(Box::new(MultiKrum::new(3).expect("m = 3 is valid"))),
+        "bulyan" => Some(Box::new(Bulyan::new())),
+        "faba" => Some(Box::new(Faba::new())),
+        "centered-clipping" => Some(Box::new(
+            CenteredClipping::new(DEFAULT_CLIP_RADIUS, DEFAULT_CLIP_ITERS)
+                .expect("default radius is valid"),
+        )),
+        "norm-clipping" => Some(Box::new(
+            NormClipping::new(DEFAULT_CLIP_RADIUS).expect("default radius is valid"),
+        )),
+        "sign-majority" => Some(Box::new(SignMajority::new(1.0).expect("scale 1 is valid"))),
+        _ => None,
+    }
+}
+
+/// All registered filters, in a stable order. The grid experiments iterate
+/// this list.
+pub fn all_filters() -> Vec<Box<dyn GradientFilter>> {
+    ALL_NAMES
+        .iter()
+        .map(|name| by_name(name).expect("registry names are self-consistent"))
+        .collect()
+}
+
+/// The stable list of registered filter names.
+pub const ALL_NAMES: [&str; 14] = [
+    "mean",
+    "cge",
+    "cge-avg",
+    "cwtm",
+    "cwmed",
+    "geomed",
+    "gmom",
+    "krum",
+    "multi-krum",
+    "bulyan",
+    "faba",
+    "centered-clipping",
+    "norm-clipping",
+    "sign-majority",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for name in ALL_NAMES {
+            let filter = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(filter.name(), name, "name mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(by_name("").is_none());
+        assert!(by_name("CGE").is_none()); // case-sensitive by design
+        assert!(by_name("average").is_none());
+    }
+
+    #[test]
+    fn all_filters_matches_name_list() {
+        let filters = all_filters();
+        assert_eq!(filters.len(), ALL_NAMES.len());
+        for (filter, name) in filters.iter().zip(ALL_NAMES) {
+            assert_eq!(filter.name(), name);
+        }
+    }
+
+    #[test]
+    fn registry_filters_aggregate_on_a_common_instance() {
+        use abft_linalg::Vector;
+        // n = 7, f = 1 satisfies every filter's requirement (Bulyan needs 4f+3).
+        let gs: Vec<Vector> = (0..7)
+            .map(|i| Vector::from(vec![1.0 + 0.01 * i as f64, -1.0]))
+            .collect();
+        for filter in all_filters() {
+            let out = filter
+                .aggregate(&gs, 1)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", filter.name()));
+            assert_eq!(out.dim(), 2, "{} output dimension", filter.name());
+            assert!(!out.has_non_finite(), "{} produced NaN", filter.name());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Sign-majority aggregation (signSGD with majority vote — the paper's
+//! reference \[3\], Bernstein et al.).
+
+use crate::error::FilterError;
+use crate::traits::{validate_inputs, GradientFilter};
+use abft_linalg::Vector;
+
+/// Coordinate-wise sign-majority vote, scaled by a fixed magnitude.
+///
+/// Each coordinate of the output is `scale · sign(Σᵢ sign(gᵢ[k]))`. Majority
+/// voting is Byzantine-robust as long as honest agents dominate and agree in
+/// sign; magnitudes are discarded entirely, so convergence is to a
+/// neighbourhood whose size scales with `scale`.
+#[derive(Debug, Clone, Copy)]
+pub struct SignMajority {
+    scale: f64,
+}
+
+impl SignMajority {
+    /// Creates the filter with output magnitude `scale` per coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterError::InvalidParameter`] for a non-positive scale.
+    pub fn new(scale: f64) -> Result<Self, FilterError> {
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(FilterError::InvalidParameter {
+                filter: "sign-majority",
+                reason: format!("scale must be positive and finite, got {scale}"),
+            });
+        }
+        Ok(SignMajority { scale })
+    }
+}
+
+impl GradientFilter for SignMajority {
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+        let dim = validate_inputs("sign-majority", gradients, f)?;
+        // f64::signum maps ±0.0 to ±1.0; majority voting needs a true
+        // three-valued sign so that zero entries and tied votes stay zero.
+        fn sign(x: f64) -> f64 {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        let mut out = Vector::zeros(dim);
+        for k in 0..dim {
+            let vote: f64 = gradients.iter().map(|g| sign(g[k])).sum();
+            out[k] = self.scale * sign(vote);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "sign-majority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_sign_wins() {
+        let gs = vec![
+            Vector::from(vec![1.0, -5.0]),
+            Vector::from(vec![0.2, -0.1]),
+            Vector::from(vec![-9.0, -2.0]), // dissenter in coordinate 0
+        ];
+        let out = SignMajority::new(0.5).unwrap().aggregate(&gs, 1).unwrap();
+        assert_eq!(out.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn magnitude_is_ignored() {
+        let gs = vec![
+            Vector::from(vec![1e-9]),
+            Vector::from(vec![1e-9]),
+            Vector::from(vec![-1e12]),
+        ];
+        let out = SignMajority::new(1.0).unwrap().aggregate(&gs, 1).unwrap();
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn tie_votes_zero() {
+        let gs = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![-1.0]),
+            Vector::from(vec![0.0]),
+        ];
+        let out = SignMajority::new(1.0).unwrap().aggregate(&gs, 1).unwrap();
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SignMajority::new(0.0).is_err());
+        assert!(SignMajority::new(-1.0).is_err());
+        assert!(SignMajority::new(f64::INFINITY).is_err());
+        assert_eq!(SignMajority::new(1.0).unwrap().name(), "sign-majority");
+    }
+}

@@ -1,0 +1,105 @@
+//! The [`GradientFilter`] trait and shared input validation.
+
+use crate::error::FilterError;
+use abft_linalg::Vector;
+
+/// A Byzantine-robust gradient aggregation rule
+/// `GradFilter : (ℝᵈ)ⁿ → ℝᵈ` (Section 4 of the paper).
+///
+/// Implementations must be deterministic — the paper's resilience notions
+/// are defined for deterministic algorithms — and must treat the input
+/// slice as unordered data from `n` agents of which up to `f` may be
+/// Byzantine.
+pub trait GradientFilter: Send + Sync {
+    /// Aggregates the `n` received gradients, tolerating up to `f` faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FilterError`] when the input is empty, dimensionally
+    /// inconsistent, contains non-finite entries, or is too small for the
+    /// filter's `(n, f)` requirement.
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError>;
+
+    /// A stable, lowercase identifier (used by the registry and reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Validates common input requirements shared by all filters: non-empty,
+/// finite, consistent dimensions, and `n > 2f` (no filter can promise
+/// anything once half the inputs may be faulty — Lemma 1).
+///
+/// Returns the common dimension.
+pub(crate) fn validate_inputs(
+    filter: &'static str,
+    gradients: &[Vector],
+    f: usize,
+) -> Result<usize, FilterError> {
+    let first = gradients.first().ok_or(FilterError::Empty)?;
+    let dim = first.dim();
+    for (index, g) in gradients.iter().enumerate() {
+        if g.dim() != dim {
+            return Err(FilterError::DimensionMismatch {
+                expected: dim,
+                actual: g.dim(),
+            });
+        }
+        if g.has_non_finite() {
+            return Err(FilterError::NonFinite { index });
+        }
+    }
+    if gradients.len() <= 2 * f {
+        return Err(FilterError::TooFewGradients {
+            filter,
+            n: gradients.len(),
+            f,
+            requirement: "n > 2f".to_string(),
+        });
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let gs = vec![Vector::zeros(2), Vector::ones(2), Vector::zeros(2)];
+        assert_eq!(validate_inputs("test", &gs, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(
+            validate_inputs("test", &[], 0).unwrap_err(),
+            FilterError::Empty
+        );
+    }
+
+    #[test]
+    fn validate_rejects_dimension_mismatch() {
+        let gs = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert!(matches!(
+            validate_inputs("test", &gs, 0),
+            Err(FilterError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let gs = vec![Vector::zeros(1), Vector::from(vec![f64::NAN])];
+        assert_eq!(
+            validate_inputs("test", &gs, 0).unwrap_err(),
+            FilterError::NonFinite { index: 1 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_half_faulty() {
+        let gs = vec![Vector::zeros(1), Vector::zeros(1)];
+        assert!(matches!(
+            validate_inputs("test", &gs, 1),
+            Err(FilterError::TooFewGradients { .. })
+        ));
+    }
+}

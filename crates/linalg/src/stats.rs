@@ -1,0 +1,200 @@
+//! Scalar descriptive statistics.
+//!
+//! The coordinate-wise trimmed mean filter (CWTM, eq. 24 of the paper)
+//! reduces to [`trimmed_mean`] applied per coordinate; the coordinate-wise
+//! median baseline reduces to [`median`].
+
+use crate::error::LinalgError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn mean(values: &[f64]) -> Result<f64, LinalgError> {
+    if values.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Unbiased sample variance (divides by `n − 1`; returns `0` for `n = 1`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn variance(values: &[f64]) -> Result<f64, LinalgError> {
+    let m = mean(values)?;
+    if values.len() == 1 {
+        return Ok(0.0);
+    }
+    Ok(values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (values.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn std_dev(values: &[f64]) -> Result<f64, LinalgError> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Median (average of the two middle order statistics for even length).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn median(values: &[f64]) -> Result<f64, LinalgError> {
+    if values.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Ok(sorted[n / 2])
+    } else {
+        Ok(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Trimmed mean: drops the `trim` smallest and `trim` largest values, then
+/// averages the remainder.
+///
+/// With `trim = f` over `n` per-coordinate gradient entries this is exactly
+/// the CWTM aggregation rule of the paper's eq. (24): average of the middle
+/// `n − 2f` order statistics.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] when `values.len() <= 2 * trim` (nothing
+/// would remain).
+pub fn trimmed_mean(values: &[f64], trim: usize) -> Result<f64, LinalgError> {
+    if values.len() <= 2 * trim {
+        return Err(LinalgError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable values"));
+    let kept = &sorted[trim..sorted.len() - trim];
+    mean(kept)
+}
+
+/// `q`-quantile (linear interpolation between order statistics), `q ∈ [0,1]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64, LinalgError> {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+    if values.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let w = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+    }
+}
+
+/// Minimum of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn min(values: &[f64]) -> Result<f64, LinalgError> {
+    values
+        .iter()
+        .copied()
+        .reduce(f64::min)
+        .ok_or(LinalgError::Empty)
+}
+
+/// Maximum of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn max(values: &[f64]) -> Result<f64, LinalgError> {
+    values
+        .iter()
+        .copied()
+        .reduce(f64::max)
+        .ok_or(LinalgError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+        assert_eq!(variance(&[3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(median(&[5.0]).unwrap(), 5.0);
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // 100 and -100 are trimmed away.
+        let xs = [1.0, 2.0, 3.0, 100.0, -100.0];
+        assert_eq!(trimmed_mean(&xs, 1).unwrap(), 2.0);
+        // trim = 0 is the plain mean.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 3.0], 0).unwrap(), 2.0);
+        // Nothing left after trimming.
+        assert!(trimmed_mean(&[1.0, 2.0], 1).is_err());
+        assert!(trimmed_mean(&[], 0).is_err());
+    }
+
+    #[test]
+    fn trimmed_mean_matches_cwtm_semantics() {
+        // n = 6, f = 1: average of the middle 4 order statistics.
+        let xs = [6.0, 1.0, 3.0, 4.0, 2.0, 5.0];
+        assert_eq!(trimmed_mean(&xs, 1).unwrap(), (2.0 + 3.0 + 4.0 + 5.0) / 4.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+}

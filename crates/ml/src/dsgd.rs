@@ -1,0 +1,425 @@
+//! Byzantine-robust distributed SGD (the Appendix-K training loop).
+//!
+//! Each iteration: every agent samples a mini-batch from its local shard
+//! and computes a stochastic gradient of the *current global model*; faulty
+//! agents corrupt their report (label-flip corrupts the shard itself,
+//! gradient-reverse negates the report); the server aggregates with a
+//! gradient filter and takes a fixed-step update (`b = 128`, `η = 0.01` in
+//! the paper).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use abft_filters::GradientFilter;
+use abft_linalg::rng::seeded_rng;
+use abft_linalg::Vector;
+
+/// A trainable model exposing flat parameter/gradient vectors, so gradient
+/// filters can treat learning exactly like the paper's DGD: aggregation of
+/// `d`-dimensional vectors.
+pub trait Model {
+    /// Total number of parameters `d`.
+    fn param_dim(&self) -> usize;
+
+    /// The current parameters, flattened.
+    fn params(&self) -> Vector;
+
+    /// Replaces the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when the length differs from
+    /// [`Model::param_dim`].
+    fn set_params(&mut self, params: &Vector);
+
+    /// Mean loss and flat gradient over the given sample indices of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty batch.
+    fn loss_and_gradient(&self, data: &Dataset, batch: &[usize]) -> (f64, Vector);
+
+    /// Classification accuracy on a dataset.
+    fn accuracy(&self, data: &Dataset) -> f64;
+}
+
+/// The fault behaviour of the Byzantine agents in a D-SGD run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlFault {
+    /// No fault (used for the fault-free baseline).
+    None,
+    /// **LF**: the faulty agents' shard labels are remapped `y → 9 − y`
+    /// before training (a data-poisoning fault; the agent then follows the
+    /// protocol on poisoned data).
+    LabelFlip,
+    /// **GR**: the faulty agent computes its true stochastic gradient `s`
+    /// and reports `−s`.
+    GradientReverse,
+}
+
+/// Hyperparameters of one D-SGD run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsgdConfig {
+    /// Mini-batch size per agent (paper: 128).
+    pub batch_size: usize,
+    /// Learning-rate numerator (paper: constant 0.01).
+    pub learning_rate_milli: usize,
+    /// Iterations to run (paper: 1000).
+    pub iterations: usize,
+    /// Evaluate accuracy/loss every this many iterations (records are also
+    /// taken at iteration 0 and the final iteration).
+    pub eval_every: usize,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl DsgdConfig {
+    /// The paper's configuration: `b = 128`, `η = 0.01`, 1000 iterations.
+    pub fn paper(seed: u64) -> Self {
+        DsgdConfig {
+            batch_size: 128,
+            learning_rate_milli: 10,
+            iterations: 1000,
+            eval_every: 50,
+            seed,
+        }
+    }
+
+    /// The learning rate as a float.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate_milli as f64 / 1000.0
+    }
+}
+
+/// One evaluation record of a D-SGD run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsgdRecord {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Mean training loss over the honest agents' batches at this iteration.
+    pub loss: f64,
+    /// Test accuracy of the global model at this iteration.
+    pub accuracy: f64,
+}
+
+/// Runs Byzantine-robust D-SGD and returns the evaluation series.
+///
+/// `shards[i]` is agent `i`'s local data; agents in `faulty` misbehave per
+/// `fault`. The model is updated in place.
+///
+/// # Errors
+///
+/// Returns [`MlError::Shape`] / [`MlError::InvalidConfig`] for structural
+/// problems and [`MlError::Filter`] when the filter rejects a round.
+pub fn train_distributed<M: Model>(
+    model: &mut M,
+    shards: &[Dataset],
+    faulty: &[usize],
+    fault: MlFault,
+    filter: &dyn GradientFilter,
+    test: &Dataset,
+    config: &DsgdConfig,
+) -> Result<Vec<DsgdRecord>, MlError> {
+    let n = shards.len();
+    if n == 0 {
+        return Err(MlError::InvalidConfig {
+            reason: "no shards supplied".into(),
+        });
+    }
+    if config.batch_size == 0 || config.iterations == 0 || config.eval_every == 0 {
+        return Err(MlError::InvalidConfig {
+            reason: "batch size, iterations and eval interval must be positive".into(),
+        });
+    }
+    if let Some(&bad) = faulty.iter().find(|&&i| i >= n) {
+        return Err(MlError::Shape {
+            expected: format!("faulty indices < {n}"),
+            actual: format!("index {bad}"),
+        });
+    }
+    let f = faulty.len();
+    let is_faulty = {
+        let mut mask = vec![false; n];
+        for &i in faulty {
+            mask[i] = true;
+        }
+        mask
+    };
+
+    // Label-flip poisons the shard data once, up front.
+    let effective_shards: Vec<Dataset> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            if is_faulty[i] && fault == MlFault::LabelFlip {
+                shard.with_flipped_labels()
+            } else {
+                shard.clone()
+            }
+        })
+        .collect();
+
+    let mut rng = seeded_rng(config.seed);
+    let lr = config.learning_rate();
+    let mut records = Vec::new();
+
+    for t in 0..config.iterations {
+        // Per-agent stochastic gradients of the current global model.
+        let mut gradients = Vec::with_capacity(n);
+        let mut honest_loss_sum = 0.0;
+        let mut honest_count = 0usize;
+        for (i, shard) in effective_shards.iter().enumerate() {
+            let batch = shard.sample_batch(&mut rng, config.batch_size);
+            let (loss, grad) = model.loss_and_gradient(shard, &batch);
+            let report = if is_faulty[i] && fault == MlFault::GradientReverse {
+                -grad
+            } else {
+                grad
+            };
+            if !is_faulty[i] {
+                honest_loss_sum += loss;
+                honest_count += 1;
+            }
+            gradients.push(report);
+        }
+
+        if t % config.eval_every == 0 {
+            records.push(DsgdRecord {
+                iteration: t,
+                loss: honest_loss_sum / honest_count as f64,
+                accuracy: model.accuracy(test),
+            });
+        }
+
+        let direction = filter.aggregate(&gradients, f)?;
+        let params = &model.params() - &direction.scale(lr);
+        model.set_params(&params);
+    }
+
+    // Final record.
+    let final_loss = {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, shard) in effective_shards.iter().enumerate() {
+            if is_faulty[i] {
+                continue;
+            }
+            let batch = shard.sample_batch(&mut rng, config.batch_size);
+            let (loss, _) = model.loss_and_gradient(shard, &batch);
+            sum += loss;
+            count += 1;
+        }
+        sum / count as f64
+    };
+    records.push(DsgdRecord {
+        iteration: config.iterations,
+        loss: final_loss,
+        accuracy: model.accuracy(test),
+    });
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use crate::net::Mlp;
+    use abft_filters::{Cge, Cwtm, Mean};
+
+    /// A fast setup: tiny dataset, 5 agents, 1 faulty.
+    fn setup() -> (Vec<Dataset>, Dataset) {
+        let (train, test) = DatasetSpec::tiny().generate(13);
+        let shards = train.shard(5, 1).unwrap();
+        (shards, test)
+    }
+
+    fn quick_config() -> DsgdConfig {
+        DsgdConfig {
+            batch_size: 32,
+            learning_rate_milli: 200,
+            iterations: 400,
+            eval_every: 100,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let mut cfg = quick_config();
+        cfg.batch_size = 0;
+        assert!(train_distributed(
+            &mut model,
+            &shards,
+            &[],
+            MlFault::None,
+            &Mean::new(),
+            &test,
+            &cfg
+        )
+        .is_err());
+        assert!(train_distributed(
+            &mut model,
+            &shards,
+            &[9],
+            MlFault::GradientReverse,
+            &Mean::new(),
+            &test,
+            &quick_config()
+        )
+        .is_err());
+        assert!(train_distributed(
+            &mut model,
+            &[],
+            &[],
+            MlFault::None,
+            &Mean::new(),
+            &test,
+            &quick_config()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fault_free_training_learns() {
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let records = train_distributed(
+            &mut model,
+            &shards,
+            &[],
+            MlFault::None,
+            &Mean::new(),
+            &test,
+            &quick_config(),
+        )
+        .unwrap();
+        let first = records.first().unwrap();
+        let last = records.last().unwrap();
+        assert!(last.accuracy > 0.8, "accuracy = {}", last.accuracy);
+        assert!(last.loss < first.loss);
+        assert_eq!(last.iteration, 400);
+    }
+
+    #[test]
+    fn cwtm_survives_gradient_reverse() {
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let records = train_distributed(
+            &mut model,
+            &shards,
+            &[0],
+            MlFault::GradientReverse,
+            &Cwtm::new(),
+            &test,
+            &quick_config(),
+        )
+        .unwrap();
+        assert!(
+            records.last().unwrap().accuracy > 0.75,
+            "accuracy = {}",
+            records.last().unwrap().accuracy
+        );
+    }
+
+    #[test]
+    fn cge_averaged_survives_label_flip() {
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let records = train_distributed(
+            &mut model,
+            &shards,
+            &[2],
+            MlFault::LabelFlip,
+            &Cge::averaged(),
+            &test,
+            &quick_config(),
+        )
+        .unwrap();
+        assert!(
+            records.last().unwrap().accuracy > 0.75,
+            "accuracy = {}",
+            records.last().unwrap().accuracy
+        );
+    }
+
+    #[test]
+    fn plain_mean_degrades_under_gradient_reverse() {
+        // With 2/7 agents reversing, the average keeps only a 3/7-scaled
+        // descent direction (honest minus reversed), so learning is markedly
+        // slower than CWTM's, which trims the reversed reports away.
+        let (train, test) = DatasetSpec::tiny().generate(17);
+        let shards = train.shard(7, 2).unwrap();
+        let mut cfg = quick_config();
+        cfg.iterations = 800;
+
+        let mut mean_model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let mean_records = train_distributed(
+            &mut mean_model,
+            &shards,
+            &[0, 1],
+            MlFault::GradientReverse,
+            &Mean::new(),
+            &test,
+            &cfg,
+        )
+        .unwrap();
+
+        let mut robust_model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let robust_records = train_distributed(
+            &mut robust_model,
+            &shards,
+            &[0, 1],
+            MlFault::GradientReverse,
+            &Cwtm::new(),
+            &test,
+            &cfg,
+        )
+        .unwrap();
+
+        let mean_acc = mean_records.last().unwrap().accuracy;
+        let robust_acc = robust_records.last().unwrap().accuracy;
+        assert!(
+            robust_acc > mean_acc + 0.15,
+            "robust {robust_acc} vs mean {mean_acc}"
+        );
+    }
+
+    #[test]
+    fn records_are_spaced_by_eval_interval() {
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let records = train_distributed(
+            &mut model,
+            &shards,
+            &[],
+            MlFault::None,
+            &Mean::new(),
+            &test,
+            &quick_config(),
+        )
+        .unwrap();
+        // Iterations 0, 100, 200, 300 plus the final record at 400.
+        let iters: Vec<usize> = records.iter().map(|r| r.iteration).collect();
+        assert_eq!(iters, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let (shards, test) = setup();
+        let run = || {
+            let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+            train_distributed(
+                &mut model,
+                &shards,
+                &[0],
+                MlFault::GradientReverse,
+                &Cwtm::new(),
+                &test,
+                &quick_config(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by datasets, models, and the D-SGD loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Structurally inconsistent inputs (shapes, label ranges, shard
+    /// counts…).
+    Shape {
+        /// What was expected.
+        expected: String,
+        /// What was supplied.
+        actual: String,
+    },
+    /// Invalid hyperparameters (zero batch size, empty layer list…).
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+    /// A gradient filter rejected the per-agent gradients.
+    Filter(abft_filters::FilterError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            MlError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MlError::Filter(e) => write!(f, "gradient filter failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Filter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<abft_filters::FilterError> for MlError {
+    fn from(e: abft_filters::FilterError) -> Self {
+        MlError::Filter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = MlError::from(abft_filters::FilterError::Empty);
+        assert!(matches!(e, MlError::Filter(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = MlError::InvalidConfig {
+            reason: "batch size 0".into(),
+        };
+        assert!(e.to_string().contains("batch size 0"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Linear multiclass SVM (one-vs-rest hinge loss).
+//!
+//! The second model family of the paper's learning experiments (Section 5
+//! mentions distributed SVM training). Convex — unlike the MLP — so it also
+//! serves as a differentiable-but-non-quadratic sanity check for the
+//! filters.
+
+use crate::dataset::Dataset;
+use crate::dsgd::Model;
+use crate::error::MlError;
+use abft_linalg::{Matrix, Vector};
+
+/// A linear classifier with per-class weight rows, trained with the
+/// multiclass hinge loss
+///
+/// `L = (1/m)·Σ_k Σ_{j≠y_k} max(0, 1 + w_j·x_k − w_{y_k}·x_k) + (reg/2)·‖W‖²`.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    weights: Matrix, // classes × dim
+    reg: f64,
+}
+
+impl LinearSvm {
+    /// Creates a zero-initialized SVM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] for zero classes/dimension or
+    /// negative regularization.
+    pub fn new(dim: usize, classes: usize, reg: f64) -> Result<Self, MlError> {
+        if dim == 0 || classes == 0 {
+            return Err(MlError::InvalidConfig {
+                reason: "dimension and class count must be positive".into(),
+            });
+        }
+        if reg < 0.0 {
+            return Err(MlError::InvalidConfig {
+                reason: format!("regularization must be non-negative, got {reg}"),
+            });
+        }
+        Ok(LinearSvm {
+            weights: Matrix::zeros(classes, dim),
+            reg,
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Predicted class: `argmax_j w_j·x`.
+    pub fn predict(&self, x: &Vector) -> usize {
+        let scores = self.weights.matvec(x).expect("dimension checked");
+        (0..scores.dim())
+            .max_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("finite scores"))
+            .expect("at least one class")
+    }
+}
+
+impl Model for LinearSvm {
+    fn param_dim(&self) -> usize {
+        self.weights.rows() * self.weights.cols()
+    }
+
+    fn params(&self) -> Vector {
+        Vector::from(self.weights.as_slice())
+    }
+
+    fn set_params(&mut self, params: &Vector) {
+        assert_eq!(params.dim(), self.param_dim(), "parameter vector length");
+        self.weights = Matrix::new(
+            self.weights.rows(),
+            self.weights.cols(),
+            params.as_slice().to_vec(),
+        )
+        .expect("length matches shape");
+    }
+
+    fn loss_and_gradient(&self, data: &Dataset, batch: &[usize]) -> (f64, Vector) {
+        assert!(!batch.is_empty(), "empty mini-batch");
+        let classes = self.classes();
+        let dim = self.input_dim();
+        let scale = 1.0 / batch.len() as f64;
+        let mut loss = 0.0;
+        let mut grad = Matrix::zeros(classes, dim);
+
+        for &idx in batch {
+            let x = data.feature(idx);
+            let y = data.label(idx);
+            let scores = self.weights.matvec(x).expect("dimension checked");
+            for j in 0..classes {
+                if j == y {
+                    continue;
+                }
+                let margin = 1.0 + scores[j] - scores[y];
+                if margin > 0.0 {
+                    loss += margin * scale;
+                    // ∂/∂w_j += x, ∂/∂w_y −= x.
+                    for c in 0..dim {
+                        let gj = grad.get(j, c);
+                        grad.set(j, c, gj + scale * x[c]);
+                        let gy = grad.get(y, c);
+                        grad.set(y, c, gy - scale * x[c]);
+                    }
+                }
+            }
+        }
+
+        // Regularization.
+        loss += 0.5 * self.reg * self.params().norm_sq();
+        let flat =
+            &Vector::from(grad.as_slice()) + &Vector::from(self.weights.as_slice()).scale(self.reg);
+        (loss, flat)
+    }
+
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.feature(i)) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    #[test]
+    fn construction_validates() {
+        assert!(LinearSvm::new(0, 2, 0.0).is_err());
+        assert!(LinearSvm::new(2, 0, 0.0).is_err());
+        assert!(LinearSvm::new(2, 3, -0.1).is_err());
+        let svm = LinearSvm::new(4, 3, 0.01).unwrap();
+        assert_eq!(svm.param_dim(), 12);
+        assert_eq!(svm.classes(), 3);
+        assert_eq!(svm.input_dim(), 4);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut svm = LinearSvm::new(3, 2, 0.0).unwrap();
+        let p = Vector::from(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        svm.set_params(&p);
+        assert!(svm.params().approx_eq(&p, 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (train, _) = DatasetSpec::tiny().generate(8);
+        let mut svm = LinearSvm::new(16, 10, 0.05).unwrap();
+        // Non-zero parameters so hinges are active on both sides.
+        let p0 = Vector::from_fn(svm.param_dim(), |k| ((k % 7) as f64 - 3.0) * 0.05);
+        svm.set_params(&p0);
+        let batch: Vec<usize> = (0..6).collect();
+        let (_, grad) = svm.loss_and_gradient(&train, &batch);
+        let h = 1e-6;
+        for &k in &[0usize, 31, 64, 120, 159] {
+            let mut pp = p0.clone();
+            pp[k] += h;
+            let mut plus = svm.clone();
+            plus.set_params(&pp);
+            let mut pm = p0.clone();
+            pm[k] -= h;
+            let mut minus = svm.clone();
+            minus.set_params(&pm);
+            let (lp, _) = plus.loss_and_gradient(&train, &batch);
+            let (lm, _) = minus.loss_and_gradient(&train, &batch);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad[k]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "coordinate {k}: fd {fd} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_classifier_loss_is_hinge_at_margin_one() {
+        let (train, _) = DatasetSpec::tiny().generate(2);
+        let svm = LinearSvm::new(16, 10, 0.0).unwrap();
+        let batch: Vec<usize> = (0..10).collect();
+        let (loss, _) = svm.loss_and_gradient(&train, &batch);
+        // All scores zero ⇒ every one of the 9 wrong classes contributes 1.
+        assert!((loss - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_learns_the_tiny_task() {
+        let (train, test) = DatasetSpec::tiny().generate(6);
+        let mut svm = LinearSvm::new(16, 10, 0.001).unwrap();
+        let mut rng = abft_linalg::rng::seeded_rng(3);
+        for _ in 0..400 {
+            let batch = train.sample_batch(&mut rng, 32);
+            let (_, grad) = svm.loss_and_gradient(&train, &batch);
+            let params = &svm.params() - &grad.scale(0.1);
+            svm.set_params(&params);
+        }
+        let acc = svm.accuracy(&test);
+        assert!(acc > 0.85, "svm accuracy {acc}");
+    }
+}

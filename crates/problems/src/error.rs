@@ -1,0 +1,88 @@
+//! Error type for problem construction and minimization.
+
+use abft_core::CoreError;
+use abft_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while building or analyzing optimization problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemError {
+    /// A linear-algebra operation failed (singular stack, shape mismatch, …).
+    Linalg(LinalgError),
+    /// The system configuration was invalid.
+    Core(CoreError),
+    /// Structurally inconsistent problem data.
+    Shape {
+        /// What was expected.
+        expected: String,
+        /// What was supplied.
+        actual: String,
+    },
+    /// A generated instance failed a validity check (e.g. a rank-deficient
+    /// subset stack) more times than the retry budget allows.
+    GenerationFailed {
+        /// What kept failing.
+        reason: String,
+        /// How many attempts were made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ProblemError::Core(e) => write!(f, "configuration failure: {e}"),
+            ProblemError::Shape { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            ProblemError::GenerationFailed { reason, attempts } => {
+                write!(f, "instance generation failed after {attempts} attempts: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProblemError::Linalg(e) => Some(e),
+            ProblemError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ProblemError {
+    fn from(e: LinalgError) -> Self {
+        ProblemError::Linalg(e)
+    }
+}
+
+impl From<CoreError> for ProblemError {
+    fn from(e: CoreError) -> Self {
+        ProblemError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let err = ProblemError::from(LinalgError::Singular);
+        assert!(matches!(err, ProblemError::Linalg(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn generation_failure_message() {
+        let err = ProblemError::GenerationFailed {
+            reason: "rank-deficient subset".into(),
+            attempts: 10,
+        };
+        assert!(err.to_string().contains("10 attempts"));
+    }
+}

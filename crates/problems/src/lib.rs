@@ -1,0 +1,52 @@
+//! Cost-function substrate for the `approx-bft` workspace.
+//!
+//! Each agent `i` in the paper holds a local cost `Q_i : ℝᵈ → ℝ`. This crate
+//! provides the [`CostFunction`] abstraction, the concrete cost families used
+//! by the paper's evaluation (quadratic regression costs, Appendix J's exact
+//! dataset), additional differentiable families for extension experiments
+//! (logistic, Huber), a non-differentiable scalar family (absolute-value
+//! costs, whose subset minimizers are median *intervals* — exercising the
+//! set-valued side of Theorems 1–2), and the convexity analysis that yields
+//! the paper's smoothness/strong-convexity constants `µ` and `γ`.
+//!
+//! # Example
+//!
+//! ```
+//! use abft_problems::regression::RegressionProblem;
+//!
+//! # fn main() -> Result<(), abft_problems::ProblemError> {
+//! let problem = RegressionProblem::paper_instance();
+//! // Honest agents per the paper's Section 5: all but agent 0.
+//! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
+//! assert!((x_h[0] - 1.0780).abs() < 5e-4);
+//! assert!((x_h[1] - 0.9825).abs() < 5e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod absval;
+pub mod analysis;
+pub mod cost;
+pub mod error;
+pub mod huber;
+pub mod logistic;
+pub mod quadratic;
+pub mod regression;
+
+pub use analysis::ConvexityConstants;
+pub use cost::{
+    finite_difference_gradient, total_gradient, total_value, AggregateCost, CostFunction,
+    SharedCost,
+};
+pub use error::ProblemError;
+pub use quadratic::{QuadraticCost, ScalarRegressionCost};
+pub use regression::RegressionProblem;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::analysis::ConvexityConstants;
+    pub use crate::cost::{total_gradient, total_value, CostFunction, SharedCost};
+    pub use crate::error::ProblemError;
+    pub use crate::quadratic::{QuadraticCost, ScalarRegressionCost};
+    pub use crate::regression::RegressionProblem;
+}

@@ -1,0 +1,86 @@
+//! Error type for the redundancy/theory crate.
+
+use abft_problems::ProblemError;
+use std::fmt;
+
+/// Errors produced by redundancy measurement and the exact algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedundancyError {
+    /// An underlying problem/minimization operation failed.
+    Problem(ProblemError),
+    /// A Hausdorff distance was requested between set representations the
+    /// implementation cannot compare (e.g. an interval vs a 2-D point).
+    IncomparableSets {
+        /// Description of the left-hand set.
+        left: String,
+        /// Description of the right-hand set.
+        right: String,
+    },
+    /// A subset family was empty where at least one member was required.
+    EmptyFamily {
+        /// What was being enumerated.
+        what: String,
+    },
+    /// The configuration does not admit the requested computation.
+    InvalidInput {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RedundancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RedundancyError::Problem(e) => write!(f, "problem failure: {e}"),
+            RedundancyError::IncomparableSets { left, right } => {
+                write!(f, "cannot compare minimizer sets: {left} vs {right}")
+            }
+            RedundancyError::EmptyFamily { what } => {
+                write!(f, "empty subset family while enumerating {what}")
+            }
+            RedundancyError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RedundancyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RedundancyError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for RedundancyError {
+    fn from(e: ProblemError) -> Self {
+        RedundancyError::Problem(e)
+    }
+}
+
+impl From<abft_linalg::LinalgError> for RedundancyError {
+    fn from(e: abft_linalg::LinalgError) -> Self {
+        RedundancyError::Problem(ProblemError::Linalg(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = RedundancyError::from(ProblemError::Shape {
+            expected: "x".into(),
+            actual: "y".into(),
+        });
+        assert!(matches!(e, RedundancyError::Problem(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = RedundancyError::IncomparableSets {
+            left: "interval".into(),
+            right: "point(2)".into(),
+        };
+        assert!(e.to_string().contains("interval"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Executable theory: redundancy measurement, the exact resilient algorithm,
+//! and resilience bounds.
+//!
+//! This crate turns Section 3 of the paper into running code:
+//!
+//! * [`minset::MinimizerSet`] — possibly set-valued argmins with point-to-set
+//!   and Hausdorff distances (eqs. 3–4);
+//! * [`measure`] — the `(2f, ε)`-redundancy measurement of Definition 3,
+//!   following the Appendix-J procedure that yields `ε = 0.0890` for the
+//!   paper's regression instance;
+//! * [`exact`] — the constructive `(f, 2ε)`-resilient algorithm from the
+//!   proof of Theorem 2 (subset enumeration; deliberately expensive);
+//! * [`necessity`] — the Theorem 1 counterexample generator, an executable
+//!   impossibility witness;
+//! * [`bounds`] — the resilience factors of Theorems 4, 5 and 6
+//!   (`D = 4µf/(αγ)` for CGE, the sharper Theorem 5 variant, and
+//!   `D′ = 2√d·nµλ/(γ−√dµλ)` for CWTM).
+//!
+//! # Example
+//!
+//! ```
+//! use abft_problems::RegressionProblem;
+//! use abft_redundancy::{measure_redundancy, RegressionOracle};
+//!
+//! # fn main() -> Result<(), abft_redundancy::RedundancyError> {
+//! let problem = RegressionProblem::paper_instance();
+//! let oracle = RegressionOracle::new(&problem);
+//! let report = measure_redundancy(&oracle, *problem.config())?;
+//! // The paper's Section 5: ε = 0.0890.
+//! assert!((report.epsilon - 0.0890).abs() < 5e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bounds;
+pub mod error;
+pub mod exact;
+pub mod measure;
+pub mod minset;
+pub mod necessity;
+
+pub use bounds::{
+    cge_alpha, cge_resilience_factor, cge_v2_alpha, cge_v2_resilience_factor,
+    cwtm_lambda_threshold, cwtm_resilience_factor, max_tolerable_f_cge,
+};
+pub use error::RedundancyError;
+pub use exact::{exact_resilient_output, ExactOutput};
+pub use measure::{
+    max_subset_sum_norm, measure_redundancy, MedianOracle, MinimizerOracle, RedundancyReport,
+    RegressionOracle,
+};
+pub use minset::MinimizerSet;
+pub use necessity::NecessityScenario;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::bounds::{cge_alpha, cge_resilience_factor, cwtm_resilience_factor};
+    pub use crate::error::RedundancyError;
+    pub use crate::exact::{exact_resilient_output, ExactOutput};
+    pub use crate::measure::{
+        measure_redundancy, MinimizerOracle, RedundancyReport, RegressionOracle,
+    };
+    pub use crate::minset::MinimizerSet;
+}

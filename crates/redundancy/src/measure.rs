@@ -1,0 +1,299 @@
+//! Measuring the `(2f, ε)`-redundancy of a concrete instance
+//! (Definition 3, following the Appendix-J procedure).
+
+use crate::error::RedundancyError;
+use crate::minset::MinimizerSet;
+use abft_core::subsets::{k_subsets_of, KSubsets};
+use abft_core::SystemConfig;
+use abft_linalg::Vector;
+use abft_problems::absval::median_interval;
+use abft_problems::RegressionProblem;
+
+/// Anything that can produce the minimizer set of a subset aggregate
+/// `argmin Σ_{i∈S} Q_i(x)`.
+///
+/// This is the interface between the theory code (which only manipulates
+/// argmin sets) and concrete cost families.
+pub trait MinimizerOracle {
+    /// Number of agents.
+    fn n(&self) -> usize;
+
+    /// Decision dimension.
+    fn dim(&self) -> usize;
+
+    /// The minimizer set of `Σ_{i∈subset} Q_i`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail when the subset aggregate has no unique /
+    /// computable minimizer representation.
+    fn argmin(&self, subset: &[usize]) -> Result<MinimizerSet, RedundancyError>;
+}
+
+/// Oracle over a [`RegressionProblem`]: minimizers are unique points
+/// computed by least squares (Appendix J, eq. 137).
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionOracle<'a> {
+    problem: &'a RegressionProblem,
+}
+
+impl<'a> RegressionOracle<'a> {
+    /// Wraps a regression problem.
+    pub fn new(problem: &'a RegressionProblem) -> Self {
+        RegressionOracle { problem }
+    }
+}
+
+impl MinimizerOracle for RegressionOracle<'_> {
+    fn n(&self) -> usize {
+        self.problem.config().n()
+    }
+
+    fn dim(&self) -> usize {
+        self.problem.dim()
+    }
+
+    fn argmin(&self, subset: &[usize]) -> Result<MinimizerSet, RedundancyError> {
+        Ok(MinimizerSet::Point(self.problem.subset_minimizer(subset)?))
+    }
+}
+
+/// Oracle over scalar absolute-value costs `Q_i(x) = |x − c_i|`: minimizer
+/// sets are median *intervals* — the non-differentiable, set-valued case the
+/// paper's Theorems 1–2 cover.
+#[derive(Debug, Clone)]
+pub struct MedianOracle {
+    centers: Vec<f64>,
+}
+
+impl MedianOracle {
+    /// Creates the oracle from the agents' centers.
+    pub fn new(centers: Vec<f64>) -> Self {
+        MedianOracle { centers }
+    }
+}
+
+impl MinimizerOracle for MedianOracle {
+    fn n(&self) -> usize {
+        self.centers.len()
+    }
+
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn argmin(&self, subset: &[usize]) -> Result<MinimizerSet, RedundancyError> {
+        if subset.is_empty() {
+            return Err(RedundancyError::EmptyFamily {
+                what: "subset for median oracle".to_string(),
+            });
+        }
+        let selected: Vec<f64> = subset.iter().map(|&i| self.centers[i]).collect();
+        let (lo, hi) = median_interval(&selected);
+        Ok(MinimizerSet::interval(lo, hi))
+    }
+}
+
+/// The result of measuring `(2f, ε)`-redundancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyReport {
+    /// The measured `ε`: the largest Hausdorff distance over all `(S, Ŝ)`
+    /// pairs of Definition 3.
+    pub epsilon: f64,
+    /// The outer subset `S` (size `n − f`) achieving the maximum.
+    pub worst_outer: Vec<usize>,
+    /// The inner subset `Ŝ ⊂ S` (size `n − 2f`) achieving the maximum.
+    pub worst_inner: Vec<usize>,
+    /// Number of `(S, Ŝ)` pairs examined.
+    pub pairs_examined: usize,
+}
+
+/// Measures the `(2f, ε)`-redundancy of an instance: the maximum Hausdorff
+/// distance `dist(argmin Σ_S, argmin Σ_Ŝ)` over all `S` with `|S| = n − f`
+/// and `Ŝ ⊆ S` with `|Ŝ| = n − 2f` (Definition 3).
+///
+/// By Definition 3 the instance satisfies `(2f, ε′)`-redundancy for every
+/// `ε′ ≥` the returned `epsilon`, and for none smaller.
+///
+/// # Errors
+///
+/// Propagates oracle failures and returns
+/// [`RedundancyError::InvalidInput`] when the oracle's agent count differs
+/// from `config.n()`.
+pub fn measure_redundancy(
+    oracle: &dyn MinimizerOracle,
+    config: SystemConfig,
+) -> Result<RedundancyReport, RedundancyError> {
+    if oracle.n() != config.n() {
+        return Err(RedundancyError::InvalidInput {
+            reason: format!(
+                "oracle has {} agents but config says {}",
+                oracle.n(),
+                config.n()
+            ),
+        });
+    }
+    let n = config.n();
+    let outer_size = config.honest_quorum();
+    let inner_size = config.redundancy_quorum();
+
+    let mut epsilon: f64 = 0.0;
+    let mut worst_outer = Vec::new();
+    let mut worst_inner = Vec::new();
+    let mut pairs_examined = 0usize;
+
+    for outer in KSubsets::new(n, outer_size) {
+        let outer_set = oracle.argmin(&outer)?;
+        for inner in k_subsets_of(&outer, inner_size) {
+            let inner_set = oracle.argmin(&inner)?;
+            let d = outer_set.hausdorff(&inner_set)?;
+            pairs_examined += 1;
+            if d > epsilon {
+                epsilon = d;
+                worst_outer = outer.clone();
+                worst_inner = inner;
+            }
+        }
+    }
+    if pairs_examined == 0 {
+        return Err(RedundancyError::EmptyFamily {
+            what: "(S, S-hat) redundancy pairs".to_string(),
+        });
+    }
+    Ok(RedundancyReport {
+        epsilon,
+        worst_outer,
+        worst_inner,
+        pairs_examined,
+    })
+}
+
+/// The largest norm of a `q`-subset sum: `max_{|S| = q} ‖Σ_{i∈S} vᵢ‖`.
+///
+/// This is the quantity `r` in the paper's Lemma 3, which asserts that if
+/// every `q`-subset sum has norm at most `r` (with `q ≤ p/2`), then every
+/// individual vector has norm at most `2r`. The property test in this
+/// crate's test suite checks that implication on random data.
+///
+/// # Panics
+///
+/// Panics when `q > vectors.len()` or `q == 0`.
+pub fn max_subset_sum_norm(vectors: &[Vector], q: usize) -> f64 {
+    assert!(q > 0 && q <= vectors.len(), "require 0 < q <= p");
+    let mut worst: f64 = 0.0;
+    for subset in KSubsets::new(vectors.len(), q) {
+        let mut acc = Vector::zeros(vectors[0].dim());
+        for &i in &subset {
+            acc += &vectors[i];
+        }
+        worst = worst.max(acc.norm());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_epsilon_matches_reported_value() {
+        let problem = RegressionProblem::paper_instance();
+        let oracle = RegressionOracle::new(&problem);
+        let report = measure_redundancy(&oracle, *problem.config()).unwrap();
+        assert!(
+            (report.epsilon - 0.0890).abs() < 5e-4,
+            "epsilon = {} vs paper 0.0890",
+            report.epsilon
+        );
+        // C(6,5) outer sets × C(5,4) inner sets = 6 × 5 = 30 pairs.
+        assert_eq!(report.pairs_examined, 30);
+        assert_eq!(report.worst_outer.len(), 5);
+        assert_eq!(report.worst_inner.len(), 4);
+    }
+
+    #[test]
+    fn noiseless_instance_has_zero_epsilon() {
+        // 2f-redundancy by construction: exact recovery from every quorum.
+        let config = SystemConfig::new(7, 2).unwrap();
+        let x_star = Vector::from(vec![1.0, -1.0]);
+        let problem = RegressionProblem::random(config, 2, &x_star, 0.0, 21).unwrap();
+        let oracle = RegressionOracle::new(&problem);
+        let report = measure_redundancy(&oracle, config).unwrap();
+        assert!(report.epsilon < 1e-7, "epsilon = {}", report.epsilon);
+    }
+
+    #[test]
+    fn epsilon_grows_with_noise() {
+        let config = SystemConfig::new(7, 2).unwrap();
+        let x_star = Vector::from(vec![1.0, -1.0]);
+        let quiet = RegressionProblem::random(config, 2, &x_star, 0.01, 5).unwrap();
+        let noisy = RegressionProblem::random(config, 2, &x_star, 0.5, 5).unwrap();
+        let eps_quiet = measure_redundancy(&RegressionOracle::new(&quiet), config)
+            .unwrap()
+            .epsilon;
+        let eps_noisy = measure_redundancy(&RegressionOracle::new(&noisy), config)
+            .unwrap()
+            .epsilon;
+        assert!(
+            eps_noisy > eps_quiet,
+            "noise 0.5 gave eps {eps_noisy} <= noise 0.01 eps {eps_quiet}"
+        );
+    }
+
+    #[test]
+    fn median_oracle_measures_interval_redundancy() {
+        // Centers clustered at 0 except one at 10; n = 5, f = 1.
+        let oracle = MedianOracle::new(vec![0.0, 0.0, 0.1, -0.1, 10.0]);
+        let config = SystemConfig::new(5, 1).unwrap();
+        let report = measure_redundancy(&oracle, config).unwrap();
+        // Dropping different agents shifts the median interval by a bounded
+        // amount; epsilon must be positive but far less than the outlier gap.
+        assert!(report.epsilon > 0.0);
+        assert!(report.epsilon < 10.0);
+    }
+
+    #[test]
+    fn oracle_config_mismatch_is_rejected() {
+        let oracle = MedianOracle::new(vec![0.0, 1.0, 2.0]);
+        let config = SystemConfig::new(5, 1).unwrap();
+        assert!(matches!(
+            measure_redundancy(&oracle, config),
+            Err(RedundancyError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn median_oracle_argmin_shapes() {
+        let oracle = MedianOracle::new(vec![1.0, 2.0, 3.0, 4.0]);
+        // Odd subset: a point-like degenerate interval.
+        match oracle.argmin(&[0, 1, 2]).unwrap() {
+            MinimizerSet::Interval { lo, hi } => assert_eq!((lo, hi), (2.0, 2.0)),
+            other => panic!("expected interval, got {other}"),
+        }
+        // Even subset: a true interval.
+        match oracle.argmin(&[0, 1, 2, 3]).unwrap() {
+            MinimizerSet::Interval { lo, hi } => assert_eq!((lo, hi), (2.0, 3.0)),
+            other => panic!("expected interval, got {other}"),
+        }
+        assert!(oracle.argmin(&[]).is_err());
+    }
+
+    #[test]
+    fn subset_sum_norm_basics() {
+        let vs = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![-1.0, 0.0]),
+            Vector::from(vec![0.0, 2.0]),
+        ];
+        // q = 1: the largest single norm.
+        assert_eq!(max_subset_sum_norm(&vs, 1), 2.0);
+        // q = 2: the largest pair sum is (0,2)+(±1,0) with norm √5.
+        assert!((max_subset_sum_norm(&vs, 2) - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < q <= p")]
+    fn subset_sum_norm_validates_q() {
+        let _ = max_subset_sum_norm(&[Vector::zeros(1)], 2);
+    }
+}

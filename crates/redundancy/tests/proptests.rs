@@ -1,0 +1,142 @@
+//! Property-based tests for the theory crate: Lemma 3, Hausdorff axioms,
+//! redundancy and the Theorem 2 guarantee on random instances.
+
+use abft_core::subsets::KSubsets;
+use abft_core::SystemConfig;
+use abft_linalg::Vector;
+use abft_problems::RegressionProblem;
+use abft_redundancy::{
+    exact_resilient_output, max_subset_sum_norm, measure_redundancy, MedianOracle, MinimizerSet,
+    RegressionOracle,
+};
+use proptest::prelude::*;
+
+fn vectors(count: usize, dim: usize) -> impl Strategy<Value = Vec<Vector>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0..10.0f64, dim).prop_map(Vector::from),
+        count,
+    )
+}
+
+proptest! {
+    /// Lemma 3: if every q-subset sum of p vectors has norm ≤ r (q ≤ p/2),
+    /// then every individual vector has norm ≤ 2r.
+    #[test]
+    fn lemma_3_holds(vs in vectors(6, 3), q in 1usize..=3) {
+        let r = max_subset_sum_norm(&vs, q);
+        for v in &vs {
+            prop_assert!(
+                v.norm() <= 2.0 * r + 1e-9,
+                "vector norm {} exceeds 2r = {}",
+                v.norm(),
+                2.0 * r
+            );
+        }
+    }
+
+    /// Hausdorff distance on finite sets satisfies the metric axioms
+    /// (identity, symmetry, triangle inequality).
+    #[test]
+    fn hausdorff_axioms_on_finite_sets(
+        a in vectors(3, 2),
+        b in vectors(4, 2),
+        c in vectors(2, 2),
+    ) {
+        let sa = MinimizerSet::Finite(a);
+        let sb = MinimizerSet::Finite(b);
+        let sc = MinimizerSet::Finite(c);
+        let dab = sa.hausdorff(&sb).expect("comparable");
+        let dba = sb.hausdorff(&sa).expect("comparable");
+        let daa = sa.hausdorff(&sa).expect("comparable");
+        let dac = sa.hausdorff(&sc).expect("comparable");
+        let dcb = sc.hausdorff(&sb).expect("comparable");
+        prop_assert!(daa.abs() < 1e-12, "identity violated");
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry violated");
+        prop_assert!(dab <= dac + dcb + 1e-9, "triangle violated");
+    }
+
+    /// Hausdorff on intervals: axioms hold there too.
+    #[test]
+    fn hausdorff_axioms_on_intervals(
+        a in -10.0..10.0f64, wa in 0.0..5.0f64,
+        b in -10.0..10.0f64, wb in 0.0..5.0f64,
+        c in -10.0..10.0f64, wc in 0.0..5.0f64,
+    ) {
+        let sa = MinimizerSet::interval(a, a + wa);
+        let sb = MinimizerSet::interval(b, b + wb);
+        let sc = MinimizerSet::interval(c, c + wc);
+        let dab = sa.hausdorff(&sb).expect("comparable");
+        let dba = sb.hausdorff(&sa).expect("comparable");
+        let dac = sa.hausdorff(&sc).expect("comparable");
+        let dcb = sc.hausdorff(&sb).expect("comparable");
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(sa.hausdorff(&sa).expect("comparable") < 1e-12);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+
+    /// Noiseless random regression instances are exactly 2f-redundant:
+    /// measured ε ≈ 0.
+    #[test]
+    fn noiseless_instances_have_zero_epsilon(seed in 0u64..50) {
+        let config = SystemConfig::new(6, 1).expect("valid");
+        let x_star = Vector::from(vec![1.0, -0.5]);
+        let p = RegressionProblem::random(config, 2, &x_star, 0.0, seed).expect("generable");
+        let report = measure_redundancy(&RegressionOracle::new(&p), config).expect("measurable");
+        prop_assert!(report.epsilon < 1e-6, "epsilon = {}", report.epsilon);
+    }
+
+    /// Theorem 2 end-to-end on random noisy instances: the exact algorithm's
+    /// output is within 2ε of every (n−f)-subset minimizer, where ε is the
+    /// measured redundancy of the submitted (all-honest) instance.
+    #[test]
+    fn theorem_2_guarantee_on_random_instances(
+        seed in 0u64..30,
+        noise in 0.0..0.3f64,
+    ) {
+        let config = SystemConfig::new(6, 1).expect("valid");
+        let x_star = Vector::from(vec![0.5, 2.0]);
+        let p = RegressionProblem::random(config, 2, &x_star, noise, seed).expect("generable");
+        let oracle = RegressionOracle::new(&p);
+        let eps = measure_redundancy(&oracle, config).expect("measurable").epsilon;
+        let out = exact_resilient_output(&oracle, config).expect("computable");
+        for subset in KSubsets::new(6, 5) {
+            let x_s = p.subset_minimizer(&subset).expect("full rank");
+            prop_assert!(
+                out.output.dist(&x_s) <= 2.0 * eps + 1e-7,
+                "distance {} exceeds 2eps = {}",
+                out.output.dist(&x_s),
+                2.0 * eps
+            );
+        }
+    }
+
+    /// The same guarantee with set-valued minimizers (median intervals):
+    /// dist(output, argmin Σ_Ŝ) ≤ 2ε for every honest quorum.
+    #[test]
+    fn theorem_2_with_median_intervals(
+        mut centers in prop::collection::vec(-5.0..5.0f64, 5),
+        spread in 0.0..0.5f64,
+    ) {
+        // Cluster the centers to keep ε moderate.
+        let base = centers[0];
+        for c in centers.iter_mut().skip(1) {
+            *c = base + *c * spread / 5.0;
+        }
+        let config = SystemConfig::new(5, 1).expect("valid");
+        let oracle = MedianOracle::new(centers);
+        let eps = measure_redundancy(&oracle, config).expect("measurable").epsilon;
+        let out = exact_resilient_output(&oracle, config).expect("computable");
+        for subset in KSubsets::new(5, 4) {
+            let argmin = oracle_argmin(&oracle, &subset);
+            prop_assert!(
+                argmin.dist_to_point(&out.output) <= 2.0 * eps + 1e-9,
+                "interval distance exceeds 2eps"
+            );
+        }
+    }
+}
+
+fn oracle_argmin(oracle: &MedianOracle, subset: &[usize]) -> MinimizerSet {
+    use abft_redundancy::MinimizerOracle;
+    oracle.argmin(subset).expect("non-empty subset")
+}

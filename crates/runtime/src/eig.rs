@@ -1,0 +1,397 @@
+//! Exponential information gathering (EIG) Byzantine broadcast.
+//!
+//! The paper's Section 1.4 notes that for `f < n/3` the server-based
+//! algorithm can be simulated on a complete peer-to-peer network using the
+//! classic Byzantine broadcast primitive (Lynch, *Distributed Algorithms*).
+//! This module implements the synchronous `f + 1`-round EIG protocol:
+//!
+//! * round 1 — the sender transmits its value to everyone;
+//! * round `r ≥ 2` — every process relays what it heard along each path of
+//!   `r − 1` distinct relayers;
+//! * after `f + 1` rounds each process resolves its EIG tree bottom-up with
+//!   recursive strict majority.
+//!
+//! For `3f < n` the protocol guarantees **agreement** (all honest processes
+//! decide the same value) and **validity** (if the sender is honest, they
+//! decide its value) — both asserted by this module's tests under
+//! equivocating adversaries.
+
+use crate::error::RuntimeError;
+use abft_core::SystemConfig;
+use std::collections::BTreeMap;
+
+/// How a faulty process misbehaves when (re)transmitting a value.
+#[derive(Debug, Clone)]
+pub enum EquivocationPlan<V> {
+    /// Relays a fixed forged value to everyone (consistent lying).
+    Consistent(V),
+    /// Sends `low` to recipients with index `< boundary` and `high` to the
+    /// rest (classic equivocation).
+    Split {
+        /// Value for low-indexed recipients.
+        low: V,
+        /// Value for high-indexed recipients.
+        high: V,
+        /// First recipient index that receives `high`.
+        boundary: usize,
+    },
+    /// Never transmits (crash-like omission).
+    Silent,
+    /// Follows the protocol faithfully (a "faulty" process that happens to
+    /// behave — the hardest case for accusation-based designs, trivial for
+    /// EIG).
+    Honest,
+}
+
+impl<V: Clone> EquivocationPlan<V> {
+    /// The value this faulty process sends to `recipient`, given the value
+    /// an honest process would have sent.
+    fn transmit(&self, recipient: usize, honest_value: Option<&V>) -> Option<V> {
+        match self {
+            EquivocationPlan::Consistent(v) => Some(v.clone()),
+            EquivocationPlan::Split { low, high, boundary } => {
+                if recipient < *boundary {
+                    Some(low.clone())
+                } else {
+                    Some(high.clone())
+                }
+            }
+            EquivocationPlan::Silent => None,
+            EquivocationPlan::Honest => honest_value.cloned(),
+        }
+    }
+}
+
+/// The per-process decisions of one broadcast instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome<V> {
+    /// `decisions[p]` is process `p`'s decided value (faulty processes'
+    /// entries are computed but meaningless).
+    pub decisions: Vec<V>,
+    /// Number of point-to-point messages simulated.
+    pub messages: usize,
+}
+
+impl<V: Clone + Eq> BroadcastOutcome<V> {
+    /// `true` when every process in `honest` decided `value`.
+    pub fn honest_decided(&self, honest: &[usize], value: &V) -> bool {
+        honest.iter().all(|&p| &self.decisions[p] == value)
+    }
+
+    /// `true` when all processes in `honest` agree with each other.
+    pub fn honest_agree(&self, honest: &[usize]) -> bool {
+        match honest.first() {
+            Some(&first) => honest
+                .iter()
+                .all(|&p| self.decisions[p] == self.decisions[first]),
+            None => true,
+        }
+    }
+}
+
+/// Runs one synchronous EIG Byzantine-broadcast instance.
+///
+/// `sender_value` is what the sender transmits if honest; faulty processes
+/// (including a faulty sender) follow their [`EquivocationPlan`]s. `default`
+/// is the fallback value used when a majority is absent during resolution.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Config`] when `3f ≥ n` (EIG's agreement bound),
+/// the sender is out of range, or a faulty index is out of range.
+// Process ids index the per-process tree table; ranging over the id is the
+// protocol's natural phrasing.
+#[allow(clippy::needless_range_loop)]
+pub fn eig_broadcast<V: Clone + Eq>(
+    config: SystemConfig,
+    sender: usize,
+    sender_value: V,
+    default: V,
+    faulty: &BTreeMap<usize, EquivocationPlan<V>>,
+) -> Result<BroadcastOutcome<V>, RuntimeError> {
+    let n = config.n();
+    let f = config.f();
+    if !config.supports_peer_to_peer() {
+        return Err(RuntimeError::Config(format!(
+            "EIG broadcast requires 3f < n, got n = {n}, f = {f}"
+        )));
+    }
+    if sender >= n {
+        return Err(RuntimeError::Config(format!("sender {sender} out of range")));
+    }
+    if let Some(&bad) = faulty.keys().find(|&&i| i >= n) {
+        return Err(RuntimeError::Config(format!("faulty agent {bad} out of range")));
+    }
+    if faulty.len() > f {
+        return Err(RuntimeError::Config(format!(
+            "{} faulty processes assigned but f = {f}",
+            faulty.len()
+        )));
+    }
+
+    // trees[p] maps a relay path (first element = sender) to the value p
+    // heard for it. `None` records an omission.
+    let mut trees: Vec<BTreeMap<Vec<usize>, Option<V>>> = vec![BTreeMap::new(); n];
+    let mut messages = 0usize;
+
+    // Round 1: the sender transmits to everyone.
+    let root = vec![sender];
+    for p in 0..n {
+        let value = match faulty.get(&sender) {
+            Some(plan) => plan.transmit(p, Some(&sender_value)),
+            None => Some(sender_value.clone()),
+        };
+        trees[p].insert(root.clone(), value);
+        messages += 1;
+    }
+
+    // Rounds 2..=f+1: relay every path of the previous level.
+    for round in 2..=(f + 1) {
+        let level_paths: Vec<Vec<usize>> = trees[0]
+            .keys()
+            .filter(|path| path.len() == round - 1)
+            .cloned()
+            .collect();
+        // Collected first, applied after, so every relay in a round uses the
+        // previous round's state (synchronous lockstep).
+        let mut updates: Vec<(usize, Vec<usize>, Option<V>)> = Vec::new();
+        for path in &level_paths {
+            for relayer in 0..n {
+                if path.contains(&relayer) {
+                    continue;
+                }
+                let heard = trees[relayer]
+                    .get(path)
+                    .cloned()
+                    .expect("paths are inserted for every process each round");
+                let mut extended = path.clone();
+                extended.push(relayer);
+                for p in 0..n {
+                    let value = match faulty.get(&relayer) {
+                        Some(plan) => plan.transmit(p, heard.as_ref()),
+                        None => heard.clone(),
+                    };
+                    updates.push((p, extended.clone(), value));
+                    messages += 1;
+                }
+            }
+        }
+        for (p, path, value) in updates {
+            trees[p].insert(path, value);
+        }
+    }
+
+    // Resolution: recursive strict majority from the leaves up.
+    let decisions: Vec<V> = (0..n)
+        .map(|p| resolve(&trees[p], &root, n, f + 1, &default))
+        .collect();
+    Ok(BroadcastOutcome { decisions, messages })
+}
+
+/// Resolves one EIG-tree node for a process: leaves report their stored
+/// value; interior nodes take the strict majority of their children.
+fn resolve<V: Clone + Eq>(
+    tree: &BTreeMap<Vec<usize>, Option<V>>,
+    path: &[usize],
+    n: usize,
+    max_depth: usize,
+    default: &V,
+) -> V {
+    let stored = tree
+        .get(path)
+        .cloned()
+        .flatten()
+        .unwrap_or_else(|| default.clone());
+    if path.len() == max_depth {
+        return stored;
+    }
+    let children: Vec<V> = (0..n)
+        .filter(|q| !path.contains(q))
+        .map(|q| {
+            let mut child = path.to_vec();
+            child.push(q);
+            resolve(tree, &child, n, max_depth, default)
+        })
+        .collect();
+    if children.is_empty() {
+        return stored;
+    }
+    // Strict majority vote over the resolved children.
+    for candidate in &children {
+        let count = children.iter().filter(|c| *c == candidate).count();
+        if 2 * count > children.len() {
+            return candidate.clone();
+        }
+    }
+    default.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2p_config(n: usize, f: usize) -> SystemConfig {
+        SystemConfig::new_peer_to_peer(n, f).expect("valid p2p config")
+    }
+
+    fn honest_set(n: usize, faulty: &BTreeMap<usize, EquivocationPlan<u64>>) -> Vec<usize> {
+        (0..n).filter(|i| !faulty.contains_key(i)).collect()
+    }
+
+    #[test]
+    fn fault_free_broadcast_delivers_value() {
+        let outcome =
+            eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &BTreeMap::new()).unwrap();
+        assert!(outcome.honest_decided(&[0, 1, 2, 3], &42));
+    }
+
+    #[test]
+    fn validity_with_faulty_relayer() {
+        // Honest sender 0; process 2 equivocates while relaying.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(
+            2,
+            EquivocationPlan::Split {
+                low: 7u64,
+                high: 9,
+                boundary: 2,
+            },
+        );
+        let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
+        let honest = honest_set(4, &faulty);
+        assert!(
+            outcome.honest_decided(&honest, &42),
+            "validity violated: {:?}",
+            outcome.decisions
+        );
+    }
+
+    #[test]
+    fn agreement_with_equivocating_sender() {
+        // Faulty sender splits 7/9 between halves; honest processes must
+        // still agree on SOME common value.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(
+            0,
+            EquivocationPlan::Split {
+                low: 7u64,
+                high: 9,
+                boundary: 2,
+            },
+        );
+        let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
+        let honest = honest_set(4, &faulty);
+        assert!(
+            outcome.honest_agree(&honest),
+            "agreement violated: {:?}",
+            outcome.decisions
+        );
+    }
+
+    #[test]
+    fn agreement_with_silent_sender() {
+        let mut faulty = BTreeMap::new();
+        faulty.insert(0, EquivocationPlan::Silent);
+        let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 5, &faulty).unwrap();
+        let honest = honest_set(4, &faulty);
+        assert!(outcome.honest_agree(&honest));
+        // Everyone falls through to the default.
+        assert_eq!(outcome.decisions[1], 5);
+    }
+
+    #[test]
+    fn two_faults_need_seven_processes() {
+        // n = 7, f = 2: sender equivocates AND a relayer lies consistently.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(
+            0,
+            EquivocationPlan::Split {
+                low: 1u64,
+                high: 2,
+                boundary: 3,
+            },
+        );
+        faulty.insert(4, EquivocationPlan::Consistent(99));
+        let outcome = eig_broadcast(p2p_config(7, 2), 0, 42u64, 0, &faulty).unwrap();
+        let honest = honest_set(7, &faulty);
+        assert!(
+            outcome.honest_agree(&honest),
+            "agreement violated: {:?}",
+            outcome.decisions
+        );
+    }
+
+    #[test]
+    fn validity_with_two_faulty_relayers() {
+        let mut faulty = BTreeMap::new();
+        faulty.insert(3, EquivocationPlan::Consistent(0u64));
+        faulty.insert(
+            5,
+            EquivocationPlan::Split {
+                low: 11,
+                high: 13,
+                boundary: 4,
+            },
+        );
+        let outcome = eig_broadcast(p2p_config(7, 2), 1, 42u64, 0, &faulty).unwrap();
+        let honest = honest_set(7, &faulty);
+        assert!(
+            outcome.honest_decided(&honest, &42),
+            "validity violated: {:?}",
+            outcome.decisions
+        );
+    }
+
+    #[test]
+    fn behaving_faulty_process_is_harmless() {
+        let mut faulty = BTreeMap::new();
+        faulty.insert(2, EquivocationPlan::Honest);
+        let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
+        assert!(outcome.honest_decided(&[0, 1, 2, 3], &42));
+    }
+
+    #[test]
+    fn configuration_is_validated() {
+        // 3f >= n.
+        let cfg = SystemConfig::new(6, 2).unwrap();
+        assert!(eig_broadcast(cfg, 0, 1u64, 0, &BTreeMap::new()).is_err());
+        // Sender out of range.
+        assert!(eig_broadcast(p2p_config(4, 1), 4, 1u64, 0, &BTreeMap::new()).is_err());
+        // Faulty index out of range.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(9, EquivocationPlan::Consistent(1u64));
+        assert!(eig_broadcast(p2p_config(4, 1), 0, 1u64, 0, &faulty).is_err());
+        // Too many faults.
+        let mut faulty = BTreeMap::new();
+        faulty.insert(1, EquivocationPlan::Consistent(1u64));
+        faulty.insert(2, EquivocationPlan::Consistent(1u64));
+        assert!(eig_broadcast(p2p_config(4, 1), 0, 1u64, 0, &faulty).is_err());
+    }
+
+    #[test]
+    fn message_count_is_deterministic() {
+        let a = eig_broadcast(p2p_config(4, 1), 0, 1u64, 0, &BTreeMap::new()).unwrap();
+        let b = eig_broadcast(p2p_config(4, 1), 0, 1u64, 0, &BTreeMap::new()).unwrap();
+        assert_eq!(a.messages, b.messages);
+        // Round 1: 4 messages. Round 2: 3 relayers × 4 recipients = 12.
+        assert_eq!(a.messages, 16);
+    }
+
+    #[test]
+    fn exhaustive_split_adversaries_never_break_agreement() {
+        // Sweep all sender split boundaries and value pairs for n = 4, f = 1.
+        for boundary in 0..=4 {
+            for (low, high) in [(1u64, 2u64), (0, 9), (7, 7)] {
+                let mut faulty = BTreeMap::new();
+                faulty.insert(0, EquivocationPlan::Split { low, high, boundary });
+                let outcome =
+                    eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
+                assert!(
+                    outcome.honest_agree(&[1, 2, 3]),
+                    "boundary {boundary} values ({low},{high}): {:?}",
+                    outcome.decisions
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Distributed-system substrate: a synchronous thread-per-agent runtime for
+//! the server-based architecture, and an exponential-information-gathering
+//! (EIG) Byzantine-broadcast primitive enabling the peer-to-peer
+//! architecture of Figure 1.
+//!
+//! The paper's system model (Section 1.4) is a *synchronous* system in one
+//! of two architectures:
+//!
+//! * **server-based** — a trustworthy server and `n` agents, up to `f`
+//!   Byzantine. [`run_threaded_dgd`] realizes each DGD iteration as a real
+//!   message-passing round over OS threads: broadcast `x_t`, collect `n`
+//!   replies, eliminate silent agents (step S1), filter and update (S2).
+//! * **peer-to-peer** — a complete network of `n` agents, `f < n/3` faulty,
+//!   where the server algorithm is simulated with Byzantine broadcast.
+//!   [`eig_broadcast`] implements the classic `f + 1`-round EIG protocol
+//!   (agreement + validity for `3f < n`), and [`run_peer_to_peer_dgd`] uses
+//!   one broadcast instance per agent per iteration so every honest agent
+//!   applies the same filter to the same multiset and stays in lockstep.
+//!
+//! # Example
+//!
+//! ```
+//! use abft_dgd::RunOptions;
+//! use abft_filters::Cge;
+//! use abft_problems::RegressionProblem;
+//! use abft_runtime::run_threaded_dgd;
+//!
+//! # fn main() -> Result<(), abft_runtime::RuntimeError> {
+//! let problem = RegressionProblem::paper_instance();
+//! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+//! let mut options = RunOptions::paper_defaults(x_h);
+//! options.iterations = 50;
+//! // All-honest threaded run: six agent threads, one synchronous round per
+//! // iteration.
+//! let result = run_threaded_dgd(
+//!     *problem.config(),
+//!     problem.costs(),
+//!     vec![],
+//!     vec![],
+//!     &Cge::new(),
+//!     &options,
+//! )?;
+//! assert_eq!(result.trace.len(), 51);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod eig;
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod peer_to_peer;
+pub mod threaded;
+
+pub use eig::{eig_broadcast, BroadcastOutcome, EquivocationPlan};
+pub use error::RuntimeError;
+pub use message::{FromAgent, ToAgent};
+pub use metrics::RuntimeMetrics;
+pub use peer_to_peer::{run_peer_to_peer_dgd, PeerToPeerResult};
+pub use threaded::run_threaded_dgd;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::eig::eig_broadcast;
+    pub use crate::error::RuntimeError;
+    pub use crate::peer_to_peer::run_peer_to_peer_dgd;
+    pub use crate::threaded::run_threaded_dgd;
+}

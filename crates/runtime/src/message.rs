@@ -1,0 +1,50 @@
+//! Message types exchanged between the server and agent threads.
+
+use abft_linalg::Vector;
+
+/// Messages from the server to an agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToAgent {
+    /// Step S1 broadcast: "here is `x_t`, send me your gradient".
+    Estimate {
+        /// Iteration index `t`.
+        iteration: usize,
+        /// The current estimate `x_t`.
+        estimate: Vector,
+    },
+    /// Graceful shutdown at the end of a run.
+    Shutdown,
+}
+
+/// Messages from an agent back to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromAgent {
+    /// The (claimed) gradient for the requested iteration.
+    Gradient {
+        /// Iteration the reply answers.
+        iteration: usize,
+        /// The reported vector — `∇Q_i(x_t)` for honest agents, arbitrary
+        /// for Byzantine ones.
+        gradient: Vector,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_clone_eq() {
+        let m = ToAgent::Estimate {
+            iteration: 3,
+            estimate: Vector::ones(2),
+        };
+        assert_eq!(m.clone(), m);
+        assert_ne!(m, ToAgent::Shutdown);
+        let r = FromAgent::Gradient {
+            iteration: 3,
+            gradient: Vector::zeros(2),
+        };
+        assert_eq!(r.clone(), r);
+    }
+}

@@ -1,0 +1,89 @@
+//! Lightweight runtime metrics shared between the server loop and tests.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Counters collected during a threaded run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Synchronous rounds completed.
+    pub rounds: usize,
+    /// Estimate broadcasts sent by the server.
+    pub broadcasts_sent: usize,
+    /// Gradient replies received by the server.
+    pub replies_received: usize,
+    /// Agents eliminated via the S1 no-reply rule.
+    pub agents_eliminated: usize,
+}
+
+/// Thread-safe metrics collector handed to the server loop.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeMetrics {
+    inner: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl RuntimeMetrics {
+    /// Creates a zeroed collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed round.
+    pub fn record_round(&self) {
+        self.inner.lock().rounds += 1;
+    }
+
+    /// Records `count` broadcasts.
+    pub fn record_broadcasts(&self, count: usize) {
+        self.inner.lock().broadcasts_sent += count;
+    }
+
+    /// Records `count` received replies.
+    pub fn record_replies(&self, count: usize) {
+        self.inner.lock().replies_received += count;
+    }
+
+    /// Records an S1 elimination.
+    pub fn record_elimination(&self) {
+        self.inner.lock().agents_eliminated += 1;
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        *self.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = RuntimeMetrics::new();
+        m.record_round();
+        m.record_round();
+        m.record_broadcasts(6);
+        m.record_replies(5);
+        m.record_elimination();
+        let s = m.snapshot();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.broadcasts_sent, 6);
+        assert_eq!(s.replies_received, 5);
+        assert_eq!(s.agents_eliminated, 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = RuntimeMetrics::new();
+        let m2 = m.clone();
+        m2.record_round();
+        assert_eq!(m.snapshot().rounds, 1);
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<RuntimeMetrics>();
+    }
+}

@@ -1,0 +1,337 @@
+//! Peer-to-peer DGD via Byzantine broadcast (Figure 1, right).
+//!
+//! In the peer-to-peer architecture there is no trusted server: every agent
+//! broadcasts its gradient with [`eig_broadcast`], so all honest agents
+//! observe the *same* multiset of `n` reported gradients (agreement), apply
+//! the same deterministic gradient filter, and therefore maintain identical
+//! estimates in lockstep — the simulation argument of Section 1.4, which
+//! requires `f < n/3`.
+
+use crate::eig::{eig_broadcast, EquivocationPlan};
+use crate::error::RuntimeError;
+use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_dgd::{RunOptions, RunResult};
+use abft_filters::GradientFilter;
+use abft_linalg::Vector;
+use abft_problems::{total_value, SharedCost};
+use std::collections::BTreeMap;
+
+/// A vector with bit-exact equality, usable as an EIG broadcast value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitsVector(Vec<u64>);
+
+impl BitsVector {
+    fn from_vector(v: &Vector) -> Self {
+        BitsVector(v.iter().map(|x| x.to_bits()).collect())
+    }
+
+    fn to_vector(&self) -> Vector {
+        self.0.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+}
+
+/// The outcome of a peer-to-peer DGD execution.
+#[derive(Debug, Clone)]
+pub struct PeerToPeerResult {
+    /// The honest agents' common trajectory (they run in lockstep).
+    pub result: RunResult,
+    /// Total EIG broadcast instances executed (`n` per iteration).
+    pub broadcasts: usize,
+    /// Total point-to-point messages simulated across all broadcasts.
+    pub messages: usize,
+}
+
+/// Runs DGD on the peer-to-peer architecture: one EIG broadcast per agent
+/// per iteration, every honest agent filtering and updating locally.
+///
+/// When `equivocate` is set, each Byzantine agent *splits* its forged
+/// gradient (sending `v` to half the network and `−v` to the other half);
+/// EIG agreement still forces a consistent view — exercised by the lockstep
+/// assertion.
+///
+/// Omniscient strategies are rejected (no agent can see others' in-flight
+/// gradients before sending its own in a broadcast round).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Config`] for invalid assignments or `3f ≥ n`,
+/// [`RuntimeError::Dgd`] for filter failures, and
+/// [`RuntimeError::LockstepViolation`] if honest agents diverge (impossible
+/// unless broadcast agreement is broken — this is an internal consistency
+/// check, not an expected path).
+// Sender ids index the per-agent value/plan tables.
+#[allow(clippy::needless_range_loop)]
+pub fn run_peer_to_peer_dgd(
+    config: SystemConfig,
+    costs: Vec<SharedCost>,
+    mut byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+    equivocate: bool,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<PeerToPeerResult, RuntimeError> {
+    let n = config.n();
+    if !config.supports_peer_to_peer() {
+        return Err(RuntimeError::Config(format!(
+            "peer-to-peer DGD requires 3f < n, got {config}"
+        )));
+    }
+    if costs.len() != n {
+        return Err(RuntimeError::Config(format!(
+            "{} costs supplied for {n} agents",
+            costs.len()
+        )));
+    }
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> =
+        (0..n).map(|_| None).collect();
+    for (agent, strategy) in byzantine.drain(..) {
+        if agent >= n {
+            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
+        }
+        if strategy.is_omniscient() {
+            return Err(RuntimeError::Config(format!(
+                "strategy '{}' is omniscient; peer-to-peer agents cannot observe \
+                 other agents' gradients before broadcasting",
+                strategy.name()
+            )));
+        }
+        if strategies[agent].is_some() {
+            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+        }
+        strategies[agent] = Some(strategy);
+    }
+    let fault_count = strategies.iter().filter(|s| s.is_some()).count();
+    if fault_count > config.f() {
+        return Err(RuntimeError::Config(format!(
+            "{fault_count} faults assigned but f = {}",
+            config.f()
+        )));
+    }
+    let honest: Vec<usize> = (0..n).filter(|&i| strategies[i].is_none()).collect();
+    let dim = costs[0].dim();
+    let default = BitsVector::from_vector(&Vector::zeros(dim));
+
+    // Every honest agent maintains its own estimate; lockstep is asserted.
+    let mut estimates: Vec<Vector> =
+        vec![options.projection.project(&options.x0); honest.len()];
+    let mut trace = Trace::new(filter.name());
+    let mut broadcasts = 0usize;
+    let mut messages = 0usize;
+
+    let mut run_iteration = |t: usize,
+                             estimates: &mut Vec<Vector>,
+                             strategies: &mut Vec<Option<Box<dyn ByzantineStrategy>>>,
+                             advance: bool|
+     -> Result<IterationRecord, RuntimeError> {
+        let x = estimates[0].clone();
+
+        // Each agent decides what to broadcast at the common estimate.
+        let mut plans: BTreeMap<usize, EquivocationPlan<BitsVector>> = BTreeMap::new();
+        let mut sender_values: Vec<BitsVector> = Vec::with_capacity(n);
+        for i in 0..n {
+            let true_gradient = costs[i].gradient(&x);
+            match strategies[i].as_mut() {
+                Some(strategy) => {
+                    let ctx = AttackContext::new(t, &true_gradient, &x);
+                    let forged = strategy.corrupt(&ctx);
+                    let plan = if equivocate {
+                        EquivocationPlan::Split {
+                            low: BitsVector::from_vector(&forged),
+                            high: BitsVector::from_vector(&forged.scale(-1.0)),
+                            boundary: n / 2,
+                        }
+                    } else {
+                        EquivocationPlan::Consistent(BitsVector::from_vector(&forged))
+                    };
+                    plans.insert(i, plan);
+                    sender_values.push(BitsVector::from_vector(&forged));
+                }
+                None => sender_values.push(BitsVector::from_vector(&true_gradient)),
+            }
+        }
+
+        // One broadcast instance per agent; every honest process records the
+        // decided gradient multiset from its own perspective.
+        let mut decided_per_honest: Vec<Vec<Vector>> =
+            vec![Vec::with_capacity(n); honest.len()];
+        for sender in 0..n {
+            let outcome = eig_broadcast(
+                config,
+                sender,
+                sender_values[sender].clone(),
+                default.clone(),
+                &plans,
+            )?;
+            broadcasts += 1;
+            messages += outcome.messages;
+            for (slot, &p) in honest.iter().enumerate() {
+                decided_per_honest[slot].push(outcome.decisions[p].to_vector());
+            }
+        }
+
+        // Every honest agent filters and updates locally.
+        let mut aggregated_first: Option<Vector> = None;
+        for (slot, decided) in decided_per_honest.iter().enumerate() {
+            let aggregated = filter.aggregate(decided, config.f())?;
+            if slot == 0 {
+                aggregated_first = Some(aggregated.clone());
+            }
+            if advance {
+                let eta = options.schedule.eta(t);
+                let step = &estimates[slot] - &aggregated.scale(eta);
+                estimates[slot] = options.projection.project(&step);
+            }
+        }
+        // Lockstep check: every honest agent's estimate must match agent 0's.
+        if advance {
+            for est in estimates.iter().skip(1) {
+                if !est.approx_eq(&estimates[0], 0.0) {
+                    return Err(RuntimeError::LockstepViolation { iteration: t });
+                }
+            }
+        }
+
+        let aggregated = aggregated_first.expect("at least one honest agent exists");
+        let offset = &x - &options.reference;
+        Ok(IterationRecord {
+            iteration: t,
+            loss: total_value(&costs, &honest, &x),
+            distance: offset.norm(),
+            grad_norm: aggregated.norm(),
+            phi: offset.dot(&aggregated),
+        })
+    };
+
+    for t in 0..options.iterations {
+        let record = run_iteration(t, &mut estimates, &mut strategies, true)?;
+        trace.push(record);
+    }
+    let record = run_iteration(options.iterations, &mut estimates, &mut strategies, false)?;
+    trace.push(record);
+
+    Ok(PeerToPeerResult {
+        result: RunResult {
+            trace,
+            final_estimate: estimates[0].clone(),
+        },
+        broadcasts,
+        messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_attacks::{GradientReverse, LittleIsEnough};
+    use abft_dgd::DgdSimulation;
+    use abft_filters::{Cge, Cwtm};
+    use abft_problems::RegressionProblem;
+
+    fn paper_options(iterations: usize) -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        (problem, options)
+    }
+
+    #[test]
+    fn bits_vector_round_trips() {
+        let v = Vector::from(vec![1.5, -0.25, 0.0]);
+        assert!(BitsVector::from_vector(&v).to_vector().approx_eq(&v, 0.0));
+        assert_eq!(BitsVector::from_vector(&v), BitsVector::from_vector(&v));
+    }
+
+    #[test]
+    fn fault_free_p2p_matches_server_based() {
+        let (problem, options) = paper_options(60);
+        let p2p = run_peer_to_peer_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![],
+            false,
+            &Cge::new(),
+            &options,
+        )
+        .unwrap();
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs()).unwrap();
+        let server = sim.run(&Cge::new(), &options).unwrap();
+        assert!(p2p
+            .result
+            .final_estimate
+            .approx_eq(&server.final_estimate, 0.0));
+        assert_eq!(p2p.result.trace.records(), server.trace.records());
+        // n broadcasts per round, 61 rounds.
+        assert_eq!(p2p.broadcasts, 6 * 61);
+    }
+
+    #[test]
+    fn consistent_byzantine_p2p_matches_server_based() {
+        // A consistently-lying Byzantine agent is indistinguishable from the
+        // server-based run with the same strategy.
+        let (problem, options) = paper_options(60);
+        let p2p = run_peer_to_peer_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(GradientReverse::new()))],
+            false,
+            &Cge::new(),
+            &options,
+        )
+        .unwrap();
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
+        let server = sim.run(&Cge::new(), &options).unwrap();
+        assert!(p2p
+            .result
+            .final_estimate
+            .approx_eq(&server.final_estimate, 0.0));
+    }
+
+    #[test]
+    fn equivocating_byzantine_cannot_break_lockstep() {
+        let (problem, options) = paper_options(40);
+        let p2p = run_peer_to_peer_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(GradientReverse::new()))],
+            true, // split v / −v between network halves
+            &Cwtm::new(),
+            &options,
+        )
+        .unwrap();
+        // Lockstep held (no LockstepViolation) and convergence survived.
+        assert!(
+            p2p.result.final_distance() < 0.2,
+            "distance = {}",
+            p2p.result.final_distance()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        let (problem, options) = paper_options(5);
+        // n = 6, f = 2 violates 3f < n.
+        let bad = SystemConfig::new(6, 2).unwrap();
+        assert!(run_peer_to_peer_dgd(
+            bad,
+            problem.costs(),
+            vec![],
+            false,
+            &Cge::new(),
+            &options
+        )
+        .is_err());
+        // Omniscient strategy.
+        assert!(run_peer_to_peer_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(LittleIsEnough::new(1.0)))],
+            false,
+            &Cge::new(),
+            &options
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! Thread-per-agent synchronous server-based DGD.
+//!
+//! This realizes the paper's Figure-1 server architecture with real message
+//! passing: the server and each agent run on their own OS threads connected
+//! by channels. One DGD iteration is one synchronous round — broadcast,
+//! collect, filter, update. A crashed agent's channel disconnects, which the
+//! server treats as the "no gradient received" case of step S1 and
+//! eliminates the agent (updating its `(n, f)` view).
+
+use crate::error::RuntimeError;
+use crate::message::{FromAgent, ToAgent};
+use crate::metrics::RuntimeMetrics;
+use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_dgd::{RunOptions, RunResult};
+use abft_filters::GradientFilter;
+use abft_linalg::Vector;
+use abft_problems::{total_value, SharedCost};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread;
+
+/// One agent's end of the wire plus its join handle.
+struct AgentHandle {
+    commands: Sender<ToAgent>,
+    replies: Receiver<FromAgent>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+/// The agent thread body: receive an estimate, reply with a (possibly
+/// forged) gradient; crash by exiting (disconnecting both channels).
+fn agent_loop(
+    cost: SharedCost,
+    mut strategy: Option<Box<dyn ByzantineStrategy>>,
+    crash_at: Option<usize>,
+    commands: Receiver<ToAgent>,
+    replies: Sender<FromAgent>,
+) {
+    while let Ok(message) = commands.recv() {
+        match message {
+            ToAgent::Estimate {
+                iteration,
+                estimate,
+            } => {
+                if let Some(crash) = crash_at {
+                    if iteration >= crash {
+                        // Crash: silently stop participating. Dropping the
+                        // channels is the threaded analogue of silence in a
+                        // synchronous round.
+                        return;
+                    }
+                }
+                let true_gradient = cost.gradient(&estimate);
+                let report = match strategy.as_mut() {
+                    Some(s) => {
+                        let ctx = AttackContext::new(iteration, &true_gradient, &estimate);
+                        s.corrupt(&ctx)
+                    }
+                    None => true_gradient,
+                };
+                if replies
+                    .send(FromAgent::Gradient {
+                        iteration,
+                        gradient: report,
+                    })
+                    .is_err()
+                {
+                    return; // Server hung up.
+                }
+            }
+            ToAgent::Shutdown => return,
+        }
+    }
+}
+
+/// Runs DGD over a thread-per-agent synchronous network.
+///
+/// `byzantine` assigns fault strategies to agent indices; `crashes` assigns
+/// crash iterations. Omniscient strategies are rejected: a threaded agent
+/// cannot observe the other agents' in-flight gradients (use
+/// [`abft_dgd::DgdSimulation`] for omniscient attack studies).
+///
+/// The recorded trace matches [`abft_dgd::DgdSimulation::run`] exactly for
+/// the same inputs — asserted by the cross-runtime equivalence test.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Config`] for invalid fault assignments,
+/// [`RuntimeError::Dgd`] for filter/dimension failures, and
+/// [`RuntimeError::ChannelBroken`] if an agent thread dies unexpectedly.
+pub fn run_threaded_dgd(
+    config: SystemConfig,
+    costs: Vec<SharedCost>,
+    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+    crashes: Vec<(usize, usize)>,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<RunResult, RuntimeError> {
+    run_threaded_dgd_with_metrics(
+        config,
+        costs,
+        byzantine,
+        crashes,
+        filter,
+        options,
+        &RuntimeMetrics::new(),
+    )
+}
+
+/// [`run_threaded_dgd`] with an external metrics collector.
+///
+/// # Errors
+///
+/// See [`run_threaded_dgd`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_dgd_with_metrics(
+    config: SystemConfig,
+    costs: Vec<SharedCost>,
+    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+    crashes: Vec<(usize, usize)>,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+    metrics: &RuntimeMetrics,
+) -> Result<RunResult, RuntimeError> {
+    let n = config.n();
+    if costs.len() != n {
+        return Err(RuntimeError::Config(format!(
+            "{} costs supplied for {n} agents",
+            costs.len()
+        )));
+    }
+    let dim = costs[0].dim();
+    if options.x0.dim() != dim || options.reference.dim() != dim {
+        return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
+            expected: format!("x0 and reference of dim {dim}"),
+            actual: format!(
+                "x0 dim {}, reference dim {}",
+                options.x0.dim(),
+                options.reference.dim()
+            ),
+        }));
+    }
+
+    // Validate and index fault assignments.
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> =
+        (0..n).map(|_| None).collect();
+    let mut crash_at: Vec<Option<usize>> = vec![None; n];
+    let mut fault_count = 0usize;
+    for (agent, strategy) in byzantine {
+        if agent >= n {
+            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
+        }
+        if strategy.is_omniscient() {
+            return Err(RuntimeError::Config(format!(
+                "strategy '{}' is omniscient; threaded agents cannot observe \
+                 other agents' in-flight gradients",
+                strategy.name()
+            )));
+        }
+        if strategies[agent].is_some() {
+            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+        }
+        strategies[agent] = Some(strategy);
+        fault_count += 1;
+    }
+    for (agent, iteration) in crashes {
+        if agent >= n {
+            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
+        }
+        if strategies[agent].is_some() || crash_at[agent].is_some() {
+            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+        }
+        crash_at[agent] = Some(iteration);
+        fault_count += 1;
+    }
+    if fault_count > config.f() {
+        return Err(RuntimeError::Config(format!(
+            "{fault_count} faults assigned but f = {}",
+            config.f()
+        )));
+    }
+    let honest: Vec<usize> = (0..n)
+        .filter(|&i| strategies[i].is_none() && crash_at[i].is_none())
+        .collect();
+
+    // Spawn the agents.
+    let mut handles: Vec<AgentHandle> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cmd_tx, cmd_rx) = unbounded::<ToAgent>();
+        let (rep_tx, rep_rx) = unbounded::<FromAgent>();
+        let cost = costs[i].clone();
+        let strategy = strategies[i].take();
+        let crash = crash_at[i];
+        let thread = thread::Builder::new()
+            .name(format!("agent-{i}"))
+            .spawn(move || agent_loop(cost, strategy, crash, cmd_rx, rep_tx))
+            .expect("thread spawn");
+        handles.push(AgentHandle {
+            commands: cmd_tx,
+            replies: rep_rx,
+            thread: Some(thread),
+        });
+    }
+
+    // Server loop.
+    let mut eliminated = vec![false; n];
+    let mut server_f = config.f();
+    let mut trace = Trace::new(filter.name());
+    let mut x = options.projection.project(&options.x0);
+
+    let run_round = |t: usize,
+                         x: &Vector,
+                         eliminated: &mut Vec<bool>,
+                         server_f: &mut usize|
+     -> Result<Vector, RuntimeError> {
+        // S1: broadcast the estimate to all non-eliminated agents.
+        let mut broadcast_count = 0usize;
+        for (i, handle) in handles.iter().enumerate() {
+            if eliminated[i] {
+                continue;
+            }
+            // A send failure means the agent already crashed; the collect
+            // phase below will register the elimination.
+            let _ = handle.commands.send(ToAgent::Estimate {
+                iteration: t,
+                estimate: x.clone(),
+            });
+            broadcast_count += 1;
+        }
+        metrics.record_broadcasts(broadcast_count);
+
+        // Collect replies; a disconnected channel is the no-reply case.
+        let mut gradients = Vec::with_capacity(n);
+        for (i, handle) in handles.iter().enumerate() {
+            if eliminated[i] {
+                continue;
+            }
+            match handle.replies.recv() {
+                Ok(FromAgent::Gradient { iteration, gradient }) => {
+                    debug_assert_eq!(iteration, t, "synchronous rounds never reorder");
+                    gradients.push(gradient);
+                }
+                Err(_) => {
+                    // S1 elimination: the agent must be faulty.
+                    eliminated[i] = true;
+                    *server_f = server_f.saturating_sub(1);
+                    metrics.record_elimination();
+                }
+            }
+        }
+        metrics.record_replies(gradients.len());
+        metrics.record_round();
+        Ok(filter.aggregate(&gradients, *server_f)?)
+    };
+
+    let result = (|| -> Result<RunResult, RuntimeError> {
+        for t in 0..options.iterations {
+            let aggregated = run_round(t, &x, &mut eliminated, &mut server_f)?;
+            trace.push(record(&costs, &honest, t, &x, &aggregated, options));
+            let eta = options.schedule.eta(t);
+            let step = &x - &aggregated.scale(eta);
+            x = options.projection.project(&step);
+        }
+        let aggregated = run_round(options.iterations, &x, &mut eliminated, &mut server_f)?;
+        trace.push(record(
+            &costs,
+            &honest,
+            options.iterations,
+            &x,
+            &aggregated,
+            options,
+        ));
+        Ok(RunResult {
+            trace,
+            final_estimate: x,
+        })
+    })();
+
+    // Shutdown and join regardless of outcome.
+    for handle in &handles {
+        let _ = handle.commands.send(ToAgent::Shutdown);
+    }
+    for handle in &mut handles {
+        if let Some(t) = handle.thread.take() {
+            let _ = t.join();
+        }
+    }
+    result
+}
+
+/// Builds one trace record at estimate `x` (mirrors the in-process driver).
+fn record(
+    costs: &[SharedCost],
+    honest: &[usize],
+    t: usize,
+    x: &Vector,
+    aggregated: &Vector,
+    options: &RunOptions,
+) -> IterationRecord {
+    let offset = x - &options.reference;
+    IterationRecord {
+        iteration: t,
+        loss: total_value(costs, honest, x),
+        distance: offset.norm(),
+        grad_norm: aggregated.norm(),
+        phi: offset.dot(aggregated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_attacks::{GradientReverse, LittleIsEnough, RandomGaussian};
+    use abft_dgd::DgdSimulation;
+    use abft_filters::{Cge, Cwtm};
+    use abft_problems::RegressionProblem;
+
+    fn paper_options(iterations: usize) -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        (problem, options)
+    }
+
+    #[test]
+    fn threaded_matches_in_process_driver_exactly() {
+        let (problem, options) = paper_options(100);
+
+        let threaded = run_threaded_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(GradientReverse::new()))],
+            vec![],
+            &Cge::new(),
+            &options,
+        )
+        .unwrap();
+
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
+        let in_process = sim.run(&Cge::new(), &options).unwrap();
+
+        assert!(threaded
+            .final_estimate
+            .approx_eq(&in_process.final_estimate, 0.0));
+        assert_eq!(threaded.trace.records(), in_process.trace.records());
+    }
+
+    #[test]
+    fn threaded_matches_with_seeded_random_attack() {
+        let (problem, options) = paper_options(60);
+        let threaded = run_threaded_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(RandomGaussian::paper(99)))],
+            vec![],
+            &Cwtm::new(),
+            &options,
+        )
+        .unwrap();
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(RandomGaussian::paper(99)))
+            .unwrap();
+        let in_process = sim.run(&Cwtm::new(), &options).unwrap();
+        assert!(threaded
+            .final_estimate
+            .approx_eq(&in_process.final_estimate, 0.0));
+    }
+
+    #[test]
+    fn crash_is_eliminated_and_run_completes() {
+        let (problem, options) = paper_options(120);
+        let metrics = RuntimeMetrics::new();
+        let result = run_threaded_dgd_with_metrics(
+            *problem.config(),
+            problem.costs(),
+            vec![],
+            vec![(3, 10)],
+            &Cge::new(),
+            &options,
+            &metrics,
+        )
+        .unwrap();
+        assert!(result.final_distance() < 0.15, "d = {}", result.final_distance());
+        assert_eq!(metrics.snapshot().agents_eliminated, 1);
+        assert_eq!(metrics.snapshot().rounds, 121);
+    }
+
+    #[test]
+    fn omniscient_strategies_are_rejected() {
+        let (problem, options) = paper_options(5);
+        let err = run_threaded_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![(0, Box::new(LittleIsEnough::new(1.0)))],
+            vec![],
+            &Cge::new(),
+            &options,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Config(_)));
+    }
+
+    #[test]
+    fn fault_budget_is_enforced() {
+        let (problem, options) = paper_options(5);
+        let err = run_threaded_dgd(
+            *problem.config(),
+            problem.costs(),
+            vec![
+                (0, Box::new(GradientReverse::new())),
+                (1, Box::new(GradientReverse::new())),
+            ],
+            vec![],
+            &Cge::new(),
+            &options,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Config(_)));
+    }
+
+    #[test]
+    fn metrics_count_messages() {
+        let (problem, options) = paper_options(10);
+        let metrics = RuntimeMetrics::new();
+        run_threaded_dgd_with_metrics(
+            *problem.config(),
+            problem.costs(),
+            vec![],
+            vec![],
+            &Cge::new(),
+            &options,
+            &metrics,
+        )
+        .unwrap();
+        let s = metrics.snapshot();
+        // 11 rounds (10 iterations + final record) × 6 agents.
+        assert_eq!(s.rounds, 11);
+        assert_eq!(s.broadcasts_sent, 66);
+        assert_eq!(s.replies_received, 66);
+        assert_eq!(s.agents_eliminated, 0);
+    }
+}

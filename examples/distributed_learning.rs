@@ -1,0 +1,57 @@
+//! Byzantine-robust distributed learning (the Appendix-K workload).
+//!
+//! Trains an MLP on the synthetic-MNIST substitute with n = 10 agents of
+//! which f = 3 are faulty (label-flip or gradient-reverse), comparing CGE
+//! and CWTM against the fault-free baseline and plain averaging.
+//!
+//! Run with: `cargo run --release --example distributed_learning`
+
+use approx_bft::filters::{Cge, Cwtm, GradientFilter, Mean};
+use approx_bft::ml::{train_distributed, DatasetSpec, DsgdConfig, Mlp, MlFault};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DatasetSpec {
+        // A laptop-sized slice of the synthetic-MNIST substitute.
+        train: 2000,
+        test: 500,
+        ..DatasetSpec::synthetic_mnist()
+    };
+    let (train, test) = spec.generate(2024);
+    let shards = train.shard(10, 7)?;
+    let faulty = [0usize, 4, 7]; // f = 3, as in the paper
+    // The paper's η = 0.01 is tuned to LeNet's scale; our 2.4k-parameter MLP
+    // on the synthetic substitute needs a proportionally larger step
+    // (DESIGN.md §4 substitution note).
+    let config = DsgdConfig {
+        iterations: 600,
+        eval_every: 100,
+        learning_rate_milli: 500,
+        ..DsgdConfig::paper(11)
+    };
+
+    let run = |name: &str,
+                   fault: MlFault,
+                   faulty: &[usize],
+                   filter: &dyn GradientFilter|
+     -> Result<(), Box<dyn std::error::Error>> {
+        let mut model = Mlp::new(&[spec.dim, 32, spec.classes], 3)?;
+        let records =
+            train_distributed(&mut model, &shards, faulty, fault, filter, &test, &config)?;
+        print!("{name:<28}");
+        for r in &records {
+            print!(" t={:<4} acc={:.3}", r.iteration, r.accuracy);
+        }
+        println!();
+        Ok(())
+    };
+
+    println!("synthetic-MNIST, n = 10 agents, f = 3 faulty, MLP 64-32-10\n");
+    run("fault-free (mean)", MlFault::None, &[], &Mean::new())?;
+    run("CWTM + label-flip", MlFault::LabelFlip, &faulty, &Cwtm::new())?;
+    run("CWTM + grad-reverse", MlFault::GradientReverse, &faulty, &Cwtm::new())?;
+    run("CGE + label-flip", MlFault::LabelFlip, &faulty, &Cge::averaged())?;
+    run("CGE + grad-reverse", MlFault::GradientReverse, &faulty, &Cge::averaged())?;
+    run("mean + grad-reverse", MlFault::GradientReverse, &faulty, &Mean::new())?;
+    println!("\nrobust filters track the fault-free curve; plain averaging lags or stalls.");
+    Ok(())
+}

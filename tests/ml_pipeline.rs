@@ -1,0 +1,149 @@
+//! Integration checks for the Appendix-K learning pipeline: robust D-SGD
+//! tracks the fault-free baseline, plain averaging does not, and the
+//! synthetic-fashion task is measurably harder than synthetic-MNIST.
+
+use approx_bft::filters::{Cge, Cwtm, GradientFilter, Mean};
+use approx_bft::ml::{
+    train_distributed, Dataset, DatasetSpec, DsgdConfig, LinearSvm, MlFault, Mlp,
+};
+
+/// A fast configuration: tiny dataset, short training — shapes only.
+fn quick_spec() -> DatasetSpec {
+    DatasetSpec {
+        classes: 10,
+        dim: 16,
+        train: 500,
+        test: 200,
+        noise: 0.3,
+        separation: 1.0,
+        correlation: 0.0,
+    }
+}
+
+fn quick_config() -> DsgdConfig {
+    DsgdConfig {
+        batch_size: 32,
+        learning_rate_milli: 200,
+        iterations: 300,
+        eval_every: 100,
+        seed: 5,
+    }
+}
+
+fn train_mlp(
+    shards: &[Dataset],
+    test: &Dataset,
+    faulty: &[usize],
+    fault: MlFault,
+    filter: &dyn GradientFilter,
+) -> f64 {
+    let mut model = Mlp::new(&[16, 12, 10], 1).expect("valid sizes");
+    let records = train_distributed(
+        &mut model,
+        shards,
+        faulty,
+        fault,
+        filter,
+        test,
+        &quick_config(),
+    )
+    .expect("training runs");
+    records.last().expect("non-empty").accuracy
+}
+
+#[test]
+fn robust_filters_track_fault_free_under_both_paper_faults() {
+    let (train, test) = quick_spec().generate(13);
+    let shards = train.shard(10, 1).expect("shardable");
+    let faulty = [0usize, 4, 7]; // f = 3 of n = 10, as in the paper
+
+    let baseline = train_mlp(&shards, &test, &[], MlFault::None, &Mean::new());
+    assert!(baseline > 0.8, "fault-free baseline too weak: {baseline}");
+
+    for fault in [MlFault::LabelFlip, MlFault::GradientReverse] {
+        for filter in [&Cwtm::new() as &dyn GradientFilter, &Cge::averaged()] {
+            let acc = train_mlp(&shards, &test, &faulty, fault, filter);
+            assert!(
+                acc > baseline - 0.2,
+                "{} under {fault:?}: acc {acc} vs baseline {baseline}",
+                filter.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_averaging_lags_under_gradient_reverse() {
+    // With 3/10 agents reversing, the mean keeps only a 0.4-scaled descent
+    // direction: it still moves, but markedly slower than CWTM at the same
+    // budget — and visibly below the fault-free baseline.
+    let (train, test) = quick_spec().generate(13);
+    let shards = train.shard(10, 1).expect("shardable");
+    let faulty = [0usize, 4, 7];
+    let baseline = train_mlp(&shards, &test, &[], MlFault::None, &Mean::new());
+    let robust = train_mlp(&shards, &test, &faulty, MlFault::GradientReverse, &Cwtm::new());
+    let naive = train_mlp(&shards, &test, &faulty, MlFault::GradientReverse, &Mean::new());
+    assert!(
+        robust > naive + 0.05,
+        "CWTM ({robust}) should clearly beat mean ({naive}) at f/n = 0.3"
+    );
+    assert!(
+        naive < baseline - 0.1,
+        "attacked mean ({naive}) should sit well below fault-free ({baseline})"
+    );
+}
+
+#[test]
+fn fashion_substitute_is_harder_than_mnist_substitute() {
+    // Same budget, same model: the correlated-noisy spec must yield lower
+    // fault-free accuracy — the MNIST/Fashion-MNIST gap the paper shows.
+    let easy = quick_spec();
+    let hard = DatasetSpec {
+        noise: 0.55,
+        correlation: 0.45,
+        ..quick_spec()
+    };
+    let accuracy_of = |spec: DatasetSpec| {
+        let (train, test) = spec.generate(29);
+        let shards = train.shard(10, 1).expect("shardable");
+        train_mlp(&shards, &test, &[], MlFault::None, &Mean::new())
+    };
+    let easy_acc = accuracy_of(easy);
+    let hard_acc = accuracy_of(hard);
+    assert!(
+        easy_acc > hard_acc + 0.05,
+        "expected a clear difficulty gap: easy {easy_acc} vs hard {hard_acc}"
+    );
+}
+
+#[test]
+fn svm_model_also_trains_under_the_pipeline() {
+    let (train, test) = quick_spec().generate(31);
+    let shards = train.shard(5, 1).expect("shardable");
+    let mut svm = LinearSvm::new(16, 10, 0.001).expect("valid");
+    let records = train_distributed(
+        &mut svm,
+        &shards,
+        &[1],
+        MlFault::GradientReverse,
+        &Cwtm::new(),
+        &test,
+        &quick_config(),
+    )
+    .expect("training runs");
+    let acc = records.last().expect("non-empty").accuracy;
+    assert!(acc > 0.7, "robust SVM accuracy {acc}");
+}
+
+#[test]
+fn label_flip_poisons_only_the_faulty_shards() {
+    let (train, _) = quick_spec().generate(7);
+    let shards = train.shard(4, 3).expect("shardable");
+    let flipped = shards[1].with_flipped_labels();
+    // Feature data untouched; labels remapped y -> 9 - y.
+    for i in 0..flipped.len() {
+        assert_eq!(flipped.label(i), 9 - shards[1].label(i));
+    }
+    // Honest shards are untouched by construction (no aliasing).
+    assert_eq!(shards[0].label(0), shards[0].label(0));
+}
