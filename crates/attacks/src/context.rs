@@ -1,6 +1,61 @@
 //! What a Byzantine agent can observe when forging its report.
 
-use abft_linalg::Vector;
+use abft_linalg::{GradientBatch, Vector};
+
+/// The honest gradients an omniscient attacker may inspect.
+///
+/// Drivers on the zero-copy path expose honest gradients as rows of the
+/// round's [`GradientBatch`]; legacy callers hand over a `&[Vector]`.
+/// Either way attackers read them through [`HonestGradients::row`] /
+/// [`HonestGradients::iter`] without copying.
+#[derive(Debug, Clone, Copy)]
+pub enum HonestGradients<'a> {
+    /// Non-omniscient round: honest gradients are not revealed.
+    Hidden,
+    /// Borrowed from separately allocated vectors (legacy adapter path).
+    Vectors(&'a [Vector]),
+    /// Borrowed rows of the round's gradient batch.
+    Rows {
+        /// The round's batch.
+        batch: &'a GradientBatch,
+        /// Row indices holding honest gradients.
+        rows: &'a [usize],
+    },
+}
+
+impl<'a> HonestGradients<'a> {
+    /// Number of visible honest gradients (0 when hidden).
+    pub fn len(&self) -> usize {
+        match self {
+            HonestGradients::Hidden => 0,
+            HonestGradients::Vectors(vs) => vs.len(),
+            HonestGradients::Rows { rows, .. } => rows.len(),
+        }
+    }
+
+    /// `true` when no honest gradient is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th visible honest gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range (including when hidden).
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        match self {
+            HonestGradients::Hidden => panic!("honest gradients are hidden"),
+            HonestGradients::Vectors(vs) => vs[i].as_slice(),
+            HonestGradients::Rows { batch, rows } => batch.row(rows[i]),
+        }
+    }
+
+    /// Iterates over the visible honest gradients.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+}
 
 /// The information available to a Byzantine agent at one iteration.
 ///
@@ -18,7 +73,7 @@ pub struct AttackContext<'a> {
     /// The server's current estimate `x_t`.
     pub estimate: &'a Vector,
     /// Honest agents' gradients, when the harness grants omniscience.
-    pub honest_gradients: Option<&'a [Vector]>,
+    pub honest: HonestGradients<'a>,
 }
 
 impl<'a> AttackContext<'a> {
@@ -28,7 +83,7 @@ impl<'a> AttackContext<'a> {
             iteration,
             true_gradient,
             estimate,
-            honest_gradients: None,
+            honest: HonestGradients::Hidden,
         }
     }
 
@@ -43,7 +98,24 @@ impl<'a> AttackContext<'a> {
             iteration,
             true_gradient,
             estimate,
-            honest_gradients: Some(honest_gradients),
+            honest: HonestGradients::Vectors(honest_gradients),
+        }
+    }
+
+    /// Context exposing honest gradients as batch rows — the zero-copy
+    /// driver path.
+    pub fn omniscient_rows(
+        iteration: usize,
+        true_gradient: &'a Vector,
+        estimate: &'a Vector,
+        batch: &'a GradientBatch,
+        rows: &'a [usize],
+    ) -> Self {
+        AttackContext {
+            iteration,
+            true_gradient,
+            estimate,
+            honest: HonestGradients::Rows { batch, rows },
         }
     }
 
@@ -64,7 +136,8 @@ mod tests {
         let ctx = AttackContext::new(7, &g, &x);
         assert_eq!(ctx.iteration, 7);
         assert_eq!(ctx.dim(), 3);
-        assert!(ctx.honest_gradients.is_none());
+        assert!(ctx.honest.is_empty());
+        assert!(matches!(ctx.honest, HonestGradients::Hidden));
     }
 
     #[test]
@@ -73,6 +146,32 @@ mod tests {
         let x = Vector::zeros(2);
         let honest = vec![Vector::from(vec![1.0, 2.0])];
         let ctx = AttackContext::omniscient(0, &g, &x, &honest);
-        assert_eq!(ctx.honest_gradients.unwrap().len(), 1);
+        assert_eq!(ctx.honest.len(), 1);
+        assert_eq!(ctx.honest.row(0), &[1.0, 2.0]);
+        assert_eq!(ctx.honest.iter().count(), 1);
+    }
+
+    #[test]
+    fn batch_rows_view_reads_selected_rows() {
+        let mut batch = GradientBatch::new(2);
+        batch.push_row(&[1.0, 2.0]);
+        batch.push_row(&[9.0, 9.0]); // a Byzantine row, not exposed
+        batch.push_row(&[3.0, 4.0]);
+        let rows = [0usize, 2];
+        let g = Vector::ones(2);
+        let x = Vector::zeros(2);
+        let ctx = AttackContext::omniscient_rows(1, &g, &x, &batch, &rows);
+        assert_eq!(ctx.honest.len(), 2);
+        assert_eq!(ctx.honest.row(0), &[1.0, 2.0]);
+        assert_eq!(ctx.honest.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden")]
+    fn hidden_view_panics_on_access() {
+        let g = Vector::ones(1);
+        let x = Vector::zeros(1);
+        let ctx = AttackContext::new(0, &g, &x);
+        let _ = ctx.honest.row(0);
     }
 }

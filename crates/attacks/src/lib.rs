@@ -33,7 +33,7 @@ pub mod omniscient;
 pub mod registry;
 pub mod simple;
 
-pub use context::AttackContext;
+pub use context::{AttackContext, HonestGradients};
 pub use omniscient::{InnerProductManipulation, LittleIsEnough};
 pub use registry::{all_attacks, attack_by_name, ATTACK_NAMES};
 pub use simple::{ConstantVector, GradientReverse, RandomGaussian, ScaledReverse, ZeroGradient};
@@ -46,9 +46,26 @@ use abft_linalg::Vector;
 /// Strategies take `&mut self` because stateful attacks (e.g. random ones)
 /// advance an internal RNG; they must be `Send` so the threaded runtime can
 /// move them into agent threads.
+///
+/// The primary entry point is [`ByzantineStrategy::corrupt_into`], which
+/// writes the forgery directly into a caller-supplied slot — a
+/// `GradientBatch` row on the zero-copy driver path. The allocating
+/// [`ByzantineStrategy::corrupt`] is a provided adapter over it.
 pub trait ByzantineStrategy: Send {
-    /// The vector this faulty agent reports instead of its true gradient.
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector;
+    /// Writes the vector this faulty agent reports — instead of its true
+    /// gradient — into `out` (a batch row on the hot path).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `out.len() != ctx.dim()`.
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]);
+
+    /// Allocating adapter over [`ByzantineStrategy::corrupt_into`].
+    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
+        let mut out = Vector::zeros(ctx.dim());
+        self.corrupt_into(ctx, out.as_mut_slice());
+        out
+    }
 
     /// A stable, lowercase identifier (used by the registry and reports).
     fn name(&self) -> &'static str;

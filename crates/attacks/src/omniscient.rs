@@ -1,9 +1,8 @@
 //! Omniscient attacks: colluding Byzantine agents that can inspect the
 //! honest gradients before forging their own.
 
-use crate::context::AttackContext;
+use crate::context::{AttackContext, HonestGradients};
 use crate::ByzantineStrategy;
-use abft_linalg::Vector;
 
 /// "A little is enough" (ALIE, Baruch et al. 2019).
 ///
@@ -30,23 +29,28 @@ impl LittleIsEnough {
 }
 
 impl ByzantineStrategy for LittleIsEnough {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        match ctx.honest_gradients {
-            Some(honest) if !honest.is_empty() => {
-                let m = honest.len() as f64;
-                let mean = Vector::mean_of(honest).expect("non-empty honest set");
-                let std = Vector::from_fn(ctx.dim(), |k| {
-                    let var = honest
-                        .iter()
-                        .map(|g| (g[k] - mean[k]) * (g[k] - mean[k]))
-                        .sum::<f64>()
-                        / m;
-                    var.sqrt()
-                });
-                &mean - &std.scale(self.z)
-            }
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "little-is-enough dimension");
+        let honest = &ctx.honest;
+        if matches!(honest, HonestGradients::Hidden) || honest.is_empty() {
             // Without omniscience, degrade to reversing the own gradient.
-            _ => -ctx.true_gradient,
+            for (slot, g) in out.iter_mut().zip(ctx.true_gradient.iter()) {
+                *slot = -g;
+            }
+            return;
+        }
+        // Per coordinate: mean and population std of the honest reports,
+        // forged value mean − z·std — computed column-wise so nothing is
+        // allocated and batch rows are never copied.
+        let m = honest.len() as f64;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mean = honest.iter().map(|g| g[k]).sum::<f64>() / m;
+            let var = honest
+                .iter()
+                .map(|g| (g[k] - mean) * (g[k] - mean))
+                .sum::<f64>()
+                / m;
+            *slot = mean - var.sqrt() * self.z;
         }
     }
 
@@ -81,14 +85,27 @@ impl InnerProductManipulation {
 }
 
 impl ByzantineStrategy for InnerProductManipulation {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        match ctx.honest_gradients {
-            Some(honest) if !honest.is_empty() => {
-                Vector::mean_of(honest)
-                    .expect("non-empty honest set")
-                    .scale(-self.scale)
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "inner-product dimension");
+        let honest = &ctx.honest;
+        if matches!(honest, HonestGradients::Hidden) || honest.is_empty() {
+            for (slot, g) in out.iter_mut().zip(ctx.true_gradient.iter()) {
+                *slot = g * -self.scale;
             }
-            _ => ctx.true_gradient.scale(-self.scale),
+            return;
+        }
+        // −scale · mean(honest), accumulated directly into the output row
+        // (two scaling passes keep the arithmetic identical to
+        // `mean(honest)` followed by `· −scale`).
+        out.fill(0.0);
+        for row in honest.iter() {
+            for (slot, g) in out.iter_mut().zip(row) {
+                *slot += g;
+            }
+        }
+        let inv_m = 1.0 / honest.len() as f64;
+        for slot in out.iter_mut() {
+            *slot = (*slot * inv_m) * -self.scale;
         }
     }
 
@@ -104,6 +121,7 @@ impl ByzantineStrategy for InnerProductManipulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abft_linalg::Vector;
 
     #[test]
     fn alie_stays_inside_honest_spread() {
@@ -134,10 +152,7 @@ mod tests {
 
     #[test]
     fn inner_product_opposes_honest_mean() {
-        let honest = vec![
-            Vector::from(vec![1.0, 0.0]),
-            Vector::from(vec![3.0, 0.0]),
-        ];
+        let honest = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![3.0, 0.0])];
         let own = Vector::from(vec![2.0, 0.0]);
         let x = Vector::zeros(2);
         let ctx = AttackContext::omniscient(0, &own, &x, &honest);

@@ -2,7 +2,7 @@
 
 use crate::context::AttackContext;
 use crate::ByzantineStrategy;
-use abft_linalg::rng::{gaussian_vector, seeded_rng};
+use abft_linalg::rng::{fill_gaussian, seeded_rng};
 use abft_linalg::Vector;
 use rand::rngs::StdRng;
 
@@ -19,8 +19,11 @@ impl GradientReverse {
 }
 
 impl ByzantineStrategy for GradientReverse {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        -ctx.true_gradient
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "reverse attack dimension");
+        for (slot, g) in out.iter_mut().zip(ctx.true_gradient.iter()) {
+            *slot = -g;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -61,8 +64,9 @@ impl RandomGaussian {
 }
 
 impl ByzantineStrategy for RandomGaussian {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        gaussian_vector(&mut self.rng, ctx.dim(), 0.0, self.std)
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "random attack dimension");
+        fill_gaussian(&mut self.rng, out, 0.0, self.std);
     }
 
     fn name(&self) -> &'static str {
@@ -91,8 +95,11 @@ impl ScaledReverse {
 }
 
 impl ByzantineStrategy for ScaledReverse {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        ctx.true_gradient.scale(-self.factor)
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "scaled-reverse attack dimension");
+        for (slot, g) in out.iter_mut().zip(ctx.true_gradient.iter()) {
+            *slot = g * -self.factor;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -112,8 +119,9 @@ impl ZeroGradient {
 }
 
 impl ByzantineStrategy for ZeroGradient {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
-        Vector::zeros(ctx.dim())
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), ctx.dim(), "zero attack dimension");
+        out.fill(0.0);
     }
 
     fn name(&self) -> &'static str {
@@ -135,9 +143,9 @@ impl ConstantVector {
 }
 
 impl ByzantineStrategy for ConstantVector {
-    fn corrupt(&mut self, ctx: &AttackContext<'_>) -> Vector {
+    fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
         debug_assert_eq!(self.value.dim(), ctx.dim(), "constant attack dimension");
-        self.value.clone()
+        out.copy_from_slice(self.value.as_slice());
     }
 
     fn name(&self) -> &'static str {
@@ -195,7 +203,10 @@ mod tests {
     fn zero_and_constant() {
         let g = Vector::from(vec![5.0, 5.0]);
         let x = Vector::zeros(2);
-        assert_eq!(ZeroGradient::new().corrupt(&ctx(&g, &x)).as_slice(), &[0.0, 0.0]);
+        assert_eq!(
+            ZeroGradient::new().corrupt(&ctx(&g, &x)).as_slice(),
+            &[0.0, 0.0]
+        );
         let c = Vector::from(vec![7.0, -7.0]);
         let sent = ConstantVector::new(c.clone()).corrupt(&ctx(&g, &x));
         assert!(sent.approx_eq(&c, 0.0));

@@ -23,9 +23,13 @@ fn bench_fig2(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["cge", "cwtm", "mean"] {
         let filter = by_name(name).expect("registered");
-        group.bench_with_input(BenchmarkId::new(name, 1500usize), &1500usize, |b, &iters| {
-            b.iter(|| black_box(run_curve(filter.as_ref(), iters)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name, 1500usize),
+            &1500usize,
+            |b, &iters| {
+                b.iter(|| black_box(run_curve(filter.as_ref(), iters)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,221 @@
+//! Headline bench of the zero-copy aggregation refactor at a
+//! production-ish shape (`n = 100` gradients of dimension `d = 10 000`).
+//!
+//! Three variants per filter:
+//!
+//! * `legacy` — the pre-refactor per-`Vector` algorithm (scattered heap
+//!   vectors, per-coordinate `to_vec` + sort for the coordinate-wise
+//!   filters), reproduced here verbatim as the baseline;
+//! * `slice` — the new `&[Vector]` adapter (copies into a temporary
+//!   `GradientBatch`, then runs the zero-copy kernel);
+//! * `batch` — the zero-copy path over a reused `GradientBatch`, as the
+//!   DGD drivers run it every iteration.
+//!
+//! The acceptance target for this suite is ≥ 1.5× legacy→batch on CGE and
+//! CWTM; a speedup summary is printed after the measurements.
+
+use abft_bench::gradient_bundle;
+use abft_filters::{batch_of, by_name};
+use abft_linalg::stats::{median, trimmed_mean};
+use abft_linalg::Vector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 100;
+const F: usize = 10;
+const DIM: usize = 10_000;
+
+/// Filters with (near-)linear per-call cost at the big shape. The
+/// quadratic-cost selection filters (krum, multi-krum, bulyan) and the
+/// iterative geometric medians are benched in `filters.rs` at smaller
+/// shapes — at n = 100, d = 10 000 their pairwise-distance stage dwarfs
+/// the storage-layout effect this bench isolates.
+const FILTERS: [&str; 7] = [
+    "cge",
+    "cge-avg",
+    "cwtm",
+    "cwmed",
+    "mean",
+    "norm-clipping",
+    "sign-majority",
+];
+
+/// The pre-refactor implementations, verbatim from the seed tree: every
+/// algorithmic choice (full index sort for CGE, allocating sorted
+/// `trimmed_mean`/`median` per coordinate for CWTM/CWMed, `Vector`
+/// temporaries for clipping) is what shipped before the `GradientBatch`
+/// refactor.
+mod legacy {
+    use super::*;
+
+    /// The seed's `validate_inputs`: every aggregate call scanned all
+    /// gradients for dimensional consistency and non-finite entries.
+    pub fn validate(gradients: &[Vector]) {
+        let dim = gradients[0].dim();
+        for g in gradients {
+            assert_eq!(g.dim(), dim);
+            assert!(!g.has_non_finite());
+        }
+    }
+
+    pub fn cge(gradients: &[Vector], f: usize, averaged: bool) -> Vector {
+        let mut order: Vec<usize> = (0..gradients.len()).collect();
+        order.sort_by(|&i, &j| {
+            gradients[i]
+                .norm()
+                .partial_cmp(&gradients[j].norm())
+                .expect("finite norms")
+                .then(i.cmp(&j))
+        });
+        order.truncate(gradients.len() - f);
+        let mut acc = Vector::zeros(gradients[0].dim());
+        for &i in &order {
+            acc += &gradients[i];
+        }
+        if averaged {
+            acc.scale_mut(1.0 / order.len() as f64);
+        }
+        acc
+    }
+
+    pub fn cwtm(gradients: &[Vector], f: usize) -> Vector {
+        let dim = gradients[0].dim();
+        let mut out = Vector::zeros(dim);
+        let mut column = vec![0.0; gradients.len()];
+        for k in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                column[i] = g[k];
+            }
+            out[k] = trimmed_mean(&column, f).expect("n > 2f");
+        }
+        out
+    }
+
+    pub fn cwmed(gradients: &[Vector]) -> Vector {
+        let dim = gradients[0].dim();
+        let mut out = Vector::zeros(dim);
+        let mut column = vec![0.0; gradients.len()];
+        for k in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                column[i] = g[k];
+            }
+            out[k] = median(&column).expect("non-empty");
+        }
+        out
+    }
+
+    pub fn mean(gradients: &[Vector]) -> Vector {
+        let mut acc = Vector::zeros(gradients[0].dim());
+        for g in gradients {
+            acc += g;
+        }
+        acc.scale_mut(1.0 / gradients.len() as f64);
+        acc
+    }
+
+    fn clip(u: &Vector, radius: f64) -> Vector {
+        let n = u.norm();
+        if n <= radius || n == 0.0 {
+            u.clone()
+        } else {
+            u.scale(radius / n)
+        }
+    }
+
+    pub fn norm_clipping(gradients: &[Vector], radius: f64) -> Vector {
+        let mut acc = Vector::zeros(gradients[0].dim());
+        for g in gradients {
+            acc += &clip(g, radius);
+        }
+        acc.scale_mut(1.0 / gradients.len() as f64);
+        acc
+    }
+
+    pub fn sign_majority(gradients: &[Vector], scale: f64) -> Vector {
+        fn sign(x: f64) -> f64 {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        let dim = gradients[0].dim();
+        let mut out = Vector::zeros(dim);
+        for k in 0..dim {
+            let vote: f64 = gradients.iter().map(|g| sign(g[k])).sum();
+            out[k] = scale * sign(vote);
+        }
+        out
+    }
+}
+
+fn legacy_dispatch(name: &str, gradients: &[Vector], f: usize) -> Vector {
+    legacy::validate(gradients);
+    match name {
+        "cge" => legacy::cge(gradients, f, false),
+        "cge-avg" => legacy::cge(gradients, f, true),
+        "cwtm" => legacy::cwtm(gradients, f),
+        "cwmed" => legacy::cwmed(gradients),
+        "mean" => legacy::mean(gradients),
+        // Registry default radius/scale, matching `by_name`.
+        "norm-clipping" => legacy::norm_clipping(gradients, 10.0),
+        "sign-majority" => legacy::sign_majority(gradients, 1.0),
+        other => panic!("no legacy baseline for {other}"),
+    }
+}
+
+fn bench_slice_vs_batch(c: &mut Criterion) {
+    let bundle = gradient_bundle(N, F, DIM, 42);
+    let batch = batch_of(&bundle).expect("well-formed bundle");
+
+    let mut group = c.benchmark_group("filters_batch");
+    group.sample_size(10);
+    for name in FILTERS {
+        let filter = by_name(name).expect("registered");
+        group.bench_with_input(BenchmarkId::new(name, "legacy"), &bundle, |b, bundle| {
+            b.iter(|| black_box(legacy_dispatch(name, black_box(bundle), F)));
+        });
+        group.bench_with_input(BenchmarkId::new(name, "slice"), &bundle, |b, bundle| {
+            b.iter(|| black_box(filter.aggregate(black_box(bundle), F)).unwrap());
+        });
+        let mut out = Vector::zeros(DIM);
+        group.bench_with_input(BenchmarkId::new(name, "batch"), &batch, |b, batch| {
+            b.iter(|| {
+                filter
+                    .aggregate_into(black_box(batch), F, &mut out)
+                    .unwrap();
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+
+    // Speedup summary from the recorded medians.
+    println!("\n== filters_batch speedups at n={N}, d={DIM} (median) ==");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "filter", "legacy/batch", "slice/batch"
+    );
+    for name in FILTERS {
+        let median_of = |suffix: &str| {
+            c.results
+                .iter()
+                .find(|(id, _)| id == &format!("filters_batch/{name}/{suffix}"))
+                .map(|(_, ns)| *ns)
+        };
+        if let (Some(legacy), Some(slice), Some(batch)) =
+            (median_of("legacy"), median_of("slice"), median_of("batch"))
+        {
+            println!(
+                "{name:<16} {:>13.2}x {:>13.2}x",
+                legacy / batch,
+                slice / batch
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_slice_vs_batch);
+criterion_main!(benches);

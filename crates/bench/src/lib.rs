@@ -35,8 +35,7 @@ pub fn paper_fixture() -> (RegressionProblem, Vector) {
 /// `f..n` honest).
 pub fn fan_fixture(n: usize, f: usize) -> (RegressionProblem, Vector) {
     let config = SystemConfig::new(n, f).expect("valid (n, f)");
-    let problem =
-        RegressionProblem::fan(config, 160.0, 0.02, 7).expect("fan instance generable");
+    let problem = RegressionProblem::fan(config, 160.0, 0.02, 7).expect("fan instance generable");
     let honest: Vec<usize> = (f..n).collect();
     let x_h = problem
         .subset_minimizer(&honest)

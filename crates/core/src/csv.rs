@@ -178,7 +178,9 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = CsvTable::new(vec!["a".into(), "b".into()]);
         assert!(t.push_row(vec!["1".into()]).is_err());
-        assert!(t.push_row(vec!["1".into(), "2".into(), "3".into()]).is_err());
+        assert!(t
+            .push_row(vec!["1".into(), "2".into(), "3".into()])
+            .is_err());
         assert!(t.push_row(vec!["1".into(), "2".into()]).is_ok());
         assert_eq!(t.row_count(), 1);
     }

@@ -29,8 +29,15 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidConfig { n, f: faults, reason } => {
-                write!(f, "invalid system configuration (n = {n}, f = {faults}): {reason}")
+            CoreError::InvalidConfig {
+                n,
+                f: faults,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid system configuration (n = {n}, f = {faults}): {reason}"
+                )
             }
             CoreError::Io(msg) => write!(f, "i/o failure: {msg}"),
             CoreError::Shape { expected, actual } => {

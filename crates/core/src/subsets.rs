@@ -30,11 +30,7 @@ impl KSubsets {
     /// Creates the iterator. Yields nothing when `k > n`; yields the single
     /// empty subset when `k == 0`.
     pub fn new(n: usize, k: usize) -> Self {
-        let current = if k <= n {
-            Some((0..k).collect())
-        } else {
-            None
-        };
+        let current = if k <= n { Some((0..k).collect()) } else { None };
         KSubsets { n, k, current }
     }
 }
@@ -84,7 +80,10 @@ pub fn k_subsets_of(ground: &[usize], k: usize) -> Vec<Vec<usize>> {
 
 /// The complement of `subset` within `{0, …, n−1}`. `subset` must be sorted.
 pub fn complement(n: usize, subset: &[usize]) -> Vec<usize> {
-    debug_assert!(subset.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+    debug_assert!(
+        subset.windows(2).all(|w| w[0] < w[1]),
+        "subset must be sorted"
+    );
     let mut out = Vec::with_capacity(n - subset.len());
     let mut it = subset.iter().peekable();
     for i in 0..n {

@@ -205,7 +205,10 @@ mod tests {
         let table = t.to_csv_table();
         let text = table.to_csv_string();
         let mut lines = text.lines();
-        assert_eq!(lines.next().unwrap(), "iteration,loss,distance,grad_norm,phi");
+        assert_eq!(
+            lines.next().unwrap(),
+            "iteration,loss,distance,grad_norm,phi"
+        );
         assert!(lines.next().unwrap().starts_with("0,"));
     }
 

@@ -75,6 +75,8 @@ mod tests {
         let e = DgdError::from(FilterError::Empty);
         assert!(matches!(e, DgdError::Filter(_)));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(DgdError::Diverged { iteration: 7 }.to_string().contains("7"));
+        assert!(DgdError::Diverged { iteration: 7 }
+            .to_string()
+            .contains("7"));
     }
 }

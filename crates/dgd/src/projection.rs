@@ -57,15 +57,23 @@ impl ProjectionSet {
     /// The Euclidean projection `[x]_W` (eq. 20) — unique because `W` is
     /// convex and compact.
     pub fn project(&self, x: &Vector) -> Vector {
+        let mut out = x.clone();
+        self.project_in_place(&mut out);
+        out
+    }
+
+    /// In-place variant of [`ProjectionSet::project`] — the DGD hot loop
+    /// projects the running estimate every iteration without allocating.
+    pub fn project_in_place(&self, x: &mut Vector) {
         match self {
-            ProjectionSet::Box { lo, hi } => x.clamp_box(*lo, *hi),
+            ProjectionSet::Box { lo, hi } => x.clamp_box_mut(*lo, *hi),
             ProjectionSet::Ball { center, radius } => {
-                let offset = x - center;
-                let d = offset.norm();
-                if d <= *radius {
-                    x.clone()
-                } else {
-                    center + &offset.scale(radius / d)
+                let d = x.dist(center);
+                if d > *radius {
+                    let factor = radius / d;
+                    for (xi, ci) in x.as_mut_slice().iter_mut().zip(center.iter()) {
+                        *xi = ci + (*xi - ci) * factor;
+                    }
                 }
             }
         }
@@ -74,9 +82,7 @@ impl ProjectionSet {
     /// `true` when `x ∈ W` (within `1e-12` slack).
     pub fn contains(&self, x: &Vector) -> bool {
         match self {
-            ProjectionSet::Box { lo, hi } => {
-                x.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12)
-            }
+            ProjectionSet::Box { lo, hi } => x.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12),
             ProjectionSet::Ball { center, radius } => x.dist(center) <= radius + 1e-12,
         }
     }
@@ -132,6 +138,26 @@ mod tests {
         let outside = Vector::from(vec![10.0, 5.0]);
         let p = w.project(&outside);
         assert!(p.approx_eq(&Vector::from(vec![7.0, 5.0]), 1e-12));
+    }
+
+    #[test]
+    fn in_place_projection_matches_allocating() {
+        let sets = [
+            ProjectionSet::paper(),
+            ProjectionSet::centered_box(-1.0, 1.0),
+            ProjectionSet::ball(Vector::from(vec![5.0, 5.0]), 2.0),
+        ];
+        for w in sets {
+            for x in [
+                Vector::from(vec![2000.0, -0.5]),
+                Vector::from(vec![0.3, -0.7]),
+                Vector::from(vec![10.0, 5.0]),
+            ] {
+                let mut y = x.clone();
+                w.project_in_place(&mut y);
+                assert!(y.approx_eq(&w.project(&x), 0.0), "{w:?} at {x}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::schedule::StepSchedule;
 use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_filters::GradientFilter;
+use abft_linalg::{GradientBatch, Vector};
 use abft_problems::{total_value, SharedCost};
-use abft_linalg::Vector;
 use std::collections::BTreeMap;
 
 /// Options for one DGD execution.
@@ -213,30 +213,40 @@ impl DgdSimulation {
         let mut eliminated: Vec<bool> = vec![false; self.config.n()];
         let mut server_f = self.config.f();
 
+        // Round state allocated once and reused across all T iterations:
+        // the contiguous gradient batch, the aggregate, a scratch vector
+        // for faulty agents' true gradients, and the honest-row index list
+        // omniscient attacks read. The inner loop allocates nothing.
+        let mut round = RoundState {
+            batch: GradientBatch::with_capacity(self.config.n(), dim),
+            honest_rows: Vec::with_capacity(self.config.n()),
+            true_gradient: Vector::zeros(dim),
+            forged: Vector::zeros(dim),
+        };
+        let mut aggregated = Vector::zeros(dim);
+
         let mut x = options.projection.project(&options.x0);
         for t in 0..options.iterations {
-            let (gradients, active) =
-                self.collect_round(t, &x, &honest, &mut eliminated, &mut server_f);
-            let aggregated = filter.aggregate(&gradients, server_f)?;
+            self.collect_round(t, &x, &mut eliminated, &mut server_f, &mut round);
+            filter.aggregate_into(&round.batch, server_f, &mut aggregated)?;
             if aggregated.has_non_finite() || x.has_non_finite() {
                 return Err(DgdError::Diverged { iteration: t });
             }
             trace.push(self.record(t, &x, &aggregated, &honest, options));
-            let _ = active;
             let eta = options.schedule.eta(t);
-            let step = &x - &aggregated.scale(eta);
-            x = options.projection.project(&step);
+            x.axpy(-eta, &aggregated);
+            options.projection.project_in_place(&mut x);
         }
 
         // Final record at x_T (gradient fields recomputed there).
-        let (gradients, _) = self.collect_round(
+        self.collect_round(
             options.iterations,
             &x,
-            &honest,
             &mut eliminated,
             &mut server_f,
+            &mut round,
         );
-        let aggregated = filter.aggregate(&gradients, server_f)?;
+        filter.aggregate_into(&round.batch, server_f, &mut aggregated)?;
         trace.push(self.record(options.iterations, &x, &aggregated, &honest, options));
 
         Ok(RunResult {
@@ -246,57 +256,97 @@ impl DgdSimulation {
     }
 
     /// Step S1: collect one round of gradients from the non-eliminated
-    /// agents, applying Byzantine strategies and the crash/elimination rule.
-    // Agent ids index several parallel per-agent tables; ranging over the id
-    // is the clearest expression.
-    #[allow(clippy::needless_range_loop)]
+    /// agents into the reused batch, applying Byzantine strategies and the
+    /// crash/elimination rule.
+    ///
+    /// Rows are laid out in agent-id order (matching the wire order of the
+    /// threaded runtime). Honest gradients are written first — directly
+    /// into their rows — so omniscient strategies can inspect them before
+    /// the faulty rows are forged in a second pass.
     fn collect_round(
         &mut self,
         t: usize,
         x: &Vector,
-        honest: &[usize],
         eliminated: &mut [bool],
         server_f: &mut usize,
-    ) -> (Vec<Vector>, Vec<usize>) {
-        // Honest gradients are computed first so omniscient strategies can
-        // inspect them.
-        let honest_gradients: Vec<Vector> =
-            honest.iter().map(|&i| self.costs[i].gradient(x)).collect();
-
-        let mut round = Vec::with_capacity(self.config.n());
-        let mut active = Vec::with_capacity(self.config.n());
-        for i in 0..self.config.n() {
-            if eliminated[i] {
+        round: &mut RoundState,
+    ) {
+        let n = self.config.n();
+        // Crash processing first so the row layout only covers replies.
+        for (i, slot) in eliminated.iter_mut().enumerate() {
+            if *slot {
                 continue;
             }
             if let Some(&crash) = self.crash_at.get(&i) {
                 if t >= crash {
                     // No reply: the server eliminates the agent and updates
                     // its (n, f) view — it knows a silent agent is faulty.
-                    eliminated[i] = true;
+                    *slot = true;
                     *server_f = server_f.saturating_sub(1);
-                    continue;
                 }
             }
-            let true_gradient = self.costs[i].gradient(x);
-            let g = match self.strategies.get_mut(&i) {
-                Some(strategy) => {
-                    let ctx = if strategy.is_omniscient() {
-                        AttackContext::omniscient(t, &true_gradient, x, &honest_gradients)
-                    } else {
-                        AttackContext::new(t, &true_gradient, x)
-                    };
-                    strategy.corrupt(&ctx)
-                }
-                None => true_gradient,
-            };
-            round.push(g);
-            active.push(i);
         }
-        (round, active)
+
+        // Assign one batch row per active agent, in agent-id order.
+        round
+            .batch
+            .reset_rows((0..n).filter(|&i| !eliminated[i]).count());
+        round.honest_rows.clear();
+
+        // Pass 1: honest gradients straight into their rows. Crash-scheduled
+        // agents behave honestly until they crash, but they are *faulty* —
+        // omniscient attacks only ever see the truly honest set (matching
+        // `honest_agents`), so their rows are filled yet not exposed.
+        let mut row = 0usize;
+        for (i, &gone) in eliminated.iter().enumerate() {
+            if gone {
+                continue;
+            }
+            if !self.strategies.contains_key(&i) {
+                self.costs[i].gradient_into(x, round.batch.row_mut(row));
+                if !self.crash_at.contains_key(&i) {
+                    round.honest_rows.push(row);
+                }
+            }
+            row += 1;
+        }
+
+        // Pass 2: Byzantine forgeries into their rows, with the honest rows
+        // visible to omniscient strategies.
+        let mut row = 0usize;
+        for (i, &gone) in eliminated.iter().enumerate() {
+            if gone {
+                continue;
+            }
+            if let Some(strategy) = self.strategies.get_mut(&i) {
+                self.costs[i].gradient_into(x, round.true_gradient.as_mut_slice());
+                // The forgery is staged in a reused scratch vector because
+                // the context immutably borrows the batch (omniscient
+                // strategies read the honest rows) while the target row
+                // would need a mutable borrow.
+                let ctx = if strategy.is_omniscient() {
+                    AttackContext::omniscient_rows(
+                        t,
+                        &round.true_gradient,
+                        x,
+                        &round.batch,
+                        &round.honest_rows,
+                    )
+                } else {
+                    AttackContext::new(t, &round.true_gradient, x)
+                };
+                strategy.corrupt_into(&ctx, round.forged.as_mut_slice());
+                round
+                    .batch
+                    .row_mut(row)
+                    .copy_from_slice(round.forged.as_slice());
+            }
+            row += 1;
+        }
     }
 
-    /// Builds one trace record at estimate `x`.
+    /// Builds one trace record at estimate `x` (allocation-free: distance
+    /// and φ are computed without materializing `x − reference`).
     fn record(
         &self,
         t: usize,
@@ -305,15 +355,31 @@ impl DgdSimulation {
         honest: &[usize],
         options: &RunOptions,
     ) -> IterationRecord {
-        let offset = x - &options.reference;
         IterationRecord {
             iteration: t,
             loss: total_value(&self.costs, honest, x),
-            distance: offset.norm(),
+            distance: x.dist(&options.reference),
             grad_norm: aggregated.norm(),
-            phi: offset.dot(aggregated),
+            phi: offset_dot(x, &options.reference, aggregated),
         }
     }
+}
+
+/// Per-round working state reused across all iterations of a run.
+struct RoundState {
+    batch: GradientBatch,
+    honest_rows: Vec<usize>,
+    true_gradient: Vector,
+    forged: Vector,
+}
+
+/// `⟨x − reference, g⟩` without materializing the offset.
+fn offset_dot(x: &Vector, reference: &Vector, g: &Vector) -> f64 {
+    x.iter()
+        .zip(reference.iter())
+        .zip(g.iter())
+        .map(|((xi, ri), gi)| (xi - ri) * gi)
+        .sum()
 }
 
 #[cfg(test)]
@@ -343,7 +409,9 @@ mod tests {
     fn fault_budget_is_enforced() {
         let (sim, _) = paper_setup();
         // f = 1: the first assignment is fine, the second must fail.
-        let sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let sim = sim
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
         assert!(sim
             .with_byzantine(1, Box::new(GradientReverse::new()))
             .is_err());
@@ -358,13 +426,17 @@ mod tests {
         let (sim, _) = paper_setup();
         let sim = sim.with_crash(2, 10).unwrap();
         // f budget of 1 is used up by the crash.
-        assert!(sim.with_byzantine(2, Box::new(ZeroGradient::new())).is_err());
+        assert!(sim
+            .with_byzantine(2, Box::new(ZeroGradient::new()))
+            .is_err());
     }
 
     #[test]
     fn honest_agents_excludes_faulty() {
         let (sim, _) = paper_setup();
-        let sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let sim = sim
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
         assert_eq!(sim.honest_agents(), vec![1, 2, 3, 4, 5]);
     }
 
@@ -387,7 +459,9 @@ mod tests {
     #[test]
     fn cge_survives_gradient_reverse() {
         let (sim, x_h) = paper_setup();
-        let mut sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let mut sim = sim
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
         let options = RunOptions::paper_defaults(x_h.clone());
         let result = sim.run(&Cge::new(), &options).unwrap();
         // Paper Table 1: dist = 0.0239 < eps = 0.0890.
@@ -416,12 +490,15 @@ mod tests {
     #[test]
     fn plain_mean_fails_under_attack() {
         let (sim, x_h) = paper_setup();
-        let mut sim = sim.with_byzantine(0, Box::new(GradientReverse::new())).unwrap();
+        let mut sim = sim
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
         let options = RunOptions::paper_defaults(x_h.clone());
         let robust = sim.run(&Cge::new(), &options).unwrap().final_distance();
         let mut sim2 = {
             let (s, _) = paper_setup();
-            s.with_byzantine(0, Box::new(GradientReverse::new())).unwrap()
+            s.with_byzantine(0, Box::new(GradientReverse::new()))
+                .unwrap()
         };
         let naive = sim2.run(&Mean::new(), &options).unwrap().final_distance();
         assert!(
@@ -442,6 +519,52 @@ mod tests {
             "distance after crash-elimination = {}",
             result.final_distance()
         );
+    }
+
+    #[test]
+    fn omniscient_view_excludes_crash_scheduled_agents() {
+        use abft_attacks::HonestGradients;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Records how many honest gradients each corrupt call could see.
+        struct SpyOmniscient {
+            seen: Arc<AtomicUsize>,
+        }
+
+        impl ByzantineStrategy for SpyOmniscient {
+            fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
+                assert!(matches!(ctx.honest, HonestGradients::Rows { .. }));
+                self.seen.store(ctx.honest.len(), Ordering::Relaxed);
+                out.fill(0.0);
+            }
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn is_omniscient(&self) -> bool {
+                true
+            }
+        }
+
+        // n = 6, f = 2: agent 0 is omniscient-Byzantine, agent 1 is
+        // crash-scheduled far beyond the horizon (so it replies honestly
+        // every round). The omniscient view must cover only the truly
+        // honest agents {2, 3, 4, 5} — crash-scheduled agents are faulty
+        // and were never exposed by the pre-batch driver either.
+        let config = SystemConfig::new(6, 2).unwrap();
+        let problem = RegressionProblem::fan(config, 150.0, 0.02, 3).unwrap();
+        let seen = Arc::new(AtomicUsize::new(usize::MAX));
+        let mut sim = DgdSimulation::new(config, problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(SpyOmniscient { seen: seen.clone() }))
+            .unwrap()
+            .with_crash(1, 10_000)
+            .unwrap();
+        let x_h = problem.subset_minimizer(&[2, 3, 4, 5]).unwrap();
+        let mut options = RunOptions::paper_defaults(x_h);
+        options.iterations = 3;
+        sim.run(&Cge::new(), &options).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Proves the headline property of the `GradientBatch` refactor: the DGD
+//! inner loop performs **no per-iteration gradient allocations**. A
+//! counting global allocator measures two runs that differ only in their
+//! iteration count; the marginal allocations per extra iteration must be
+//! (amortized) zero — before the refactor every iteration allocated at
+//! least `n` gradient vectors plus filter temporaries.
+
+use abft_attacks::{GradientReverse, LittleIsEnough};
+use abft_dgd::{DgdSimulation, RunOptions};
+use abft_filters::by_name;
+use abft_problems::RegressionProblem;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation count of one full run at the given iteration budget.
+fn allocations_for_run(filter_name: &str, byzantine: bool, iterations: usize) -> usize {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    let mut sim = DgdSimulation::new(*problem.config(), problem.costs()).expect("valid");
+    if byzantine {
+        sim = sim
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .expect("f = 1 budget");
+    }
+    let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+    let filter = by_name(filter_name).expect("registered");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = sim.run(filter.as_ref(), &options).expect("runs");
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(result.trace.len(), iterations + 1, "sanity");
+    after - before
+}
+
+#[test]
+fn dgd_inner_loop_allocates_nothing_per_iteration() {
+    for (filter, byzantine) in [
+        ("cge", true),
+        ("cwtm", true),
+        ("cwmed", true),
+        ("mean", false),
+        ("faba", true),
+        ("norm-clipping", true),
+    ] {
+        // Warm-up run so lazy process-level allocations don't count.
+        let _ = allocations_for_run(filter, byzantine, 5);
+        let short = allocations_for_run(filter, byzantine, 10);
+        let long = allocations_for_run(filter, byzantine, 210);
+        let marginal = long.saturating_sub(short);
+        // 200 extra iterations may only grow the trace (amortized Vec
+        // doubling: a handful of reallocations). Before the refactor this
+        // margin was ≥ n·200 = 1200 gradient allocations alone.
+        assert!(
+            marginal <= 32,
+            "{filter}: {marginal} allocations across 200 extra iterations \
+             (short run: {short}, long run: {long})"
+        );
+    }
+}
+
+#[test]
+fn omniscient_attacks_stay_on_the_zero_copy_path() {
+    // ALIE reads honest gradients as batch rows; its forgery is staged in
+    // a reused scratch vector. Marginal allocations must still be ~zero.
+    let run = |iterations: usize| {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem
+            .subset_minimizer(&[1, 2, 3, 4, 5])
+            .expect("full rank");
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .expect("valid")
+            .with_byzantine(0, Box::new(LittleIsEnough::new(1.0)))
+            .expect("f = 1 budget");
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        let filter = by_name("cwtm").expect("registered");
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        sim.run(filter.as_ref(), &options).expect("runs");
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    let _ = run(5);
+    let short = run(10);
+    let long = run(210);
+    assert!(
+        long.saturating_sub(short) <= 32,
+        "ALIE path allocates per iteration: {short} vs {long}"
+    );
+}

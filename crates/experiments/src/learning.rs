@@ -40,7 +40,7 @@ pub fn figure4or5(out_dir: &Path, task: Task) -> Result<(), Box<dyn Error>> {
     let (train, test) = spec.generate(2024);
     let shards = train.shard(10, 7)?;
     let faulty = [0usize, 4, 7]; // f = 3 of n = 10, fixed like the paper's seed
-    // η scaled to the substitute MLP (DESIGN.md §4); batch 128 as the paper.
+                                 // η scaled to the substitute MLP (DESIGN.md §4); batch 128 as the paper.
     let config = DsgdConfig {
         iterations: 1000,
         eval_every: 50,
@@ -59,12 +59,37 @@ pub fn figure4or5(out_dir: &Path, task: Task) -> Result<(), Box<dyn Error>> {
     type Curve<'a> = (&'a str, MlFault, &'a [usize], Box<dyn GradientFilter>);
     let runs: [Curve<'_>; 6] = [
         ("fault-free", MlFault::None, &[], Box::new(Mean::new())),
-        ("CWTM-LF", MlFault::LabelFlip, &faulty, Box::new(Cwtm::new())),
-        ("CWTM-GR", MlFault::GradientReverse, &faulty, Box::new(Cwtm::new())),
-        ("CGE-LF", MlFault::LabelFlip, &faulty, Box::new(Cge::averaged())),
-        ("CGE-GR", MlFault::GradientReverse, &faulty, Box::new(Cge::averaged())),
+        (
+            "CWTM-LF",
+            MlFault::LabelFlip,
+            &faulty,
+            Box::new(Cwtm::new()),
+        ),
+        (
+            "CWTM-GR",
+            MlFault::GradientReverse,
+            &faulty,
+            Box::new(Cwtm::new()),
+        ),
+        (
+            "CGE-LF",
+            MlFault::LabelFlip,
+            &faulty,
+            Box::new(Cge::averaged()),
+        ),
+        (
+            "CGE-GR",
+            MlFault::GradientReverse,
+            &faulty,
+            Box::new(Cge::averaged()),
+        ),
         // Extra baseline the paper describes in prose: plain averaging fails.
-        ("mean-GR", MlFault::GradientReverse, &faulty, Box::new(Mean::new())),
+        (
+            "mean-GR",
+            MlFault::GradientReverse,
+            &faulty,
+            Box::new(Mean::new()),
+        ),
     ];
 
     let mut series = CsvTable::new(vec![

@@ -93,7 +93,10 @@ fn print_help() {
         ("fig4", "Figure 4 (synthetic-MNIST D-SGD)"),
         ("fig5", "Figure 5 (synthetic-Fashion D-SGD)"),
         ("bounds", "Theorem 4/5/6 resilience factors"),
-        ("exact", "Theorem-2 exact algorithm + Theorem-1 counterexample"),
+        (
+            "exact",
+            "Theorem-2 exact algorithm + Theorem-1 counterexample",
+        ),
         ("grid", "all filters x all attacks"),
         ("sweep-f", "error vs fault fraction"),
         ("sweep-eps", "error vs measured redundancy"),

@@ -67,8 +67,10 @@ pub fn table1(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         "dist(x_H, x_out)".into(),
         "< eps".into(),
     ]);
-    let filters: [(&str, Box<dyn GradientFilter>); 2] =
-        [("CGE", Box::new(Cge::new())), ("CWTM", Box::new(Cwtm::new()))];
+    let filters: [(&str, Box<dyn GradientFilter>); 2] = [
+        ("CGE", Box::new(Cge::new())),
+        ("CWTM", Box::new(Cwtm::new())),
+    ];
     for (name, filter) in &filters {
         for attack in ATTACKS {
             let result = run_execution(&problem, &x_h, Some(attack), filter.as_ref(), 500)?;
@@ -122,8 +124,7 @@ pub fn figure2(out_dir: &Path, iterations: usize, tag: &str) -> Result<(), Box<d
             "distance".into(),
         ]);
         for (label, maybe_attack, filter) in &runs {
-            let result =
-                run_execution(&problem, &x_h, *maybe_attack, filter.as_ref(), iterations)?;
+            let result = run_execution(&problem, &x_h, *maybe_attack, filter.as_ref(), iterations)?;
             for r in result.trace.records() {
                 series.push_row(vec![
                     r.iteration.to_string(),

@@ -76,7 +76,9 @@ pub fn sweep_f(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         "final distance".into(),
     ]);
 
-    println!("=== CGE error vs fault fraction (n = {n}, fan instance, scaled-reverse attackers) ===\n");
+    println!(
+        "=== CGE error vs fault fraction (n = {n}, fan instance, scaled-reverse attackers) ===\n"
+    );
     for f in 0..=4 {
         let config = SystemConfig::new(n, f)?;
         let problem = RegressionProblem::fan(config, 160.0, 0.02, 99)?;
@@ -106,7 +108,9 @@ pub fn sweep_f(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         ])?;
     }
     print!("{}", table.to_aligned_string());
-    println!("\nthe error stays O(eps) while alpha > 0 and grows once the Theorem-4 margin closes.");
+    println!(
+        "\nthe error stays O(eps) while alpha > 0 and grows once the Theorem-4 margin closes."
+    );
     table.write_to_path(out_dir.join("sweep_f.csv"))?;
     Ok(())
 }
@@ -140,8 +144,7 @@ pub fn sweep_eps(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         // level, hence indistinguishable from a legitimate agent.
         let mut fake_obs = problem.observations().clone();
         fake_obs[0] += 1.5 * noise.max(0.01);
-        let submitted =
-            RegressionProblem::new(config, problem.matrix().clone(), fake_obs)?;
+        let submitted = RegressionProblem::new(config, problem.matrix().clone(), fake_obs)?;
 
         let mut sim = DgdSimulation::new(config, submitted.costs())?;
         let mut options = RunOptions::paper_defaults(x_h.clone());
@@ -252,7 +255,10 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
     let schedules: [(&str, StepSchedule); 3] = [
         ("harmonic 1.5/(t+1)", StepSchedule::paper()),
         ("constant 0.05", StepSchedule::Constant(0.05)),
-        ("inv-sqrt 0.5/sqrt(t+1)", StepSchedule::InverseSqrt { numerator: 0.5 }),
+        (
+            "inv-sqrt 0.5/sqrt(t+1)",
+            StepSchedule::InverseSqrt { numerator: 0.5 },
+        ),
     ];
     for (cge_label, filter) in [("CGE (sum)", Cge::new()), ("CGE (mean)", Cge::averaged())] {
         for (sched_label, schedule) in &schedules {

@@ -136,7 +136,10 @@ pub fn bounds(out_dir: &Path) -> Result<(), Box<dyn Error>> {
     }
 
     println!("=== Resilience bounds on the paper instance ===");
-    println!("(n = {n}, f = {f}, d = {d}, mu = {:.3}, gamma = {:.3}, eps = {eps:.4})\n", c.mu, c.gamma);
+    println!(
+        "(n = {n}, f = {f}, d = {d}, mu = {:.3}, gamma = {:.3}, eps = {eps:.4})\n",
+        c.mu, c.gamma
+    );
     print!("{}", table.to_aligned_string());
     println!(
         "\nnote: Theorem 4's condition f/n < 1/(1 + 2mu/gamma) = {:.3} fails at f/n = {:.3};\n\
@@ -194,7 +197,10 @@ pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
     let premise_violated_at = phi_lower_bound_holds(&run.trace, d_star * 1.0001, 0.0);
     let settles = settles_within(&run.trace, d_star, 0.01, 100);
     println!("\nempirical D* (phi > 0 outside this radius): {d_star:.4e}");
-    println!("premise holds outside D*: {}", premise_violated_at.is_none());
+    println!(
+        "premise holds outside D*: {}",
+        premise_violated_at.is_none()
+    );
     println!("trajectory settles within D* (+0.01 slack) over the last 100 records: {settles}");
     table.write_to_path(out_dir.join("phi_monitor.csv"))?;
     Ok(())
@@ -224,7 +230,10 @@ pub fn exact(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         let x_s = problem.subset_minimizer(&subset)?;
         worst = worst.max(out.output.dist(&x_s));
     }
-    println!("worst distance to any (n-f)-subset minimizer: {worst:.4} (bound 2eps = {:.4})", 2.0 * eps);
+    println!(
+        "worst distance to any (n-f)-subset minimizer: {worst:.4} (bound 2eps = {:.4})",
+        2.0 * eps
+    );
     table.write_to_path(out_dir.join("exact_scores.csv"))?;
 
     println!("\n=== Theorem 1: the impossibility witness ===\n");

@@ -2,10 +2,10 @@
 //! reference \[20\]).
 
 use crate::error::FilterError;
-use crate::krum::krum_scores_with;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::stats::trimmed_mean;
-use abft_linalg::Vector;
+use crate::krum::krum_scores_into;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::stats::trimmed_mean_in_place;
+use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// The Bulyan gradient filter.
 ///
@@ -30,62 +30,67 @@ impl Bulyan {
 }
 
 impl GradientFilter for Bulyan {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("bulyan", gradients, f)?;
-        let n = gradients.len();
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("bulyan", batch, f)?;
+        let n = batch.len();
         if n < 4 * f + 3 {
             return Err(FilterError::TooFewGradients {
                 filter: "bulyan",
                 n,
                 f,
-                requirement: "n >= 4f + 3".to_string(),
+                requirement: "n >= 4f + 3",
             });
         }
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
 
         // Stage 1: iterative Krum selection of θ = n − 2f gradients. As the
         // pool shrinks below Krum's canonical n ≥ 2f + 3 regime, the
         // neighbour count is clamped (standard in Bulyan implementations):
-        // the top-level n ≥ 4f + 3 requirement carries the guarantee.
+        // the top-level n ≥ 4f + 3 requirement carries the guarantee. The
+        // pool is a shrinking list of batch row indices — no gradient is
+        // ever copied during selection.
         let theta = n - 2 * f;
-        let mut remaining: Vec<usize> = (0..n).collect();
-        let mut selection: Vec<usize> = Vec::with_capacity(theta);
-        while selection.len() < theta {
-            let pool: Vec<Vector> = remaining.iter().map(|&i| gradients[i].clone()).collect();
-            let neighbours = pool.len().saturating_sub(f + 2).max(1);
-            let scores = krum_scores_with(&pool, neighbours);
+        s.pool.clear();
+        s.pool.extend(0..n);
+        s.selection.clear();
+        while s.selection.len() < theta {
+            let neighbours = s.pool.len().saturating_sub(f + 2).max(1);
+            krum_scores_into(batch, &s.pool, neighbours, &mut s.column, &mut s.keys);
             // Ties are broken by the gradient's lexicographic value (not its
             // index) so the selection depends only on the received multiset,
             // keeping the filter permutation-invariant.
-            let winner_in_pool = scores
+            let pool = &s.pool;
+            let winner_in_pool = s
+                .keys
                 .iter()
                 .enumerate()
                 .min_by(|(i, a), (j, b)| {
                     a.partial_cmp(b)
                         .expect("finite scores")
-                        .then_with(|| {
-                            pool[*i]
-                                .as_slice()
-                                .partial_cmp(pool[*j].as_slice())
-                                .expect("finite entries")
-                        })
+                        .then_with(|| rowops::lex_cmp(batch.row(pool[*i]), batch.row(pool[*j])))
                 })
                 .map(|(i, _)| i)
                 .expect("pool is non-empty while selection is incomplete");
-            let winner = remaining.remove(winner_in_pool);
-            selection.push(winner);
+            let winner = s.pool.remove(winner_in_pool);
+            s.selection.push(winner);
         }
 
         // Stage 2: coordinate-wise trimmed mean over the selection with
         // trim f (keeps θ − 2f ≥ 3 values; n ≥ 4f+3 guarantees positivity).
-        let mut out = Vector::zeros(dim);
-        let mut column = vec![0.0; selection.len()];
-        for k in 0..dim {
-            for (slot, &i) in selection.iter().enumerate() {
-                column[slot] = gradients[i][k];
-            }
-            out[k] = trimmed_mean(&column, f).expect("theta > 2f by n >= 4f + 3");
+        let slots = zeroed_out(out, dim);
+        for (k, slot) in slots.iter_mut().enumerate() {
+            s.column.clear();
+            s.column
+                .extend(s.selection.iter().map(|&i| batch.row(i)[k]));
+            *slot = trimmed_mean_in_place(&mut s.column, f).expect("theta > 2f by n >= 4f + 3");
         }
-        Ok(out)
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

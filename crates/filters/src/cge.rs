@@ -1,8 +1,8 @@
 //! Comparative gradient elimination (CGE) — eq. (23) of the paper.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, BatchScratch, GradientBatch, Vector};
 
 /// The CGE gradient filter (Gupta–Liu–Vaidya).
 ///
@@ -52,20 +52,44 @@ impl Cge {
         order.truncate(gradients.len() - f);
         order
     }
+
+    /// Batch twin of [`Cge::selected_indices`]: fills `scratch.order` with
+    /// the kept row indices using `scratch.keys` for the norms.
+    fn select_rows(batch: &GradientBatch, f: usize, scratch: &mut BatchScratch) {
+        let n = batch.len();
+        scratch.keys.clear();
+        scratch.keys.extend(batch.rows_iter().map(rowops::norm));
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        let keys = &scratch.keys;
+        scratch.order.sort_unstable_by(|&i, &j| {
+            keys[i]
+                .partial_cmp(&keys[j])
+                .expect("finite norms")
+                .then(i.cmp(&j))
+        });
+        scratch.order.truncate(n - f);
+    }
 }
 
 impl GradientFilter for Cge {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("cge", gradients, f)?;
-        let kept = Self::selected_indices(gradients, f);
-        let mut acc = Vector::zeros(dim);
-        for &i in &kept {
-            acc += &gradients[i];
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("cge", batch, f)?;
+        let mut scratch = batch.scratch();
+        Self::select_rows(batch, f, &mut scratch);
+        let acc = zeroed_out(out, dim);
+        for &i in &scratch.order {
+            rowops::add_assign(acc, batch.row(i));
         }
         if self.averaged {
-            acc.scale_mut(1.0 / kept.len() as f64);
+            rowops::scale(acc, 1.0 / scratch.order.len() as f64);
         }
-        Ok(acc)
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -2,8 +2,8 @@
 //! paper's reference \[28\]) and norm clipping.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// Centered clipping: iteratively refines an aggregate `v` by averaging
 /// *clipped* deviations,
@@ -43,7 +43,9 @@ impl CenteredClipping {
         Ok(CenteredClipping { radius, iterations })
     }
 
-    /// Clips `u` to Euclidean norm at most `radius`.
+    /// Clips `u` to Euclidean norm at most `radius` (reference semantics
+    /// for `clip_factor`, exercised by the unit tests).
+    #[cfg(test)]
     fn clip(u: &Vector, radius: f64) -> Vector {
         let n = u.norm();
         if n <= radius || n == 0.0 {
@@ -52,21 +54,50 @@ impl CenteredClipping {
             u.scale(radius / n)
         }
     }
+
+    /// The rescaling factor `min(1, radius/‖u‖)` of norm clipping,
+    /// computed from the norm so batch rows can be clipped without
+    /// materializing `u`.
+    fn clip_factor(norm: f64, radius: f64) -> f64 {
+        if norm <= radius || norm == 0.0 {
+            1.0
+        } else {
+            radius / norm
+        }
+    }
 }
 
 impl GradientFilter for CenteredClipping {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("centered-clipping", gradients, f)?;
-        let mut v = Vector::zeros(dim);
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("centered-clipping", batch, f)?;
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+        let v = &mut s.vec_a;
+        v.clear();
+        v.resize(dim, 0.0);
+        let correction = &mut s.vec_b;
+        correction.clear();
+        correction.resize(dim, 0.0);
         for _ in 0..self.iterations {
-            let mut correction = Vector::zeros(dim);
-            for g in gradients {
-                correction += &Self::clip(&(g - &v), self.radius);
+            rowops::fill_zero(correction);
+            for row in batch.rows_iter() {
+                // correction += clip(row − v, radius), without building the
+                // difference: the clip factor only needs ‖row − v‖.
+                let factor = Self::clip_factor(rowops::dist(row, v), self.radius);
+                for (c, (g, vi)) in correction.iter_mut().zip(row.iter().zip(v.iter())) {
+                    *c += (g - vi) * factor;
+                }
             }
-            correction.scale_mut(1.0 / gradients.len() as f64);
-            v += &correction;
+            rowops::scale(correction, 1.0 / batch.len() as f64);
+            rowops::add_assign(v, correction);
         }
-        Ok(v)
+        zeroed_out(out, dim).copy_from_slice(v);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -100,14 +131,20 @@ impl NormClipping {
 }
 
 impl GradientFilter for NormClipping {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("norm-clipping", gradients, f)?;
-        let mut acc = Vector::zeros(dim);
-        for g in gradients {
-            acc += &CenteredClipping::clip(g, self.radius);
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("norm-clipping", batch, f)?;
+        let acc = zeroed_out(out, dim);
+        for row in batch.rows_iter() {
+            let factor = CenteredClipping::clip_factor(rowops::norm(row), self.radius);
+            rowops::axpy(acc, factor, row);
         }
-        acc.scale_mut(1.0 / gradients.len() as f64);
-        Ok(acc)
+        rowops::scale(acc, 1.0 / batch.len() as f64);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -1,9 +1,9 @@
 //! Coordinate-wise trimmed mean (CWTM, eq. 24) and coordinate-wise median.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::stats::{median, trimmed_mean};
-use abft_linalg::Vector;
+use crate::traits::{for_each_column, validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::stats::{median_in_place, trimmed_mean_in_place};
+use abft_linalg::{GradientBatch, Vector};
 
 /// The CWTM gradient filter (Su–Shahrampour; Yin et al.).
 ///
@@ -24,18 +24,19 @@ impl Cwtm {
 }
 
 impl GradientFilter for Cwtm {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("cwtm", gradients, f)?;
-        let mut out = Vector::zeros(dim);
-        let mut column = vec![0.0; gradients.len()];
-        for k in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                column[i] = g[k];
-            }
-            out[k] = trimmed_mean(&column, f)
-                .expect("n > 2f checked by validate_inputs");
-        }
-        Ok(out)
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("cwtm", batch, f)?;
+        let mut scratch = batch.scratch();
+        let slots = zeroed_out(out, dim);
+        for_each_column(batch, &mut scratch.flat, slots, |column| {
+            trimmed_mean_in_place(column, f)
+        });
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -58,17 +59,17 @@ impl CoordinateWiseMedian {
 }
 
 impl GradientFilter for CoordinateWiseMedian {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("cwmed", gradients, f)?;
-        let mut out = Vector::zeros(dim);
-        let mut column = vec![0.0; gradients.len()];
-        for k in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                column[i] = g[k];
-            }
-            out[k] = median(&column).expect("non-empty checked");
-        }
-        Ok(out)
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("cwmed", batch, f)?;
+        let mut scratch = batch.scratch();
+        let slots = zeroed_out(out, dim);
+        for_each_column(batch, &mut scratch.flat, slots, median_in_place);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -95,10 +96,7 @@ mod tests {
 
     #[test]
     fn f_zero_equals_mean() {
-        let gs = vec![
-            Vector::from(vec![1.0, 4.0]),
-            Vector::from(vec![3.0, 0.0]),
-        ];
+        let gs = vec![Vector::from(vec![1.0, 4.0]), Vector::from(vec![3.0, 0.0])];
         let out = Cwtm::new().aggregate(&gs, 0).unwrap();
         assert!(out.approx_eq(&Vector::from(vec![2.0, 2.0]), 1e-12));
     }

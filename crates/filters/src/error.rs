@@ -9,6 +9,10 @@ pub enum FilterError {
     Empty,
     /// The filter needs more inputs than it received for the given `f`
     /// (e.g. CWTM needs `n > 2f`, Krum needs `n ≥ 2f + 3`).
+    ///
+    /// The requirement is a `&'static str` so rejecting an undersized
+    /// round — which robust servers do on every malformed input — never
+    /// allocates.
     TooFewGradients {
         /// Filter that rejected the input.
         filter: &'static str,
@@ -17,7 +21,7 @@ pub enum FilterError {
         /// Fault tolerance requested.
         f: usize,
         /// Human-readable statement of the requirement.
-        requirement: String,
+        requirement: &'static str,
     },
     /// Input gradients have inconsistent dimensions.
     DimensionMismatch {
@@ -80,7 +84,7 @@ mod tests {
             filter: "krum",
             n: 4,
             f: 1,
-            requirement: "n >= 2f + 3".into(),
+            requirement: "n >= 2f + 3",
         };
         assert!(e.to_string().contains("krum"));
         assert!(e.to_string().contains("n >= 2f + 3"));
@@ -88,7 +92,9 @@ mod tests {
 
     #[test]
     fn non_finite_names_index() {
-        assert!(FilterError::NonFinite { index: 3 }.to_string().contains("3"));
+        assert!(FilterError::NonFinite { index: 3 }
+            .to_string()
+            .contains("3"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! norm blends in but whose direction is off.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// The FABA gradient filter.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,45 +22,51 @@ impl Faba {
 }
 
 impl GradientFilter for Faba {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("faba", gradients, f)?;
-        let mut remaining: Vec<usize> = (0..gradients.len()).collect();
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("faba", batch, f)?;
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+        s.pool.clear();
+        s.pool.extend(0..batch.len());
 
         for _ in 0..f {
             // Mean of the remaining gradients.
-            let mut mean = Vector::zeros(dim);
-            for &i in &remaining {
-                mean += &gradients[i];
+            let mean = &mut s.vec_a;
+            mean.clear();
+            mean.resize(dim, 0.0);
+            for &i in &s.pool {
+                rowops::add_assign(mean, batch.row(i));
             }
-            mean.scale_mut(1.0 / remaining.len() as f64);
+            rowops::scale(mean, 1.0 / s.pool.len() as f64);
 
             // Discard the farthest-from-mean gradient; ties break by the
             // gradient's lexicographic value for permutation invariance.
-            let (slot, _) = remaining
+            let mean = &s.vec_a;
+            let (slot, _) = s
+                .pool
                 .iter()
                 .enumerate()
                 .max_by(|(_, &i), (_, &j)| {
-                    gradients[i]
-                        .dist(&mean)
-                        .partial_cmp(&gradients[j].dist(&mean))
+                    rowops::dist(batch.row(i), mean)
+                        .partial_cmp(&rowops::dist(batch.row(j), mean))
                         .expect("finite distances")
-                        .then_with(|| {
-                            gradients[i]
-                                .as_slice()
-                                .partial_cmp(gradients[j].as_slice())
-                                .expect("finite entries")
-                        })
+                        .then_with(|| rowops::lex_cmp(batch.row(i), batch.row(j)))
                 })
                 .expect("remaining is non-empty while peeling");
-            remaining.remove(slot);
+            s.pool.remove(slot);
         }
 
-        let mut out = Vector::zeros(dim);
-        for &i in &remaining {
-            out += &gradients[i];
+        let acc = zeroed_out(out, dim);
+        for &i in &s.pool {
+            rowops::add_assign(acc, batch.row(i));
         }
-        out.scale_mut(1.0 / remaining.len() as f64);
-        Ok(out)
+        rowops::scale(acc, 1.0 / s.pool.len() as f64);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

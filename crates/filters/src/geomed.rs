@@ -1,8 +1,8 @@
 //! Geometric median (Weiszfeld) and geometric median-of-means.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// Geometric median via the (smoothed) Weiszfeld algorithm.
 ///
@@ -63,38 +63,68 @@ impl GeometricMedian {
         })
     }
 
-    /// Computes the geometric median of a non-empty point set.
-    pub(crate) fn compute(&self, points: &[Vector], dim: usize) -> Vector {
+    /// Smoothed Weiszfeld over `count` rows supplied by `row`, writing the
+    /// geometric median into `out`. `z` and `numerator` are caller-owned
+    /// scratch (reused across calls); nothing is allocated here beyond
+    /// their first-use growth.
+    pub(crate) fn weiszfeld_into<'a>(
+        &self,
+        row: impl Fn(usize) -> &'a [f64],
+        count: usize,
+        dim: usize,
+        z: &mut Vec<f64>,
+        numerator: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
         // Start from the coordinate-wise mean.
-        let mut z = Vector::zeros(dim);
-        for p in points {
-            z += p;
+        z.clear();
+        z.resize(dim, 0.0);
+        for p in 0..count {
+            rowops::add_assign(z, row(p));
         }
-        z.scale_mut(1.0 / points.len() as f64);
+        rowops::scale(z, 1.0 / count as f64);
 
+        numerator.clear();
+        numerator.resize(dim, 0.0);
         for _ in 0..self.max_iters {
-            let mut numerator = Vector::zeros(dim);
+            rowops::fill_zero(numerator);
             let mut denominator = 0.0;
-            for p in points {
-                let w = 1.0 / (z.dist(p) + self.epsilon);
-                numerator.axpy(w, p);
+            for p in 0..count {
+                let w = 1.0 / (rowops::dist(z, row(p)) + self.epsilon);
+                rowops::axpy(numerator, w, row(p));
                 denominator += w;
             }
-            let next = numerator.scale(1.0 / denominator);
-            let step = next.dist(&z);
-            z = next;
+            rowops::scale(numerator, 1.0 / denominator);
+            let step = rowops::dist(numerator, z);
+            z.copy_from_slice(numerator);
             if step <= self.tol {
                 break;
             }
         }
-        z
+        out.copy_from_slice(z);
     }
 }
 
 impl GradientFilter for GeometricMedian {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("geomed", gradients, f)?;
-        Ok(self.compute(gradients, dim))
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("geomed", batch, f)?;
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+        let slots = zeroed_out(out, dim);
+        self.weiszfeld_into(
+            |i| batch.row(i),
+            batch.len(),
+            dim,
+            &mut s.vec_a,
+            &mut s.vec_b,
+            slots,
+        );
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -140,14 +170,20 @@ impl GeometricMedianOfMeans {
 }
 
 impl GradientFilter for GeometricMedianOfMeans {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("gmom", gradients, f)?;
-        if self.groups > gradients.len() {
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("gmom", batch, f)?;
+        let n = batch.len();
+        if self.groups > n {
             return Err(FilterError::TooFewGradients {
                 filter: "gmom",
-                n: gradients.len(),
+                n,
                 f,
-                requirement: format!("n >= {} groups", self.groups),
+                requirement: "n must be at least the configured group count",
             });
         }
         if self.groups <= 2 * f {
@@ -160,30 +196,44 @@ impl GradientFilter for GeometricMedianOfMeans {
                 ),
             });
         }
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+
         // Round-robin bucketing over a canonical (lexicographic) order so the
         // filter is permutation-invariant: agents are anonymous, and the
         // deterministic-algorithm framing of the paper requires the output to
         // depend only on the multiset of received gradients.
-        let mut order: Vec<usize> = (0..gradients.len()).collect();
-        order.sort_by(|&i, &j| {
-            gradients[i]
-                .as_slice()
-                .partial_cmp(gradients[j].as_slice())
-                .expect("finite entries are comparable")
-        });
-        let mut sums = vec![Vector::zeros(dim); self.groups];
-        let mut counts = vec![0usize; self.groups];
-        for (slot, &i) in order.iter().enumerate() {
+        s.order.clear();
+        s.order.extend(0..n);
+        s.order
+            .sort_unstable_by(|&i, &j| rowops::lex_cmp(batch.row(i), batch.row(j)));
+
+        // Bucket sums live in the flat workspace (groups × dim); counts in
+        // the `pool` index buffer.
+        s.flat.clear();
+        s.flat.resize(self.groups * dim, 0.0);
+        s.pool.clear();
+        s.pool.resize(self.groups, 0);
+        for (slot, &i) in s.order.iter().enumerate() {
             let b = slot % self.groups;
-            sums[b] += &gradients[i];
-            counts[b] += 1;
+            rowops::add_assign(&mut s.flat[b * dim..(b + 1) * dim], batch.row(i));
+            s.pool[b] += 1;
         }
-        let means: Vec<Vector> = sums
-            .into_iter()
-            .zip(counts)
-            .map(|(s, c)| s.scale(1.0 / c as f64))
-            .collect();
-        Ok(self.inner.compute(&means, dim))
+        for (b, &count) in s.pool.iter().enumerate() {
+            rowops::scale(&mut s.flat[b * dim..(b + 1) * dim], 1.0 / count as f64);
+        }
+
+        let slots = zeroed_out(out, dim);
+        let means = &s.flat;
+        self.inner.weiszfeld_into(
+            |b| &means[b * dim..(b + 1) * dim],
+            self.groups,
+            dim,
+            &mut s.vec_a,
+            &mut s.vec_b,
+            slots,
+        );
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -194,6 +244,7 @@ impl GradientFilter for GeometricMedianOfMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::GradientFilter;
 
     #[test]
     fn median_of_collinear_points() {

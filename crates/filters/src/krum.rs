@@ -2,44 +2,46 @@
 //! reference \[6\]).
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{batch_of, validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, GradientBatch, Vector};
 
-/// Computes each gradient's Krum score: the sum of squared distances to its
-/// `neighbours` nearest neighbours. Krum proper uses `n − f − 2` neighbours;
-/// Bulyan's inner selections shrink the pool and clamp the count.
-pub(crate) fn krum_scores_with(gradients: &[Vector], neighbours: usize) -> Vec<f64> {
-    let n = gradients.len();
-    let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut dists: Vec<f64> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| gradients[i].dist(&gradients[j]).powi(2))
-            .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+/// Computes each pool member's Krum score — the sum of squared distances
+/// to its `neighbours` nearest neighbours within the pool — into
+/// `scores`. `pool` holds batch row indices; `dists` is reusable scratch.
+pub(crate) fn krum_scores_into(
+    batch: &GradientBatch,
+    pool: &[usize],
+    neighbours: usize,
+    dists: &mut Vec<f64>,
+    scores: &mut Vec<f64>,
+) {
+    scores.clear();
+    for &i in pool {
+        dists.clear();
+        for &j in pool {
+            if j != i {
+                let d = rowops::dist(batch.row(i), batch.row(j));
+                dists.push(d * d);
+            }
+        }
+        dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         scores.push(dists.iter().take(neighbours).sum());
     }
-    scores
 }
 
-/// Krum scores with the canonical `n − f − 2` neighbour count.
-fn krum_scores(gradients: &[Vector], f: usize) -> Vec<f64> {
-    krum_scores_with(gradients, gradients.len() - f - 2)
-}
-
-/// Validates Krum's `n ≥ 2f + 3` requirement.
+/// Validates Krum's `n ≥ 2f + 3` requirement on top of the shared checks.
 fn validate_krum(
     filter: &'static str,
-    gradients: &[Vector],
+    batch: &GradientBatch,
     f: usize,
 ) -> Result<usize, FilterError> {
-    let dim = validate_inputs(filter, gradients, f)?;
-    if gradients.len() < 2 * f + 3 {
+    let dim = validate_batch(filter, batch, f)?;
+    if batch.len() < 2 * f + 3 {
         return Err(FilterError::TooFewGradients {
             filter,
-            n: gradients.len(),
+            n: batch.len(),
             f,
-            requirement: "n >= 2f + 3".to_string(),
+            requirement: "n >= 2f + 3",
         });
     }
     Ok(dim)
@@ -60,27 +62,44 @@ impl Krum {
         Krum
     }
 
-    /// The index Krum selects (ties broken by lowest index).
-    ///
-    /// # Errors
-    ///
-    /// Same validation as [`GradientFilter::aggregate`].
-    pub fn selected_index(gradients: &[Vector], f: usize) -> Result<usize, FilterError> {
-        validate_krum("krum", gradients, f)?;
-        let scores = krum_scores(gradients, f);
-        Ok(scores
+    /// The row index Krum selects (ties broken by lowest index).
+    pub(crate) fn selected_row(batch: &GradientBatch, f: usize) -> Result<usize, FilterError> {
+        validate_krum("krum", batch, f)?;
+        let n = batch.len();
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+        s.pool.clear();
+        s.pool.extend(0..n);
+        krum_scores_into(batch, &s.pool, n - f - 2, &mut s.column, &mut s.keys);
+        Ok(s.keys
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite scores"))
             .map(|(i, _)| i)
             .expect("non-empty scores"))
     }
+
+    /// The index Krum selects (ties broken by lowest index).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`GradientFilter::aggregate`].
+    pub fn selected_index(gradients: &[Vector], f: usize) -> Result<usize, FilterError> {
+        Self::selected_row(&batch_of(gradients)?, f)
+    }
 }
 
 impl GradientFilter for Krum {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let idx = Self::selected_index(gradients, f)?;
-        Ok(gradients[idx].clone())
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let idx = Self::selected_row(batch, f)?;
+        let slots = zeroed_out(out, batch.dim());
+        slots.copy_from_slice(batch.row(idx));
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -112,47 +131,45 @@ impl MultiKrum {
         }
         Ok(MultiKrum { m })
     }
+}
 
-    /// The indices of the `m` best-scoring gradients, best first.
-    pub(crate) fn selected_indices(
+impl GradientFilter for MultiKrum {
+    fn aggregate_into(
         &self,
-        gradients: &[Vector],
+        batch: &GradientBatch,
         f: usize,
-    ) -> Result<Vec<usize>, FilterError> {
-        validate_krum("multi-krum", gradients, f)?;
-        if self.m > gradients.len() - f {
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_krum("multi-krum", batch, f)?;
+        let n = batch.len();
+        if self.m > n - f {
             return Err(FilterError::InvalidParameter {
                 filter: "multi-krum",
-                reason: format!(
-                    "m = {} exceeds the honest quorum n - f = {}",
-                    self.m,
-                    gradients.len() - f
-                ),
+                reason: format!("m = {} exceeds the honest quorum n - f = {}", self.m, n - f),
             });
         }
-        let scores = krum_scores(gradients, f);
-        let mut order: Vec<usize> = (0..gradients.len()).collect();
-        order.sort_by(|&i, &j| {
+        let mut scratch = batch.scratch();
+        let s = &mut *scratch;
+        s.pool.clear();
+        s.pool.extend(0..n);
+        krum_scores_into(batch, &s.pool, n - f - 2, &mut s.column, &mut s.keys);
+        s.order.clear();
+        s.order.extend(0..n);
+        let scores = &s.keys;
+        s.order.sort_unstable_by(|&i, &j| {
             scores[i]
                 .partial_cmp(&scores[j])
                 .expect("finite scores")
                 .then(i.cmp(&j))
         });
-        order.truncate(self.m);
-        Ok(order)
-    }
-}
+        s.order.truncate(self.m);
 
-impl GradientFilter for MultiKrum {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let selected = self.selected_indices(gradients, f)?;
-        let dim = gradients[0].dim();
-        let mut acc = Vector::zeros(dim);
-        for &i in &selected {
-            acc += &gradients[i];
+        let acc = zeroed_out(out, dim);
+        for &i in &s.order {
+            rowops::add_assign(acc, batch.row(i));
         }
-        acc.scale_mut(1.0 / selected.len() as f64);
-        Ok(acc)
+        rowops::scale(acc, 1.0 / s.order.len() as f64);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -229,7 +246,10 @@ mod tests {
     #[test]
     fn scores_prefer_dense_neighbourhoods() {
         let gs = clustered_with_outlier();
-        let scores = krum_scores(&gs, 1);
+        let batch = batch_of(&gs).unwrap();
+        let pool: Vec<usize> = (0..gs.len()).collect();
+        let (mut dists, mut scores) = (Vec::new(), Vec::new());
+        krum_scores_into(&batch, &pool, gs.len() - 3, &mut dists, &mut scores);
         let outlier_score = scores[5];
         for s in &scores[..5] {
             assert!(s < &outlier_score);

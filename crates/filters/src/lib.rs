@@ -62,7 +62,7 @@ pub use krum::{Krum, MultiKrum};
 pub use mean::Mean;
 pub use registry::{all_filters, by_name};
 pub use sign::SignMajority;
-pub use traits::GradientFilter;
+pub use traits::{batch_of, GradientFilter};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {

@@ -1,8 +1,8 @@
 //! Plain averaging — the traditional (non-robust) DGD aggregation.
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// Plain gradient averaging: `(1/n)·Σᵢ gᵢ`.
 ///
@@ -21,17 +21,22 @@ impl Mean {
 }
 
 impl GradientFilter for Mean {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
         // Averaging has no n > 2f requirement (it offers no guarantee anyway),
         // so validate with f = 0 and ignore the declared fault bound.
         let _ = f;
-        let dim = validate_inputs("mean", gradients, 0)?;
-        let mut acc = Vector::zeros(dim);
-        for g in gradients {
-            acc += g;
+        let dim = validate_batch("mean", batch, 0)?;
+        let acc = zeroed_out(out, dim);
+        for row in batch.rows_iter() {
+            rowops::add_assign(acc, row);
         }
-        acc.scale_mut(1.0 / gradients.len() as f64);
-        Ok(acc)
+        rowops::scale(acc, 1.0 / batch.len() as f64);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -45,10 +50,7 @@ mod tests {
 
     #[test]
     fn averages_inputs() {
-        let gs = vec![
-            Vector::from(vec![1.0, 2.0]),
-            Vector::from(vec![3.0, 4.0]),
-        ];
+        let gs = vec![Vector::from(vec![1.0, 2.0]), Vector::from(vec![3.0, 4.0])];
         let out = Mean::new().aggregate(&gs, 0).unwrap();
         assert!(out.approx_eq(&Vector::from(vec![2.0, 3.0]), 1e-12));
     }

@@ -2,8 +2,8 @@
 //! reference \[3\], Bernstein et al.).
 
 use crate::error::FilterError;
-use crate::traits::{validate_inputs, GradientFilter};
-use abft_linalg::Vector;
+use crate::traits::{for_each_column, validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::{GradientBatch, Vector};
 
 /// Coordinate-wise sign-majority vote, scaled by a fixed magnitude.
 ///
@@ -34,8 +34,13 @@ impl SignMajority {
 }
 
 impl GradientFilter for SignMajority {
-    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, FilterError> {
-        let dim = validate_inputs("sign-majority", gradients, f)?;
+    fn aggregate_into(
+        &self,
+        batch: &GradientBatch,
+        f: usize,
+        out: &mut Vector,
+    ) -> Result<(), FilterError> {
+        let dim = validate_batch("sign-majority", batch, f)?;
         // f64::signum maps ±0.0 to ±1.0; majority voting needs a true
         // three-valued sign so that zero entries and tied votes stay zero.
         fn sign(x: f64) -> f64 {
@@ -47,12 +52,13 @@ impl GradientFilter for SignMajority {
                 0.0
             }
         }
-        let mut out = Vector::zeros(dim);
-        for k in 0..dim {
-            let vote: f64 = gradients.iter().map(|g| sign(g[k])).sum();
-            out[k] = self.scale * sign(vote);
-        }
-        Ok(out)
+        let mut scratch = batch.scratch();
+        let slots = zeroed_out(out, dim);
+        for_each_column(batch, &mut scratch.flat, slots, |column| {
+            let vote: f64 = column.iter().map(|&v| sign(v)).sum();
+            Ok(self.scale * sign(vote))
+        });
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,150 @@
+//! The `&[Vector]` adapter and the `GradientBatch` path must produce
+//! **bit-identical** outputs for every registered filter: the adapter is a
+//! thin copy into a batch, so any divergence means the copy, the
+//! validation, or a filter's row arithmetic is wrong.
+
+use abft_filters::traits::batch_of;
+use abft_filters::{all_filters, by_name, FilterError};
+use abft_linalg::{GradientBatch, Vector};
+
+/// Deterministic pseudo-random gradients (splitmix64-driven, no RNG dep).
+fn pseudo_gradients(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+    };
+    (0..n).map(|_| Vector::from_fn(dim, |_| next())).collect()
+}
+
+fn assert_bit_identical(name: &str, gs: &[Vector], f: usize) {
+    let filter = by_name(name).expect("registered");
+    let slice_path = filter.aggregate(gs, f);
+
+    let batch = batch_of(gs).expect("well-formed gradients");
+    let mut batch_out = Vector::zeros(batch.dim());
+    let batch_path = filter
+        .aggregate_into(&batch, f, &mut batch_out)
+        .map(|()| batch_out);
+
+    match (slice_path, batch_path) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.dim(), b.dim(), "{name}: dims disagree");
+            for k in 0..a.dim() {
+                assert_eq!(
+                    a[k].to_bits(),
+                    b[k].to_bits(),
+                    "{name}: coordinate {k} differs ({} vs {})",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{name}: errors disagree"),
+        (a, b) => panic!("{name}: inconsistent outcomes {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn every_registered_filter_is_bit_identical_across_paths() {
+    // n = 9 satisfies every registered filter's requirement at f = 1
+    // (Bulyan needs 4f + 3 = 7; gmom's default 3 groups needs n >= 3).
+    for (shape_seed, (n, dim)) in [(9usize, 2usize), (9, 7), (11, 1), (16, 5)]
+        .into_iter()
+        .enumerate()
+    {
+        let gs = pseudo_gradients(n, dim, 0xC0FFEE ^ shape_seed as u64);
+        for filter in all_filters() {
+            for f in [0usize, 1, 2] {
+                assert_bit_identical(filter.name(), &gs, f);
+            }
+        }
+    }
+}
+
+#[test]
+fn paths_agree_on_adversarial_inputs() {
+    // Gross outliers, ties, zeros, and sign flips exercise selection
+    // tie-breaking, which must also be order-identical across paths.
+    let gs = vec![
+        Vector::from(vec![1.0, 1.0]),
+        Vector::from(vec![1.0, 1.0]), // exact tie
+        Vector::from(vec![-1.0, -1.0]),
+        Vector::from(vec![0.0, 0.0]),
+        Vector::from(vec![1e12, -1e12]),
+        Vector::from(vec![-1e12, 1e12]),
+        Vector::from(vec![0.5, -0.5]),
+        Vector::from(vec![2.0, 2.0]),
+        Vector::from(vec![-2.0, -2.0]),
+    ];
+    for filter in all_filters() {
+        for f in [0usize, 1, 2] {
+            assert_bit_identical(filter.name(), &gs, f);
+        }
+    }
+}
+
+#[test]
+fn paths_agree_on_error_cases() {
+    let nan = vec![
+        Vector::from(vec![1.0]),
+        Vector::from(vec![f64::NAN]),
+        Vector::from(vec![2.0]),
+    ];
+    for filter in all_filters() {
+        assert_bit_identical(filter.name(), &nan, 1);
+        // Undersized rounds must be rejected identically too.
+        let tiny = pseudo_gradients(2, 3, 7);
+        assert_bit_identical(filter.name(), &tiny, 1);
+    }
+}
+
+#[test]
+fn batch_reuse_does_not_leak_state_between_calls() {
+    // Aggregating twice on the same warmed-up batch must reproduce the
+    // first result exactly — scratch contents are per-call by contract.
+    let gs = pseudo_gradients(9, 6, 42);
+    let batch = batch_of(&gs).expect("well-formed");
+    for filter in all_filters() {
+        let mut first = Vector::zeros(batch.dim());
+        let mut second = Vector::zeros(batch.dim());
+        filter
+            .aggregate_into(&batch, 1, &mut first)
+            .expect("n = 9, f = 1 is valid for every registered filter");
+        filter
+            .aggregate_into(&batch, 1, &mut second)
+            .expect("second call");
+        assert!(
+            first.approx_eq(&second, 0.0),
+            "{}: warmed-up call diverged",
+            filter.name()
+        );
+    }
+}
+
+#[test]
+fn aggregate_into_accepts_wrongly_sized_out() {
+    // The out vector is resized on demand — callers reuse one vector
+    // across rounds whose dimension may change after eliminations.
+    let gs = pseudo_gradients(5, 4, 3);
+    let batch = batch_of(&gs).expect("well-formed");
+    let filter = by_name("cge").expect("registered");
+    let mut out = Vector::zeros(9);
+    filter.aggregate_into(&batch, 1, &mut out).expect("runs");
+    assert_eq!(out.dim(), 4);
+}
+
+#[test]
+fn empty_batch_is_rejected() {
+    let batch = GradientBatch::new(3);
+    let filter = by_name("mean").expect("registered");
+    let mut out = Vector::zeros(3);
+    assert_eq!(
+        filter.aggregate_into(&batch, 0, &mut out).unwrap_err(),
+        FilterError::Empty
+    );
+}

@@ -127,6 +127,28 @@ proptest! {
         }
     }
 
+    /// Registry-wide: the `&[Vector]` adapter and the `GradientBatch` path
+    /// agree bit-for-bit on random inputs, for every registered filter and
+    /// every admissible f.
+    #[test]
+    fn adapter_and_batch_paths_agree(gs in gradients(9, 3), f in 0usize..3) {
+        let batch = abft_filters::batch_of(&gs).expect("well-formed");
+        for filter in all_filters() {
+            let via_slice = filter.aggregate(&gs, f);
+            let mut out = Vector::zeros(batch.dim());
+            let via_batch = filter.aggregate_into(&batch, f, &mut out).map(|()| out);
+            match (via_slice, via_batch) {
+                (Ok(a), Ok(b)) => prop_assert!(
+                    a.approx_eq(&b, 0.0),
+                    "{}: slice path {a} != batch path {b}",
+                    filter.name()
+                ),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{} errors differ", filter.name()),
+                (a, b) => prop_assert!(false, "{}: inconsistent {a:?} vs {b:?}", filter.name()),
+            }
+        }
+    }
+
     /// Translation equivariance of mean, CWTM and coordinate-wise median:
     /// shifting every input by t shifts the output by t.
     #[test]

@@ -93,12 +93,10 @@ pub fn sym_eigenvalues(a: &Matrix) -> Result<SymEigen, LinalgError> {
             }
         }
         if off_diag.sqrt() <= tol {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|i| (m.get(i, i), i)).collect();
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
             let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
-            let vectors =
-                Matrix::from_fn(n, n, |row, col| v.get(row, pairs[col].1));
+            let vectors = Matrix::from_fn(n, n, |row, col| v.get(row, pairs[col].1));
             return Ok(SymEigen { values, vectors });
         }
 
@@ -220,8 +218,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_satisfy_definition() {
-        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
         let eig = sym_eigenvalues(&a).unwrap();
         for (j, &lambda) in eig.values.iter().enumerate() {
             let v = eig.vectors.col_vector(j);
@@ -262,8 +259,7 @@ mod tests {
 
     #[test]
     fn power_iteration_agrees_with_jacobi() {
-        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let eig = sym_eigenvalues(&a).unwrap();
         let (lambda, _) = power_iteration(&a, 10_000, 1e-14).unwrap();
         assert!((lambda - eig.max()).abs() < 1e-7);

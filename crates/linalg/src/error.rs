@@ -51,7 +51,10 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty operand"),
             LinalgError::NoConvergence { method, iterations } => {
-                write!(f, "{method} did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "{method} did not converge within {iterations} iterations"
+                )
             }
         }
     }

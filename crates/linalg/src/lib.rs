@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod eigen;
 pub mod error;
 pub mod matrix;
@@ -34,6 +35,7 @@ pub mod solve;
 pub mod stats;
 pub mod vector;
 
+pub use batch::{rowops, BatchScratch, GradientBatch};
 pub use eigen::{power_iteration, sym_eigenvalues, SymEigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;
@@ -52,6 +54,7 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use crate::batch::{BatchScratch, GradientBatch};
     pub use crate::eigen::{power_iteration, sym_eigenvalues, SymEigen};
     pub use crate::error::LinalgError;
     pub use crate::matrix::Matrix;

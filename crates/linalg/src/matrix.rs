@@ -228,11 +228,7 @@ impl Matrix {
             });
         }
         Ok(Vector::from_fn(self.rows, |i| {
-            self.row(i)
-                .iter()
-                .zip(x.iter())
-                .map(|(a, b)| a * b)
-                .sum()
+            self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()
         }))
     }
 
@@ -447,7 +443,10 @@ mod tests {
         let a = sample();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
         assert!(a.matmul(&Matrix::zeros(3, 2)).is_err());
     }
 

@@ -41,6 +41,16 @@ pub fn gaussian_vector(rng: &mut impl Rng, dim: usize, mean: f64, std: f64) -> V
     Vector::from_fn(dim, |_| mean + std * standard_normal(rng))
 }
 
+/// Fills `out` with i.i.d. `N(mean, std²)` entries in place — the
+/// allocation-free twin of [`gaussian_vector`] used when forging directly
+/// into a [`crate::GradientBatch`] row. Draws the same stream as
+/// `gaussian_vector` for the same RNG state.
+pub fn fill_gaussian(rng: &mut impl Rng, out: &mut [f64], mean: f64, std: f64) {
+    for slot in out {
+        *slot = mean + std * standard_normal(rng);
+    }
+}
+
 /// Samples a vector of i.i.d. `Uniform[lo, hi)` entries.
 ///
 /// # Panics
@@ -92,7 +102,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.01, "sample mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.02, "sample variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.02,
+            "sample variance {var} too far from 1"
+        );
     }
 
     #[test]

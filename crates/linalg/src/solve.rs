@@ -428,8 +428,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
         let inv = inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
@@ -477,8 +476,7 @@ mod tests {
 
     #[test]
     fn least_squares_matches_normal_equations() {
-        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0], &[4.0, 1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0], &[4.0, 1.0]]).unwrap();
         let b = Vector::from(vec![2.9, 5.1, 7.2, 8.8]);
         let x_qr = least_squares(&a, &b).unwrap();
         let x_ne = solve_spd(&a.gram(), &a.matvec_t(&b).unwrap()).unwrap();

@@ -80,6 +80,75 @@ pub fn trimmed_mean(values: &[f64], trim: usize) -> Result<f64, LinalgError> {
     mean(kept)
 }
 
+/// Allocation-free trimmed mean over a scratch buffer the caller owns:
+/// drops the `trim` smallest and `trim` largest values via partial
+/// selection (`O(n)` instead of a full sort) and averages the remainder.
+/// The buffer is reordered arbitrarily.
+///
+/// This is the hot-path variant of [`trimmed_mean`] used by the CWTM
+/// filter once per coordinate. The two keep exactly the same multiset of
+/// values (the middle `n − 2·trim` order statistics), but the sum runs in
+/// partition order rather than sorted order, so results may differ from
+/// [`trimmed_mean`] by floating-point rounding on ill-conditioned inputs
+/// (catastrophic-cancellation magnitudes). Within the batch pipeline this
+/// is irrelevant — both the slice adapter and the batch path call this
+/// function, so they stay bit-identical to each other.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] when `values.len() <= 2 * trim`.
+///
+/// # Panics
+///
+/// Panics on NaN entries (callers validate finiteness at the boundary).
+pub fn trimmed_mean_in_place(values: &mut [f64], trim: usize) -> Result<f64, LinalgError> {
+    let n = values.len();
+    if n <= 2 * trim {
+        return Err(LinalgError::Empty);
+    }
+    let kept: &mut [f64] = if trim == 0 {
+        values
+    } else {
+        // Partition the `trim` smallest off the front…
+        let (_, _, upper) = values.select_nth_unstable_by(trim - 1, |a, b| {
+            a.partial_cmp(b).expect("comparable values")
+        });
+        // …then the `trim` largest off the back of what remains.
+        let cut = upper.len() - trim;
+        let (kept, _, _) =
+            upper.select_nth_unstable_by(cut, |a, b| a.partial_cmp(b).expect("comparable values"));
+        kept
+    };
+    Ok(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// Allocation-free median over a scratch buffer the caller owns (partial
+/// selection; the buffer is reordered arbitrarily). Agrees exactly with
+/// [`median`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+///
+/// # Panics
+///
+/// Panics on NaN entries (callers validate finiteness at the boundary).
+pub fn median_in_place(values: &mut [f64]) -> Result<f64, LinalgError> {
+    let n = values.len();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("comparable values");
+    let (lower, mid, _) = values.select_nth_unstable_by(n / 2, cmp);
+    let mid = *mid;
+    if n % 2 == 1 {
+        Ok(mid)
+    } else {
+        let below = lower.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(0.5 * (below + mid))
+    }
+}
+
 /// `q`-quantile (linear interpolation between order statistics), `q ∈ [0,1]`.
 ///
 /// # Errors
@@ -172,6 +241,36 @@ mod tests {
         // n = 6, f = 1: average of the middle 4 order statistics.
         let xs = [6.0, 1.0, 3.0, 4.0, 2.0, 5.0];
         assert_eq!(trimmed_mean(&xs, 1).unwrap(), (2.0 + 3.0 + 4.0 + 5.0) / 4.0);
+    }
+
+    #[test]
+    fn in_place_variants_agree_with_sorting_versions() {
+        let xs = [6.0, 1.0, 3.0, 4.0, 2.0, 5.0, -9.0, 100.0];
+        for trim in 0..=3 {
+            let mut buf = xs.to_vec();
+            // Same kept multiset; summation order may differ, so compare
+            // up to floating-point rounding rather than bitwise.
+            let in_place = trimmed_mean_in_place(&mut buf, trim).unwrap();
+            let sorted = trimmed_mean(&xs, trim).unwrap();
+            assert!(
+                (in_place - sorted).abs() <= 1e-12 * sorted.abs().max(1.0),
+                "trim = {trim}: {in_place} vs {sorted}"
+            );
+        }
+        let mut buf = xs.to_vec();
+        assert_eq!(median_in_place(&mut buf).unwrap(), median(&xs).unwrap());
+        let odd = [3.0, 1.0, 2.0];
+        let mut buf = odd.to_vec();
+        assert_eq!(median_in_place(&mut buf).unwrap(), 2.0);
+        let mut single = vec![5.0];
+        assert_eq!(median_in_place(&mut single).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn in_place_variants_reject_degenerate_input() {
+        assert!(trimmed_mean_in_place(&mut [1.0, 2.0], 1).is_err());
+        assert!(trimmed_mean_in_place(&mut [], 0).is_err());
+        assert!(median_in_place(&mut []).is_err());
     }
 
     #[test]

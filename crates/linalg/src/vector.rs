@@ -224,6 +224,19 @@ impl Vector {
         }
     }
 
+    /// In-place variant of [`Vector::clamp_box`] for allocation-free
+    /// projection in the DGD hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp_box_mut(&mut self, lo: f64, hi: f64) {
+        assert!(lo <= hi, "clamp_box requires lo <= hi");
+        for a in &mut self.data {
+            *a = a.clamp(lo, hi);
+        }
+    }
+
     /// Returns a unit vector in the direction of `self`.
     ///
     /// # Errors
@@ -451,7 +464,10 @@ mod tests {
     fn constructors() {
         assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
         assert_eq!(Vector::ones(2).as_slice(), &[1.0, 1.0]);
-        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64).as_slice(),
+            &[0.0, 1.0, 2.0]
+        );
         assert_eq!(Vector::basis(3, 1).as_slice(), &[0.0, 1.0, 0.0]);
     }
 
@@ -538,6 +554,9 @@ mod tests {
             x.clamp_box(-1000.0, 1000.0).as_slice(),
             &[-1000.0, 0.5, 1000.0]
         );
+        let mut y = x.clone();
+        y.clamp_box_mut(-1000.0, 1000.0);
+        assert_eq!(y, x.clamp_box(-1000.0, 1000.0));
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |mut data| {
         for i in 0..n {
             // Make row i dominant: |a_ii| > sum of |a_ij|.
-            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| data[i * n + j].abs()).sum();
+            let row_sum: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| data[i * n + j].abs())
+                .sum();
             data[i * n + i] = row_sum + 1.0;
         }
         Matrix::new(n, n, data).expect("shape is consistent")

@@ -141,11 +141,7 @@ impl Dataset {
     pub fn with_flipped_labels(&self) -> Dataset {
         Dataset {
             features: self.features.clone(),
-            labels: self
-                .labels
-                .iter()
-                .map(|&y| self.classes - 1 - y)
-                .collect(),
+            labels: self.labels.iter().map(|&y| self.classes - 1 - y).collect(),
             classes: self.classes,
         }
     }

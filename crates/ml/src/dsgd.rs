@@ -11,7 +11,7 @@ use crate::dataset::Dataset;
 use crate::error::MlError;
 use abft_filters::GradientFilter;
 use abft_linalg::rng::seeded_rng;
-use abft_linalg::Vector;
+use abft_linalg::{GradientBatch, Vector};
 
 /// A trainable model exposing flat parameter/gradient vectors, so gradient
 /// filters can treat learning exactly like the paper's DGD: aggregation of
@@ -37,6 +37,21 @@ pub trait Model {
     ///
     /// Implementations may panic on an empty batch.
     fn loss_and_gradient(&self, data: &Dataset, batch: &[usize]) -> (f64, Vector);
+
+    /// Writes the flat gradient into `out` (a `GradientBatch` row on the
+    /// D-SGD hot path) and returns the mean loss. The default delegates to
+    /// [`Model::loss_and_gradient`]; models with flat parameter storage can
+    /// override it to skip the copy.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty batch or when
+    /// `out.len() != self.param_dim()`.
+    fn loss_and_gradient_into(&self, data: &Dataset, batch: &[usize], out: &mut [f64]) -> f64 {
+        let (loss, grad) = self.loss_and_gradient(data, batch);
+        out.copy_from_slice(grad.as_slice());
+        loss
+    }
 
     /// Classification accuracy on a dataset.
     fn accuracy(&self, data: &Dataset) -> f64;
@@ -162,24 +177,30 @@ pub fn train_distributed<M: Model>(
     let lr = config.learning_rate();
     let mut records = Vec::new();
 
+    // Round state reused across all iterations: the contiguous gradient
+    // batch (one row per agent, refilled in place) and the filtered
+    // direction — the same zero-copy aggregation path as the DGD drivers.
+    let mut round = GradientBatch::with_capacity(n, model.param_dim());
+    let mut direction = Vector::zeros(model.param_dim());
+
     for t in 0..config.iterations {
-        // Per-agent stochastic gradients of the current global model.
-        let mut gradients = Vec::with_capacity(n);
+        // Per-agent stochastic gradients of the current global model,
+        // written straight into the batch rows.
+        round.reset_rows(n);
         let mut honest_loss_sum = 0.0;
         let mut honest_count = 0usize;
         for (i, shard) in effective_shards.iter().enumerate() {
             let batch = shard.sample_batch(&mut rng, config.batch_size);
-            let (loss, grad) = model.loss_and_gradient(shard, &batch);
-            let report = if is_faulty[i] && fault == MlFault::GradientReverse {
-                -grad
-            } else {
-                grad
-            };
-            if !is_faulty[i] {
+            let row = round.row_mut(i);
+            let loss = model.loss_and_gradient_into(shard, &batch, row);
+            if is_faulty[i] && fault == MlFault::GradientReverse {
+                for slot in row.iter_mut() {
+                    *slot = -*slot;
+                }
+            } else if !is_faulty[i] {
                 honest_loss_sum += loss;
                 honest_count += 1;
             }
-            gradients.push(report);
         }
 
         if t % config.eval_every == 0 {
@@ -190,8 +211,9 @@ pub fn train_distributed<M: Model>(
             });
         }
 
-        let direction = filter.aggregate(&gradients, f)?;
-        let params = &model.params() - &direction.scale(lr);
+        filter.aggregate_into(&round, f, &mut direction)?;
+        let mut params = model.params();
+        params.axpy(-lr, &direction);
         model.set_params(&params);
     }
 
@@ -236,7 +258,7 @@ mod tests {
         DsgdConfig {
             batch_size: 32,
             learning_rate_milli: 200,
-            iterations: 400,
+            iterations: 600,
             eval_every: 100,
             seed: 5,
         }
@@ -298,7 +320,7 @@ mod tests {
         let last = records.last().unwrap();
         assert!(last.accuracy > 0.8, "accuracy = {}", last.accuracy);
         assert!(last.loss < first.loss);
-        assert_eq!(last.iteration, 400);
+        assert_eq!(last.iteration, 600);
     }
 
     #[test]
@@ -399,9 +421,9 @@ mod tests {
             &quick_config(),
         )
         .unwrap();
-        // Iterations 0, 100, 200, 300 plus the final record at 400.
+        // Iterations 0, 100, ..., 500 plus the final record at 600.
         let iters: Vec<usize> = records.iter().map(|r| r.iteration).collect();
-        assert_eq!(iters, vec![0, 100, 200, 300, 400]);
+        assert_eq!(iters, vec![0, 100, 200, 300, 400, 500, 600]);
     }
 
     #[test]

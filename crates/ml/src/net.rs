@@ -131,11 +131,7 @@ impl Mlp {
         let activations = self.forward(x);
         let logits = activations.last().expect("non-empty");
         (0..logits.dim())
-            .max_by(|&i, &j| {
-                logits[i]
-                    .partial_cmp(&logits[j])
-                    .expect("finite logits")
-            })
+            .max_by(|&i, &j| logits[i].partial_cmp(&logits[j]).expect("finite logits"))
             .expect("at least one class")
     }
 }
@@ -333,7 +329,7 @@ mod tests {
         let mut net = Mlp::new(&[16, 12, 10], 2).unwrap();
         let mut rng = abft_linalg::rng::seeded_rng(4);
         let before = net.accuracy(&test);
-        for _ in 0..300 {
+        for _ in 0..450 {
             let batch = train.sample_batch(&mut rng, 32);
             let (_, grad) = net.loss_and_gradient(&train, &batch);
             let params = &net.params() - &grad.scale(0.5);

@@ -1,7 +1,7 @@
 //! Property-based tests for the ML substrate.
 
-use abft_ml::{Dataset, DatasetSpec, LinearSvm, Mlp, Model};
 use abft_linalg::Vector;
+use abft_ml::{Dataset, DatasetSpec, LinearSvm, Mlp, Model};
 use proptest::prelude::*;
 
 fn spec(train: usize) -> DatasetSpec {

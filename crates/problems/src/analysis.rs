@@ -73,7 +73,9 @@ pub fn strong_convexity_constant(problem: &RegressionProblem) -> Result<f64, Pro
 /// # Errors
 ///
 /// Returns [`ProblemError::Linalg`] if an eigendecomposition fails.
-pub fn convexity_constants(problem: &RegressionProblem) -> Result<ConvexityConstants, ProblemError> {
+pub fn convexity_constants(
+    problem: &RegressionProblem,
+) -> Result<ConvexityConstants, ProblemError> {
     Ok(ConvexityConstants {
         mu: smoothness_constant(problem),
         gamma: strong_convexity_constant(problem)?,
@@ -87,11 +89,7 @@ pub fn convexity_constants(problem: &RegressionProblem) -> Result<ConvexityConst
 /// always; the CWTM guarantee of Theorem 6 needs `λ < γ/(µ√d)`.
 ///
 /// Probes are the corners and center of the box `[-probe_radius, probe_radius]^d`.
-pub fn gradient_diversity(
-    problem: &RegressionProblem,
-    honest: &[usize],
-    probe_radius: f64,
-) -> f64 {
+pub fn gradient_diversity(problem: &RegressionProblem, honest: &[usize], probe_radius: f64) -> f64 {
     use abft_linalg::Vector;
     let d = problem.dim();
     // Probe points: center plus the 2^d corners of the box (capped for high d).
@@ -177,8 +175,8 @@ mod tests {
         // 2 λ_min(AᵀA)/n.
         let p = RegressionProblem::paper_instance();
         let cfg0 = abft_core::SystemConfig::new(6, 0).unwrap();
-        let p0 = RegressionProblem::new(cfg0, p.matrix().clone(), p.observations().clone())
-            .unwrap();
+        let p0 =
+            RegressionProblem::new(cfg0, p.matrix().clone(), p.observations().clone()).unwrap();
         let gamma0 = strong_convexity_constant(&p0).unwrap();
         let eig = abft_linalg::sym_eigenvalues(&p.matrix().gram()).unwrap();
         assert!((gamma0 - 2.0 * eig.min() / 6.0).abs() < 1e-10);
@@ -197,7 +195,10 @@ mod tests {
         let pairs = [
             (Vector::from(vec![0.0, 0.0]), Vector::from(vec![1.0, 1.0])),
             (Vector::from(vec![-3.0, 2.0]), Vector::from(vec![0.5, -1.5])),
-            (Vector::from(vec![10.0, -10.0]), Vector::from(vec![-10.0, 10.0])),
+            (
+                Vector::from(vec![10.0, -10.0]),
+                Vector::from(vec![-10.0, 10.0]),
+            ),
         ];
         for (x, y) in &pairs {
             let mut gx = Vector::zeros(2);
@@ -211,7 +212,10 @@ mod tests {
             gy.scale_mut(1.0 / honest.len() as f64);
             let lhs = (&gx - &gy).dot(&(x - y));
             let rhs = gamma * (x - y).norm_sq();
-            assert!(lhs >= rhs - 1e-9, "strong convexity violated: {lhs} < {rhs}");
+            assert!(
+                lhs >= rhs - 1e-9,
+                "strong convexity violated: {lhs} < {rhs}"
+            );
         }
     }
 

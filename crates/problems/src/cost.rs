@@ -28,6 +28,18 @@ pub trait CostFunction: Send + Sync {
     ///
     /// Implementations may panic when `x.dim() != self.dim()`.
     fn gradient(&self, x: &Vector) -> Vector;
+
+    /// Writes `∇Q_i(x)` into `out` — the zero-copy producer entry point
+    /// used by the batch-reusing DGD drivers to fill `GradientBatch` rows
+    /// in place. The default delegates to [`CostFunction::gradient`];
+    /// hot-path cost families override it to skip the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `out.len() != self.dim()`.
+    fn gradient_into(&self, x: &Vector, out: &mut [f64]) {
+        out.copy_from_slice(self.gradient(x).as_slice());
+    }
 }
 
 /// A shareable, thread-safe cost function handle.
@@ -79,7 +91,11 @@ impl AggregateCost {
         for &i in &indices {
             assert_eq!(costs[i].dim(), dim, "cost dimensions disagree");
         }
-        AggregateCost { costs, indices, dim }
+        AggregateCost {
+            costs,
+            indices,
+            dim,
+        }
     }
 
     /// The member indices.
@@ -178,9 +194,7 @@ mod tests {
         assert_eq!(agg.dim(), 1);
         assert_eq!(agg.indices(), &[0, 2]);
         // Gradient: 2(2−1) + 2(2−5) = 2 − 6 = −4.
-        assert!(agg
-            .gradient(&x)
-            .approx_eq(&Vector::from(vec![-4.0]), 1e-12));
+        assert!(agg.gradient(&x).approx_eq(&Vector::from(vec![-4.0]), 1e-12));
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for ProblemError {
                 write!(f, "shape mismatch: expected {expected}, got {actual}")
             }
             ProblemError::GenerationFailed { reason, attempts } => {
-                write!(f, "instance generation failed after {attempts} attempts: {reason}")
+                write!(
+                    f,
+                    "instance generation failed after {attempts} attempts: {reason}"
+                )
             }
         }
     }

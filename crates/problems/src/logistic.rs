@@ -130,13 +130,8 @@ mod tests {
     use crate::cost::finite_difference_gradient;
 
     fn toy_cost() -> LogisticCost {
-        let features = Matrix::from_rows(&[
-            &[1.0, 0.2],
-            &[0.9, -0.1],
-            &[-1.1, 0.3],
-            &[-0.8, -0.4],
-        ])
-        .unwrap();
+        let features =
+            Matrix::from_rows(&[&[1.0, 0.2], &[0.9, -0.1], &[-1.1, 0.3], &[-0.8, -0.4]]).unwrap();
         let labels = vec![1.0, 1.0, -1.0, -1.0];
         LogisticCost::new(features, labels, 0.1).unwrap()
     }

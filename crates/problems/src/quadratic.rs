@@ -76,6 +76,15 @@ impl CostFunction for ScalarRegressionCost {
         // ∇(B − A·x)² = −2(B − A·x)·A = 2(A·x − B)·A.
         self.row.scale(-2.0 * self.residual(x))
     }
+
+    fn gradient_into(&self, x: &Vector, out: &mut [f64]) {
+        // Allocation-free twin of `gradient` — this is the gradient the
+        // paper's regression experiments compute n times per DGD round.
+        let factor = -2.0 * self.residual(x);
+        for (slot, a) in out.iter_mut().zip(self.row.iter()) {
+            *slot = a * factor;
+        }
+    }
 }
 
 /// A general convex quadratic `Q(x) = ½ xᵀP x + qᵀx + c` with symmetric
@@ -192,6 +201,20 @@ mod tests {
         let lhs = (&cost.gradient(&x) - &cost.gradient(&y)).norm();
         let rhs = cost.smoothness() * (&x - &y).norm();
         assert!(lhs <= rhs + 1e-12);
+    }
+
+    #[test]
+    fn gradient_into_matches_gradient() {
+        let cost = ScalarRegressionCost::new(Vector::from(vec![0.8, 0.5]), 1.3349);
+        let x = Vector::from(vec![1.0, -0.3]);
+        let mut out = [0.0; 2];
+        cost.gradient_into(&x, &mut out);
+        assert_eq!(out, cost.gradient(&x).as_slice());
+        // The default (allocating) implementation agrees too.
+        let q = QuadraticCost::squared_distance(&Vector::from(vec![1.0, 2.0]));
+        let mut out = [0.0; 2];
+        q.gradient_into(&x, &mut out);
+        assert_eq!(out, q.gradient(&x).as_slice());
     }
 
     #[test]

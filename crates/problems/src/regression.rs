@@ -378,10 +378,7 @@ mod tests {
         // Every (n−2f) = 3 subset recovers x* exactly: 2f-redundancy.
         for subset in KSubsets::new(7, 3) {
             let x_s = p.subset_minimizer(&subset).unwrap();
-            assert!(
-                x_s.approx_eq(&x_star, 1e-8),
-                "subset {subset:?} gave {x_s}"
-            );
+            assert!(x_s.approx_eq(&x_star, 1e-8), "subset {subset:?} gave {x_s}");
         }
     }
 

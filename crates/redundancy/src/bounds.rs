@@ -104,13 +104,7 @@ pub fn cwtm_lambda_threshold(d: usize, mu: f64, gamma: f64) -> f64 {
 ///
 /// Note `D′` does not depend on `f` (as the paper remarks), only on the
 /// gradient-diversity `λ` and the dimension `d`.
-pub fn cwtm_resilience_factor(
-    n: usize,
-    d: usize,
-    mu: f64,
-    gamma: f64,
-    lambda: f64,
-) -> Option<f64> {
+pub fn cwtm_resilience_factor(n: usize, d: usize, mu: f64, gamma: f64, lambda: f64) -> Option<f64> {
     assert!(lambda >= 0.0, "lambda must be non-negative");
     let sqrt_d = (d as f64).sqrt();
     let denom = gamma - sqrt_d * mu * lambda;

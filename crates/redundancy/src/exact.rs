@@ -154,16 +154,14 @@ mod tests {
         corrupted_matrix.set(0, 1, -5.0);
         let mut corrupted_obs = honest.observations().clone();
         corrupted_obs[0] = 1e4;
-        let submitted =
-            RegressionProblem::new(config, corrupted_matrix, corrupted_obs).unwrap();
+        let submitted = RegressionProblem::new(config, corrupted_matrix, corrupted_obs).unwrap();
 
         // ε of the honest instance (the guarantee's premise).
         let eps = measure_redundancy(&RegressionOracle::new(&honest), config)
             .unwrap()
             .epsilon;
 
-        let out =
-            exact_resilient_output(&RegressionOracle::new(&submitted), config).unwrap();
+        let out = exact_resilient_output(&RegressionOracle::new(&submitted), config).unwrap();
 
         // The only all-honest (n−f)-subset is {1,…,5}.
         let x_h = honest.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();

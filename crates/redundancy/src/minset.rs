@@ -167,11 +167,7 @@ impl fmt::Display for MinimizerSet {
 fn hausdorff_finite(a: &[Vector], b: &[Vector]) -> f64 {
     let directed = |from: &[Vector], to: &[Vector]| {
         from.iter()
-            .map(|x| {
-                to.iter()
-                    .map(|y| x.dist(y))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|x| to.iter().map(|y| x.dist(y)).fold(f64::INFINITY, f64::min))
             .fold(0.0, f64::max)
     };
     directed(a, b).max(directed(b, a))
@@ -216,10 +212,7 @@ mod tests {
 
     #[test]
     fn finite_sets() {
-        let a = MinimizerSet::Finite(vec![
-            Vector::from(vec![0.0]),
-            Vector::from(vec![1.0]),
-        ]);
+        let a = MinimizerSet::Finite(vec![Vector::from(vec![0.0]), Vector::from(vec![1.0])]);
         let b = MinimizerSet::Finite(vec![Vector::from(vec![0.0])]);
         // sup over a of dist to b = 1 (from the point 1); reverse = 0.
         assert_eq!(a.hausdorff(&b).unwrap(), 1.0);
@@ -268,8 +261,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert!(MinimizerSet::interval(0.0, 1.0).to_string().contains("interval"));
-        assert!(MinimizerSet::Point(Vector::zeros(1)).to_string().contains("point"));
+        assert!(MinimizerSet::interval(0.0, 1.0)
+            .to_string()
+            .contains("interval"));
+        assert!(MinimizerSet::Point(Vector::zeros(1))
+            .to_string()
+            .contains("point"));
         assert!(MinimizerSet::Finite(vec![Vector::zeros(1)])
             .to_string()
             .contains("1 points"));

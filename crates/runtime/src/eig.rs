@@ -49,7 +49,11 @@ impl<V: Clone> EquivocationPlan<V> {
     fn transmit(&self, recipient: usize, honest_value: Option<&V>) -> Option<V> {
         match self {
             EquivocationPlan::Consistent(v) => Some(v.clone()),
-            EquivocationPlan::Split { low, high, boundary } => {
+            EquivocationPlan::Split {
+                low,
+                high,
+                boundary,
+            } => {
                 if recipient < *boundary {
                     Some(low.clone())
                 } else {
@@ -117,10 +121,14 @@ pub fn eig_broadcast<V: Clone + Eq>(
         )));
     }
     if sender >= n {
-        return Err(RuntimeError::Config(format!("sender {sender} out of range")));
+        return Err(RuntimeError::Config(format!(
+            "sender {sender} out of range"
+        )));
     }
     if let Some(&bad) = faulty.keys().find(|&&i| i >= n) {
-        return Err(RuntimeError::Config(format!("faulty agent {bad} out of range")));
+        return Err(RuntimeError::Config(format!(
+            "faulty agent {bad} out of range"
+        )));
     }
     if faulty.len() > f {
         return Err(RuntimeError::Config(format!(
@@ -185,7 +193,10 @@ pub fn eig_broadcast<V: Clone + Eq>(
     let decisions: Vec<V> = (0..n)
         .map(|p| resolve(&trees[p], &root, n, f + 1, &default))
         .collect();
-    Ok(BroadcastOutcome { decisions, messages })
+    Ok(BroadcastOutcome {
+        decisions,
+        messages,
+    })
 }
 
 /// Resolves one EIG-tree node for a process: leaves report their stored
@@ -240,8 +251,7 @@ mod tests {
 
     #[test]
     fn fault_free_broadcast_delivers_value() {
-        let outcome =
-            eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &BTreeMap::new()).unwrap();
+        let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &BTreeMap::new()).unwrap();
         assert!(outcome.honest_decided(&[0, 1, 2, 3], &42));
     }
 
@@ -383,9 +393,15 @@ mod tests {
         for boundary in 0..=4 {
             for (low, high) in [(1u64, 2u64), (0, 9), (7, 7)] {
                 let mut faulty = BTreeMap::new();
-                faulty.insert(0, EquivocationPlan::Split { low, high, boundary });
-                let outcome =
-                    eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
+                faulty.insert(
+                    0,
+                    EquivocationPlan::Split {
+                        low,
+                        high,
+                        boundary,
+                    },
+                );
+                let outcome = eig_broadcast(p2p_config(4, 1), 0, 42u64, 0, &faulty).unwrap();
                 assert!(
                     outcome.honest_agree(&[1, 2, 3]),
                     "boundary {boundary} values ({low},{high}): {:?}",

@@ -69,7 +69,9 @@ mod tests {
     fn conversions_and_display() {
         let e = RuntimeError::from(DgdError::Config("x".into()));
         assert!(matches!(e, RuntimeError::Dgd(_)));
-        assert!(RuntimeError::ChannelBroken { agent: 3 }.to_string().contains("3"));
+        assert!(RuntimeError::ChannelBroken { agent: 3 }
+            .to_string()
+            .contains("3"));
         assert!(RuntimeError::LockstepViolation { iteration: 9 }
             .to_string()
             .contains("9"));

@@ -13,7 +13,7 @@ use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
-use abft_linalg::Vector;
+use abft_linalg::{GradientBatch, Vector};
 use abft_problems::{total_value, SharedCost};
 use std::collections::BTreeMap;
 
@@ -26,8 +26,22 @@ impl BitsVector {
         BitsVector(v.iter().map(|x| x.to_bits()).collect())
     }
 
+    /// Reference decoding (the hot path uses [`BitsVector::write_into`]).
+    #[cfg(test)]
     fn to_vector(&self) -> Vector {
         self.0.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Decodes into a batch row without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from the encoded length.
+    fn write_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.0.len(), "decoded gradient dimension");
+        for (slot, &bits) in out.iter_mut().zip(&self.0) {
+            *slot = f64::from_bits(bits);
+        }
     }
 }
 
@@ -82,8 +96,7 @@ pub fn run_peer_to_peer_dgd(
             costs.len()
         )));
     }
-    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> =
-        (0..n).map(|_| None).collect();
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
     for (agent, strategy) in byzantine.drain(..) {
         if agent >= n {
             return Err(RuntimeError::Config(format!("agent {agent} out of range")));
@@ -96,7 +109,9 @@ pub fn run_peer_to_peer_dgd(
             )));
         }
         if strategies[agent].is_some() {
-            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+            return Err(RuntimeError::Config(format!(
+                "agent {agent} already faulty"
+            )));
         }
         strategies[agent] = Some(strategy);
     }
@@ -112,15 +127,24 @@ pub fn run_peer_to_peer_dgd(
     let default = BitsVector::from_vector(&Vector::zeros(dim));
 
     // Every honest agent maintains its own estimate; lockstep is asserted.
-    let mut estimates: Vec<Vector> =
-        vec![options.projection.project(&options.x0); honest.len()];
+    let mut estimates: Vec<Vector> = vec![options.projection.project(&options.x0); honest.len()];
     let mut trace = Trace::new(filter.name());
     let mut broadcasts = 0usize;
     let mut messages = 0usize;
+    // One decided-gradient batch per honest perspective, plus a shared
+    // aggregate vector — all reused across iterations. Rows are written in
+    // sender order, which is agent-id order, matching the server drivers.
+    let mut decided_batches: Vec<GradientBatch> = honest
+        .iter()
+        .map(|_| GradientBatch::with_capacity(n, dim))
+        .collect();
+    let mut aggregated = Vector::zeros(dim);
 
     let mut run_iteration = |t: usize,
                              estimates: &mut Vec<Vector>,
                              strategies: &mut Vec<Option<Box<dyn ByzantineStrategy>>>,
+                             decided_batches: &mut Vec<GradientBatch>,
+                             aggregated: &mut Vector,
                              advance: bool|
      -> Result<IterationRecord, RuntimeError> {
         let x = estimates[0].clone();
@@ -151,9 +175,10 @@ pub fn run_peer_to_peer_dgd(
         }
 
         // One broadcast instance per agent; every honest process records the
-        // decided gradient multiset from its own perspective.
-        let mut decided_per_honest: Vec<Vec<Vector>> =
-            vec![Vec::with_capacity(n); honest.len()];
+        // decided gradient multiset — straight into its reused batch.
+        for batch in decided_batches.iter_mut() {
+            batch.reset_rows(n);
+        }
         for sender in 0..n {
             let outcome = eig_broadcast(
                 config,
@@ -165,21 +190,28 @@ pub fn run_peer_to_peer_dgd(
             broadcasts += 1;
             messages += outcome.messages;
             for (slot, &p) in honest.iter().enumerate() {
-                decided_per_honest[slot].push(outcome.decisions[p].to_vector());
+                outcome.decisions[p].write_into(decided_batches[slot].row_mut(sender));
             }
         }
 
         // Every honest agent filters and updates locally.
-        let mut aggregated_first: Option<Vector> = None;
-        for (slot, decided) in decided_per_honest.iter().enumerate() {
-            let aggregated = filter.aggregate(decided, config.f())?;
+        let mut record_norm = 0.0;
+        let mut record_phi = 0.0;
+        for (slot, decided) in decided_batches.iter().enumerate() {
+            filter.aggregate_into(decided, config.f(), aggregated)?;
             if slot == 0 {
-                aggregated_first = Some(aggregated.clone());
+                record_norm = aggregated.norm();
+                record_phi = x
+                    .iter()
+                    .zip(options.reference.iter())
+                    .zip(aggregated.iter())
+                    .map(|((xi, ri), gi)| (xi - ri) * gi)
+                    .sum();
             }
             if advance {
                 let eta = options.schedule.eta(t);
-                let step = &estimates[slot] - &aggregated.scale(eta);
-                estimates[slot] = options.projection.project(&step);
+                estimates[slot].axpy(-eta, aggregated);
+                options.projection.project_in_place(&mut estimates[slot]);
             }
         }
         // Lockstep check: every honest agent's estimate must match agent 0's.
@@ -191,22 +223,34 @@ pub fn run_peer_to_peer_dgd(
             }
         }
 
-        let aggregated = aggregated_first.expect("at least one honest agent exists");
-        let offset = &x - &options.reference;
         Ok(IterationRecord {
             iteration: t,
             loss: total_value(&costs, &honest, &x),
-            distance: offset.norm(),
-            grad_norm: aggregated.norm(),
-            phi: offset.dot(&aggregated),
+            distance: x.dist(&options.reference),
+            grad_norm: record_norm,
+            phi: record_phi,
         })
     };
 
     for t in 0..options.iterations {
-        let record = run_iteration(t, &mut estimates, &mut strategies, true)?;
+        let record = run_iteration(
+            t,
+            &mut estimates,
+            &mut strategies,
+            &mut decided_batches,
+            &mut aggregated,
+            true,
+        )?;
         trace.push(record);
     }
-    let record = run_iteration(options.iterations, &mut estimates, &mut strategies, false)?;
+    let record = run_iteration(
+        options.iterations,
+        &mut estimates,
+        &mut strategies,
+        &mut decided_batches,
+        &mut aggregated,
+        false,
+    )?;
     trace.push(record);
 
     Ok(PeerToPeerResult {
@@ -314,15 +358,10 @@ mod tests {
         let (problem, options) = paper_options(5);
         // n = 6, f = 2 violates 3f < n.
         let bad = SystemConfig::new(6, 2).unwrap();
-        assert!(run_peer_to_peer_dgd(
-            bad,
-            problem.costs(),
-            vec![],
-            false,
-            &Cge::new(),
-            &options
-        )
-        .is_err());
+        assert!(
+            run_peer_to_peer_dgd(bad, problem.costs(), vec![], false, &Cge::new(), &options)
+                .is_err()
+        );
         // Omniscient strategy.
         assert!(run_peer_to_peer_dgd(
             *problem.config(),

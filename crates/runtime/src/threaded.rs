@@ -14,7 +14,7 @@ use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
-use abft_linalg::Vector;
+use abft_linalg::{GradientBatch, Vector};
 use abft_problems::{total_value, SharedCost};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread;
@@ -129,6 +129,11 @@ pub fn run_threaded_dgd_with_metrics(
         )));
     }
     let dim = costs[0].dim();
+    if costs.iter().any(|c| c.dim() != dim) {
+        return Err(RuntimeError::Config(format!(
+            "agent costs disagree on dimension (expected {dim})"
+        )));
+    }
     if options.x0.dim() != dim || options.reference.dim() != dim {
         return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
             expected: format!("x0 and reference of dim {dim}"),
@@ -141,8 +146,7 @@ pub fn run_threaded_dgd_with_metrics(
     }
 
     // Validate and index fault assignments.
-    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> =
-        (0..n).map(|_| None).collect();
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
     let mut crash_at: Vec<Option<usize>> = vec![None; n];
     let mut fault_count = 0usize;
     for (agent, strategy) in byzantine {
@@ -157,7 +161,9 @@ pub fn run_threaded_dgd_with_metrics(
             )));
         }
         if strategies[agent].is_some() {
-            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+            return Err(RuntimeError::Config(format!(
+                "agent {agent} already faulty"
+            )));
         }
         strategies[agent] = Some(strategy);
         fault_count += 1;
@@ -167,7 +173,9 @@ pub fn run_threaded_dgd_with_metrics(
             return Err(RuntimeError::Config(format!("agent {agent} out of range")));
         }
         if strategies[agent].is_some() || crash_at[agent].is_some() {
-            return Err(RuntimeError::Config(format!("agent {agent} already faulty")));
+            return Err(RuntimeError::Config(format!(
+                "agent {agent} already faulty"
+            )));
         }
         crash_at[agent] = Some(iteration);
         fault_count += 1;
@@ -201,17 +209,24 @@ pub fn run_threaded_dgd_with_metrics(
         });
     }
 
-    // Server loop.
+    // Server loop. The gradient batch and the aggregate vector are
+    // allocated once and refilled every round: replies are copied off the
+    // wire into contiguous rows (wire order = agent-id order, matching the
+    // in-process driver exactly) and filtered zero-copy from there.
     let mut eliminated = vec![false; n];
     let mut server_f = config.f();
     let mut trace = Trace::new(filter.name());
     let mut x = options.projection.project(&options.x0);
+    let mut batch = GradientBatch::with_capacity(n, dim);
+    let mut aggregated = Vector::zeros(dim);
 
     let run_round = |t: usize,
-                         x: &Vector,
-                         eliminated: &mut Vec<bool>,
-                         server_f: &mut usize|
-     -> Result<Vector, RuntimeError> {
+                     x: &Vector,
+                     eliminated: &mut Vec<bool>,
+                     server_f: &mut usize,
+                     batch: &mut GradientBatch,
+                     aggregated: &mut Vector|
+     -> Result<(), RuntimeError> {
         // S1: broadcast the estimate to all non-eliminated agents.
         let mut broadcast_count = 0usize;
         for (i, handle) in handles.iter().enumerate() {
@@ -228,16 +243,26 @@ pub fn run_threaded_dgd_with_metrics(
         }
         metrics.record_broadcasts(broadcast_count);
 
-        // Collect replies; a disconnected channel is the no-reply case.
-        let mut gradients = Vec::with_capacity(n);
+        // Collect replies into the reused batch; a disconnected channel is
+        // the no-reply case.
+        batch.clear();
         for (i, handle) in handles.iter().enumerate() {
             if eliminated[i] {
                 continue;
             }
             match handle.replies.recv() {
-                Ok(FromAgent::Gradient { iteration, gradient }) => {
+                Ok(FromAgent::Gradient {
+                    iteration,
+                    gradient,
+                }) => {
                     debug_assert_eq!(iteration, t, "synchronous rounds never reorder");
-                    gradients.push(gradient);
+                    if gradient.dim() != batch.dim() {
+                        return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
+                            expected: format!("gradient of dim {}", batch.dim()),
+                            actual: format!("agent {i} sent dim {}", gradient.dim()),
+                        }));
+                    }
+                    batch.push_row(gradient.as_slice());
                 }
                 Err(_) => {
                     // S1 elimination: the agent must be faulty.
@@ -247,20 +272,35 @@ pub fn run_threaded_dgd_with_metrics(
                 }
             }
         }
-        metrics.record_replies(gradients.len());
+        metrics.record_replies(batch.len());
         metrics.record_round();
-        Ok(filter.aggregate(&gradients, *server_f)?)
+        filter.aggregate_into(batch, *server_f, aggregated)?;
+        Ok(())
     };
 
     let result = (|| -> Result<RunResult, RuntimeError> {
         for t in 0..options.iterations {
-            let aggregated = run_round(t, &x, &mut eliminated, &mut server_f)?;
+            run_round(
+                t,
+                &x,
+                &mut eliminated,
+                &mut server_f,
+                &mut batch,
+                &mut aggregated,
+            )?;
             trace.push(record(&costs, &honest, t, &x, &aggregated, options));
             let eta = options.schedule.eta(t);
-            let step = &x - &aggregated.scale(eta);
-            x = options.projection.project(&step);
+            x.axpy(-eta, &aggregated);
+            options.projection.project_in_place(&mut x);
         }
-        let aggregated = run_round(options.iterations, &x, &mut eliminated, &mut server_f)?;
+        run_round(
+            options.iterations,
+            &x,
+            &mut eliminated,
+            &mut server_f,
+            &mut batch,
+            &mut aggregated,
+        )?;
         trace.push(record(
             &costs,
             &honest,
@@ -287,7 +327,8 @@ pub fn run_threaded_dgd_with_metrics(
     result
 }
 
-/// Builds one trace record at estimate `x` (mirrors the in-process driver).
+/// Builds one trace record at estimate `x` (mirrors the in-process driver;
+/// allocation-free like it).
 fn record(
     costs: &[SharedCost],
     honest: &[usize],
@@ -296,13 +337,17 @@ fn record(
     aggregated: &Vector,
     options: &RunOptions,
 ) -> IterationRecord {
-    let offset = x - &options.reference;
     IterationRecord {
         iteration: t,
         loss: total_value(costs, honest, x),
-        distance: offset.norm(),
+        distance: x.dist(&options.reference),
         grad_norm: aggregated.norm(),
-        phi: offset.dot(aggregated),
+        phi: x
+            .iter()
+            .zip(options.reference.iter())
+            .zip(aggregated.iter())
+            .map(|((xi, ri), gi)| (xi - ri) * gi)
+            .sum(),
     }
 }
 
@@ -383,7 +428,11 @@ mod tests {
             &metrics,
         )
         .unwrap();
-        assert!(result.final_distance() < 0.15, "d = {}", result.final_distance());
+        assert!(
+            result.final_distance() < 0.15,
+            "d = {}",
+            result.final_distance()
+        );
         assert_eq!(metrics.snapshot().agents_eliminated, 1);
         assert_eq!(metrics.snapshot().rounds, 121);
     }

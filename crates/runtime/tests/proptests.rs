@@ -12,7 +12,11 @@ fn plan_strategy() -> impl Strategy<Value = EquivocationPlan<u64>> {
     prop_oneof![
         (0u64..100).prop_map(EquivocationPlan::Consistent),
         (0u64..100, 0u64..100, 0usize..14).prop_map(|(low, high, boundary)| {
-            EquivocationPlan::Split { low, high, boundary }
+            EquivocationPlan::Split {
+                low,
+                high,
+                boundary,
+            }
         }),
         Just(EquivocationPlan::Silent),
         Just(EquivocationPlan::Honest),

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example distributed_learning`
 
 use approx_bft::filters::{Cge, Cwtm, GradientFilter, Mean};
-use approx_bft::ml::{train_distributed, DatasetSpec, DsgdConfig, Mlp, MlFault};
+use approx_bft::ml::{train_distributed, DatasetSpec, DsgdConfig, MlFault, Mlp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DatasetSpec {
@@ -19,9 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = spec.generate(2024);
     let shards = train.shard(10, 7)?;
     let faulty = [0usize, 4, 7]; // f = 3, as in the paper
-    // The paper's η = 0.01 is tuned to LeNet's scale; our 2.4k-parameter MLP
-    // on the synthetic substitute needs a proportionally larger step
-    // (DESIGN.md §4 substitution note).
+                                 // The paper's η = 0.01 is tuned to LeNet's scale; our 2.4k-parameter MLP
+                                 // on the synthetic substitute needs a proportionally larger step
+                                 // (DESIGN.md §4 substitution note).
     let config = DsgdConfig {
         iterations: 600,
         eval_every: 100,
@@ -30,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let run = |name: &str,
-                   fault: MlFault,
-                   faulty: &[usize],
-                   filter: &dyn GradientFilter|
+               fault: MlFault,
+               faulty: &[usize],
+               filter: &dyn GradientFilter|
      -> Result<(), Box<dyn std::error::Error>> {
         let mut model = Mlp::new(&[spec.dim, 32, spec.classes], 3)?;
         let records =
@@ -47,11 +47,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("synthetic-MNIST, n = 10 agents, f = 3 faulty, MLP 64-32-10\n");
     run("fault-free (mean)", MlFault::None, &[], &Mean::new())?;
-    run("CWTM + label-flip", MlFault::LabelFlip, &faulty, &Cwtm::new())?;
-    run("CWTM + grad-reverse", MlFault::GradientReverse, &faulty, &Cwtm::new())?;
-    run("CGE + label-flip", MlFault::LabelFlip, &faulty, &Cge::averaged())?;
-    run("CGE + grad-reverse", MlFault::GradientReverse, &faulty, &Cge::averaged())?;
-    run("mean + grad-reverse", MlFault::GradientReverse, &faulty, &Mean::new())?;
+    run(
+        "CWTM + label-flip",
+        MlFault::LabelFlip,
+        &faulty,
+        &Cwtm::new(),
+    )?;
+    run(
+        "CWTM + grad-reverse",
+        MlFault::GradientReverse,
+        &faulty,
+        &Cwtm::new(),
+    )?;
+    run(
+        "CGE + label-flip",
+        MlFault::LabelFlip,
+        &faulty,
+        &Cge::averaged(),
+    )?;
+    run(
+        "CGE + grad-reverse",
+        MlFault::GradientReverse,
+        &faulty,
+        &Cge::averaged(),
+    )?;
+    run(
+        "mean + grad-reverse",
+        MlFault::GradientReverse,
+        &faulty,
+        &Mean::new(),
+    )?;
     println!("\nrobust filters track the fault-free curve; plain averaging lags or stalls.");
     Ok(())
 }

@@ -17,9 +17,7 @@ use approx_bft::filters::Cwtm;
 use approx_bft::linalg::solve::rank;
 use approx_bft::linalg::Vector;
 use approx_bft::problems::RegressionProblem;
-use approx_bft::redundancy::{
-    exact_resilient_output, measure_redundancy, RegressionOracle,
-};
+use approx_bft::redundancy::{exact_resilient_output, measure_redundancy, RegressionOracle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Eight sensors observing a 2-D state along a fan of directions, two of

@@ -14,8 +14,7 @@ use abft_core::subsets::KSubsets;
 use approx_bft::core::SystemConfig;
 use approx_bft::problems::RegressionProblem;
 use approx_bft::redundancy::{
-    exact_resilient_output, measure_redundancy, MedianOracle, NecessityScenario,
-    RegressionOracle,
+    exact_resilient_output, measure_redundancy, MedianOracle, NecessityScenario, RegressionOracle,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,13 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eps = measure_redundancy(&oracle, config)?.epsilon;
     let out = exact_resilient_output(&oracle, config)?;
     println!("regression instance: eps = {eps:.4}");
-    println!("exact algorithm output = {}  (score r_S = {:.4})", out.output, out.score);
+    println!(
+        "exact algorithm output = {}  (score r_S = {:.4})",
+        out.output, out.score
+    );
     let mut worst: f64 = 0.0;
     for subset in KSubsets::new(6, 5) {
         let x_s = problem.subset_minimizer(&subset)?;
         worst = worst.max(out.output.dist(&x_s));
     }
-    println!("worst distance to any (n-f)-subset minimizer = {worst:.4} <= 2eps = {:.4}\n", 2.0 * eps);
+    println!(
+        "worst distance to any (n-f)-subset minimizer = {worst:.4} <= 2eps = {:.4}\n",
+        2.0 * eps
+    );
 
     // --- Part 1b: non-differentiable costs (median intervals). -----------
     let centers = vec![0.95, 1.0, 1.05, 1.2, 0.8];
@@ -48,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = exact_resilient_output(&scenario, scenario.config())?;
     let (d1, d2) = scenario.judge(out.output[0]);
     println!("necessity counterexample (eps = 0.5, delta = 0.1):");
-    println!("scenario minimizers: x_S = {:.2}, x_B∪Ŝ = {:.2}", scenario.x_s(), scenario.x_bs());
+    println!(
+        "scenario minimizers: x_S = {:.2}, x_B∪Ŝ = {:.2}",
+        scenario.x_s(),
+        scenario.x_bs()
+    );
     println!("exact algorithm output = {:.4}", out.output[0]);
     println!("distance to scenario (i)  minimizer: {d1:.3}");
     println!("distance to scenario (ii) minimizer: {d2:.3}");

@@ -15,7 +15,15 @@ use approx_bft::redundancy::{measure_redundancy, RegressionOracle};
 
 /// Filters with guarantees at n = 6, f = 1 (Bulyan needs n >= 4f + 3 = 7 and
 /// is exercised in the grid experiment instead).
-const FILTERS: [&str; 7] = ["cge", "cwtm", "cwmed", "geomed", "krum", "multi-krum", "mean"];
+const FILTERS: [&str; 7] = [
+    "cge",
+    "cwtm",
+    "cwmed",
+    "geomed",
+    "krum",
+    "multi-krum",
+    "mean",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = RegressionProblem::paper_instance();

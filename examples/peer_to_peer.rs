@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &options,
     )?;
 
-    println!("server-based        : dist = {:.5}", server.final_distance());
+    println!(
+        "server-based        : dist = {:.5}",
+        server.final_distance()
+    );
     println!(
         "p2p (consistent lie): dist = {:.5}  broadcasts = {}  messages = {}",
         consistent.result.final_distance(),

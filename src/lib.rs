@@ -18,14 +18,19 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`core`] | agent ids, `(n, f)` configuration, traces, subsets |
-//! | [`linalg`] | vectors, matrices, solvers, eigenvalues (from scratch) |
-//! | [`problems`] | cost functions, the paper's regression dataset, µ/γ analysis |
-//! | [`filters`] | CGE, CWTM + nine baseline robust aggregators |
-//! | [`attacks`] | gradient-reverse, random (σ=200), ALIE, … |
+//! | [`linalg`] | vectors, matrices, solvers, eigenvalues (from scratch), and [`linalg::GradientBatch`] — the contiguous `n × d` arena the whole aggregation path runs on |
+//! | [`problems`] | cost functions with in-place `gradient_into`, the paper's regression dataset, µ/γ analysis |
+//! | [`filters`] | CGE, CWTM + nine baseline robust aggregators, each implementing the zero-copy `aggregate_into` batch path (the `&[Vector]` signature remains as a thin adapter) |
+//! | [`attacks`] | gradient-reverse, random (σ=200), ALIE, … — forging directly into batch rows via `corrupt_into` |
 //! | [`redundancy`] | ε measurement, Theorem-2 exact algorithm, bounds, necessity witness |
-//! | [`dgd`] | the Section-4 DGD loop with projection and schedules |
-//! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast |
-//! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD |
+//! | [`dgd`] | the Section-4 DGD loop with projection and schedules; one batch + scratch reused across all `T` iterations (zero per-iteration gradient allocations) |
+//! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast, aggregating off the wire into reused batches |
+//! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
+//!
+//! The gradient data path — who produces into and who consumes out of a
+//! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
+//! gradient data path”, together with how the `filters_batch` bench is
+//! run.
 //!
 //! # Quickstart
 //!
@@ -63,7 +68,9 @@ pub use abft_runtime as runtime;
 
 /// One-stop prelude for downstream users.
 pub mod prelude {
-    pub use abft_attacks::{attack_by_name, AttackContext, ByzantineStrategy, GradientReverse, RandomGaussian};
+    pub use abft_attacks::{
+        attack_by_name, AttackContext, ByzantineStrategy, GradientReverse, RandomGaussian,
+    };
     pub use abft_core::prelude::*;
     pub use abft_dgd::prelude::*;
     pub use abft_filters::{all_filters, by_name, Cge, Cwtm, GradientFilter, Mean};

@@ -138,8 +138,8 @@ fn cge_loses_its_guarantee_past_the_alpha_threshold() {
     let honest: Vec<usize> = (3..12).collect();
     let x_h = problem.subset_minimizer(&honest).expect("full rank");
 
-    let constants = approx_bft::problems::analysis::convexity_constants(&problem)
-        .expect("computable");
+    let constants =
+        approx_bft::problems::analysis::convexity_constants(&problem).expect("computable");
     let alpha = approx_bft::redundancy::cge_alpha(12, 3, constants.mu, constants.gamma);
     assert!(alpha < 0.0, "this instance should violate the alpha margin");
 
@@ -156,7 +156,10 @@ fn cge_loses_its_guarantee_past_the_alpha_threshold() {
         .run(&approx_bft::filters::Cge::new(), &options)
         .expect("runs")
         .final_distance();
-    assert!(d > 1.0, "expected CGE to fail past the threshold, got d = {d}");
+    assert!(
+        d > 1.0,
+        "expected CGE to fail past the threshold, got d = {d}"
+    );
 }
 
 #[test]

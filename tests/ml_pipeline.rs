@@ -24,7 +24,7 @@ fn quick_config() -> DsgdConfig {
     DsgdConfig {
         batch_size: 32,
         learning_rate_milli: 200,
-        iterations: 300,
+        iterations: 450,
         eval_every: 100,
         seed: 5,
     }
@@ -81,8 +81,20 @@ fn plain_averaging_lags_under_gradient_reverse() {
     let shards = train.shard(10, 1).expect("shardable");
     let faulty = [0usize, 4, 7];
     let baseline = train_mlp(&shards, &test, &[], MlFault::None, &Mean::new());
-    let robust = train_mlp(&shards, &test, &faulty, MlFault::GradientReverse, &Cwtm::new());
-    let naive = train_mlp(&shards, &test, &faulty, MlFault::GradientReverse, &Mean::new());
+    let robust = train_mlp(
+        &shards,
+        &test,
+        &faulty,
+        MlFault::GradientReverse,
+        &Cwtm::new(),
+    );
+    let naive = train_mlp(
+        &shards,
+        &test,
+        &faulty,
+        MlFault::GradientReverse,
+        &Mean::new(),
+    );
     assert!(
         robust > naive + 0.05,
         "CWTM ({robust}) should clearly beat mean ({naive}) at f/n = 0.3"

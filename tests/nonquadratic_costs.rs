@@ -86,12 +86,8 @@ fn huber_regression_with_a_byzantine_agent() {
     let costs: Vec<SharedCost> = (0..6)
         .map(|i| {
             Arc::new(
-                HuberCost::new(
-                    paper.matrix().row_vector(i),
-                    paper.observations()[i],
-                    0.5,
-                )
-                .expect("valid delta"),
+                HuberCost::new(paper.matrix().row_vector(i), paper.observations()[i], 0.5)
+                    .expect("valid delta"),
             ) as SharedCost
         })
         .collect();

@@ -30,7 +30,11 @@ fn section_5_scalars_match_the_paper() {
 
     let c = convexity_constants(&problem).expect("computable");
     assert!((c.mu - 2.0).abs() < 1e-9, "mu = {} vs paper 2", c.mu);
-    assert!((c.gamma - 0.712).abs() < 5e-4, "gamma = {} vs paper 0.712", c.gamma);
+    assert!(
+        (c.gamma - 0.712).abs() < 5e-4,
+        "gamma = {} vs paper 0.712",
+        c.gamma
+    );
 }
 
 /// Runs one Table-1 cell and returns the final distance to x_H.
@@ -119,14 +123,20 @@ fn figure_3_zoom_is_a_prefix_of_figure_2() {
         .with_byzantine(0, Box::new(GradientReverse::new()))
         .expect("valid");
     let long = sim
-        .run(&Cwtm::new(), &RunOptions::paper_defaults_with_iterations(x_h.clone(), 1500))
+        .run(
+            &Cwtm::new(),
+            &RunOptions::paper_defaults_with_iterations(x_h.clone(), 1500),
+        )
         .expect("runs");
     let mut sim2 = DgdSimulation::new(*problem.config(), problem.costs())
         .expect("costs match")
         .with_byzantine(0, Box::new(GradientReverse::new()))
         .expect("valid");
     let short = sim2
-        .run(&Cwtm::new(), &RunOptions::paper_defaults_with_iterations(x_h, 80))
+        .run(
+            &Cwtm::new(),
+            &RunOptions::paper_defaults_with_iterations(x_h, 80),
+        )
         .expect("runs");
     // Determinism: the 80-iteration run is exactly the long run's prefix.
     for (a, b) in short.trace.records()[..80]
@@ -146,7 +156,9 @@ fn fault_free_dgd_reaches_the_global_minimizer() {
     let a = paper.matrix().select_rows(&[1, 2, 3, 4, 5]);
     let b = Vector::from_fn(5, |k| paper.observations()[k + 1]);
     let problem = RegressionProblem::new(config, a, b).expect("shapes match");
-    let x_h = problem.subset_minimizer(&[0, 1, 2, 3, 4]).expect("full rank");
+    let x_h = problem
+        .subset_minimizer(&[0, 1, 2, 3, 4])
+        .expect("full rank");
     let mut sim = DgdSimulation::new(config, problem.costs()).expect("costs match");
     let run = sim
         .run(&Mean::new(), &RunOptions::paper_defaults(x_h))

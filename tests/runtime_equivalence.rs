@@ -12,7 +12,9 @@ use std::collections::BTreeMap;
 
 fn setup(iterations: usize) -> (RegressionProblem, RunOptions) {
     let problem = RegressionProblem::paper_instance();
-    let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
     let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
     (problem, options)
 }
@@ -128,7 +130,14 @@ fn eig_agreement_fuzz_over_adversary_space() {
         for boundary in 0..=4 {
             for (low, high) in [(1u64, 2u64), (9, 9)] {
                 let mut faulty = BTreeMap::new();
-                faulty.insert(sender, EquivocationPlan::Split { low, high, boundary });
+                faulty.insert(
+                    sender,
+                    EquivocationPlan::Split {
+                        low,
+                        high,
+                        boundary,
+                    },
+                );
                 let outcome =
                     eig_broadcast(config, sender, 42u64, 0, &faulty).expect("broadcast runs");
                 let honest: Vec<usize> = (0..4).filter(|&p| p != sender).collect();
@@ -158,8 +167,7 @@ fn eig_validity_fuzz_with_faulty_relayers() {
                 },
             );
             faulty.insert(relayer_b, EquivocationPlan::Consistent(77));
-            let outcome =
-                eig_broadcast(config, 0, 42u64, 0, &faulty).expect("broadcast runs");
+            let outcome = eig_broadcast(config, 0, 42u64, 0, &faulty).expect("broadcast runs");
             let honest: Vec<usize> = (0..7)
                 .filter(|p| *p != relayer_a && *p != relayer_b)
                 .collect();

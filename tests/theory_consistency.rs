@@ -40,10 +40,12 @@ fn theorem_2_guarantee_on_the_paper_instance_with_byzantine_costs() {
         let mut obs = honest.observations().clone();
         obs[0] = b0;
         let submitted = RegressionProblem::new(config, matrix, obs).expect("shapes");
-        let out = exact_resilient_output(&RegressionOracle::new(&submitted), config)
-            .expect("computable");
+        let out =
+            exact_resilient_output(&RegressionOracle::new(&submitted), config).expect("computable");
         // Every all-honest quorum is {1..5}; the guarantee must hold for it.
-        let x_h = honest.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+        let x_h = honest
+            .subset_minimizer(&[1, 2, 3, 4, 5])
+            .expect("full rank");
         let d = out.output.dist(&x_h);
         assert!(
             d <= 2.0 * eps + 1e-9,
@@ -88,7 +90,9 @@ fn theorem_5_certifies_the_observed_cge_error() {
         .expect("Theorem 5 margin is positive on the paper instance");
     let certified_radius = d5 * eps;
 
-    let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
     let mut sim = DgdSimulation::new(config, problem.costs())
         .expect("costs match")
         .with_byzantine(0, Box::new(GradientReverse::new()))
@@ -142,8 +146,8 @@ fn noiseless_fan_instances_are_exactly_resilient() {
             .expect("measurable")
             .epsilon;
         assert!(eps < 1e-8, "noiseless eps = {eps}");
-        let out = exact_resilient_output(&RegressionOracle::new(&problem), config)
-            .expect("computable");
+        let out =
+            exact_resilient_output(&RegressionOracle::new(&problem), config).expect("computable");
         let truth = Vector::from(vec![1.0, 1.0]);
         assert!(out.output.approx_eq(&truth, 1e-6));
         for subset in KSubsets::new(n, n - 1) {

@@ -1,0 +1,254 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! This workspace builds without network access, so the benchmark surface
+//! it uses is vendored here: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology (simpler than upstream, honest about what it is): each
+//! benchmark is warmed up, then timed over `sample_size` samples of an
+//! adaptively chosen batch size targeting ~25 ms per sample; the median,
+//! minimum, and maximum per-iteration times are printed. There is no
+//! statistical regression analysis and no HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Runs the closure handed to `Bencher::iter` and measures it.
+pub struct Bencher {
+    /// Median/min/max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes long enough to time reliably.
+        let mut batch = 1u64;
+        let calibration = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        let per_sample =
+            (SAMPLE_TARGET.as_secs_f64() / calibration.max(1e-9)).clamp(1.0, 1e7) as u64;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        self.result = Some((median, min, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            result: None,
+            samples: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            result: None,
+            samples: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        match bencher.result {
+            Some((median, min, max)) => {
+                println!(
+                    "{}/{:<40} time: [{} {} {}]",
+                    self.name,
+                    id.id,
+                    format_ns(min),
+                    format_ns(median),
+                    format_ns(max)
+                );
+                self.criterion
+                    .results
+                    .push((format!("{}/{}", self.name, id.id), median));
+            }
+            None => println!("{}/{} produced no measurement", self.name, id.id),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full id, median ns/iter)` for every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0, "median time must be positive");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        let id = BenchmarkId::new("cge", "n100_d10000");
+        assert_eq!(id.id, "cge/n100_d10000");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! This workspace only uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver}`; a Mutex + Condvar MPMC queue provides the same semantics
+//! (cloneable ends, blocking `recv`, disconnect on last-drop) at thread
+//! counts where contention is irrelevant.
+
+pub mod channel {
+    //! Unbounded MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only when every receiver has been
+        /// dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty;
+        /// fails once it is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = state.items.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().expect("channel lock").receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn values_arrive_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_last_sender_drops() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_last_receiver_drops() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn blocking_recv_crosses_threads() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || rx.recv().unwrap());
+            tx.send(42u64).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+    }
+}
