@@ -36,11 +36,13 @@ pub mod csv;
 pub mod error;
 pub mod subsets;
 pub mod trace;
+pub mod validate;
 
 pub use agent::{AgentId, AgentRole};
 pub use config::SystemConfig;
 pub use error::CoreError;
 pub use trace::{IterationRecord, Trace};
+pub use validate::ValidationError;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {

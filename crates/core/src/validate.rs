@@ -1,0 +1,333 @@
+//! Shared configuration validation for every DGD driver.
+//!
+//! Before the scenario layer existed, each runtime — the in-process
+//! simulation, the thread-per-agent server, and the peer-to-peer runtime —
+//! carried its own copy of the same three checks: the cost count must match
+//! `n`, the costs must agree on a dimension, and the run options' `x0` and
+//! `reference` points must live in that dimension. This module is the single
+//! home for those checks (plus the fault-budget bookkeeping every driver
+//! repeats), so the error wording and the rules themselves cannot drift
+//! between backends.
+//!
+//! Driver crates convert [`ValidationError`] into their own error enums via
+//! `From` impls, preserving the variant structure their callers match on
+//! (dimension problems stay dimension errors, everything else becomes a
+//! configuration error).
+
+use crate::config::SystemConfig;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A structural problem with a driver's configuration, detected before any
+/// iteration runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The number of supplied costs differs from the configured `n`.
+    CostCount {
+        /// Costs supplied by the caller.
+        supplied: usize,
+        /// Agents configured.
+        n: usize,
+    },
+    /// The supplied costs disagree on the decision-variable dimension.
+    MixedCostDimensions {
+        /// Dimension of the first cost.
+        expected: usize,
+        /// Index of the first offending cost.
+        index: usize,
+        /// Its dimension.
+        actual: usize,
+    },
+    /// No costs were supplied at all.
+    NoCosts,
+    /// A run-option point (`x0` or `reference`) has the wrong dimension.
+    PointDimension {
+        /// Which point is wrong (`"x0"` or `"reference"`).
+        what: &'static str,
+        /// The costs' common dimension.
+        expected: usize,
+        /// The point's dimension.
+        actual: usize,
+    },
+    /// A fault was assigned to an agent index outside `0..n`.
+    AgentOutOfRange {
+        /// The offending index.
+        agent: usize,
+        /// Total number of agents.
+        n: usize,
+    },
+    /// The same agent was assigned two fault behaviours.
+    AlreadyFaulty {
+        /// The doubly-assigned agent.
+        agent: usize,
+    },
+    /// More faults were assigned than the configured budget `f`.
+    FaultBudgetExceeded {
+        /// The configured budget.
+        f: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::CostCount { supplied, n } => {
+                write!(f, "{supplied} costs supplied for {n} agents")
+            }
+            ValidationError::MixedCostDimensions {
+                expected,
+                index,
+                actual,
+            } => write!(
+                f,
+                "agent costs disagree on dimension: cost 0 has dim {expected}, \
+                 cost {index} has dim {actual}"
+            ),
+            ValidationError::NoCosts => write!(f, "no costs supplied"),
+            ValidationError::PointDimension {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has dim {actual}, costs have dim {expected}"),
+            ValidationError::AgentOutOfRange { agent, n } => {
+                write!(f, "agent {agent} out of range for n = {n}")
+            }
+            ValidationError::AlreadyFaulty { agent } => {
+                write!(f, "agent {agent} is already faulty")
+            }
+            ValidationError::FaultBudgetExceeded { f: budget } => {
+                write!(f, "fault budget f = {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that exactly `n` costs were supplied and that they agree on a
+/// dimension, returning that common dimension.
+///
+/// # Errors
+///
+/// Returns [`ValidationError::CostCount`], [`ValidationError::NoCosts`], or
+/// [`ValidationError::MixedCostDimensions`].
+///
+/// # Example
+///
+/// ```
+/// use abft_core::validate::cost_dimension;
+///
+/// assert_eq!(cost_dimension(3, [2, 2, 2].into_iter()), Ok(2));
+/// assert!(cost_dimension(3, [2, 2].into_iter()).is_err()); // count mismatch
+/// assert!(cost_dimension(2, [2, 3].into_iter()).is_err()); // mixed dims
+/// ```
+pub fn cost_dimension(
+    n: usize,
+    dims: impl ExactSizeIterator<Item = usize>,
+) -> Result<usize, ValidationError> {
+    if dims.len() != n {
+        return Err(ValidationError::CostCount {
+            supplied: dims.len(),
+            n,
+        });
+    }
+    let mut expected = None;
+    for (index, actual) in dims.enumerate() {
+        match expected {
+            None => expected = Some(actual),
+            Some(dim) if dim != actual => {
+                return Err(ValidationError::MixedCostDimensions {
+                    expected: dim,
+                    index,
+                    actual,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    expected.ok_or(ValidationError::NoCosts)
+}
+
+/// Checks that the run options' initial estimate and reference point both
+/// live in the costs' dimension.
+///
+/// # Errors
+///
+/// Returns [`ValidationError::PointDimension`] naming the offending point.
+pub fn run_point_dimensions(
+    dim: usize,
+    x0_dim: usize,
+    reference_dim: usize,
+) -> Result<(), ValidationError> {
+    for (what, actual) in [("x0", x0_dim), ("reference", reference_dim)] {
+        if actual != dim {
+            return Err(ValidationError::PointDimension {
+                what,
+                expected: dim,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Tracks fault assignments against a configuration's budget `f`.
+///
+/// Every driver enforces the same three rules when marking agents faulty
+/// (Byzantine or crash-scheduled): the index must be in range, an agent may
+/// carry at most one fault behaviour, and at most `f` agents may be faulty.
+///
+/// # Example
+///
+/// ```
+/// use abft_core::{validate::FaultBudget, SystemConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystemConfig::new(6, 1)?;
+/// let mut budget = FaultBudget::new(&config);
+/// budget.assign(0)?; // first fault fits the budget
+/// assert!(budget.assign(0).is_err()); // duplicate assignment
+/// assert!(budget.assign(1).is_err()); // budget f = 1 exhausted
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultBudget {
+    n: usize,
+    f: usize,
+    assigned: BTreeSet<usize>,
+}
+
+impl FaultBudget {
+    /// A fresh budget for the given configuration.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self::with_limits(config.n(), config.f())
+    }
+
+    /// A budget over raw `(n, f)` limits, for drivers (e.g. robust D-SGD)
+    /// whose fault count is derived from the workload rather than a
+    /// [`SystemConfig`].
+    pub fn with_limits(n: usize, f: usize) -> Self {
+        FaultBudget {
+            n,
+            f,
+            assigned: BTreeSet::new(),
+        }
+    }
+
+    /// Marks `agent` faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::AgentOutOfRange`],
+    /// [`ValidationError::AlreadyFaulty`], or
+    /// [`ValidationError::FaultBudgetExceeded`].
+    pub fn assign(&mut self, agent: usize) -> Result<(), ValidationError> {
+        if agent >= self.n {
+            return Err(ValidationError::AgentOutOfRange { agent, n: self.n });
+        }
+        if self.assigned.contains(&agent) {
+            return Err(ValidationError::AlreadyFaulty { agent });
+        }
+        if self.assigned.len() >= self.f {
+            return Err(ValidationError::FaultBudgetExceeded { f: self.f });
+        }
+        self.assigned.insert(agent);
+        Ok(())
+    }
+
+    /// Number of agents assigned so far.
+    pub fn assigned(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// `true` when `agent` already carries a fault behaviour.
+    pub fn is_faulty(&self, agent: usize) -> bool {
+        self.assigned.contains(&agent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_dimension_happy_path() {
+        assert_eq!(cost_dimension(4, std::iter::repeat_n(7, 4)), Ok(7));
+    }
+
+    #[test]
+    fn cost_dimension_rejects_count_mismatch() {
+        assert_eq!(
+            cost_dimension(3, [2, 2].into_iter()),
+            Err(ValidationError::CostCount { supplied: 2, n: 3 })
+        );
+    }
+
+    #[test]
+    fn cost_dimension_rejects_mixed_dims() {
+        assert_eq!(
+            cost_dimension(3, [2, 2, 5].into_iter()),
+            Err(ValidationError::MixedCostDimensions {
+                expected: 2,
+                index: 2,
+                actual: 5
+            })
+        );
+    }
+
+    #[test]
+    fn cost_dimension_rejects_empty() {
+        assert_eq!(
+            cost_dimension(0, std::iter::empty()),
+            Err(ValidationError::NoCosts)
+        );
+    }
+
+    #[test]
+    fn run_point_dimensions_names_the_offender() {
+        assert!(run_point_dimensions(2, 2, 2).is_ok());
+        let err = run_point_dimensions(2, 3, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::PointDimension { what: "x0", .. }
+        ));
+        let err = run_point_dimensions(2, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("reference"));
+    }
+
+    #[test]
+    fn fault_budget_enforces_all_three_rules() {
+        let config = SystemConfig::new(6, 2).unwrap();
+        let mut budget = FaultBudget::new(&config);
+        assert!(matches!(
+            budget.assign(6),
+            Err(ValidationError::AgentOutOfRange { agent: 6, n: 6 })
+        ));
+        budget.assign(1).unwrap();
+        assert!(matches!(
+            budget.assign(1),
+            Err(ValidationError::AlreadyFaulty { agent: 1 })
+        ));
+        budget.assign(3).unwrap();
+        assert_eq!(budget.assigned(), 2);
+        assert!(budget.is_faulty(3));
+        assert!(!budget.is_faulty(0));
+        assert!(matches!(
+            budget.assign(0),
+            Err(ValidationError::FaultBudgetExceeded { f: 2 })
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = ValidationError::CostCount { supplied: 5, n: 6 };
+        assert!(err.to_string().contains("5 costs supplied for 6 agents"));
+        let err = ValidationError::PointDimension {
+            what: "x0",
+            expected: 2,
+            actual: 3,
+        };
+        assert!(err.to_string().contains("x0"));
+    }
+}

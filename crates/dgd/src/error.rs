@@ -1,6 +1,6 @@
 //! Error type for the DGD driver.
 
-use abft_core::CoreError;
+use abft_core::{CoreError, ValidationError};
 use abft_filters::FilterError;
 use std::fmt;
 
@@ -63,6 +63,26 @@ impl From<FilterError> for DgdError {
 impl From<CoreError> for DgdError {
     fn from(e: CoreError) -> Self {
         DgdError::Core(e)
+    }
+}
+
+impl From<ValidationError> for DgdError {
+    fn from(e: ValidationError) -> Self {
+        match e {
+            ValidationError::MixedCostDimensions { expected, .. } => DgdError::Dimension {
+                expected: format!("all costs of dim {expected}"),
+                actual: e.to_string(),
+            },
+            ValidationError::PointDimension {
+                what,
+                expected,
+                actual,
+            } => DgdError::Dimension {
+                expected: format!("{what} of dim {expected}"),
+                actual: format!("{what} of dim {actual}"),
+            },
+            other => DgdError::Config(other.to_string()),
+        }
     }
 }
 

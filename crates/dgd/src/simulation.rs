@@ -4,6 +4,7 @@ use crate::error::DgdError;
 use crate::projection::ProjectionSet;
 use crate::schedule::StepSchedule;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::validate::{self, FaultBudget};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector};
@@ -84,6 +85,7 @@ pub struct DgdSimulation {
     costs: Vec<SharedCost>,
     strategies: BTreeMap<usize, Box<dyn ByzantineStrategy>>,
     crash_at: BTreeMap<usize, usize>,
+    budget: FaultBudget,
 }
 
 impl DgdSimulation {
@@ -94,25 +96,13 @@ impl DgdSimulation {
     /// Returns [`DgdError::Config`] when the cost count differs from
     /// `config.n()` or the costs disagree on dimension.
     pub fn new(config: SystemConfig, costs: Vec<SharedCost>) -> Result<Self, DgdError> {
-        if costs.len() != config.n() {
-            return Err(DgdError::Config(format!(
-                "{} costs supplied for {} agents",
-                costs.len(),
-                config.n()
-            )));
-        }
-        let dim = costs[0].dim();
-        if costs.iter().any(|c| c.dim() != dim) {
-            return Err(DgdError::Dimension {
-                expected: format!("all costs of dim {dim}"),
-                actual: "mixed dimensions".to_string(),
-            });
-        }
+        validate::cost_dimension(config.n(), costs.iter().map(|c| c.dim()))?;
         Ok(DgdSimulation {
             config,
             costs,
             strategies: BTreeMap::new(),
             crash_at: BTreeMap::new(),
+            budget: FaultBudget::new(&config),
         })
     }
 
@@ -127,7 +117,7 @@ impl DgdSimulation {
         agent: usize,
         strategy: Box<dyn ByzantineStrategy>,
     ) -> Result<Self, DgdError> {
-        self.check_fault_assignment(agent)?;
+        self.budget.assign(agent)?;
         self.strategies.insert(agent, strategy);
         Ok(self)
     }
@@ -141,28 +131,9 @@ impl DgdSimulation {
     /// Returns [`DgdError::Config`] under the same conditions as
     /// [`DgdSimulation::with_byzantine`].
     pub fn with_crash(mut self, agent: usize, at_iteration: usize) -> Result<Self, DgdError> {
-        self.check_fault_assignment(agent)?;
+        self.budget.assign(agent)?;
         self.crash_at.insert(agent, at_iteration);
         Ok(self)
-    }
-
-    fn check_fault_assignment(&self, agent: usize) -> Result<(), DgdError> {
-        if agent >= self.config.n() {
-            return Err(DgdError::Config(format!(
-                "agent {agent} out of range for n = {}",
-                self.config.n()
-            )));
-        }
-        if self.strategies.contains_key(&agent) || self.crash_at.contains_key(&agent) {
-            return Err(DgdError::Config(format!("agent {agent} is already faulty")));
-        }
-        if self.strategies.len() + self.crash_at.len() >= self.config.f() {
-            return Err(DgdError::Config(format!(
-                "fault budget f = {} exhausted",
-                self.config.f()
-            )));
-        }
-        Ok(())
     }
 
     /// The system configuration.
@@ -194,17 +165,29 @@ impl DgdSimulation {
         filter: &dyn GradientFilter,
         options: &RunOptions,
     ) -> Result<RunResult, DgdError> {
+        let mut workspace = RoundWorkspace::new();
+        self.run_with_workspace(filter, options, &mut workspace)
+    }
+
+    /// [`DgdSimulation::run`] with caller-owned round state.
+    ///
+    /// The workspace (gradient batch, scratch vectors, aggregate) is sized
+    /// on entry and reused across all `T` iterations; callers that drive
+    /// many simulations of the same shape — e.g. a scenario suite worker —
+    /// pass the same workspace to every run so even the per-*run* setup
+    /// allocations disappear after the first execution.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdSimulation::run`].
+    pub fn run_with_workspace(
+        &mut self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        workspace: &mut RoundWorkspace,
+    ) -> Result<RunResult, DgdError> {
         let dim = self.costs[0].dim();
-        if options.x0.dim() != dim || options.reference.dim() != dim {
-            return Err(DgdError::Dimension {
-                expected: format!("x0 and reference of dim {dim}"),
-                actual: format!(
-                    "x0 dim {}, reference dim {}",
-                    options.x0.dim(),
-                    options.reference.dim()
-                ),
-            });
-        }
+        validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
 
         let honest = self.honest_agents();
         let mut trace = Trace::new(filter.name());
@@ -213,28 +196,26 @@ impl DgdSimulation {
         let mut eliminated: Vec<bool> = vec![false; self.config.n()];
         let mut server_f = self.config.f();
 
-        // Round state allocated once and reused across all T iterations:
-        // the contiguous gradient batch, the aggregate, a scratch vector
-        // for faulty agents' true gradients, and the honest-row index list
-        // omniscient attacks read. The inner loop allocates nothing.
-        let mut round = RoundState {
-            batch: GradientBatch::with_capacity(self.config.n(), dim),
-            honest_rows: Vec::with_capacity(self.config.n()),
-            true_gradient: Vector::zeros(dim),
-            forged: Vector::zeros(dim),
-        };
-        let mut aggregated = Vector::zeros(dim);
+        // Round state sized once and reused across all T iterations (and,
+        // via the workspace, across runs): the contiguous gradient batch,
+        // the aggregate, a scratch vector for faulty agents' true
+        // gradients, and the honest-row index list omniscient attacks
+        // read. The inner loop allocates nothing.
+        workspace.ensure(self.config.n(), dim);
+        let RoundWorkspace {
+            round, aggregated, ..
+        } = workspace;
 
         let mut x = options.projection.project(&options.x0);
         for t in 0..options.iterations {
-            self.collect_round(t, &x, &mut eliminated, &mut server_f, &mut round);
-            filter.aggregate_into(&round.batch, server_f, &mut aggregated)?;
+            self.collect_round(t, &x, &mut eliminated, &mut server_f, round);
+            filter.aggregate_into(&round.batch, server_f, aggregated)?;
             if aggregated.has_non_finite() || x.has_non_finite() {
                 return Err(DgdError::Diverged { iteration: t });
             }
-            trace.push(self.record(t, &x, &aggregated, &honest, options));
+            trace.push(self.record(t, &x, aggregated, &honest, options));
             let eta = options.schedule.eta(t);
-            x.axpy(-eta, &aggregated);
+            x.axpy(-eta, aggregated);
             options.projection.project_in_place(&mut x);
         }
 
@@ -244,10 +225,10 @@ impl DgdSimulation {
             &x,
             &mut eliminated,
             &mut server_f,
-            &mut round,
+            round,
         );
-        filter.aggregate_into(&round.batch, server_f, &mut aggregated)?;
-        trace.push(self.record(options.iterations, &x, &aggregated, &honest, options));
+        filter.aggregate_into(&round.batch, server_f, aggregated)?;
+        trace.push(self.record(options.iterations, &x, aggregated, &honest, options));
 
         Ok(RunResult {
             trace,
@@ -371,6 +352,60 @@ struct RoundState {
     honest_rows: Vec<usize>,
     true_gradient: Vector,
     forged: Vector,
+}
+
+/// Reusable working memory for [`DgdSimulation::run_with_workspace`]: the
+/// gradient batch, the aggregate vector, and the per-round scratch state.
+///
+/// A workspace is shape-agnostic at construction and sizes itself to the
+/// simulation on first use; it only reallocates when the `(n, d)` shape
+/// changes between runs. Suite drivers keep one per worker thread so a
+/// whole grid of same-shape scenarios shares a single gradient buffer.
+#[derive(Default)]
+pub struct RoundWorkspace {
+    round: RoundState,
+    aggregated: Vector,
+    /// The `(n, dim)` shape the buffers were last sized for.
+    shape: (usize, usize),
+}
+
+impl Default for RoundState {
+    fn default() -> Self {
+        RoundState {
+            batch: GradientBatch::new(0),
+            honest_rows: Vec::new(),
+            true_gradient: Vector::zeros(0),
+            forged: Vector::zeros(0),
+        }
+    }
+}
+
+impl RoundWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `n` agents of dimension `dim`.
+    pub fn with_capacity(n: usize, dim: usize) -> Self {
+        let mut ws = Self::new();
+        ws.ensure(n, dim);
+        ws
+    }
+
+    /// Sizes the buffers for an `(n, dim)`-shaped run, reallocating only
+    /// when the shape actually grew or changed dimension.
+    fn ensure(&mut self, n: usize, dim: usize) {
+        let (rows, width) = self.shape;
+        if width != dim || rows < n {
+            self.round.batch = GradientBatch::with_capacity(n, dim);
+            self.round.true_gradient = Vector::zeros(dim);
+            self.round.forged = Vector::zeros(dim);
+            self.aggregated = Vector::zeros(dim);
+            self.round.honest_rows.reserve(n);
+            self.shape = (n, dim);
+        }
+    }
 }
 
 /// `⟨x − reference, g⟩` without materializing the offset.

@@ -1,28 +1,22 @@
 //! Table 1 and Figures 2–3: the distributed linear regression experiments.
+//!
+//! Every execution here is one [`Scenario`] on the in-process backend; the
+//! historical hand-wired `DgdSimulation` setup lives inside the builder.
 
-use abft_attacks::{ByzantineStrategy, GradientReverse, RandomGaussian};
 use abft_core::csv::CsvTable;
-use abft_dgd::{DgdSimulation, RunOptions, RunResult};
-use abft_filters::{Cge, Cwtm, GradientFilter, Mean};
+use abft_dgd::RunOptions;
 use abft_linalg::Vector;
 use abft_problems::RegressionProblem;
 use abft_redundancy::{measure_redundancy, RegressionOracle};
+use abft_scenario::{Backend, InProcess, RunReport, Scenario};
 use std::error::Error;
 use std::path::Path;
 
-/// The paper's two simulated fault behaviours.
+/// The paper's two simulated fault behaviours (registry names).
 const ATTACKS: [&str; 2] = ["gradient-reverse", "random"];
 
 /// Seed for the random attack (fixed across runs for reproducibility).
 const ATTACK_SEED: u64 = 2021;
-
-fn make_attack(name: &str) -> Box<dyn ByzantineStrategy> {
-    match name {
-        "gradient-reverse" => Box::new(GradientReverse::new()),
-        "random" => Box::new(RandomGaussian::paper(ATTACK_SEED)),
-        other => unreachable!("unknown paper attack {other}"),
-    }
-}
 
 /// Runs one execution with agent 0 Byzantine (or fault-free with the agent
 /// omitted when `attack` is `None` — the paper's blue baseline).
@@ -30,26 +24,32 @@ fn run_execution(
     problem: &RegressionProblem,
     x_h: &Vector,
     attack: Option<&str>,
-    filter: &dyn GradientFilter,
+    filter: &str,
     iterations: usize,
-) -> Result<RunResult, Box<dyn Error>> {
+) -> Result<RunReport, Box<dyn Error>> {
     let options = RunOptions::paper_defaults_with_iterations(x_h.clone(), iterations);
-    match attack {
-        Some(name) => {
-            let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
-                .with_byzantine(0, make_attack(name))?;
-            Ok(sim.run(filter, &options)?)
-        }
+    let scenario = match attack {
+        Some(name) => Scenario::builder()
+            .problem(problem)
+            .faults(1)
+            .attack_seeded(0, name, ATTACK_SEED)
+            .filter(filter)
+            .options(options)
+            .build()?,
         None => {
             // Fault-free: the faulty agent is omitted entirely (n = 5, f = 0).
             let config = abft_core::SystemConfig::new(5, 0)?;
             let a = problem.matrix().select_rows(&[1, 2, 3, 4, 5]);
             let b = Vector::from_fn(5, |k| problem.observations()[k + 1]);
             let sub = RegressionProblem::new(config, a, b)?;
-            let mut sim = DgdSimulation::new(config, sub.costs())?;
-            Ok(sim.run(filter, &options)?)
+            Scenario::builder()
+                .problem(&sub)
+                .filter(filter)
+                .options(options)
+                .build()?
         }
-    }
+    };
+    Ok(InProcess.run(&scenario)?)
 }
 
 /// Reproduces Table 1: `x_out = x_500` and `dist(x_H, x_out)` for CGE and
@@ -67,13 +67,9 @@ pub fn table1(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         "dist(x_H, x_out)".into(),
         "< eps".into(),
     ]);
-    let filters: [(&str, Box<dyn GradientFilter>); 2] = [
-        ("CGE", Box::new(Cge::new())),
-        ("CWTM", Box::new(Cwtm::new())),
-    ];
-    for (name, filter) in &filters {
+    for (name, filter) in [("CGE", "cge"), ("CWTM", "cwtm")] {
         for attack in ATTACKS {
-            let result = run_execution(&problem, &x_h, Some(attack), filter.as_ref(), 500)?;
+            let result = run_execution(&problem, &x_h, Some(attack), filter, 500)?;
             let d = result.final_distance();
             table.push_row(vec![
                 name.to_string(),
@@ -111,11 +107,11 @@ pub fn figure2(out_dir: &Path, iterations: usize, tag: &str) -> Result<(), Box<d
 
     for attack in ATTACKS {
         // The four curves of the figure.
-        let runs: [(&str, Option<&str>, Box<dyn GradientFilter>); 4] = [
-            ("fault-free", None, Box::new(Mean::new())),
-            ("CWTM", Some(attack), Box::new(Cwtm::new())),
-            ("CGE", Some(attack), Box::new(Cge::new())),
-            ("plain-gd", Some(attack), Box::new(Mean::new())),
+        let runs: [(&str, Option<&str>, &str); 4] = [
+            ("fault-free", None, "mean"),
+            ("CWTM", Some(attack), "cwtm"),
+            ("CGE", Some(attack), "cge"),
+            ("plain-gd", Some(attack), "mean"),
         ];
         let mut series = CsvTable::new(vec![
             "iteration".into(),
@@ -124,7 +120,7 @@ pub fn figure2(out_dir: &Path, iterations: usize, tag: &str) -> Result<(), Box<d
             "distance".into(),
         ]);
         for (label, maybe_attack, filter) in &runs {
-            let result = run_execution(&problem, &x_h, *maybe_attack, filter.as_ref(), iterations)?;
+            let result = run_execution(&problem, &x_h, *maybe_attack, filter, iterations)?;
             for r in result.trace.records() {
                 series.push_row(vec![
                     r.iteration.to_string(),

@@ -1,16 +1,20 @@
 //! Extension experiments: the filter×attack grid, fault-fraction and
 //! redundancy sweeps, and the design-choice ablations of DESIGN.md §7.
+//!
+//! All of these are scenario grids now: each cell is a declarative
+//! [`Scenario`], and the big grid fans out across worker threads via
+//! [`ScenarioSuite`].
 
-use abft_attacks::{attack_by_name, ScaledReverse, ATTACK_NAMES};
+use abft_attacks::{ScaledReverse, ATTACK_NAMES};
 use abft_core::csv::CsvTable;
 use abft_core::SystemConfig;
-use abft_dgd::{DgdSimulation, ProjectionSet, RunOptions, StepSchedule};
+use abft_dgd::{ProjectionSet, RunOptions, StepSchedule};
 use abft_filters::registry::ALL_NAMES;
-use abft_filters::{by_name, Cge};
 use abft_linalg::Vector;
 use abft_problems::analysis::convexity_constants;
 use abft_problems::RegressionProblem;
 use abft_redundancy::{cge_alpha, measure_redundancy, RegressionOracle};
+use abft_scenario::{Backend, InProcess, Scenario, ScenarioSuite};
 use std::error::Error;
 use std::path::Path;
 
@@ -25,35 +29,48 @@ fn grid_instance() -> Result<(RegressionProblem, Vector), Box<dyn Error>> {
 }
 
 /// Every registered filter × every registered attack on one redundant
-/// instance: the final error landscape.
+/// instance: the final error landscape, computed as one parallel
+/// [`ScenarioSuite`] over all 84 cells.
 pub fn grid(out_dir: &Path) -> Result<(), Box<dyn Error>> {
     let (problem, x_h) = grid_instance()?;
     let eps = measure_redundancy(&RegressionOracle::new(&problem), *problem.config())?.epsilon;
 
+    let mut options = RunOptions::paper_defaults(x_h.clone());
+    options.x0 = Vector::zeros(2);
+    options.iterations = 1000;
+    let template = Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(options);
+
+    // Filter-major grid: the collected outcomes chunk into one table row
+    // per filter. `run_parallel_collect` keeps a failing cell ("n/a") from
+    // aborting the remaining 83.
+    let suite = ScenarioSuite::grid_seeded(&template, 0, &ALL_NAMES, &ATTACK_NAMES, 7)?;
+    let workers = ScenarioSuite::auto_workers();
+    let outcome = suite.run_parallel_collect(&InProcess, workers);
+
     let mut header = vec!["filter".to_string()];
     header.extend(ATTACK_NAMES.iter().map(|s| s.to_string()));
     let mut table = CsvTable::new(header);
-
-    for filter_name in ALL_NAMES {
-        let filter = by_name(filter_name).expect("registered");
+    for (filter_name, cells) in ALL_NAMES
+        .iter()
+        .zip(outcome.outcomes.chunks(ATTACK_NAMES.len()))
+    {
         let mut row = vec![filter_name.to_string()];
-        for attack_name in ATTACK_NAMES {
-            let attack = attack_by_name(attack_name, 7).expect("registered");
-            let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
-                .with_byzantine(0, attack)?;
-            let mut options = RunOptions::paper_defaults(x_h.clone());
-            options.x0 = Vector::zeros(2);
-            options.iterations = 1000;
-            match sim.run(filter.as_ref(), &options) {
-                Ok(result) => row.push(format!("{:.4}", result.final_distance())),
-                Err(_) => row.push("n/a".into()),
-            }
-        }
+        row.extend(cells.iter().map(|cell| match cell {
+            Ok(report) => format!("{:.4}", report.final_distance()),
+            Err(_) => "n/a".into(),
+        }));
         table.push_row(row)?;
     }
 
     println!("=== Filter × attack grid (fan instance, n = 9, f = 1, eps = {eps:.4}) ===");
-    println!("final ‖x_1000 − x_H‖ per cell:\n");
+    println!(
+        "final ‖x_1000 − x_H‖ per cell ({} scenarios on {workers} workers, {:.0} ms):\n",
+        suite.len(),
+        outcome.elapsed.as_secs_f64() * 1e3
+    );
     print!("{}", table.to_aligned_string());
     println!(
         "\nreading guide: 'mean' has no Byzantine guarantee (large under scaled attacks);\n\
@@ -88,16 +105,22 @@ pub fn sweep_f(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         let constants = convexity_constants(&problem)?;
         let alpha = cge_alpha(n, f, constants.mu, constants.gamma);
 
-        let mut sim = DgdSimulation::new(config, problem.costs())?;
-        for agent in 0..f {
-            // A low-norm reversal survives CGE's norm sort — the filter's
-            // worst case, unlike the full reversal it eliminates outright.
-            sim = sim.with_byzantine(agent, Box::new(ScaledReverse::new(0.5)))?;
-        }
         let mut options = RunOptions::paper_defaults(x_h.clone());
         options.x0 = Vector::zeros(2);
         options.iterations = 800;
-        let result = sim.run(&Cge::new(), &options)?;
+        let mut builder = Scenario::builder()
+            .problem(&problem)
+            .faults(f)
+            .filter("cge")
+            .options(options);
+        for agent in 0..f {
+            // A low-norm reversal survives CGE's norm sort — the filter's
+            // worst case, unlike the full reversal it eliminates outright.
+            builder = builder.attack_with(agent, "scaled-reverse-0.5", || {
+                Box::new(ScaledReverse::new(0.5))
+            });
+        }
+        let result = InProcess.run(&builder.build()?)?;
 
         table.push_row(vec![
             f.to_string(),
@@ -141,16 +164,24 @@ pub fn sweep_eps(out_dir: &Path) -> Result<(), Box<dyn Error>> {
 
         // Agent 0 submits honest-looking gradients for a fabricated
         // observation B0 + 1.5σ — plausible at the instance's own noise
-        // level, hence indistinguishable from a legitimate agent.
+        // level, hence indistinguishable from a legitimate agent. The
+        // scenario is structurally fault-free: the corruption lives in the
+        // submitted data, not in the gradient protocol.
         let mut fake_obs = problem.observations().clone();
         fake_obs[0] += 1.5 * noise.max(0.01);
         let submitted = RegressionProblem::new(config, problem.matrix().clone(), fake_obs)?;
 
-        let mut sim = DgdSimulation::new(config, submitted.costs())?;
         let mut options = RunOptions::paper_defaults(x_h.clone());
         options.x0 = Vector::zeros(2);
         options.iterations = 800;
-        let result = sim.run(&Cge::new(), &options)?;
+        let scenario = Scenario::builder()
+            .problem(&submitted)
+            .faults(1)
+            .filter("cge")
+            .options(options)
+            .label(format!("stealth-noise-{noise}"))
+            .build()?;
+        let result = InProcess.run(&scenario)?;
         let d_known = result.final_distance();
 
         // Definition 2's actual requirement: the server cannot know WHICH
@@ -216,12 +247,17 @@ pub fn sweep_lambda(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         let lambda = gradient_diversity(&problem, &honest, 10.0);
         let threshold = cwtm_lambda_threshold(2, constants.mu, constants.gamma);
 
-        let mut sim = DgdSimulation::new(config, problem.costs())?
-            .with_byzantine(0, Box::new(abft_attacks::GradientReverse::new()))?;
         let mut options = RunOptions::paper_defaults(x_h.clone());
         options.x0 = Vector::zeros(2);
         options.iterations = 800;
-        let result = sim.run(&abft_filters::Cwtm::new(), &options)?;
+        let scenario = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "gradient-reverse")
+            .filter("cwtm")
+            .options(options)
+            .build()?;
+        let result = InProcess.run(&scenario)?;
 
         table.push_row(vec![
             format!("{spread:.0}"),
@@ -246,7 +282,8 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
     let problem = RegressionProblem::paper_instance();
     let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
 
-    // Ablation 1: CGE's paper semantics (sum of n−f gradients) vs averaged.
+    // Ablation 1: CGE's paper semantics (sum of n−f gradients) vs averaged
+    // (both registered: `cge` and `cge-avg`).
     let mut table = CsvTable::new(vec![
         "variant".into(),
         "schedule".into(),
@@ -260,14 +297,12 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
             StepSchedule::InverseSqrt { numerator: 0.5 },
         ),
     ];
-    for (cge_label, filter) in [("CGE (sum)", Cge::new()), ("CGE (mean)", Cge::averaged())] {
+    for (cge_label, filter_name) in [("CGE (sum)", "cge"), ("CGE (mean)", "cge-avg")] {
         for (sched_label, schedule) in &schedules {
             // A low-variance random fault (σ = 0.1, the honest gradient
             // scale near the optimum) survives the norm sort and injects
             // per-round noise — exactly the regime where Theorem 3's
             // square-summable-step requirement separates the schedules.
-            let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
-                .with_byzantine(0, Box::new(abft_attacks::RandomGaussian::new(0.1, 7)))?;
             let options = RunOptions {
                 x0: Vector::from(vec![-0.0085, -0.5643]),
                 iterations: 500,
@@ -275,7 +310,16 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
                 projection: ProjectionSet::paper(),
                 reference: x_h.clone(),
             };
-            let result = sim.run(&filter, &options)?;
+            let scenario = Scenario::builder()
+                .problem(&problem)
+                .faults(1)
+                .attack_with(0, "random-sigma-0.1", || {
+                    Box::new(abft_attacks::RandomGaussian::new(0.1, 7))
+                })
+                .filter(filter_name)
+                .options(options)
+                .build()?;
+            let result = InProcess.run(&scenario)?;
             table.push_row(vec![
                 cge_label.to_string(),
                 sched_label.to_string(),

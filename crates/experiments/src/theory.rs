@@ -156,16 +156,19 @@ pub fn bounds(out_dir: &Path) -> Result<(), Box<dyn Error>> {
 /// (φ_t ≥ ξ outside a ball) and the conclusion (the trajectory settles in
 /// that ball).
 pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
-    use abft_attacks::GradientReverse;
-    use abft_dgd::{phi_lower_bound_holds, settles_within, DgdSimulation, RunOptions};
-    use abft_filters::Cge;
+    use abft_dgd::{phi_lower_bound_holds, settles_within, RunOptions};
+    use abft_scenario::{Backend, InProcess, Scenario};
 
     let problem = RegressionProblem::paper_instance();
     let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
-    let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
-        .with_byzantine(0, Box::new(GradientReverse::new()))?;
-    let options = RunOptions::paper_defaults_with_iterations(x_h, 1000);
-    let run = sim.run(&Cge::new(), &options)?;
+    let scenario = Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .attack(0, "gradient-reverse")
+        .filter("cge")
+        .options(RunOptions::paper_defaults_with_iterations(x_h, 1000))
+        .build()?;
+    let run = InProcess.run(&scenario)?;
 
     let mut table = CsvTable::new(vec![
         "iteration".into(),

@@ -44,6 +44,15 @@ pub enum FilterError {
         /// Index of the offending gradient.
         index: usize,
     },
+    /// A registry lookup named a filter that is not registered. The error
+    /// carries the full list of valid names so callers (CLIs, scenario
+    /// specs) can report what *would* have worked.
+    Unknown {
+        /// The name that failed to resolve (as supplied by the caller).
+        name: String,
+        /// Every registered name, in the registry's stable order.
+        known: &'static [&'static str],
+    },
 }
 
 impl fmt::Display for FilterError {
@@ -67,6 +76,13 @@ impl fmt::Display for FilterError {
             }
             FilterError::NonFinite { index } => {
                 write!(f, "gradient {index} contains NaN or infinite entries")
+            }
+            FilterError::Unknown { name, known } => {
+                write!(
+                    f,
+                    "unknown filter '{name}'; registered filters: {}",
+                    known.join(", ")
+                )
             }
         }
     }

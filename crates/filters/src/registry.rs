@@ -1,9 +1,11 @@
-//! Name-based filter registry used by the experiment grid.
+//! Name-based filter registry used by the experiment grid and the scenario
+//! layer.
 
 use crate::bulyan::Bulyan;
 use crate::cge::Cge;
 use crate::clipping::{CenteredClipping, NormClipping};
 use crate::cwtm::{CoordinateWiseMedian, Cwtm};
+use crate::error::FilterError;
 use crate::faba::Faba;
 use crate::geomed::{GeometricMedian, GeometricMedianOfMeans};
 use crate::krum::{Krum, MultiKrum};
@@ -18,43 +20,55 @@ const DEFAULT_CLIP_RADIUS: f64 = 10.0;
 /// Default refinement iterations for centered clipping.
 const DEFAULT_CLIP_ITERS: usize = 5;
 
-/// Looks a filter up by its stable name.
+/// Looks a filter up by its stable name (case-insensitively).
 ///
 /// Recognized names: `mean`, `cge`, `cge-avg`, `cwtm`, `cwmed`, `geomed`,
 /// `gmom` (3 groups), `krum`, `multi-krum` (m = 3), `bulyan`, `faba`,
 /// `centered-clipping`, `norm-clipping`, `sign-majority`.
+///
+/// # Errors
+///
+/// Returns [`FilterError::Unknown`] — carrying the full list of registered
+/// names — when `name` does not resolve.
 ///
 /// # Example
 ///
 /// ```
 /// let filter = abft_filters::by_name("cge").expect("cge is registered");
 /// assert_eq!(filter.name(), "cge");
-/// assert!(abft_filters::by_name("nonsense").is_none());
+/// // Lookups are case-insensitive…
+/// assert!(abft_filters::by_name("CWTM").is_ok());
+/// // …and a miss names the valid alternatives instead of a bare `None`.
+/// let err = abft_filters::by_name("nonsense").err().expect("unknown");
+/// assert!(err.to_string().contains("cwtm"));
 /// ```
-pub fn by_name(name: &str) -> Option<Box<dyn GradientFilter>> {
-    match name {
-        "mean" => Some(Box::new(Mean::new())),
-        "cge" => Some(Box::new(Cge::new())),
-        "cge-avg" => Some(Box::new(Cge::averaged())),
-        "cwtm" => Some(Box::new(Cwtm::new())),
-        "cwmed" => Some(Box::new(CoordinateWiseMedian::new())),
-        "geomed" => Some(Box::new(GeometricMedian::new())),
-        "gmom" => Some(Box::new(
+pub fn by_name(name: &str) -> Result<Box<dyn GradientFilter>, FilterError> {
+    match name.to_ascii_lowercase().as_str() {
+        "mean" => Ok(Box::new(Mean::new())),
+        "cge" => Ok(Box::new(Cge::new())),
+        "cge-avg" => Ok(Box::new(Cge::averaged())),
+        "cwtm" => Ok(Box::new(Cwtm::new())),
+        "cwmed" => Ok(Box::new(CoordinateWiseMedian::new())),
+        "geomed" => Ok(Box::new(GeometricMedian::new())),
+        "gmom" => Ok(Box::new(
             GeometricMedianOfMeans::new(3).expect("3 groups is valid"),
         )),
-        "krum" => Some(Box::new(Krum::new())),
-        "multi-krum" => Some(Box::new(MultiKrum::new(3).expect("m = 3 is valid"))),
-        "bulyan" => Some(Box::new(Bulyan::new())),
-        "faba" => Some(Box::new(Faba::new())),
-        "centered-clipping" => Some(Box::new(
+        "krum" => Ok(Box::new(Krum::new())),
+        "multi-krum" => Ok(Box::new(MultiKrum::new(3).expect("m = 3 is valid"))),
+        "bulyan" => Ok(Box::new(Bulyan::new())),
+        "faba" => Ok(Box::new(Faba::new())),
+        "centered-clipping" => Ok(Box::new(
             CenteredClipping::new(DEFAULT_CLIP_RADIUS, DEFAULT_CLIP_ITERS)
                 .expect("default radius is valid"),
         )),
-        "norm-clipping" => Some(Box::new(
+        "norm-clipping" => Ok(Box::new(
             NormClipping::new(DEFAULT_CLIP_RADIUS).expect("default radius is valid"),
         )),
-        "sign-majority" => Some(Box::new(SignMajority::new(1.0).expect("scale 1 is valid"))),
-        _ => None,
+        "sign-majority" => Ok(Box::new(SignMajority::new(1.0).expect("scale 1 is valid"))),
+        _ => Err(FilterError::Unknown {
+            name: name.to_string(),
+            known: &ALL_NAMES,
+        }),
     }
 }
 
@@ -92,16 +106,37 @@ mod tests {
     #[test]
     fn every_registered_name_resolves() {
         for name in ALL_NAMES {
-            let filter = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            let filter = by_name(name).unwrap_or_else(|e| panic!("{name} missing: {e}"));
             assert_eq!(filter.name(), name, "name mismatch for {name}");
         }
     }
 
     #[test]
-    fn unknown_names_return_none() {
-        assert!(by_name("").is_none());
-        assert!(by_name("CGE").is_none()); // case-sensitive by design
-        assert!(by_name("average").is_none());
+    fn lookups_are_case_insensitive() {
+        for spelled in ["CGE", "Cwtm", "Sign-Majority", "MULTI-KRUM"] {
+            let filter = by_name(spelled).unwrap_or_else(|e| panic!("{spelled}: {e}"));
+            assert_eq!(filter.name(), spelled.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_valid_ones() {
+        for bad in ["", "average", "cge2"] {
+            let err = match by_name(bad) {
+                Err(err) => err,
+                Ok(filter) => panic!("'{bad}' resolved to {}", filter.name()),
+            };
+            match &err {
+                FilterError::Unknown { name, known } => {
+                    assert_eq!(name, bad);
+                    assert_eq!(*known, &ALL_NAMES);
+                }
+                other => panic!("expected Unknown, got {other:?}"),
+            }
+            let msg = err.to_string();
+            assert!(msg.contains("cge"), "message lists names: {msg}");
+            assert!(msg.contains("sign-majority"), "message lists names: {msg}");
+        }
     }
 
     #[test]

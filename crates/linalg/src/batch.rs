@@ -177,7 +177,7 @@ impl GradientBatch {
 }
 
 /// Elementary slice kernels shared by filters and drivers. These mirror
-/// the corresponding [`Vector`] operations but run on borrowed rows.
+/// the corresponding [`crate::Vector`] operations but run on borrowed rows.
 pub mod rowops {
     /// Squared Euclidean norm.
     pub fn norm_sq(row: &[f64]) -> f64 {

@@ -145,11 +145,14 @@ pub fn train_distributed<M: Model>(
             reason: "batch size, iterations and eval interval must be positive".into(),
         });
     }
-    if let Some(&bad) = faulty.iter().find(|&&i| i >= n) {
-        return Err(MlError::Shape {
-            expected: format!("faulty indices < {n}"),
-            actual: format!("index {bad}"),
-        });
+    // The shared fault-assignment rules (in-range, no duplicates) with the
+    // budget set by the workload itself: every listed agent is faulty.
+    let mut budget = abft_core::validate::FaultBudget::with_limits(n, faulty.len());
+    for &i in faulty {
+        budget.assign(i).map_err(|e| MlError::Shape {
+            expected: format!("distinct faulty indices < {n}"),
+            actual: e.to_string(),
+        })?;
     }
     let f = faulty.len();
     let is_faulty = {

@@ -1,5 +1,6 @@
 //! Error type for the distributed runtime.
 
+use abft_core::ValidationError;
 use abft_dgd::DgdError;
 use std::fmt;
 
@@ -58,6 +59,18 @@ impl From<DgdError> for RuntimeError {
 impl From<abft_filters::FilterError> for RuntimeError {
     fn from(e: abft_filters::FilterError) -> Self {
         RuntimeError::Dgd(DgdError::Filter(e))
+    }
+}
+
+impl From<ValidationError> for RuntimeError {
+    fn from(e: ValidationError) -> Self {
+        match e {
+            // Dimension problems keep their structured DGD form (callers
+            // match on `RuntimeError::Dgd(DgdError::Dimension { .. })`).
+            ValidationError::PointDimension { .. }
+            | ValidationError::MixedCostDimensions { .. } => RuntimeError::Dgd(e.into()),
+            other => RuntimeError::Config(other.to_string()),
+        }
     }
 }
 

@@ -7,15 +7,21 @@
 //! of two architectures:
 //!
 //! * **server-based** — a trustworthy server and `n` agents, up to `f`
-//!   Byzantine. [`run_threaded_dgd`] realizes each DGD iteration as a real
-//!   message-passing round over OS threads: broadcast `x_t`, collect `n`
-//!   replies, eliminate silent agents (step S1), filter and update (S2).
+//!   Byzantine. [`DgdTask::run_threaded`] realizes each DGD iteration as a
+//!   real message-passing round over OS threads: broadcast `x_t`, collect
+//!   `n` replies, eliminate silent agents (step S1), filter and update (S2).
 //! * **peer-to-peer** — a complete network of `n` agents, `f < n/3` faulty,
 //!   where the server algorithm is simulated with Byzantine broadcast.
 //!   [`eig_broadcast`] implements the classic `f + 1`-round EIG protocol
-//!   (agreement + validity for `3f < n`), and [`run_peer_to_peer_dgd`] uses
-//!   one broadcast instance per agent per iteration so every honest agent
-//!   applies the same filter to the same multiset and stays in lockstep.
+//!   (agreement + validity for `3f < n`), and [`DgdTask::run_peer_to_peer`]
+//!   uses one broadcast instance per agent per iteration so every honest
+//!   agent applies the same filter to the same multiset and stays in
+//!   lockstep.
+//!
+//! Both launches consume one [`DgdTask`] — the declarative description of
+//! the system, costs, and fault plan. (The historical free functions
+//! `run_threaded_dgd` / `run_peer_to_peer_dgd` survive as deprecated shims;
+//! the `abft-scenario` crate is the high-level way to build and run these.)
 //!
 //! # Example
 //!
@@ -23,7 +29,7 @@
 //! use abft_dgd::RunOptions;
 //! use abft_filters::Cge;
 //! use abft_problems::RegressionProblem;
-//! use abft_runtime::run_threaded_dgd;
+//! use abft_runtime::DgdTask;
 //!
 //! # fn main() -> Result<(), abft_runtime::RuntimeError> {
 //! let problem = RegressionProblem::paper_instance();
@@ -32,14 +38,8 @@
 //! options.iterations = 50;
 //! // All-honest threaded run: six agent threads, one synchronous round per
 //! // iteration.
-//! let result = run_threaded_dgd(
-//!     *problem.config(),
-//!     problem.costs(),
-//!     vec![],
-//!     vec![],
-//!     &Cge::new(),
-//!     &options,
-//! )?;
+//! let result = DgdTask::new(*problem.config(), problem.costs())
+//!     .run_threaded(&Cge::new(), &options)?;
 //! assert_eq!(result.trace.len(), 51);
 //! # Ok(())
 //! # }
@@ -50,19 +50,24 @@ pub mod error;
 pub mod message;
 pub mod metrics;
 pub mod peer_to_peer;
+pub mod task;
 pub mod threaded;
 
 pub use eig::{eig_broadcast, BroadcastOutcome, EquivocationPlan};
 pub use error::RuntimeError;
 pub use message::{FromAgent, ToAgent};
 pub use metrics::RuntimeMetrics;
-pub use peer_to_peer::{run_peer_to_peer_dgd, PeerToPeerResult};
+#[allow(deprecated)]
+pub use peer_to_peer::run_peer_to_peer_dgd;
+pub use peer_to_peer::PeerToPeerResult;
+pub use task::DgdTask;
+#[allow(deprecated)]
 pub use threaded::run_threaded_dgd;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::eig::eig_broadcast;
     pub use crate::error::RuntimeError;
-    pub use crate::peer_to_peer::run_peer_to_peer_dgd;
-    pub use crate::threaded::run_threaded_dgd;
+    pub use crate::peer_to_peer::PeerToPeerResult;
+    pub use crate::task::DgdTask;
 }

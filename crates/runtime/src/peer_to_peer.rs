@@ -9,7 +9,9 @@
 
 use crate::eig::{eig_broadcast, EquivocationPlan};
 use crate::error::RuntimeError;
+use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::validate::FaultBudget;
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
@@ -59,48 +61,68 @@ pub struct PeerToPeerResult {
 /// Runs DGD on the peer-to-peer architecture: one EIG broadcast per agent
 /// per iteration, every honest agent filtering and updating locally.
 ///
+/// # Errors
+///
+/// See [`DgdTask::run_peer_to_peer`], which this shims onto.
+#[deprecated(
+    since = "0.1.0",
+    note = "use abft_runtime::DgdTask::run_peer_to_peer or the abft-scenario crate"
+)]
+pub fn run_peer_to_peer_dgd(
+    config: SystemConfig,
+    costs: Vec<SharedCost>,
+    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+    equivocate: bool,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<PeerToPeerResult, RuntimeError> {
+    let mut task = DgdTask::new(config, costs);
+    task.byzantine = byzantine;
+    execute(task, equivocate, filter, options)
+}
+
+/// The EIG-broadcast lockstep loop behind [`DgdTask::run_peer_to_peer`].
+///
 /// When `equivocate` is set, each Byzantine agent *splits* its forged
 /// gradient (sending `v` to half the network and `−v` to the other half);
 /// EIG agreement still forces a consistent view — exercised by the lockstep
 /// assertion.
 ///
 /// Omniscient strategies are rejected (no agent can see others' in-flight
-/// gradients before sending its own in a broadcast round).
-///
-/// # Errors
-///
-/// Returns [`RuntimeError::Config`] for invalid assignments or `3f ≥ n`,
-/// [`RuntimeError::Dgd`] for filter failures, and
-/// [`RuntimeError::LockstepViolation`] if honest agents diverge (impossible
-/// unless broadcast agreement is broken — this is an internal consistency
-/// check, not an expected path).
+/// gradients before sending its own in a broadcast round), and so are crash
+/// schedules (the peer-to-peer round structure has no S1 elimination rule).
 // Sender ids index the per-agent value/plan tables.
 #[allow(clippy::needless_range_loop)]
-pub fn run_peer_to_peer_dgd(
-    config: SystemConfig,
-    costs: Vec<SharedCost>,
-    mut byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+pub(crate) fn execute(
+    task: DgdTask,
     equivocate: bool,
     filter: &dyn GradientFilter,
     options: &RunOptions,
 ) -> Result<PeerToPeerResult, RuntimeError> {
+    let DgdTask {
+        config,
+        costs,
+        byzantine,
+        crashes,
+    } = task;
     let n = config.n();
     if !config.supports_peer_to_peer() {
         return Err(RuntimeError::Config(format!(
             "peer-to-peer DGD requires 3f < n, got {config}"
         )));
     }
-    if costs.len() != n {
+    if let Some((agent, at)) = crashes.first() {
         return Err(RuntimeError::Config(format!(
-            "{} costs supplied for {n} agents",
-            costs.len()
+            "agent {agent} scheduled to crash at iteration {at}, but the \
+             peer-to-peer runtime does not model crash faults"
         )));
     }
+    let dim = abft_core::validate::cost_dimension(n, costs.iter().map(|c| c.dim()))?;
+    abft_core::validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
     let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
-    for (agent, strategy) in byzantine.drain(..) {
-        if agent >= n {
-            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
-        }
+    let mut budget = FaultBudget::new(&config);
+    for (agent, strategy) in byzantine {
+        budget.assign(agent)?;
         if strategy.is_omniscient() {
             return Err(RuntimeError::Config(format!(
                 "strategy '{}' is omniscient; peer-to-peer agents cannot observe \
@@ -108,22 +130,9 @@ pub fn run_peer_to_peer_dgd(
                 strategy.name()
             )));
         }
-        if strategies[agent].is_some() {
-            return Err(RuntimeError::Config(format!(
-                "agent {agent} already faulty"
-            )));
-        }
         strategies[agent] = Some(strategy);
     }
-    let fault_count = strategies.iter().filter(|s| s.is_some()).count();
-    if fault_count > config.f() {
-        return Err(RuntimeError::Config(format!(
-            "{fault_count} faults assigned but f = {}",
-            config.f()
-        )));
-    }
     let honest: Vec<usize> = (0..n).filter(|&i| strategies[i].is_none()).collect();
-    let dim = costs[0].dim();
     let default = BitsVector::from_vector(&Vector::zeros(dim));
 
     // Every honest agent maintains its own estimate; lockstep is asserted.
@@ -288,15 +297,9 @@ mod tests {
     #[test]
     fn fault_free_p2p_matches_server_based() {
         let (problem, options) = paper_options(60);
-        let p2p = run_peer_to_peer_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![],
-            false,
-            &Cge::new(),
-            &options,
-        )
-        .unwrap();
+        let p2p = DgdTask::new(*problem.config(), problem.costs())
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .unwrap();
         let mut sim = DgdSimulation::new(*problem.config(), problem.costs()).unwrap();
         let server = sim.run(&Cge::new(), &options).unwrap();
         assert!(p2p
@@ -313,15 +316,10 @@ mod tests {
         // A consistently-lying Byzantine agent is indistinguishable from the
         // server-based run with the same strategy.
         let (problem, options) = paper_options(60);
-        let p2p = run_peer_to_peer_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(GradientReverse::new()))],
-            false,
-            &Cge::new(),
-            &options,
-        )
-        .unwrap();
+        let p2p = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .unwrap();
         let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
             .unwrap()
             .with_byzantine(0, Box::new(GradientReverse::new()))
@@ -336,15 +334,11 @@ mod tests {
     #[test]
     fn equivocating_byzantine_cannot_break_lockstep() {
         let (problem, options) = paper_options(40);
-        let p2p = run_peer_to_peer_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(GradientReverse::new()))],
-            true, // split v / −v between network halves
-            &Cwtm::new(),
-            &options,
-        )
-        .unwrap();
+        let p2p = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            // split v / −v between network halves
+            .run_peer_to_peer(true, &Cwtm::new(), &options)
+            .unwrap();
         // Lockstep held (no LockstepViolation) and convergence survived.
         assert!(
             p2p.result.final_distance() < 0.2,
@@ -358,19 +352,38 @@ mod tests {
         let (problem, options) = paper_options(5);
         // n = 6, f = 2 violates 3f < n.
         let bad = SystemConfig::new(6, 2).unwrap();
-        assert!(
-            run_peer_to_peer_dgd(bad, problem.costs(), vec![], false, &Cge::new(), &options)
-                .is_err()
-        );
+        assert!(DgdTask::new(bad, problem.costs())
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .is_err());
         // Omniscient strategy.
-        assert!(run_peer_to_peer_dgd(
+        assert!(DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(LittleIsEnough::new(1.0)))
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .is_err());
+        // Crash schedules are a server-architecture concept.
+        assert!(DgdTask::new(*problem.config(), problem.costs())
+            .crash(2, 10)
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .is_err());
+    }
+
+    #[test]
+    fn deprecated_shim_matches_task_entry_point() {
+        let (problem, options) = paper_options(15);
+        #[allow(deprecated)]
+        let shimmed = run_peer_to_peer_dgd(
             *problem.config(),
             problem.costs(),
-            vec![(0, Box::new(LittleIsEnough::new(1.0)))],
+            vec![(0, Box::new(GradientReverse::new()))],
             false,
             &Cge::new(),
-            &options
+            &options,
         )
-        .is_err());
+        .unwrap();
+        let task = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .unwrap();
+        assert_eq!(shimmed.result.trace.records(), task.result.trace.records());
     }
 }

@@ -1,0 +1,141 @@
+//! A declarative description of one distributed DGD execution.
+//!
+//! [`DgdTask`] collapses the historical six-positional-argument entry
+//! points of this crate into a single buildable value: which `(n, f)`
+//! system, which costs, which agents misbehave and how. The same task
+//! value can be launched on the thread-per-agent server runtime
+//! ([`DgdTask::run_threaded`]) or on the EIG peer-to-peer runtime
+//! ([`DgdTask::run_peer_to_peer`]); the `abft-scenario` crate builds these
+//! tasks from declarative `Scenario` specs.
+//!
+//! # Example
+//!
+//! ```
+//! use abft_attacks::GradientReverse;
+//! use abft_dgd::RunOptions;
+//! use abft_filters::Cge;
+//! use abft_problems::RegressionProblem;
+//! use abft_runtime::DgdTask;
+//!
+//! # fn main() -> Result<(), abft_runtime::RuntimeError> {
+//! let problem = RegressionProblem::paper_instance();
+//! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+//! let mut options = RunOptions::paper_defaults(x_h);
+//! options.iterations = 30;
+//! let result = DgdTask::new(*problem.config(), problem.costs())
+//!     .byzantine(0, Box::new(GradientReverse::new()))
+//!     .run_threaded(&Cge::new(), &options)?;
+//! assert_eq!(result.trace.len(), 31);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::RuntimeError;
+use crate::metrics::RuntimeMetrics;
+use crate::peer_to_peer::PeerToPeerResult;
+use abft_attacks::ByzantineStrategy;
+use abft_core::SystemConfig;
+use abft_dgd::{RunOptions, RunResult};
+use abft_filters::GradientFilter;
+use abft_problems::SharedCost;
+
+/// One distributed DGD execution: the `(n, f)` system, the agents' costs,
+/// and the fault plan (Byzantine strategies and crash schedules).
+///
+/// Construction is infallible; all structural validation (cost counts and
+/// dimensions, agent ranges, the fault budget, omniscient-strategy
+/// restrictions) happens when the task is launched on a runtime, so a
+/// malformed task reports exactly the same [`RuntimeError`]s the historical
+/// free functions did.
+pub struct DgdTask {
+    pub(crate) config: SystemConfig,
+    pub(crate) costs: Vec<SharedCost>,
+    pub(crate) byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
+    pub(crate) crashes: Vec<(usize, usize)>,
+}
+
+impl DgdTask {
+    /// A fault-free task over the agents' true costs.
+    pub fn new(config: SystemConfig, costs: Vec<SharedCost>) -> Self {
+        DgdTask {
+            config,
+            costs,
+            byzantine: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Marks `agent` as Byzantine with the given behaviour.
+    #[must_use]
+    pub fn byzantine(mut self, agent: usize, strategy: Box<dyn ByzantineStrategy>) -> Self {
+        self.byzantine.push((agent, strategy));
+        self
+    }
+
+    /// Marks `agent` as crashing at iteration `at_iteration` (it behaves
+    /// honestly before, and goes silent from then on).
+    #[must_use]
+    pub fn crash(mut self, agent: usize, at_iteration: usize) -> Self {
+        self.crashes.push((agent, at_iteration));
+        self
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the task on the thread-per-agent server runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for invalid fault assignments or
+    /// omniscient strategies (a threaded agent cannot observe other agents'
+    /// in-flight gradients), [`RuntimeError::Dgd`] for filter/dimension
+    /// failures, and [`RuntimeError::ChannelBroken`] if an agent thread
+    /// dies unexpectedly.
+    pub fn run_threaded(
+        self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+    ) -> Result<RunResult, RuntimeError> {
+        crate::threaded::execute(self, filter, options, &RuntimeMetrics::new())
+    }
+
+    /// [`DgdTask::run_threaded`] with an external metrics collector.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_threaded`].
+    pub fn run_threaded_with_metrics(
+        self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        metrics: &RuntimeMetrics,
+    ) -> Result<RunResult, RuntimeError> {
+        crate::threaded::execute(self, filter, options, metrics)
+    }
+
+    /// Runs the task on the peer-to-peer runtime: one EIG broadcast per
+    /// agent per iteration, every honest agent filtering locally.
+    ///
+    /// When `equivocate` is set, each Byzantine agent splits its forged
+    /// gradient (sending `v` to half the network and `−v` to the other
+    /// half); EIG agreement still forces a consistent view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for invalid assignments, `3f ≥ n`,
+    /// crash schedules (the peer-to-peer runtime does not model crashes),
+    /// or omniscient strategies; [`RuntimeError::Dgd`] for filter
+    /// failures; and [`RuntimeError::LockstepViolation`] if honest agents
+    /// diverge (an internal consistency check).
+    pub fn run_peer_to_peer(
+        self,
+        equivocate: bool,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+    ) -> Result<PeerToPeerResult, RuntimeError> {
+        crate::peer_to_peer::execute(self, equivocate, filter, options)
+    }
+}

@@ -10,7 +10,9 @@
 use crate::error::RuntimeError;
 use crate::message::{FromAgent, ToAgent};
 use crate::metrics::RuntimeMetrics;
+use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::validate::{self, FaultBudget};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
@@ -74,10 +76,9 @@ fn agent_loop(
 
 /// Runs DGD over a thread-per-agent synchronous network.
 ///
-/// `byzantine` assigns fault strategies to agent indices; `crashes` assigns
-/// crash iterations. Omniscient strategies are rejected: a threaded agent
-/// cannot observe the other agents' in-flight gradients (use
-/// [`abft_dgd::DgdSimulation`] for omniscient attack studies).
+/// Omniscient strategies are rejected: a threaded agent cannot observe the
+/// other agents' in-flight gradients (use [`abft_dgd::DgdSimulation`] for
+/// omniscient attack studies).
 ///
 /// The recorded trace matches [`abft_dgd::DgdSimulation::run`] exactly for
 /// the same inputs — asserted by the cross-runtime equivalence test.
@@ -87,6 +88,10 @@ fn agent_loop(
 /// Returns [`RuntimeError::Config`] for invalid fault assignments,
 /// [`RuntimeError::Dgd`] for filter/dimension failures, and
 /// [`RuntimeError::ChannelBroken`] if an agent thread dies unexpectedly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use abft_runtime::DgdTask::run_threaded or the abft-scenario crate"
+)]
 pub fn run_threaded_dgd(
     config: SystemConfig,
     costs: Vec<SharedCost>,
@@ -95,15 +100,10 @@ pub fn run_threaded_dgd(
     filter: &dyn GradientFilter,
     options: &RunOptions,
 ) -> Result<RunResult, RuntimeError> {
-    run_threaded_dgd_with_metrics(
-        config,
-        costs,
-        byzantine,
-        crashes,
-        filter,
-        options,
-        &RuntimeMetrics::new(),
-    )
+    let mut task = DgdTask::new(config, costs);
+    task.byzantine = byzantine;
+    task.crashes = crashes;
+    execute(task, filter, options, &RuntimeMetrics::new())
 }
 
 /// [`run_threaded_dgd`] with an external metrics collector.
@@ -111,7 +111,10 @@ pub fn run_threaded_dgd(
 /// # Errors
 ///
 /// See [`run_threaded_dgd`].
-#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use abft_runtime::DgdTask::run_threaded_with_metrics or the abft-scenario crate"
+)]
 pub fn run_threaded_dgd_with_metrics(
     config: SystemConfig,
     costs: Vec<SharedCost>,
@@ -121,38 +124,35 @@ pub fn run_threaded_dgd_with_metrics(
     options: &RunOptions,
     metrics: &RuntimeMetrics,
 ) -> Result<RunResult, RuntimeError> {
+    let mut task = DgdTask::new(config, costs);
+    task.byzantine = byzantine;
+    task.crashes = crashes;
+    execute(task, filter, options, metrics)
+}
+
+/// The thread-per-agent server loop behind [`DgdTask::run_threaded`].
+pub(crate) fn execute(
+    task: DgdTask,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+    metrics: &RuntimeMetrics,
+) -> Result<RunResult, RuntimeError> {
+    let DgdTask {
+        config,
+        costs,
+        byzantine,
+        crashes,
+    } = task;
     let n = config.n();
-    if costs.len() != n {
-        return Err(RuntimeError::Config(format!(
-            "{} costs supplied for {n} agents",
-            costs.len()
-        )));
-    }
-    let dim = costs[0].dim();
-    if costs.iter().any(|c| c.dim() != dim) {
-        return Err(RuntimeError::Config(format!(
-            "agent costs disagree on dimension (expected {dim})"
-        )));
-    }
-    if options.x0.dim() != dim || options.reference.dim() != dim {
-        return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
-            expected: format!("x0 and reference of dim {dim}"),
-            actual: format!(
-                "x0 dim {}, reference dim {}",
-                options.x0.dim(),
-                options.reference.dim()
-            ),
-        }));
-    }
+    let dim = validate::cost_dimension(n, costs.iter().map(|c| c.dim()))?;
+    validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
 
     // Validate and index fault assignments.
     let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
     let mut crash_at: Vec<Option<usize>> = vec![None; n];
-    let mut fault_count = 0usize;
+    let mut budget = FaultBudget::new(&config);
     for (agent, strategy) in byzantine {
-        if agent >= n {
-            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
-        }
+        budget.assign(agent)?;
         if strategy.is_omniscient() {
             return Err(RuntimeError::Config(format!(
                 "strategy '{}' is omniscient; threaded agents cannot observe \
@@ -160,31 +160,11 @@ pub fn run_threaded_dgd_with_metrics(
                 strategy.name()
             )));
         }
-        if strategies[agent].is_some() {
-            return Err(RuntimeError::Config(format!(
-                "agent {agent} already faulty"
-            )));
-        }
         strategies[agent] = Some(strategy);
-        fault_count += 1;
     }
     for (agent, iteration) in crashes {
-        if agent >= n {
-            return Err(RuntimeError::Config(format!("agent {agent} out of range")));
-        }
-        if strategies[agent].is_some() || crash_at[agent].is_some() {
-            return Err(RuntimeError::Config(format!(
-                "agent {agent} already faulty"
-            )));
-        }
+        budget.assign(agent)?;
         crash_at[agent] = Some(iteration);
-        fault_count += 1;
-    }
-    if fault_count > config.f() {
-        return Err(RuntimeError::Config(format!(
-            "{fault_count} faults assigned but f = {}",
-            config.f()
-        )));
     }
     let honest: Vec<usize> = (0..n)
         .filter(|&i| strategies[i].is_none() && crash_at[i].is_none())
@@ -370,15 +350,10 @@ mod tests {
     fn threaded_matches_in_process_driver_exactly() {
         let (problem, options) = paper_options(100);
 
-        let threaded = run_threaded_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(GradientReverse::new()))],
-            vec![],
-            &Cge::new(),
-            &options,
-        )
-        .unwrap();
+        let threaded = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap();
 
         let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
             .unwrap()
@@ -395,15 +370,10 @@ mod tests {
     #[test]
     fn threaded_matches_with_seeded_random_attack() {
         let (problem, options) = paper_options(60);
-        let threaded = run_threaded_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(RandomGaussian::paper(99)))],
-            vec![],
-            &Cwtm::new(),
-            &options,
-        )
-        .unwrap();
+        let threaded = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(RandomGaussian::paper(99)))
+            .run_threaded(&Cwtm::new(), &options)
+            .unwrap();
         let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
             .unwrap()
             .with_byzantine(0, Box::new(RandomGaussian::paper(99)))
@@ -418,16 +388,10 @@ mod tests {
     fn crash_is_eliminated_and_run_completes() {
         let (problem, options) = paper_options(120);
         let metrics = RuntimeMetrics::new();
-        let result = run_threaded_dgd_with_metrics(
-            *problem.config(),
-            problem.costs(),
-            vec![],
-            vec![(3, 10)],
-            &Cge::new(),
-            &options,
-            &metrics,
-        )
-        .unwrap();
+        let result = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_threaded_with_metrics(&Cge::new(), &options, &metrics)
+            .unwrap();
         assert!(
             result.final_distance() < 0.15,
             "d = {}",
@@ -440,50 +404,51 @@ mod tests {
     #[test]
     fn omniscient_strategies_are_rejected() {
         let (problem, options) = paper_options(5);
-        let err = run_threaded_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(LittleIsEnough::new(1.0)))],
-            vec![],
-            &Cge::new(),
-            &options,
-        )
-        .unwrap_err();
+        let err = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(LittleIsEnough::new(1.0)))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::Config(_)));
     }
 
     #[test]
     fn fault_budget_is_enforced() {
         let (problem, options) = paper_options(5);
-        let err = run_threaded_dgd(
+        let err = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .byzantine(1, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Config(_)));
+    }
+
+    #[test]
+    fn deprecated_shim_matches_task_entry_point() {
+        let (problem, options) = paper_options(20);
+        #[allow(deprecated)]
+        let shimmed = run_threaded_dgd(
             *problem.config(),
             problem.costs(),
-            vec![
-                (0, Box::new(GradientReverse::new())),
-                (1, Box::new(GradientReverse::new())),
-            ],
+            vec![(0, Box::new(GradientReverse::new()))],
             vec![],
             &Cge::new(),
             &options,
         )
-        .unwrap_err();
-        assert!(matches!(err, RuntimeError::Config(_)));
+        .unwrap();
+        let task = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap();
+        assert_eq!(shimmed.trace.records(), task.trace.records());
     }
 
     #[test]
     fn metrics_count_messages() {
         let (problem, options) = paper_options(10);
         let metrics = RuntimeMetrics::new();
-        run_threaded_dgd_with_metrics(
-            *problem.config(),
-            problem.costs(),
-            vec![],
-            vec![],
-            &Cge::new(),
-            &options,
-            &metrics,
-        )
-        .unwrap();
+        DgdTask::new(*problem.config(), problem.costs())
+            .run_threaded_with_metrics(&Cge::new(), &options, &metrics)
+            .unwrap();
         let s = metrics.snapshot();
         // 11 rounds (10 iterations + final record) × 6 agents.
         assert_eq!(s.rounds, 11);

@@ -1,0 +1,362 @@
+//! Runtimes a [`Scenario`] can execute on, and the unified [`RunReport`].
+
+use crate::error::ScenarioError;
+use crate::spec::Scenario;
+use abft_core::csv::CsvTable;
+use abft_core::{CoreError, Trace};
+use abft_dgd::{DgdSimulation, RoundWorkspace};
+use abft_linalg::Vector;
+use abft_runtime::{DgdTask, RuntimeMetrics};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Backend-level counters, unified across runtimes. Fields that a backend
+/// does not produce stay zero (e.g. the in-process driver passes no
+/// messages; the server runtimes run no EIG broadcasts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendMetrics {
+    /// Synchronous rounds executed (iterations + the final record round).
+    pub rounds: usize,
+    /// Estimate broadcasts sent by the server (threaded backend).
+    pub broadcasts_sent: usize,
+    /// Gradient replies received by the server (threaded backend).
+    pub replies_received: usize,
+    /// Agents eliminated via the S1 no-reply rule (threaded backend).
+    pub agents_eliminated: usize,
+    /// EIG broadcast instances executed (peer-to-peer backend).
+    pub eig_broadcasts: usize,
+    /// Point-to-point messages simulated inside EIG broadcasts
+    /// (peer-to-peer backend).
+    pub eig_messages: usize,
+}
+
+/// The unified result of running one [`Scenario`] on one [`Backend`]: the
+/// full per-iteration trace, the final estimate, wall-clock timing, and
+/// backend-level counters.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The scenario's label.
+    pub scenario: String,
+    /// The backend that produced this report.
+    pub backend: &'static str,
+    /// The gradient filter's registry name.
+    pub filter: String,
+    /// Per-iteration records (`iterations + 1` entries, like
+    /// [`abft_dgd::RunResult`]).
+    pub trace: Trace,
+    /// The final estimate `x_T` — the paper's `x_out`.
+    pub final_estimate: Vector,
+    /// Wall-clock duration of the execution (excluding scenario
+    /// materialization).
+    pub elapsed: Duration,
+    /// Backend-level counters.
+    pub metrics: BackendMetrics,
+}
+
+impl RunReport {
+    /// Final approximation error `‖x_T − reference‖`.
+    pub fn final_distance(&self) -> f64 {
+        self.trace
+            .final_distance()
+            .expect("trace always has at least the initial record")
+    }
+
+    /// Writes the trace in the workspace's standard CSV format
+    /// (`iteration,loss,distance,grad_norm,phi`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] when the file cannot be written.
+    pub fn write_trace_csv(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        self.trace
+            .write_csv(path)
+            .map_err(|e: CoreError| ScenarioError::Io(e.to_string()))
+    }
+
+    /// One summary row (scenario, backend, filter, final distance, rounds,
+    /// milliseconds) for [`CsvTable`]-based reports.
+    pub fn summary_row(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.backend.to_string(),
+            self.filter.clone(),
+            format!("{:.6e}", self.final_distance()),
+            self.metrics.rounds.to_string(),
+            format!("{:.1}", self.elapsed.as_secs_f64() * 1e3),
+        ]
+    }
+
+    /// The header matching [`RunReport::summary_row`].
+    pub fn summary_header() -> Vec<String> {
+        [
+            "scenario",
+            "backend",
+            "filter",
+            "final distance",
+            "rounds",
+            "ms",
+        ]
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+    }
+
+    /// A one-report summary table (suites concatenate rows themselves).
+    pub fn summary_table(&self) -> CsvTable {
+        let mut table = CsvTable::new(Self::summary_header());
+        table
+            .push_row(self.summary_row())
+            .expect("row width matches header");
+        table
+    }
+}
+
+/// A runtime that can execute a [`Scenario`].
+///
+/// All backends consume the *same* scenario value and produce the same
+/// trace for it (bit-for-bit, asserted by the cross-backend equivalence
+/// tests), differing only in how the rounds physically happen and which
+/// [`BackendMetrics`] fields they fill in.
+pub trait Backend: Send + Sync {
+    /// A stable display name (`"in-process"`, `"threaded"`,
+    /// `"peer-to-peer"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario with caller-owned working memory.
+    ///
+    /// Backends that drive the in-process simulation reuse `workspace`'s
+    /// gradient batch across runs (one batch per suite worker); message-
+    /// passing backends own their round state and ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's configuration/filter/runtime failures as
+    /// [`ScenarioError`].
+    fn run_with_workspace(
+        &self,
+        scenario: &Scenario,
+        workspace: &mut RoundWorkspace,
+    ) -> Result<RunReport, ScenarioError>;
+
+    /// Runs the scenario with a fresh workspace.
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::run_with_workspace`].
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, ScenarioError> {
+        self.run_with_workspace(scenario, &mut RoundWorkspace::new())
+    }
+}
+
+/// Materializes a scenario's fault plan onto a [`DgdTask`] — the single
+/// mapping both message-passing backends launch from, so they cannot
+/// diverge on assignment order (which the bit-exactness contract relies
+/// on).
+fn task_for(scenario: &Scenario) -> DgdTask {
+    let mut task = DgdTask::new(*scenario.config(), scenario.costs().to_vec());
+    for (agent, strategy) in scenario.byzantine_assignments() {
+        task = task.byzantine(agent, strategy);
+    }
+    for (agent, at_iteration) in scenario.crash_assignments() {
+        task = task.crash(agent, at_iteration);
+    }
+    task
+}
+
+/// The in-process synchronous driver ([`DgdSimulation`]) — fastest, and the
+/// only backend that supports *omniscient* attacks (which need visibility
+/// of honest gradients within a round).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcess;
+
+impl Backend for InProcess {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn run_with_workspace(
+        &self,
+        scenario: &Scenario,
+        workspace: &mut RoundWorkspace,
+    ) -> Result<RunReport, ScenarioError> {
+        let mut sim = DgdSimulation::new(*scenario.config(), scenario.costs().to_vec())?;
+        for (agent, strategy) in scenario.byzantine_assignments() {
+            sim = sim.with_byzantine(agent, strategy)?;
+        }
+        for (agent, at_iteration) in scenario.crash_assignments() {
+            sim = sim.with_crash(agent, at_iteration)?;
+        }
+        let started = Instant::now();
+        let result = sim.run_with_workspace(scenario.filter(), scenario.options(), workspace)?;
+        let elapsed = started.elapsed();
+        Ok(RunReport {
+            scenario: scenario.label().to_string(),
+            backend: self.name(),
+            filter: scenario.filter().name().to_string(),
+            metrics: BackendMetrics {
+                rounds: result.trace.len(),
+                ..BackendMetrics::default()
+            },
+            final_estimate: result.final_estimate,
+            trace: result.trace,
+            elapsed,
+        })
+    }
+}
+
+/// The thread-per-agent server runtime: one OS thread per agent, real
+/// message passing over channels, S1 crash elimination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Threaded;
+
+impl Backend for Threaded {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run_with_workspace(
+        &self,
+        scenario: &Scenario,
+        _workspace: &mut RoundWorkspace,
+    ) -> Result<RunReport, ScenarioError> {
+        let task = task_for(scenario);
+        let metrics = RuntimeMetrics::new();
+        let started = Instant::now();
+        let result =
+            task.run_threaded_with_metrics(scenario.filter(), scenario.options(), &metrics)?;
+        let elapsed = started.elapsed();
+        let snapshot = metrics.snapshot();
+        Ok(RunReport {
+            scenario: scenario.label().to_string(),
+            backend: self.name(),
+            filter: scenario.filter().name().to_string(),
+            metrics: BackendMetrics {
+                rounds: snapshot.rounds,
+                broadcasts_sent: snapshot.broadcasts_sent,
+                replies_received: snapshot.replies_received,
+                agents_eliminated: snapshot.agents_eliminated,
+                ..BackendMetrics::default()
+            },
+            final_estimate: result.final_estimate,
+            trace: result.trace,
+            elapsed,
+        })
+    }
+}
+
+/// The EIG-broadcast peer-to-peer runtime (no trusted server; requires
+/// `3f < n`). With `equivocate`, Byzantine agents send different values to
+/// different halves of the network — agreement still holds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerToPeer {
+    /// Whether Byzantine agents split their forged gradients across the
+    /// network halves.
+    pub equivocate: bool,
+}
+
+impl Backend for PeerToPeer {
+    fn name(&self) -> &'static str {
+        "peer-to-peer"
+    }
+
+    fn run_with_workspace(
+        &self,
+        scenario: &Scenario,
+        _workspace: &mut RoundWorkspace,
+    ) -> Result<RunReport, ScenarioError> {
+        let task = task_for(scenario);
+        let started = Instant::now();
+        let outcome =
+            task.run_peer_to_peer(self.equivocate, scenario.filter(), scenario.options())?;
+        let elapsed = started.elapsed();
+        Ok(RunReport {
+            scenario: scenario.label().to_string(),
+            backend: self.name(),
+            filter: scenario.filter().name().to_string(),
+            metrics: BackendMetrics {
+                rounds: outcome.result.trace.len(),
+                eig_broadcasts: outcome.broadcasts,
+                eig_messages: outcome.messages,
+                ..BackendMetrics::default()
+            },
+            final_estimate: outcome.result.final_estimate,
+            trace: outcome.result.trace,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_dgd::RunOptions;
+    use abft_problems::RegressionProblem;
+
+    fn scenario(iterations: usize) -> Scenario {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "gradient-reverse")
+            .filter("cge")
+            .options(RunOptions::paper_defaults_with_iterations(x_h, iterations))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_scenario_runs_on_all_three_backends() {
+        let scenario = scenario(40);
+        let reference = InProcess.run(&scenario).unwrap();
+        let threaded = Threaded.run(&scenario).unwrap();
+        let p2p = PeerToPeer::default().run(&scenario).unwrap();
+        assert_eq!(reference.trace.records(), threaded.trace.records());
+        assert_eq!(reference.trace.records(), p2p.trace.records());
+        assert!(reference
+            .final_estimate
+            .approx_eq(&threaded.final_estimate, 0.0));
+        assert!(reference.final_estimate.approx_eq(&p2p.final_estimate, 0.0));
+    }
+
+    #[test]
+    fn metrics_reflect_each_backend() {
+        let scenario = scenario(10);
+        let in_process = InProcess.run(&scenario).unwrap();
+        assert_eq!(in_process.metrics.rounds, 11);
+        assert_eq!(in_process.metrics.broadcasts_sent, 0);
+
+        let threaded = Threaded.run(&scenario).unwrap();
+        assert_eq!(threaded.metrics.rounds, 11);
+        assert_eq!(threaded.metrics.broadcasts_sent, 66);
+        assert_eq!(threaded.metrics.replies_received, 66);
+
+        let p2p = PeerToPeer::default().run(&scenario).unwrap();
+        assert_eq!(p2p.metrics.eig_broadcasts, 66);
+        assert!(p2p.metrics.eig_messages > 0);
+    }
+
+    #[test]
+    fn in_process_reuses_one_workspace_across_runs() {
+        let scenario = scenario(5);
+        let mut workspace = RoundWorkspace::new();
+        let a = InProcess
+            .run_with_workspace(&scenario, &mut workspace)
+            .unwrap();
+        let b = InProcess
+            .run_with_workspace(&scenario, &mut workspace)
+            .unwrap();
+        // Fresh strategy instances per run → identical traces.
+        assert_eq!(a.trace.records(), b.trace.records());
+    }
+
+    #[test]
+    fn report_summary_row_matches_header() {
+        let report = InProcess.run(&scenario(3)).unwrap();
+        assert_eq!(
+            report.summary_row().len(),
+            RunReport::summary_header().len()
+        );
+        assert_eq!(report.summary_table().row_count(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! The scenario layer: one declarative spec, any backend, one report.
+//!
+//! The paper's claims (Theorems 3–6, Figures 2–5) are all instances of a
+//! single experiment shape — `n` agents of which `f` are Byzantine, an
+//! attack, a gradient filter, a runtime, `T` iterations. This crate makes
+//! that shape a first-class value:
+//!
+//! * [`Scenario`] — an immutable, validated spec built with
+//!   [`Scenario::builder`]. Filters and attacks are resolved through the
+//!   workspace registries ([`abft_filters::by_name`],
+//!   [`abft_attacks::attack_by_name`]), so specs are plain data: names,
+//!   seeds, and run options.
+//! * [`Backend`] — where the spec runs. [`InProcess`] drives
+//!   [`abft_dgd::DgdSimulation`], [`Threaded`] the thread-per-agent server
+//!   runtime, and [`PeerToPeer`] the EIG-broadcast runtime. The same
+//!   scenario value produces the identical trace on every backend.
+//! * [`RunReport`] — the unified result: full per-iteration [`trace`]
+//!   (`iteration, loss, distance, grad_norm, phi`), the final estimate,
+//!   wall-clock timing, and [`BackendMetrics`].
+//! * [`ScenarioSuite`] — a filters × attacks grid (or any scenario list)
+//!   fanned out across worker threads, each worker reusing one gradient
+//!   batch, with deterministic scenario-ordered reports and CSV output.
+//!
+//! [`trace`]: abft_core::Trace
+//!
+//! # Example
+//!
+//! ```
+//! use abft_dgd::RunOptions;
+//! use abft_problems::RegressionProblem;
+//! use abft_scenario::{Backend, InProcess, PeerToPeer, Scenario, Threaded};
+//!
+//! # fn main() -> Result<(), abft_scenario::ScenarioError> {
+//! let problem = RegressionProblem::paper_instance();
+//! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+//!
+//! // One spec…
+//! let scenario = Scenario::builder()
+//!     .problem(&problem)
+//!     .faults(1)
+//!     .attack(0, "gradient-reverse")
+//!     .filter("cge")
+//!     .options(RunOptions::paper_defaults_with_iterations(x_h, 60))
+//!     .build()?;
+//!
+//! // …runs unmodified on every runtime, with identical traces.
+//! let a = InProcess.run(&scenario)?;
+//! let b = Threaded.run(&scenario)?;
+//! let c = PeerToPeer::default().run(&scenario)?;
+//! assert_eq!(a.trace.records(), b.trace.records());
+//! assert_eq!(a.trace.records(), c.trace.records());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+pub mod error;
+pub mod spec;
+pub mod suite;
+
+pub use backend::{Backend, BackendMetrics, InProcess, PeerToPeer, RunReport, Threaded};
+pub use error::ScenarioError;
+pub use spec::{IntoCosts, Scenario, ScenarioBuilder};
+pub use suite::{ScenarioSuite, SuiteOutcomes, SuiteReport};
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::backend::{Backend, InProcess, PeerToPeer, RunReport, Threaded};
+    pub use crate::error::ScenarioError;
+    pub use crate::spec::{Scenario, ScenarioBuilder};
+    pub use crate::suite::{ScenarioSuite, SuiteReport};
+}

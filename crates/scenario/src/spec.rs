@@ -1,0 +1,520 @@
+//! The declarative [`Scenario`] spec and its builder.
+
+use crate::error::ScenarioError;
+use abft_attacks::{attack_by_name, ByzantineStrategy};
+use abft_core::validate::{self, FaultBudget};
+use abft_core::SystemConfig;
+use abft_dgd::RunOptions;
+use abft_filters::{by_name, GradientFilter};
+use abft_problems::{RegressionProblem, SharedCost};
+use std::sync::Arc;
+
+/// Produces a fresh, independently-seeded strategy instance per run, so one
+/// scenario can be executed on several backends (or several times) with
+/// bit-identical behaviour.
+type AttackFactory = Arc<dyn Fn() -> Box<dyn ByzantineStrategy> + Send + Sync>;
+
+/// One agent's fault behaviour inside a scenario.
+#[derive(Clone)]
+pub(crate) enum FaultKind {
+    /// The agent reports forged gradients built by `factory`.
+    Attack {
+        /// Display name (registry name or caller-supplied label).
+        name: String,
+        factory: AttackFactory,
+    },
+    /// The agent behaves honestly and then goes silent at `at_iteration`.
+    Crash { at_iteration: usize },
+}
+
+/// A fault assignment: which agent, and what it does.
+#[derive(Clone)]
+pub(crate) struct FaultSpec {
+    pub(crate) agent: usize,
+    pub(crate) kind: FaultKind,
+}
+
+/// A complete, validated description of one Byzantine-resilient DGD
+/// experiment: `n` agents with their costs, `f` tolerated faults, concrete
+/// fault behaviours, a gradient filter, and the run options (`x0`, `T`,
+/// step schedule, projection set, reference point).
+///
+/// A `Scenario` is runtime-agnostic: hand the same value to any
+/// [`Backend`](crate::Backend) — in-process, thread-per-agent, or
+/// peer-to-peer — and it produces one [`RunReport`](crate::RunReport) with
+/// the identical trace (asserted by the cross-backend equivalence tests).
+/// Scenarios are cheap to clone (costs and filters are shared behind
+/// `Arc`s) and `Send + Sync`, so suites fan them out across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use abft_dgd::RunOptions;
+/// use abft_problems::RegressionProblem;
+/// use abft_scenario::{Backend, InProcess, Scenario};
+///
+/// # fn main() -> Result<(), abft_scenario::ScenarioError> {
+/// let problem = RegressionProblem::paper_instance();
+/// let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
+/// let scenario = Scenario::builder()
+///     .problem(&problem)
+///     .faults(1)
+///     .attack(0, "gradient-reverse")
+///     .filter("cge")
+///     .options(RunOptions::paper_defaults_with_iterations(x_h.clone(), 100))
+///     .build()?;
+/// let report = InProcess.run(&scenario)?;
+/// assert!(report.final_distance() < 0.089); // within the paper's eps
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Scenario {
+    pub(crate) label: String,
+    pub(crate) config: SystemConfig,
+    pub(crate) costs: Vec<SharedCost>,
+    pub(crate) faults: Vec<FaultSpec>,
+    pub(crate) filter: Arc<dyn GradientFilter>,
+    pub(crate) options: RunOptions,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("config", &self.config)
+            .field("filter", &self.filter.name())
+            .field("faults", &self.fault_summary())
+            .field("iterations", &self.options.iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scenario {
+    /// Starts an empty builder.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// A human-readable label (defaults to `"<filter>+<faults>"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The `(n, f)` system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The agents' true cost functions, in agent-id order.
+    pub fn costs(&self) -> &[SharedCost] {
+        &self.costs
+    }
+
+    /// The gradient filter this scenario aggregates with.
+    pub fn filter(&self) -> &dyn GradientFilter {
+        self.filter.as_ref()
+    }
+
+    /// The run options (`x0`, iteration count, schedule, projection,
+    /// reference point).
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Indices of the truly honest agents (no attack, no crash schedule).
+    pub fn honest_agents(&self) -> Vec<usize> {
+        (0..self.config.n())
+            .filter(|&i| self.faults.iter().all(|fault| fault.agent != i))
+            .collect()
+    }
+
+    /// Materializes fresh Byzantine strategy instances, in assignment order.
+    pub(crate) fn byzantine_assignments(&self) -> Vec<(usize, Box<dyn ByzantineStrategy>)> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match &fault.kind {
+                FaultKind::Attack { factory, .. } => Some((fault.agent, factory())),
+                FaultKind::Crash { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The crash schedule, in assignment order.
+    pub(crate) fn crash_assignments(&self) -> Vec<(usize, usize)> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match fault.kind {
+                FaultKind::Crash { at_iteration } => Some((fault.agent, at_iteration)),
+                FaultKind::Attack { .. } => None,
+            })
+            .collect()
+    }
+
+    /// A short description of the fault plan, e.g. `"gradient-reverse@0"`
+    /// or `"fault-free"`.
+    pub fn fault_summary(&self) -> String {
+        if self.faults.is_empty() {
+            return "fault-free".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|fault| match &fault.kind {
+                FaultKind::Attack { name, .. } => format!("{name}@{}", fault.agent),
+                FaultKind::Crash { at_iteration } => {
+                    format!("crash(t={at_iteration})@{}", fault.agent)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Anything that can supply the agents' cost functions to a builder.
+///
+/// Implemented for plain cost vectors and for [`RegressionProblem`], so
+/// `builder().problem(&problem)` and `builder().problem(costs)` both read
+/// naturally.
+pub trait IntoCosts {
+    /// The costs, in agent-id order.
+    fn into_costs(self) -> Vec<SharedCost>;
+}
+
+impl IntoCosts for Vec<SharedCost> {
+    fn into_costs(self) -> Vec<SharedCost> {
+        self
+    }
+}
+
+impl IntoCosts for &RegressionProblem {
+    fn into_costs(self) -> Vec<SharedCost> {
+        self.costs()
+    }
+}
+
+/// A pending (not yet validated) fault entry.
+#[derive(Clone)]
+enum PendingFault {
+    Named {
+        name: String,
+        seed: u64,
+    },
+    Custom {
+        name: String,
+        factory: AttackFactory,
+    },
+    Crash {
+        at_iteration: usize,
+    },
+}
+
+/// A pending (not yet resolved) filter choice.
+#[derive(Clone)]
+enum PendingFilter {
+    Named(String),
+    Instance(Arc<dyn GradientFilter>),
+}
+
+/// Builder for [`Scenario`]; finalize with [`ScenarioBuilder::build`].
+///
+/// The builder is `Clone`, which is how grids are expressed: clone a
+/// template, override the filter/attack per cell, build each cell
+/// (see [`ScenarioSuite::grid`](crate::ScenarioSuite::grid)).
+///
+/// All setters are infallible; every structural rule — cost dimensions,
+/// the Lemma-1 bound on `(n, f)`, the fault budget, registry name
+/// resolution, option dimensions — is checked once in `build`.
+#[derive(Clone, Default)]
+pub struct ScenarioBuilder {
+    label: Option<String>,
+    costs: Vec<SharedCost>,
+    f: usize,
+    faults: Vec<(usize, PendingFault)>,
+    filter: Option<PendingFilter>,
+    options: Option<RunOptions>,
+}
+
+impl ScenarioBuilder {
+    /// Sets the agents' cost functions (`n` is inferred from their count).
+    #[must_use]
+    pub fn problem(mut self, costs: impl IntoCosts) -> Self {
+        self.costs = costs.into_costs();
+        self
+    }
+
+    /// Sets the fault-tolerance parameter `f` (defaults to 0).
+    #[must_use]
+    pub fn faults(mut self, f: usize) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Marks `agent` Byzantine with the registry attack `name`
+    /// (case-insensitive; see [`abft_attacks::attack_by_name`]), seeded
+    /// with the default seed 0.
+    #[must_use]
+    pub fn attack(self, agent: usize, name: impl Into<String>) -> Self {
+        self.attack_seeded(agent, name, 0)
+    }
+
+    /// [`ScenarioBuilder::attack`] with an explicit seed for the attack's
+    /// internal randomness.
+    #[must_use]
+    pub fn attack_seeded(mut self, agent: usize, name: impl Into<String>, seed: u64) -> Self {
+        self.faults.push((
+            agent,
+            PendingFault::Named {
+                name: name.into(),
+                seed,
+            },
+        ));
+        self
+    }
+
+    /// Marks `agent` Byzantine with a custom strategy. The factory is
+    /// invoked once per run so repeated executions (and different
+    /// backends) observe identical fresh strategy state.
+    #[must_use]
+    pub fn attack_with(
+        mut self,
+        agent: usize,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn ByzantineStrategy> + Send + Sync + 'static,
+    ) -> Self {
+        self.faults.push((
+            agent,
+            PendingFault::Custom {
+                name: name.into(),
+                factory: Arc::new(factory),
+            },
+        ));
+        self
+    }
+
+    /// Schedules `agent` to crash (stop replying) at `at_iteration`.
+    #[must_use]
+    pub fn crash(mut self, agent: usize, at_iteration: usize) -> Self {
+        self.faults
+            .push((agent, PendingFault::Crash { at_iteration }));
+        self
+    }
+
+    /// Selects the gradient filter by registry name (case-insensitive; see
+    /// [`abft_filters::by_name`]).
+    #[must_use]
+    pub fn filter(mut self, name: impl Into<String>) -> Self {
+        self.filter = Some(PendingFilter::Named(name.into()));
+        self
+    }
+
+    /// Selects a concrete filter instance (for tuned parameters the
+    /// registry defaults don't cover).
+    #[must_use]
+    pub fn filter_instance(mut self, filter: impl GradientFilter + 'static) -> Self {
+        self.filter = Some(PendingFilter::Instance(Arc::new(filter)));
+        self
+    }
+
+    /// Sets the run options.
+    #[must_use]
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Overrides the auto-generated label.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Validates the spec and produces an immutable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingProblem`] /
+    /// [`ScenarioError::MissingFilter`] / [`ScenarioError::MissingOptions`]
+    /// for an incomplete spec; [`ScenarioError::Core`] when `(n, f)`
+    /// violates Lemma 1; [`ScenarioError::Validation`] for cost/option
+    /// dimension problems or fault-budget violations; and
+    /// [`ScenarioError::Filter`] / [`ScenarioError::Attack`] when a
+    /// registry name does not resolve (the error lists the valid names).
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.costs.is_empty() {
+            return Err(ScenarioError::MissingProblem);
+        }
+        let config = SystemConfig::new(self.costs.len(), self.f)?;
+        let dim = validate::cost_dimension(config.n(), self.costs.iter().map(|c| c.dim()))?;
+
+        let options = self.options.ok_or(ScenarioError::MissingOptions)?;
+        validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
+
+        let filter: Arc<dyn GradientFilter> = match self.filter {
+            Some(PendingFilter::Named(name)) => Arc::from(by_name(&name)?),
+            Some(PendingFilter::Instance(filter)) => filter,
+            None => return Err(ScenarioError::MissingFilter),
+        };
+
+        let mut budget = FaultBudget::new(&config);
+        let mut faults = Vec::with_capacity(self.faults.len());
+        for (agent, pending) in self.faults {
+            budget.assign(agent)?;
+            let kind = match pending {
+                PendingFault::Named { name, seed } => {
+                    // Resolve now so typos fail at build time, then bake the
+                    // (name, seed) pair into a factory producing fresh
+                    // instances per run.
+                    attack_by_name(&name, seed)?;
+                    let factory_name = name.clone();
+                    FaultKind::Attack {
+                        name,
+                        factory: Arc::new(move || {
+                            attack_by_name(&factory_name, seed).expect("validated at build time")
+                        }),
+                    }
+                }
+                PendingFault::Custom { name, factory } => FaultKind::Attack { name, factory },
+                PendingFault::Crash { at_iteration } => FaultKind::Crash { at_iteration },
+            };
+            faults.push(FaultSpec { agent, kind });
+        }
+
+        let mut scenario = Scenario {
+            label: String::new(),
+            config,
+            costs: self.costs,
+            faults,
+            filter,
+            options,
+        };
+        scenario.label = self
+            .label
+            .unwrap_or_else(|| format!("{}+{}", scenario.filter.name(), scenario.fault_summary()));
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ScenarioError;
+    use abft_problems::RegressionProblem;
+
+    fn base() -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, 10);
+        (problem, options)
+    }
+
+    #[test]
+    fn builds_and_labels_a_full_spec() {
+        let (problem, options) = base();
+        let scenario = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "gradient-reverse")
+            .filter("cge")
+            .options(options)
+            .build()
+            .unwrap();
+        assert_eq!(scenario.label(), "cge+gradient-reverse@0");
+        assert_eq!(scenario.config().n(), 6);
+        assert_eq!(scenario.config().f(), 1);
+        assert_eq!(scenario.honest_agents(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(scenario.byzantine_assignments().len(), 1);
+        assert!(scenario.crash_assignments().is_empty());
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        let (problem, options) = base();
+        assert!(matches!(
+            Scenario::builder().build(),
+            Err(ScenarioError::MissingProblem)
+        ));
+        assert!(matches!(
+            Scenario::builder().problem(&problem).build(),
+            Err(ScenarioError::MissingOptions)
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .problem(&problem)
+                .options(options)
+                .build(),
+            Err(ScenarioError::MissingFilter)
+        ));
+    }
+
+    #[test]
+    fn registry_misses_fail_at_build_time_with_names() {
+        let (problem, options) = base();
+        let err = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "no-such-attack")
+            .filter("cge")
+            .options(options.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("gradient-reverse"));
+
+        let err = Scenario::builder()
+            .problem(&problem)
+            .filter("no-such-filter")
+            .options(options)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cwtm"));
+    }
+
+    #[test]
+    fn fault_budget_and_lemma_1_are_enforced() {
+        let (problem, options) = base();
+        // Two faults against f = 1.
+        let err = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "zero")
+            .crash(1, 5)
+            .filter("cge")
+            .options(options.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Validation(_)));
+        // f = 3 of n = 6 violates Lemma 1 outright.
+        let err = Scenario::builder()
+            .problem(&problem)
+            .faults(3)
+            .filter("cge")
+            .options(options)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Core(_)));
+    }
+
+    #[test]
+    fn builder_clone_supports_grid_templates() {
+        let (problem, options) = base();
+        let template = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .options(options);
+        let a = template
+            .clone()
+            .filter("cge")
+            .attack(0, "zero")
+            .build()
+            .unwrap();
+        let b = template.filter("cwtm").attack(0, "random").build().unwrap();
+        assert_eq!(a.label(), "cge+zero@0");
+        assert_eq!(b.label(), "cwtm+random@0");
+    }
+
+    #[test]
+    fn scenario_is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<Scenario>();
+    }
+}

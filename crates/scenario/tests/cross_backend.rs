@@ -1,0 +1,120 @@
+//! Cross-backend equivalence: one `Scenario` value must produce
+//! bit-identical traces on the in-process, threaded, and peer-to-peer
+//! backends, across a filters × attacks grid.
+//!
+//! This is the scenario-level counterpart of the low-level
+//! `tests/runtime_equivalence.rs` suite: it pins the *API contract* that a
+//! spec is runtime-agnostic, not just that the runtimes agree for
+//! hand-wired inputs.
+
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{Backend, InProcess, PeerToPeer, Scenario, ScenarioBuilder, Threaded};
+
+/// Filters with guarantees at the paper instance's n = 6, f = 1 that are
+/// cheap enough to grid across three runtimes.
+const FILTERS: [&str; 4] = ["cge", "cwtm", "cwmed", "mean"];
+
+/// Every non-omniscient registered attack (omniscient ones are rejected by
+/// the message-passing backends, by design).
+const ATTACKS: [&str; 4] = ["gradient-reverse", "random", "scaled-reverse", "zero"];
+
+fn template(iterations: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(RunOptions::paper_defaults_with_iterations(x_h, 25))
+        .label(format!("equivalence-{iterations}"))
+}
+
+#[test]
+fn one_scenario_is_bit_identical_on_all_three_backends_across_the_grid() {
+    let template = template(25);
+    for attack in ATTACKS {
+        for filter in FILTERS {
+            let scenario = template
+                .clone()
+                .filter(filter)
+                .attack_seeded(0, attack, 9)
+                .label(format!("{filter}+{attack}"))
+                .build()
+                .expect("grid cell builds");
+
+            let reference = InProcess.run(&scenario).expect("in-process runs");
+            let threaded = Threaded.run(&scenario).expect("threaded runs");
+            let p2p = PeerToPeer::default().run(&scenario).expect("p2p runs");
+
+            assert_eq!(
+                reference.trace.records(),
+                threaded.trace.records(),
+                "threaded trace diverged for {filter} × {attack}"
+            );
+            assert_eq!(
+                reference.trace.records(),
+                p2p.trace.records(),
+                "peer-to-peer trace diverged for {filter} × {attack}"
+            );
+            assert!(
+                reference
+                    .final_estimate
+                    .approx_eq(&threaded.final_estimate, 0.0),
+                "threaded estimate diverged for {filter} × {attack}"
+            );
+            assert!(
+                reference.final_estimate.approx_eq(&p2p.final_estimate, 0.0),
+                "peer-to-peer estimate diverged for {filter} × {attack}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_scenarios_agree_between_in_process_and_threaded() {
+    // The peer-to-peer runtime has no S1 elimination rule, so crashes are
+    // a two-backend contract.
+    let scenario = template(40)
+        .filter("cge")
+        .crash(2, 7)
+        .label("cge+crash")
+        .build()
+        .expect("builds");
+    let reference = InProcess.run(&scenario).expect("in-process runs");
+    let threaded = Threaded.run(&scenario).expect("threaded runs");
+    assert_eq!(reference.trace.records(), threaded.trace.records());
+    assert_eq!(threaded.metrics.agents_eliminated, 1);
+    // …and the peer-to-peer backend reports the restriction as a
+    // configuration error instead of silently ignoring the crash.
+    assert!(PeerToPeer::default().run(&scenario).is_err());
+}
+
+#[test]
+fn omniscient_attacks_run_in_process_and_are_rejected_by_message_passing_backends() {
+    let scenario = template(10)
+        .filter("cge")
+        .attack(0, "little-is-enough")
+        .build()
+        .expect("builds");
+    assert!(InProcess.run(&scenario).is_ok());
+    assert!(Threaded.run(&scenario).is_err());
+    assert!(PeerToPeer::default().run(&scenario).is_err());
+}
+
+#[test]
+fn repeated_runs_of_one_scenario_are_deterministic() {
+    // Seeded attacks are re-materialized per run, so running the same
+    // scenario twice — even on different backends in between — cannot leak
+    // RNG state across executions.
+    let scenario = template(30)
+        .filter("cwtm")
+        .attack_seeded(0, "random", 2021)
+        .build()
+        .expect("builds");
+    let first = InProcess.run(&scenario).expect("runs");
+    let _interleaved = Threaded.run(&scenario).expect("runs");
+    let second = InProcess.run(&scenario).expect("runs");
+    assert_eq!(first.trace.records(), second.trace.records());
+}

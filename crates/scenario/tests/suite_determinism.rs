@@ -1,0 +1,98 @@
+//! Suite determinism: a parallel `ScenarioSuite` run must be
+//! indistinguishable from a serial one — same report order, bit-identical
+//! traces — no matter how many workers execute it.
+
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{InProcess, Scenario, ScenarioBuilder, ScenarioSuite, Threaded};
+
+fn template() -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(RunOptions::paper_defaults_with_iterations(x_h, 40))
+}
+
+fn grid() -> ScenarioSuite {
+    ScenarioSuite::grid(
+        &template(),
+        0,
+        &["cge", "cwtm", "cwmed", "mean"],
+        &["gradient-reverse", "random", "zero"],
+    )
+    .expect("grid builds")
+}
+
+#[test]
+fn parallel_run_equals_serial_run_bit_for_bit() {
+    let suite = grid();
+    let serial = suite.run(&InProcess).expect("serial run");
+    for workers in [2, 4, 7] {
+        let parallel = suite
+            .run_parallel(&InProcess, workers)
+            .expect("parallel run");
+        assert_eq!(serial.reports().len(), parallel.reports().len());
+        for (s, p) in serial.reports().iter().zip(parallel.reports()) {
+            assert_eq!(
+                s.scenario, p.scenario,
+                "report order must be scenario order"
+            );
+            assert_eq!(
+                s.trace.records(),
+                p.trace.records(),
+                "trace diverged for {} at {workers} workers",
+                s.scenario
+            );
+            assert!(s.final_estimate.approx_eq(&p.final_estimate, 0.0));
+        }
+    }
+}
+
+#[test]
+fn parallel_run_on_a_threaded_backend_is_also_deterministic() {
+    // Nested parallelism: suite workers × agent threads. Keep it small.
+    let suite = ScenarioSuite::grid(&template(), 0, &["cge", "cwtm"], &["zero"]).expect("grid");
+    let serial = suite.run(&Threaded).expect("serial run");
+    let parallel = suite.run_parallel(&Threaded, 2).expect("parallel run");
+    for (s, p) in serial.reports().iter().zip(parallel.reports()) {
+        assert_eq!(s.trace.records(), p.trace.records());
+    }
+}
+
+#[test]
+fn failing_cells_surface_the_earliest_scenario_error() {
+    // Bulyan needs n ≥ 4f + 3 = 7 > 6, so every bulyan cell fails at run
+    // time; the suite must report the earliest one deterministically.
+    let suite = ScenarioSuite::grid(
+        &template(),
+        0,
+        &["cge", "bulyan"],
+        &["zero", "gradient-reverse"],
+    )
+    .expect("grid builds (bulyan is a registered name)");
+    let serial_err = suite.run(&InProcess).expect_err("bulyan cells fail");
+    for workers in [2, 4] {
+        let parallel_err = suite
+            .run_parallel(&InProcess, workers)
+            .expect_err("bulyan cells fail");
+        assert_eq!(
+            format!("{serial_err}"),
+            format!("{parallel_err}"),
+            "parallel error must match the serial (earliest) one"
+        );
+    }
+}
+
+#[test]
+fn suite_summary_preserves_scenario_order() {
+    let suite = grid();
+    let report = suite.run_parallel(&InProcess, 3).expect("runs");
+    let table = report.summary_table();
+    let expected: Vec<&str> = suite.scenarios().iter().map(|s| s.label()).collect();
+    let actual: Vec<&str> = table.rows().iter().map(|r| r[0].as_str()).collect();
+    assert_eq!(expected, actual);
+}

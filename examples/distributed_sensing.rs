@@ -4,20 +4,19 @@
 //! common state `x*`; compromised sensors report garbage. The paper notes
 //! that the classic *2f-sparse observability* condition of the secure-state-
 //! estimation literature is exactly 2f-redundancy — so the whole machinery
-//! applies verbatim: measure ε, run the exact algorithm, or run DGD with a
-//! gradient filter on the squared-residual costs.
+//! applies verbatim: measure ε, run the exact algorithm, or run a DGD
+//! `Scenario` with a gradient filter on the squared-residual costs.
 //!
 //! Run with: `cargo run --release --example distributed_sensing`
 
-use approx_bft::attacks::RandomGaussian;
 use approx_bft::core::subsets::KSubsets;
 use approx_bft::core::SystemConfig;
-use approx_bft::dgd::{DgdSimulation, RunOptions};
-use approx_bft::filters::Cwtm;
+use approx_bft::dgd::RunOptions;
 use approx_bft::linalg::solve::rank;
 use approx_bft::linalg::Vector;
 use approx_bft::problems::RegressionProblem;
 use approx_bft::redundancy::{exact_resilient_output, measure_redundancy, RegressionOracle};
+use approx_bft::scenario::{Backend, InProcess, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Eight sensors observing a 2-D state along a fan of directions, two of
@@ -55,13 +54,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Route 2: iterative DGD with a gradient filter, sensors 0 and 1
-    // compromised and spewing large random measurements.
-    let mut sim = DgdSimulation::new(config, sensors.costs())?
-        .with_byzantine(0, Box::new(RandomGaussian::paper(1)))?
-        .with_byzantine(1, Box::new(RandomGaussian::paper(2)))?;
+    // compromised and spewing large random measurements — one scenario.
     let mut options = RunOptions::paper_defaults(x_h.clone());
     options.x0 = Vector::zeros(2);
-    let run = sim.run(&Cwtm::new(), &options)?;
+    let scenario = Scenario::builder()
+        .problem(&sensors)
+        .faults(2)
+        .attack_seeded(0, "random", 1)
+        .attack_seeded(1, "random", 2)
+        .filter("cwtm")
+        .options(options)
+        .label("hijacked-sensors")
+        .build()?;
+    let run = InProcess.run(&scenario)?;
     println!(
         "DGD + CWTM under two hijacked sensors: estimate = {}  dist = {:.4}",
         run.final_estimate,

@@ -1,17 +1,16 @@
 //! Quickstart: Byzantine-robust distributed optimization in ~40 lines.
 //!
-//! Reproduces the core of the paper's Section-5 experiment: six agents
-//! solve a linear regression, one turns Byzantine, and DGD with the CGE
-//! gradient filter still lands within the measured redundancy `ε` of the
-//! honest minimizer.
+//! Reproduces the core of the paper's Section-5 experiment with the
+//! declarative `Scenario` API: six agents solve a linear regression, one
+//! turns Byzantine, and DGD with the CGE gradient filter still lands within
+//! the measured redundancy `ε` of the honest minimizer.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use approx_bft::attacks::GradientReverse;
-use approx_bft::dgd::{DgdSimulation, RunOptions};
-use approx_bft::filters::{Cge, Mean};
+use approx_bft::dgd::RunOptions;
 use approx_bft::problems::RegressionProblem;
 use approx_bft::redundancy::{measure_redundancy, RegressionOracle};
+use approx_bft::scenario::{Backend, InProcess, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Appendix-J dataset: n = 6 agents, d = 2, f = 1.
@@ -24,18 +23,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = measure_redundancy(&RegressionOracle::new(&problem), *problem.config())?;
     println!("measured (2f, eps)-redundancy: eps = {:.4}", report.epsilon);
 
-    // Agent 0 goes Byzantine, reversing its gradients every iteration.
-    let options = RunOptions::paper_defaults(x_h.clone());
-    let run = |filter: &dyn approx_bft::filters::GradientFilter| {
-        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
-            .expect("costs match config")
-            .with_byzantine(0, Box::new(GradientReverse::new()))
-            .expect("agent 0 exists and f = 1");
-        sim.run(filter, &options).expect("run succeeds")
-    };
+    // One declarative spec: agent 0 goes Byzantine, reversing its gradients
+    // every iteration; swap `.filter("cge")` for any registered filter, or
+    // run the same scenario on the Threaded / PeerToPeer backends.
+    let template = Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .attack(0, "gradient-reverse")
+        .options(RunOptions::paper_defaults(x_h.clone()));
 
-    let robust = run(&Cge::new());
-    let naive = run(&Mean::new());
+    let robust = InProcess.run(&template.clone().filter("cge").build()?)?;
+    let naive = InProcess.run(&template.filter("mean").build()?)?;
     println!(
         "DGD + CGE   : x_out = {}  dist = {:.4}  (within eps: {})",
         robust.final_estimate,

@@ -2,61 +2,53 @@
 //! agent, synchronous rounds over channels, with a crash mid-run that the
 //! server detects and eliminates (step S1 of Section 4.1).
 //!
+//! Both runs are plain `Scenario` specs handed to the `Threaded` backend;
+//! the unified `RunReport` carries the runtime's message counters.
+//!
 //! Run with: `cargo run --release --example threaded_server`
 
-use approx_bft::attacks::GradientReverse;
 use approx_bft::dgd::RunOptions;
-use approx_bft::filters::Cge;
 use approx_bft::problems::RegressionProblem;
-use approx_bft::runtime::metrics::RuntimeMetrics;
-use approx_bft::runtime::threaded::run_threaded_dgd_with_metrics;
+use approx_bft::scenario::{Backend, Scenario, Threaded};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = RegressionProblem::paper_instance();
     let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
-    let options = RunOptions::paper_defaults_with_iterations(x_h.clone(), 300);
+    let template = Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .filter("cge")
+        .options(RunOptions::paper_defaults_with_iterations(x_h.clone(), 300));
 
     // Run 1: agent 0 is Byzantine (gradient reversal) on live threads.
-    let metrics = RuntimeMetrics::new();
-    let byzantine_run = run_threaded_dgd_with_metrics(
-        *problem.config(),
-        problem.costs(),
-        vec![(0, Box::new(GradientReverse::new()))],
-        vec![],
-        &Cge::new(),
-        &options,
-        &metrics,
+    let byzantine_run = Threaded.run(
+        &template
+            .clone()
+            .attack(0, "gradient-reverse")
+            .label("byzantine-agent-0")
+            .build()?,
     )?;
-    let s = metrics.snapshot();
+    let m = &byzantine_run.metrics;
     println!("byzantine agent on threads:");
     println!(
         "  dist = {:.6}  rounds = {}  broadcasts = {}  replies = {}",
         byzantine_run.final_distance(),
-        s.rounds,
-        s.broadcasts_sent,
-        s.replies_received
+        m.rounds,
+        m.broadcasts_sent,
+        m.replies_received
     );
 
     // Run 2: agent 3 crashes at iteration 40. Its channel disconnects, the
     // server eliminates it (S1) and finishes with the survivors.
-    let metrics = RuntimeMetrics::new();
-    let crash_run = run_threaded_dgd_with_metrics(
-        *problem.config(),
-        problem.costs(),
-        vec![],
-        vec![(3, 40)],
-        &Cge::new(),
-        &options,
-        &metrics,
-    )?;
-    let s = metrics.snapshot();
+    let crash_run = Threaded.run(&template.crash(3, 40).label("crash-at-40").build()?)?;
+    let m = &crash_run.metrics;
     println!("\ncrash at iteration 40:");
     println!(
         "  dist = {:.6}  rounds = {}  eliminated = {}  replies = {}",
         crash_run.final_distance(),
-        s.rounds,
-        s.agents_eliminated,
-        s.replies_received
+        m.rounds,
+        m.agents_eliminated,
+        m.replies_received
     );
     println!("\nboth runs land within eps = 0.0890 of x_H = {x_h}");
     Ok(())

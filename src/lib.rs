@@ -26,6 +26,7 @@
 //! | [`dgd`] | the Section-4 DGD loop with projection and schedules; one batch + scratch reused across all `T` iterations (zero per-iteration gradient allocations) |
 //! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast, aggregating off the wire into reused batches |
 //! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
+//! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, and peer-to-peer backends, plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
 //!
 //! The gradient data path — who produces into and who consumes out of a
 //! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
@@ -34,11 +35,14 @@
 //!
 //! # Quickstart
 //!
+//! One declarative [`scenario::Scenario`] describes the whole experiment —
+//! problem, faults, attack, filter, run options — and runs unmodified on
+//! any backend:
+//!
 //! ```
-//! use approx_bft::attacks::GradientReverse;
-//! use approx_bft::dgd::{DgdSimulation, RunOptions};
-//! use approx_bft::filters::Cge;
+//! use approx_bft::dgd::RunOptions;
 //! use approx_bft::problems::RegressionProblem;
+//! use approx_bft::scenario::{Backend, InProcess, Scenario};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The paper's Appendix-J instance: n = 6 agents, f = 1 Byzantine.
@@ -46,12 +50,17 @@
 //! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5])?;
 //!
 //! // Agent 0 reverses its gradients; the server filters with CGE.
-//! let mut sim = DgdSimulation::new(*problem.config(), problem.costs())?
-//!     .with_byzantine(0, Box::new(GradientReverse::new()))?;
-//! let result = sim.run(&Cge::new(), &RunOptions::paper_defaults(x_h.clone()))?;
+//! let scenario = Scenario::builder()
+//!     .problem(&problem)
+//!     .faults(1)
+//!     .attack(0, "gradient-reverse")
+//!     .filter("cge")
+//!     .options(RunOptions::paper_defaults(x_h.clone()))
+//!     .build()?;
+//! let report = InProcess.run(&scenario)?; // or Threaded / PeerToPeer
 //!
 //! // Table 1: the output lands within the measured redundancy ε = 0.0890.
-//! assert!(result.final_estimate.dist(&x_h) < 0.0890);
+//! assert!(report.final_estimate.dist(&x_h) < 0.0890);
 //! # Ok(())
 //! # }
 //! ```
@@ -65,6 +74,7 @@ pub use abft_ml as ml;
 pub use abft_problems as problems;
 pub use abft_redundancy as redundancy;
 pub use abft_runtime as runtime;
+pub use abft_scenario as scenario;
 
 /// One-stop prelude for downstream users.
 pub mod prelude {
@@ -79,4 +89,5 @@ pub mod prelude {
     pub use abft_problems::prelude::*;
     pub use abft_redundancy::prelude::*;
     pub use abft_runtime::prelude::*;
+    pub use abft_scenario::prelude::*;
 }

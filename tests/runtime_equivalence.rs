@@ -7,7 +7,7 @@ use approx_bft::dgd::{DgdSimulation, RunOptions};
 use approx_bft::filters::{Cge, Cwtm};
 use approx_bft::problems::RegressionProblem;
 use approx_bft::runtime::eig::EquivocationPlan;
-use approx_bft::runtime::{eig_broadcast, run_peer_to_peer_dgd, run_threaded_dgd};
+use approx_bft::runtime::{eig_broadcast, DgdTask};
 use std::collections::BTreeMap;
 
 fn setup(iterations: usize) -> (RegressionProblem, RunOptions) {
@@ -29,25 +29,15 @@ fn three_runtimes_agree_bit_for_bit() {
         .expect("valid");
     let reference = in_process.run(&Cge::new(), &options).expect("runs");
 
-    let threaded = run_threaded_dgd(
-        *problem.config(),
-        problem.costs(),
-        vec![(0, Box::new(GradientReverse::new()))],
-        vec![],
-        &Cge::new(),
-        &options,
-    )
-    .expect("threaded runs");
+    let threaded = DgdTask::new(*problem.config(), problem.costs())
+        .byzantine(0, Box::new(GradientReverse::new()))
+        .run_threaded(&Cge::new(), &options)
+        .expect("threaded runs");
 
-    let p2p = run_peer_to_peer_dgd(
-        *problem.config(),
-        problem.costs(),
-        vec![(0, Box::new(GradientReverse::new()))],
-        false,
-        &Cge::new(),
-        &options,
-    )
-    .expect("p2p runs");
+    let p2p = DgdTask::new(*problem.config(), problem.costs())
+        .byzantine(0, Box::new(GradientReverse::new()))
+        .run_peer_to_peer(false, &Cge::new(), &options)
+        .expect("p2p runs");
 
     assert_eq!(reference.trace.records(), threaded.trace.records());
     assert_eq!(reference.trace.records(), p2p.result.trace.records());
@@ -67,15 +57,10 @@ fn seeded_random_attack_is_identical_across_runtimes() {
         .with_byzantine(0, Box::new(RandomGaussian::paper(5)))
         .expect("valid");
     let reference = in_process.run(&Cwtm::new(), &options).expect("runs");
-    let threaded = run_threaded_dgd(
-        *problem.config(),
-        problem.costs(),
-        vec![(0, Box::new(RandomGaussian::paper(5)))],
-        vec![],
-        &Cwtm::new(),
-        &options,
-    )
-    .expect("threaded runs");
+    let threaded = DgdTask::new(*problem.config(), problem.costs())
+        .byzantine(0, Box::new(RandomGaussian::paper(5)))
+        .run_threaded(&Cwtm::new(), &options)
+        .expect("threaded runs");
     assert_eq!(reference.trace.records(), threaded.trace.records());
 }
 
@@ -87,15 +72,10 @@ fn crash_elimination_matches_across_runtimes() {
         .with_crash(2, 10)
         .expect("valid");
     let reference = in_process.run(&Cge::new(), &options).expect("runs");
-    let threaded = run_threaded_dgd(
-        *problem.config(),
-        problem.costs(),
-        vec![],
-        vec![(2, 10)],
-        &Cge::new(),
-        &options,
-    )
-    .expect("threaded runs");
+    let threaded = DgdTask::new(*problem.config(), problem.costs())
+        .crash(2, 10)
+        .run_threaded(&Cge::new(), &options)
+        .expect("threaded runs");
     assert!(reference
         .final_estimate
         .approx_eq(&threaded.final_estimate, 0.0));
@@ -105,15 +85,11 @@ fn crash_elimination_matches_across_runtimes() {
 #[test]
 fn equivocating_p2p_still_converges_and_stays_in_lockstep() {
     let (problem, options) = setup(120);
-    let p2p = run_peer_to_peer_dgd(
-        *problem.config(),
-        problem.costs(),
-        vec![(0, Box::new(GradientReverse::new()))],
-        true, // equivocate: v to one half, −v to the other
-        &Cge::new(),
-        &options,
-    )
-    .expect("no lockstep violation");
+    let p2p = DgdTask::new(*problem.config(), problem.costs())
+        .byzantine(0, Box::new(GradientReverse::new()))
+        // equivocate: v to one half, −v to the other
+        .run_peer_to_peer(true, &Cge::new(), &options)
+        .expect("no lockstep violation");
     assert!(
         p2p.result.final_distance() < 0.089,
         "equivocation pushed d to {}",

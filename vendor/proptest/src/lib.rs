@@ -260,7 +260,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a length range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
