@@ -86,6 +86,20 @@ pub fn all_attacks(seed: u64) -> Vec<Box<dyn ByzantineStrategy>> {
         .collect()
 }
 
+/// Every registered attack name, in the registry's stable order — the one
+/// list error messages, docs, and grid experiments should consult instead
+/// of hand-maintaining their own.
+///
+/// ```
+/// assert!(abft_attacks::attack_names().contains(&"gradient-reverse"));
+/// for name in abft_attacks::attack_names() {
+///     assert!(abft_attacks::attack_by_name(name, 0).is_ok());
+/// }
+/// ```
+pub fn attack_names() -> &'static [&'static str] {
+    &ATTACK_NAMES
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

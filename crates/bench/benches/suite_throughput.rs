@@ -1,0 +1,151 @@
+//! Scenario-suite throughput: the full registered filters × attacks grid
+//! (14 × 6 = 84 cells) as one parallel `ScenarioSuite`, timed end to end.
+//!
+//! Unlike the criterion benches this is a *workload* bench: it measures
+//! scenarios/second for the whole grid — the number that governs how fast
+//! sweep experiments and CI-scale regression grids run — and emits the
+//! results machine-readably to `BENCH_suite.json` (for trend tracking) in
+//! addition to the human-readable table.
+//!
+//! Run with: `cargo bench -p abft-bench --bench suite_throughput`
+
+use abft_bench::fan_fixture;
+use abft_dgd::RunOptions;
+use abft_linalg::Vector;
+use abft_scenario::{
+    Backend, InProcess, NetworkModel, Scenario, ScenarioSuite, Simulated, Threaded,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// DGD iterations per cell — enough to exercise the hot loop, small enough
+/// that the whole grid stays a seconds-scale bench.
+const ITERATIONS: usize = 200;
+
+struct Row {
+    backend: &'static str,
+    scenarios: usize,
+    completed: usize,
+    failed: usize,
+    elapsed_s: f64,
+    scenarios_per_sec: f64,
+}
+
+fn main() {
+    // n = 9, f = 1 admits every registered filter (Bulyan needs 4f + 3).
+    let (problem, x_h) = fan_fixture(9, 1);
+    let mut options = RunOptions::paper_defaults(x_h);
+    options.x0 = Vector::zeros(2);
+    options.iterations = ITERATIONS;
+    let template = Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(options);
+
+    // The headline 14 × 6 grid runs in-process (the only backend allowing
+    // omniscient attacks); the message-passing backends get the same grid
+    // minus the two omniscient columns, so every timed cell is real work.
+    let full_grid = ScenarioSuite::grid_seeded(
+        &template,
+        0,
+        abft_filters::filter_names(),
+        abft_attacks::attack_names(),
+        42,
+    )
+    .expect("registry grid builds");
+    let observable: Vec<&str> = abft_attacks::attack_names()
+        .iter()
+        .copied()
+        .filter(|name| {
+            abft_attacks::attack_by_name(name, 0)
+                .map(|attack| !attack.is_omniscient())
+                .unwrap_or(false)
+        })
+        .collect();
+    let wire_grid =
+        ScenarioSuite::grid_seeded(&template, 0, abft_filters::filter_names(), &observable, 42)
+            .expect("registry grid builds");
+    let workers = ScenarioSuite::auto_workers();
+
+    let backends: Vec<(&'static str, &ScenarioSuite, Box<dyn Backend>)> = vec![
+        ("in-process", &full_grid, Box::new(InProcess)),
+        ("threaded", &wire_grid, Box::new(Threaded)),
+        (
+            "simulated-server",
+            &wire_grid,
+            Box::new(Simulated::server(NetworkModel::ideal())),
+        ),
+    ];
+
+    println!(
+        "suite_throughput: {} filters x {} attacks, {ITERATIONS} iterations, {workers} workers\n",
+        abft_filters::filter_names().len(),
+        abft_attacks::attack_names().len(),
+    );
+    println!(
+        "{:<18} {:>5} {:>9} {:>7} {:>10} {:>15}",
+        "backend", "cells", "completed", "failed", "elapsed", "scenarios/sec"
+    );
+
+    let mut rows = Vec::new();
+    for (name, suite, backend) in &backends {
+        let started = Instant::now();
+        let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
+        let elapsed_s = started.elapsed().as_secs_f64();
+        let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
+        let failed = outcome.outcomes.len() - completed;
+        let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
+        println!(
+            "{name:<18} {:>5} {completed:>9} {failed:>7} {:>9.2}s {scenarios_per_sec:>15.1}",
+            suite.len(),
+            elapsed_s
+        );
+        rows.push(Row {
+            backend: name,
+            scenarios: suite.len(),
+            completed,
+            failed,
+            elapsed_s,
+            scenarios_per_sec,
+        });
+    }
+
+    // Workspace root, so CI and trend tooling find one canonical path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_suite.json");
+    std::fs::write(path, to_json(ITERATIONS, workers, &rows))
+        .expect("BENCH_suite.json is writable");
+    println!("\nwrote {path}");
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable field order, one
+/// object per backend.
+fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"suite_throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"grid\": {{\"filters\": {}, \"attacks\": {}}},",
+        abft_filters::filter_names().len(),
+        abft_attacks::attack_names().len()
+    );
+    let _ = writeln!(out, "  \"iterations\": {iterations},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"scenarios\": {}, \"completed\": {}, \"failed\": {}, \
+             \"elapsed_s\": {:.4}, \"scenarios_per_sec\": {:.2}}}{comma}",
+            row.backend,
+            row.scenarios,
+            row.completed,
+            row.failed,
+            row.elapsed_s,
+            row.scenarios_per_sec
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}

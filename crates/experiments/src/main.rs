@@ -14,6 +14,7 @@
 //! | `exact`      | Theorem-2 exact algorithm + necessity counterexample |
 //! | `grid`       | every filter × every attack on a random redundant instance |
 //! | `sweep-f`    | error vs f/n against the α > 0 threshold |
+//! | `lossy`      | convergence under link drop/partition faults (simulated network) |
 //! | `sweep-eps`  | measured ε vs noise, and final error vs ε |
 //! | `sweep-lambda` | CWTM's λ vs the Theorem-6 threshold across fan spreads |
 //! | `phi`        | Theorem-3 monitor: φ_t premise/conclusion check |
@@ -45,6 +46,7 @@ fn main() {
         "exact" => theory::exact(&out_dir),
         "grid" => sweeps::grid(&out_dir),
         "sweep-f" => sweeps::sweep_f(&out_dir),
+        "lossy" => sweeps::lossy(&out_dir),
         "sweep-eps" => sweeps::sweep_eps(&out_dir),
         "sweep-lambda" => sweeps::sweep_lambda(&out_dir),
         "phi" => theory::phi_monitor(&out_dir),
@@ -72,6 +74,7 @@ fn run_all(out_dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> 
     theory::exact(out_dir)?;
     sweeps::grid(out_dir)?;
     sweeps::sweep_f(out_dir)?;
+    sweeps::lossy(out_dir)?;
     sweeps::sweep_eps(out_dir)?;
     sweeps::sweep_lambda(out_dir)?;
     theory::phi_monitor(out_dir)?;
@@ -99,6 +102,7 @@ fn print_help() {
         ),
         ("grid", "all filters x all attacks"),
         ("sweep-f", "error vs fault fraction"),
+        ("lossy", "convergence under link drop/partition faults"),
         ("sweep-eps", "error vs measured redundancy"),
         ("sweep-lambda", "CWTM diversity vs the Theorem-6 threshold"),
         ("phi", "Theorem-3 monitor (phi_t premise/conclusion check)"),

@@ -60,14 +60,14 @@ pub use faba::Faba;
 pub use geomed::{GeometricMedian, GeometricMedianOfMeans};
 pub use krum::{Krum, MultiKrum};
 pub use mean::Mean;
-pub use registry::{all_filters, by_name};
+pub use registry::{all_filters, by_name, filter_names};
 pub use sign::SignMajority;
 pub use traits::{batch_of, GradientFilter};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::error::FilterError;
-    pub use crate::registry::{all_filters, by_name};
+    pub use crate::registry::{all_filters, by_name, filter_names};
     pub use crate::traits::GradientFilter;
     pub use crate::{Cge, CoordinateWiseMedian, Cwtm, GeometricMedian, Krum, Mean};
 }

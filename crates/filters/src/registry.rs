@@ -22,9 +22,9 @@ const DEFAULT_CLIP_ITERS: usize = 5;
 
 /// Looks a filter up by its stable name (case-insensitively).
 ///
-/// Recognized names: `mean`, `cge`, `cge-avg`, `cwtm`, `cwmed`, `geomed`,
-/// `gmom` (3 groups), `krum`, `multi-krum` (m = 3), `bulyan`, `faba`,
-/// `centered-clipping`, `norm-clipping`, `sign-majority`.
+/// The recognized names are exactly [`filter_names`] (parameterized
+/// filters use their canonical configurations: `gmom` runs 3 groups,
+/// `multi-krum` m = 3, the clipping filters radius 10).
 ///
 /// # Errors
 ///
@@ -79,6 +79,20 @@ pub fn all_filters() -> Vec<Box<dyn GradientFilter>> {
         .iter()
         .map(|name| by_name(name).expect("registry names are self-consistent"))
         .collect()
+}
+
+/// Every registered filter name, in the registry's stable order — the one
+/// list error messages, docs, and grid experiments should consult instead
+/// of hand-maintaining their own.
+///
+/// ```
+/// assert!(abft_filters::filter_names().contains(&"cge"));
+/// for name in abft_filters::filter_names() {
+///     assert!(abft_filters::by_name(name).is_ok());
+/// }
+/// ```
+pub fn filter_names() -> &'static [&'static str] {
+    &ALL_NAMES
 }
 
 /// The stable list of registered filter names.

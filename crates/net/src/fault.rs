@@ -1,0 +1,153 @@
+//! Network-level Byzantine behaviours.
+//!
+//! These describe how a faulty agent abuses its *links*, orthogonally to
+//! what value it computes: the value comes from the attack registry
+//! (`abft_attacks`), and the [`NetFault`] decides how that value is spread
+//! across the agent's outgoing links. The runtimes interpret the variants;
+//! this crate defines the declarative data and the one shared validation
+//! ([`validate_net_faults`]) every consumer applies, so the rules cannot
+//! drift between the spec builder and the topologies.
+
+use std::collections::BTreeMap;
+
+/// How a Byzantine agent misuses its outgoing links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFault {
+    /// Selective sending: the agent omits every transmission to the listed
+    /// peers (they see it as silent) while serving everyone else
+    /// faithfully. In the server topology, listing the server's address
+    /// silences the agent entirely.
+    SelectiveSend(Vec<usize>),
+    /// Per-link equivocation: the agent sends its (possibly forged) value
+    /// on links to peers with id `< boundary` and the *negated* value on
+    /// the remaining links — the splittable lie the EIG agreement
+    /// machinery exists to contain.
+    EquivocateSplit {
+        /// First peer id that receives the negated value.
+        boundary: usize,
+    },
+}
+
+impl NetFault {
+    /// A short display form for labels and fault summaries.
+    pub fn summary(&self) -> String {
+        match self {
+            NetFault::SelectiveSend(victims) => {
+                let list: Vec<String> = victims.iter().map(usize::to_string).collect();
+                format!("selective[{}]", list.join(","))
+            }
+            NetFault::EquivocateSplit { boundary } => format!("equivocate<{boundary}"),
+        }
+    }
+
+    /// Checks this fault's peer references against a bus spanning
+    /// `addresses` processes. Every victim must be addressable, and an
+    /// equivocation boundary of `addresses` or beyond would silently
+    /// degenerate to faithful sending (no link ever hears the negation)
+    /// while still consuming fault budget — rejected instead. (`boundary
+    /// = 0` stays legal: every link hears the negation, a consistent lie.)
+    fn check(&self, addresses: usize) -> Result<(), String> {
+        match self {
+            NetFault::SelectiveSend(victims) => match victims.iter().find(|&&v| v >= addresses) {
+                Some(bad) => Err(format!(
+                    "selective-send victim {bad} out of range (bus spans {addresses} addresses)"
+                )),
+                None => Ok(()),
+            },
+            NetFault::EquivocateSplit { boundary } => {
+                if *boundary >= addresses {
+                    Err(format!(
+                        "equivocation boundary {boundary} never splits \
+                         (bus spans {addresses} addresses)"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The one shared validation for a net-fault assignment list: every agent
+/// in range (`< agents`), at most one fault per agent, and every peer
+/// reference addressable on a bus of `addresses` processes (`agents` for
+/// peer-to-peer; `agents + 1` when a server address exists). Returns the
+/// per-agent map the runtimes execute from, or a human-readable reason.
+///
+/// # Errors
+///
+/// A description of the first violated rule, suitable for wrapping in the
+/// caller's configuration-error type.
+pub fn validate_net_faults(
+    faults: &[(usize, NetFault)],
+    agents: usize,
+    addresses: usize,
+) -> Result<BTreeMap<usize, NetFault>, String> {
+    let mut map = BTreeMap::new();
+    for (agent, fault) in faults {
+        if *agent >= agents {
+            return Err(format!(
+                "net fault assigned to agent {agent}, but there are {agents} agents"
+            ));
+        }
+        fault.check(addresses)?;
+        if map.insert(*agent, fault.clone()).is_some() {
+            return Err(format!("agent {agent} has two net faults assigned"));
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_are_compact() {
+        assert_eq!(
+            NetFault::SelectiveSend(vec![1, 4]).summary(),
+            "selective[1,4]"
+        );
+        assert_eq!(
+            NetFault::EquivocateSplit { boundary: 3 }.summary(),
+            "equivocate<3"
+        );
+    }
+
+    #[test]
+    fn validation_enforces_every_rule() {
+        let ok = |faults: &[(usize, NetFault)]| validate_net_faults(faults, 4, 5);
+        assert_eq!(
+            ok(&[(0, NetFault::SelectiveSend(vec![4]))]).unwrap().len(),
+            1,
+            "the server address (agents..addresses) is a valid victim"
+        );
+        // Agent out of range.
+        assert!(ok(&[(4, NetFault::SelectiveSend(vec![0]))])
+            .unwrap_err()
+            .contains("4 agents"));
+        // Victim out of the address space.
+        assert!(ok(&[(0, NetFault::SelectiveSend(vec![5]))])
+            .unwrap_err()
+            .contains("victim 5"));
+        // A boundary at or beyond the address space never splits: rejected.
+        assert!(ok(&[(0, NetFault::EquivocateSplit { boundary: 6 })])
+            .unwrap_err()
+            .contains("boundary 6"));
+        assert!(ok(&[(0, NetFault::EquivocateSplit { boundary: 5 })])
+            .unwrap_err()
+            .contains("boundary 5"));
+        assert!(ok(&[(0, NetFault::EquivocateSplit { boundary: 4 })]).is_ok());
+        assert!(
+            ok(&[(0, NetFault::EquivocateSplit { boundary: 0 })]).is_ok(),
+            "boundary 0 is a consistent negation, not a no-op"
+        );
+        // One fault per agent.
+        assert!(ok(&[
+            (0, NetFault::SelectiveSend(vec![1])),
+            (0, NetFault::EquivocateSplit { boundary: 2 }),
+        ])
+        .unwrap_err()
+        .contains("two net faults"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-link behaviour and scheduled partitions.
+
+/// How one directed link `from → to` treats the messages crossing it.
+///
+/// Delays are in *virtual* nanoseconds — the simulator's clock, unrelated
+/// to wall-clock time. A message sent at virtual time `s` is delivered at
+/// `s + base_delay_ns + U[0, reorder_ns]` unless dropped; the uniform
+/// jitter is what lets messages sent close together overtake each other
+/// (the reorder window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed propagation delay, virtual nanoseconds.
+    pub base_delay_ns: u64,
+    /// Reorder window: extra per-message delay drawn uniformly from
+    /// `[0, reorder_ns]`. Zero means FIFO delivery.
+    pub reorder_ns: u64,
+    /// Probability that a message is silently dropped, in `[0, 1]`.
+    pub drop_probability: f64,
+}
+
+impl LinkModel {
+    /// Virtual propagation delay of an ideal link (1 µs).
+    pub const IDEAL_DELAY_NS: u64 = 1_000;
+
+    /// A fault-free link: fixed 1 µs delay, no jitter, no loss. The
+    /// simulator over all-ideal links reproduces a reliable synchronous
+    /// network bit-for-bit.
+    pub fn ideal() -> Self {
+        LinkModel {
+            base_delay_ns: Self::IDEAL_DELAY_NS,
+            reorder_ns: 0,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Replaces the fixed propagation delay.
+    #[must_use]
+    pub fn with_delay_ns(mut self, base_delay_ns: u64) -> Self {
+        self.base_delay_ns = base_delay_ns;
+        self
+    }
+
+    /// Replaces the reorder window.
+    #[must_use]
+    pub fn with_reorder_ns(mut self, reorder_ns: u64) -> Self {
+        self.reorder_ns = reorder_ns;
+        self
+    }
+
+    /// Replaces the drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not a probability (outside `[0, 1]` or NaN).
+    #[must_use]
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1], got {p}"
+        );
+        self.drop_probability = p;
+        self
+    }
+
+    /// `true` when the link can neither lose, jitter, nor reorder messages.
+    pub fn is_ideal_behaviour(&self) -> bool {
+        self.drop_probability == 0.0 && self.reorder_ns == 0
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// A scheduled network partition: during protocol iterations
+/// `[from_iteration, until_iteration)`, every message between `group` and
+/// its complement is dropped (messages *within* either side still flow).
+///
+/// Iterations are the driver's protocol rounds (DGD iterations), announced
+/// to the bus via [`MessageBus::begin_iteration`](crate::MessageBus::begin_iteration)
+/// — not the bus's internal communication rounds, of which one iteration
+/// may contain several.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// First protocol iteration the partition is active in.
+    pub from_iteration: usize,
+    /// First protocol iteration the partition has healed by (exclusive).
+    pub until_iteration: usize,
+    /// One side of the cut; everyone else forms the other side.
+    pub group: Vec<usize>,
+}
+
+impl Partition {
+    /// A partition isolating `group` during `[from_iteration, until_iteration)`.
+    pub fn isolate(group: Vec<usize>, from_iteration: usize, until_iteration: usize) -> Self {
+        Partition {
+            from_iteration,
+            until_iteration,
+            group,
+        }
+    }
+
+    /// `true` when this partition severs the directed link `from → to`
+    /// during `iteration`.
+    pub fn severs(&self, from: usize, to: usize, iteration: usize) -> bool {
+        if iteration < self.from_iteration || iteration >= self.until_iteration {
+            return false;
+        }
+        self.group.contains(&from) != self.group.contains(&to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_is_ideal() {
+        let link = LinkModel::ideal();
+        assert!(link.is_ideal_behaviour());
+        assert_eq!(link.base_delay_ns, LinkModel::IDEAL_DELAY_NS);
+        let lossy = link.with_drop(0.25);
+        assert!(!lossy.is_ideal_behaviour());
+        assert!(!LinkModel::ideal().with_reorder_ns(50).is_ideal_behaviour());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn drop_probability_is_validated() {
+        let _ = LinkModel::ideal().with_drop(1.5);
+    }
+
+    #[test]
+    fn partition_severs_only_the_cut_during_its_window() {
+        let p = Partition::isolate(vec![0, 1], 10, 20);
+        // Crossing the cut, inside the window, both directions.
+        assert!(p.severs(0, 2, 10));
+        assert!(p.severs(2, 1, 19));
+        // Same side.
+        assert!(!p.severs(0, 1, 15));
+        assert!(!p.severs(2, 3, 15));
+        // Outside the window.
+        assert!(!p.severs(0, 2, 9));
+        assert!(!p.severs(0, 2, 20));
+    }
+}

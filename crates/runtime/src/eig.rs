@@ -15,9 +15,18 @@
 //! decide the same value) and **validity** (if the sender is honest, they
 //! decide its value) — both asserted by this module's tests under
 //! equivocating adversaries.
+//!
+//! Since the `abft-net` port, every transmission travels through a
+//! [`MessageBus`]: [`eig_broadcast`] drives a reliable [`PerfectBus`] (the
+//! historical behaviour, bit for bit), while [`eig_broadcast_on`] accepts
+//! any bus — in particular `abft_net::SimulatedNetwork`, whose links may
+//! drop, delay, or reorder the protocol's messages. A message lost or late
+//! on the wire is simply absent from the recipient's EIG tree, which the
+//! resolution step already treats as an omission.
 
 use crate::error::RuntimeError;
 use abft_core::SystemConfig;
+use abft_net::{MessageBus, PerfectBus};
 use std::collections::BTreeMap;
 
 /// How a faulty process misbehaves when (re)transmitting a value.
@@ -37,6 +46,14 @@ pub enum EquivocationPlan<V> {
     },
     /// Never transmits (crash-like omission).
     Silent,
+    /// Selective sending: omits every transmission to the listed
+    /// recipients, behaving faithfully to the rest — the network-level
+    /// Byzantine fault the simulator layers on top of value-forging
+    /// attacks.
+    Selective {
+        /// Recipients that never hear from this process.
+        victims: Vec<usize>,
+    },
     /// Follows the protocol faithfully (a "faulty" process that happens to
     /// behave — the hardest case for accusation-based designs, trivial for
     /// EIG).
@@ -61,9 +78,27 @@ impl<V: Clone> EquivocationPlan<V> {
                 }
             }
             EquivocationPlan::Silent => None,
+            EquivocationPlan::Selective { victims } => {
+                if victims.contains(&recipient) {
+                    None
+                } else {
+                    honest_value.cloned()
+                }
+            }
             EquivocationPlan::Honest => honest_value.cloned(),
         }
     }
+}
+
+/// One EIG transmission as carried by a [`MessageBus`]: the relay path the
+/// value was heard along (first element = the broadcast's sender) and the
+/// value itself (`None` encodes "I heard nothing for this path").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EigMessage<V> {
+    /// The relay path, `round`-many distinct process ids.
+    pub path: Vec<usize>,
+    /// The relayed value, if any.
+    pub value: Option<V>,
 }
 
 /// The per-process decisions of one broadcast instance.
@@ -93,7 +128,9 @@ impl<V: Clone + Eq> BroadcastOutcome<V> {
     }
 }
 
-/// Runs one synchronous EIG Byzantine-broadcast instance.
+/// Runs one synchronous EIG Byzantine-broadcast instance over a reliable
+/// bus — the historical entry point, bit-identical to the pre-bus
+/// implementation.
 ///
 /// `sender_value` is what the sender transmits if honest; faulty processes
 /// (including a faulty sender) follow their [`EquivocationPlan`]s. `default`
@@ -103,9 +140,6 @@ impl<V: Clone + Eq> BroadcastOutcome<V> {
 ///
 /// Returns [`RuntimeError::Config`] when `3f ≥ n` (EIG's agreement bound),
 /// the sender is out of range, or a faulty index is out of range.
-// Process ids index the per-process tree table; ranging over the id is the
-// protocol's natural phrasing.
-#[allow(clippy::needless_range_loop)]
 pub fn eig_broadcast<V: Clone + Eq>(
     config: SystemConfig,
     sender: usize,
@@ -113,8 +147,44 @@ pub fn eig_broadcast<V: Clone + Eq>(
     default: V,
     faulty: &BTreeMap<usize, EquivocationPlan<V>>,
 ) -> Result<BroadcastOutcome<V>, RuntimeError> {
+    let mut bus = PerfectBus::new(config.n());
+    eig_broadcast_on(config, sender, sender_value, default, faulty, &mut bus)
+}
+
+/// Runs one synchronous EIG Byzantine-broadcast instance over an arbitrary
+/// [`MessageBus`] — the shared message path of the real peer-to-peer
+/// runtime (with a [`PerfectBus`]) and the network simulator.
+///
+/// On a faulty bus, transmissions can be dropped, delayed past the round
+/// deadline, or reordered; a missing transmission leaves no entry in the
+/// recipient's EIG tree and resolves as an omission (honest relayers relay
+/// "heard nothing", resolution falls back to `default`). On a reliable bus
+/// the decisions — and the message count — are exactly those of the
+/// historical in-memory implementation.
+///
+/// # Errors
+///
+/// See [`eig_broadcast`]; additionally rejects a bus with fewer than `n`
+/// processes.
+// Process ids index the per-process tree table; ranging over the id is the
+// protocol's natural phrasing.
+#[allow(clippy::needless_range_loop)]
+pub fn eig_broadcast_on<V: Clone + Eq, B: MessageBus<EigMessage<V>>>(
+    config: SystemConfig,
+    sender: usize,
+    sender_value: V,
+    default: V,
+    faulty: &BTreeMap<usize, EquivocationPlan<V>>,
+    bus: &mut B,
+) -> Result<BroadcastOutcome<V>, RuntimeError> {
     let n = config.n();
     let f = config.f();
+    if bus.processes() < n {
+        return Err(RuntimeError::Config(format!(
+            "bus spans {} processes but the broadcast needs {n}",
+            bus.processes()
+        )));
+    }
     if !config.supports_peer_to_peer() {
         return Err(RuntimeError::Config(format!(
             "EIG broadcast requires 3f < n, got n = {n}, f = {f}"
@@ -138,7 +208,8 @@ pub fn eig_broadcast<V: Clone + Eq>(
     }
 
     // trees[p] maps a relay path (first element = sender) to the value p
-    // heard for it. `None` records an omission.
+    // heard for it. `None` records an omission; a path with *no* entry is
+    // a transmission the bus never delivered, which resolves identically.
     let mut trees: Vec<BTreeMap<Vec<usize>, Option<V>>> = vec![BTreeMap::new(); n];
     let mut messages = 0usize;
 
@@ -149,29 +220,32 @@ pub fn eig_broadcast<V: Clone + Eq>(
             Some(plan) => plan.transmit(p, Some(&sender_value)),
             None => Some(sender_value.clone()),
         };
-        trees[p].insert(root.clone(), value);
+        bus.send(
+            sender,
+            p,
+            EigMessage {
+                path: root.clone(),
+                value,
+            },
+        );
         messages += 1;
     }
+    collect_round(bus, &mut trees);
 
-    // Rounds 2..=f+1: relay every path of the previous level.
-    for round in 2..=(f + 1) {
-        let level_paths: Vec<Vec<usize>> = trees[0]
-            .keys()
-            .filter(|path| path.len() == round - 1)
-            .cloned()
-            .collect();
-        // Collected first, applied after, so every relay in a round uses the
-        // previous round's state (synchronous lockstep).
-        let mut updates: Vec<(usize, Vec<usize>, Option<V>)> = Vec::new();
+    // Rounds 2..=f+1: relay every path of the previous level. Paths are
+    // enumerated structurally (not from any one process's tree), so a
+    // process that missed a transmission still relays — it relays the
+    // omission. The bus's round barrier provides the synchronous lockstep
+    // the in-memory version got from its collect-then-apply split.
+    let mut level_paths = vec![root.clone()];
+    for _round in 2..=(f + 1) {
+        let mut next_level: Vec<Vec<usize>> = Vec::new();
         for path in &level_paths {
             for relayer in 0..n {
                 if path.contains(&relayer) {
                     continue;
                 }
-                let heard = trees[relayer]
-                    .get(path)
-                    .cloned()
-                    .expect("paths are inserted for every process each round");
+                let heard = trees[relayer].get(path).cloned().flatten();
                 let mut extended = path.clone();
                 extended.push(relayer);
                 for p in 0..n {
@@ -179,14 +253,21 @@ pub fn eig_broadcast<V: Clone + Eq>(
                         Some(plan) => plan.transmit(p, heard.as_ref()),
                         None => heard.clone(),
                     };
-                    updates.push((p, extended.clone(), value));
+                    bus.send(
+                        relayer,
+                        p,
+                        EigMessage {
+                            path: extended.clone(),
+                            value,
+                        },
+                    );
                     messages += 1;
                 }
+                next_level.push(extended);
             }
         }
-        for (p, path, value) in updates {
-            trees[p].insert(path, value);
-        }
+        collect_round(bus, &mut trees);
+        level_paths = next_level;
     }
 
     // Resolution: recursive strict majority from the leaves up.
@@ -197,6 +278,20 @@ pub fn eig_broadcast<V: Clone + Eq>(
         decisions,
         messages,
     })
+}
+
+/// Ends the bus round and files every delivered transmission into its
+/// recipient's EIG tree. Each `(recipient, path)` pair is transmitted at
+/// most once per round, so delivery order cannot influence the trees.
+fn collect_round<V, B: MessageBus<EigMessage<V>>>(
+    bus: &mut B,
+    trees: &mut [BTreeMap<Vec<usize>, Option<V>>],
+) {
+    for delivery in bus.end_round() {
+        if let Some(tree) = trees.get_mut(delivery.to) {
+            tree.insert(delivery.payload.path, delivery.payload.value);
+        }
+    }
 }
 
 /// Resolves one EIG-tree node for a process: leaves report their stored

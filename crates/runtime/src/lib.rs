@@ -18,10 +18,16 @@
 //!   agent applies the same filter to the same multiset and stays in
 //!   lockstep.
 //!
-//! Both launches consume one [`DgdTask`] — the declarative description of
-//! the system, costs, and fault plan. (The historical free functions
-//! `run_threaded_dgd` / `run_peer_to_peer_dgd` survive as deprecated shims;
-//! the `abft-scenario` crate is the high-level way to build and run these.)
+//! A third launch mode relaxes the reliable-network assumption:
+//! [`DgdTask::run_simulated`] executes either architecture over a seeded
+//! `abft_net::SimulatedNetwork`, whose links can delay, drop, reorder, and
+//! partition messages. All broadcast traffic — real or simulated — travels
+//! through the same [`abft_net::MessageBus`] abstraction, so the protocols
+//! are written once.
+//!
+//! All launches consume one [`DgdTask`] — the declarative description of
+//! the system, costs, and fault plan. The `abft-scenario` crate is the
+//! high-level way to build and run these.
 //!
 //! # Example
 //!
@@ -50,24 +56,23 @@ pub mod error;
 pub mod message;
 pub mod metrics;
 pub mod peer_to_peer;
+pub mod simulated;
 pub mod task;
 pub mod threaded;
 
-pub use eig::{eig_broadcast, BroadcastOutcome, EquivocationPlan};
+pub use eig::{eig_broadcast, eig_broadcast_on, BroadcastOutcome, EigMessage, EquivocationPlan};
 pub use error::RuntimeError;
-pub use message::{FromAgent, ToAgent};
+pub use message::{FromAgent, ServerWire, ToAgent};
 pub use metrics::RuntimeMetrics;
-#[allow(deprecated)]
-pub use peer_to_peer::run_peer_to_peer_dgd;
 pub use peer_to_peer::PeerToPeerResult;
+pub use simulated::{SimTopology, SimulatedResult, SimulatedRun};
 pub use task::DgdTask;
-#[allow(deprecated)]
-pub use threaded::run_threaded_dgd;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::eig::eig_broadcast;
     pub use crate::error::RuntimeError;
     pub use crate::peer_to_peer::PeerToPeerResult;
+    pub use crate::simulated::{SimTopology, SimulatedResult, SimulatedRun};
     pub use crate::task::DgdTask;
 }

@@ -29,9 +29,31 @@ pub enum FromAgent {
     },
 }
 
+/// Either direction of server ↔ agent traffic, as carried by a single
+/// [`abft_net::MessageBus`] in the simulated server topology (the real
+/// threaded runtime keeps its two dedicated channels per agent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerWire {
+    /// Server → agent.
+    Command(ToAgent),
+    /// Agent → server.
+    Reply(FromAgent),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn server_wire_wraps_both_directions() {
+        let cmd = ServerWire::Command(ToAgent::Shutdown);
+        let reply = ServerWire::Reply(FromAgent::Gradient {
+            iteration: 0,
+            gradient: Vector::zeros(2),
+        });
+        assert_eq!(cmd.clone(), cmd);
+        assert_ne!(cmd, reply);
+    }
 
     #[test]
     fn messages_round_trip_clone_eq() {

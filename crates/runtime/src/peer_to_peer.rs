@@ -1,30 +1,39 @@
 //! Peer-to-peer DGD via Byzantine broadcast (Figure 1, right).
 //!
 //! In the peer-to-peer architecture there is no trusted server: every agent
-//! broadcasts its gradient with [`eig_broadcast`], so all honest agents
+//! broadcasts its gradient with [`eig_broadcast_on`], so all honest agents
 //! observe the *same* multiset of `n` reported gradients (agreement), apply
 //! the same deterministic gradient filter, and therefore maintain identical
 //! estimates in lockstep — the simulation argument of Section 1.4, which
 //! requires `f < n/3`.
+//!
+//! All broadcast traffic travels through an [`abft_net::MessageBus`]. The
+//! real runtime ([`DgdTask::run_peer_to_peer`]) drives a reliable
+//! [`PerfectBus`] and keeps the historical bit-exact behaviour; the
+//! `Simulated` backend drives the same loop over an
+//! `abft_net::SimulatedNetwork`, where lost or late transmissions become
+//! EIG omissions and honest agents may (measurably) fall out of lockstep —
+//! the phenomenon the link-fault studies quantify.
 
-use crate::eig::{eig_broadcast, EquivocationPlan};
+use crate::eig::{eig_broadcast_on, EigMessage, EquivocationPlan};
 use crate::error::RuntimeError;
 use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::validate::FaultBudget;
-use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_core::{IterationRecord, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector};
-use abft_problems::{total_value, SharedCost};
+use abft_net::{MessageBus, NetFault, NetMetrics, PerfectBus};
+use abft_problems::total_value;
 use std::collections::BTreeMap;
 
 /// A vector with bit-exact equality, usable as an EIG broadcast value.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct BitsVector(Vec<u64>);
+pub(crate) struct BitsVector(Vec<u64>);
 
 impl BitsVector {
-    fn from_vector(v: &Vector) -> Self {
+    pub(crate) fn from_vector(v: &Vector) -> Self {
         BitsVector(v.iter().map(|x| x.to_bits()).collect())
     }
 
@@ -32,6 +41,11 @@ impl BitsVector {
     #[cfg(test)]
     fn to_vector(&self) -> Vector {
         self.0.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// The negated vector — sign-bit flips, so exact.
+    fn negated(&self) -> Self {
+        BitsVector(self.0.iter().map(|&b| b ^ (1u64 << 63)).collect())
     }
 
     /// Decodes into a batch row without allocating.
@@ -50,54 +64,69 @@ impl BitsVector {
 /// The outcome of a peer-to-peer DGD execution.
 #[derive(Debug, Clone)]
 pub struct PeerToPeerResult {
-    /// The honest agents' common trajectory (they run in lockstep).
+    /// The honest agents' common trajectory — or, on a faulty network, the
+    /// *first honest agent's* trajectory (see [`PeerToPeerResult::final_spread`]).
     pub result: RunResult,
     /// Total EIG broadcast instances executed (`n` per iteration).
     pub broadcasts: usize,
-    /// Total point-to-point messages simulated across all broadcasts.
-    pub messages: usize,
+    /// Network counters reported by the bus the run executed on
+    /// (`net.sent` is the total point-to-point message count across all
+    /// broadcasts).
+    pub net: NetMetrics,
+    /// Largest final pairwise distance between honest agents' estimates:
+    /// exactly `0` on a reliable network (lockstep), and a measure of how
+    /// far link faults pushed the honest agents apart otherwise.
+    pub final_spread: f64,
 }
 
-/// Runs DGD on the peer-to-peer architecture: one EIG broadcast per agent
-/// per iteration, every honest agent filtering and updating locally.
-///
-/// # Errors
-///
-/// See [`DgdTask::run_peer_to_peer`], which this shims onto.
-#[deprecated(
-    since = "0.1.0",
-    note = "use abft_runtime::DgdTask::run_peer_to_peer or the abft-scenario crate"
-)]
-pub fn run_peer_to_peer_dgd(
-    config: SystemConfig,
-    costs: Vec<SharedCost>,
-    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
-    equivocate: bool,
-    filter: &dyn GradientFilter,
-    options: &RunOptions,
-) -> Result<PeerToPeerResult, RuntimeError> {
-    let mut task = DgdTask::new(config, costs);
-    task.byzantine = byzantine;
-    execute(task, equivocate, filter, options)
-}
-
-/// The EIG-broadcast lockstep loop behind [`DgdTask::run_peer_to_peer`].
+/// The EIG-broadcast lockstep loop behind [`DgdTask::run_peer_to_peer`],
+/// on a reliable in-memory bus.
 ///
 /// When `equivocate` is set, each Byzantine agent *splits* its forged
 /// gradient (sending `v` to half the network and `−v` to the other half);
 /// EIG agreement still forces a consistent view — exercised by the lockstep
 /// assertion.
+pub(crate) fn execute(
+    task: DgdTask,
+    equivocate: bool,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<PeerToPeerResult, RuntimeError> {
+    let mut bus = PerfectBus::new(task.config().n());
+    execute_on(task, equivocate, filter, options, &mut bus, &[], true)
+}
+
+/// The peer-to-peer DGD loop over an arbitrary [`MessageBus`] — shared by
+/// the real runtime (reliable bus, lockstep asserted) and the network
+/// simulator (faulty bus, lockstep *measured*).
+///
+/// Every honest agent maintains its own protocol state: it evaluates its
+/// gradient at its *own* estimate, broadcasts, filters its *own* decided
+/// multiset, and steps. Byzantine agents forge from the leader's (first
+/// honest agent's) estimate — exactly the historical common-estimate
+/// behaviour, so a reliable bus reproduces the pre-bus loop bit for bit
+/// in every regime. On a faulty bus honest trajectories may drift apart;
+/// the recorded trace follows the leader and the final spread is
+/// reported.
+///
+/// `net_faults` layers network-level Byzantine behaviours (selective
+/// sending, per-link equivocation) on top of the agents' value-forging
+/// strategies; a net-faulty agent counts against the fault budget even if
+/// it forges nothing.
 ///
 /// Omniscient strategies are rejected (no agent can see others' in-flight
 /// gradients before sending its own in a broadcast round), and so are crash
 /// schedules (the peer-to-peer round structure has no S1 elimination rule).
 // Sender ids index the per-agent value/plan tables.
 #[allow(clippy::needless_range_loop)]
-pub(crate) fn execute(
+pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
     task: DgdTask,
     equivocate: bool,
     filter: &dyn GradientFilter,
     options: &RunOptions,
+    bus: &mut B,
+    net_faults: &[(usize, NetFault)],
+    enforce_lockstep: bool,
 ) -> Result<PeerToPeerResult, RuntimeError> {
     let DgdTask {
         config,
@@ -132,14 +161,34 @@ pub(crate) fn execute(
         }
         strategies[agent] = Some(strategy);
     }
-    let honest: Vec<usize> = (0..n).filter(|&i| strategies[i].is_none()).collect();
+    let net_faults =
+        abft_net::validate_net_faults(net_faults, n, n).map_err(RuntimeError::Config)?;
+    for &agent in net_faults.keys() {
+        // A net-faulty agent is Byzantine; it consumes budget unless its
+        // value-forging strategy already did.
+        if strategies[agent].is_none() {
+            budget.assign(agent)?;
+        }
+    }
+    let honest: Vec<usize> = (0..n)
+        .filter(|&i| strategies[i].is_none() && !net_faults.contains_key(&i))
+        .collect();
+    debug_assert!(
+        !honest.is_empty(),
+        "the fault budget keeps a majority of agents honest"
+    );
     let default = BitsVector::from_vector(&Vector::zeros(dim));
 
-    // Every honest agent maintains its own estimate; lockstep is asserted.
+    // Every honest agent maintains its own estimate, indexed by its slot
+    // in `honest` (slot 0 = the leader). On a reliable bus these stay
+    // bit-identical; on a faulty one they may drift, which is measured.
+    let mut slot_of: Vec<Option<usize>> = vec![None; n];
+    for (slot, &agent) in honest.iter().enumerate() {
+        slot_of[agent] = Some(slot);
+    }
     let mut estimates: Vec<Vector> = vec![options.projection.project(&options.x0); honest.len()];
     let mut trace = Trace::new(filter.name());
     let mut broadcasts = 0usize;
-    let mut messages = 0usize;
     // One decided-gradient batch per honest perspective, plus a shared
     // aggregate vector — all reused across iterations. Rows are written in
     // sender order, which is agent-id order, matching the server drivers.
@@ -149,55 +198,83 @@ pub(crate) fn execute(
         .collect();
     let mut aggregated = Vector::zeros(dim);
 
-    let mut run_iteration = |t: usize,
-                             estimates: &mut Vec<Vector>,
-                             strategies: &mut Vec<Option<Box<dyn ByzantineStrategy>>>,
-                             decided_batches: &mut Vec<GradientBatch>,
-                             aggregated: &mut Vector,
-                             advance: bool|
-     -> Result<IterationRecord, RuntimeError> {
-        let x = estimates[0].clone();
+    for t in 0..=options.iterations {
+        let advance = t < options.iterations;
+        bus.begin_iteration(t);
 
-        // Each agent decides what to broadcast at the common estimate.
+        // Each honest agent broadcasts the gradient at its own estimate;
+        // a faulty agent forges from the leader's estimate (the historical
+        // behaviour) and its per-recipient plan layers any net fault over
+        // the forged value.
+        let leader_x = estimates[0].clone();
         let mut plans: BTreeMap<usize, EquivocationPlan<BitsVector>> = BTreeMap::new();
         let mut sender_values: Vec<BitsVector> = Vec::with_capacity(n);
         for i in 0..n {
-            let true_gradient = costs[i].gradient(&x);
-            match strategies[i].as_mut() {
+            let at = match slot_of[i] {
+                Some(slot) => &estimates[slot],
+                None => &leader_x,
+            };
+            let true_gradient = costs[i].gradient(at);
+            let base = match strategies[i].as_mut() {
                 Some(strategy) => {
-                    let ctx = AttackContext::new(t, &true_gradient, &x);
-                    let forged = strategy.corrupt(&ctx);
-                    let plan = if equivocate {
-                        EquivocationPlan::Split {
-                            low: BitsVector::from_vector(&forged),
-                            high: BitsVector::from_vector(&forged.scale(-1.0)),
-                            boundary: n / 2,
-                        }
-                    } else {
-                        EquivocationPlan::Consistent(BitsVector::from_vector(&forged))
-                    };
-                    plans.insert(i, plan);
-                    sender_values.push(BitsVector::from_vector(&forged));
+                    let ctx = AttackContext::new(t, &true_gradient, at);
+                    strategy.corrupt(&ctx)
                 }
-                None => sender_values.push(BitsVector::from_vector(&true_gradient)),
+                None => true_gradient,
+            };
+            let bits = BitsVector::from_vector(&base);
+            match net_faults.get(&i) {
+                Some(NetFault::SelectiveSend(victims)) => {
+                    plans.insert(
+                        i,
+                        EquivocationPlan::Selective {
+                            victims: victims.clone(),
+                        },
+                    );
+                }
+                Some(NetFault::EquivocateSplit { boundary }) => {
+                    plans.insert(
+                        i,
+                        EquivocationPlan::Split {
+                            low: bits.clone(),
+                            high: bits.negated(),
+                            boundary: *boundary,
+                        },
+                    );
+                }
+                None => {
+                    if strategies[i].is_some() {
+                        let plan = if equivocate {
+                            EquivocationPlan::Split {
+                                low: bits.clone(),
+                                high: bits.negated(),
+                                boundary: n / 2,
+                            }
+                        } else {
+                            EquivocationPlan::Consistent(bits.clone())
+                        };
+                        plans.insert(i, plan);
+                    }
+                }
             }
+            sender_values.push(bits);
         }
 
-        // One broadcast instance per agent; every honest process records the
+        // One broadcast instance per agent; every process records the
         // decided gradient multiset — straight into its reused batch.
         for batch in decided_batches.iter_mut() {
             batch.reset_rows(n);
         }
         for sender in 0..n {
-            let outcome = eig_broadcast(
+            let outcome = eig_broadcast_on(
                 config,
                 sender,
                 sender_values[sender].clone(),
                 default.clone(),
                 &plans,
+                bus,
             )?;
             broadcasts += 1;
-            messages += outcome.messages;
             for (slot, &p) in honest.iter().enumerate() {
                 outcome.decisions[p].write_into(decided_batches[slot].row_mut(sender));
             }
@@ -206,8 +283,9 @@ pub(crate) fn execute(
         // Every honest agent filters and updates locally.
         let mut record_norm = 0.0;
         let mut record_phi = 0.0;
+        let x = leader_x;
         for (slot, decided) in decided_batches.iter().enumerate() {
-            filter.aggregate_into(decided, config.f(), aggregated)?;
+            filter.aggregate_into(decided, config.f(), &mut aggregated)?;
             if slot == 0 {
                 record_norm = aggregated.norm();
                 record_phi = x
@@ -219,12 +297,13 @@ pub(crate) fn execute(
             }
             if advance {
                 let eta = options.schedule.eta(t);
-                estimates[slot].axpy(-eta, aggregated);
+                estimates[slot].axpy(-eta, &aggregated);
                 options.projection.project_in_place(&mut estimates[slot]);
             }
         }
-        // Lockstep check: every honest agent's estimate must match agent 0's.
-        if advance {
+        // Lockstep check: on a reliable network every honest agent's
+        // estimate must match the leader's bit-for-bit.
+        if enforce_lockstep && advance {
             for est in estimates.iter().skip(1) {
                 if !est.approx_eq(&estimates[0], 0.0) {
                     return Err(RuntimeError::LockstepViolation { iteration: t });
@@ -232,35 +311,20 @@ pub(crate) fn execute(
             }
         }
 
-        Ok(IterationRecord {
+        trace.push(IterationRecord {
             iteration: t,
             loss: total_value(&costs, &honest, &x),
             distance: x.dist(&options.reference),
             grad_norm: record_norm,
             phi: record_phi,
-        })
-    };
-
-    for t in 0..options.iterations {
-        let record = run_iteration(
-            t,
-            &mut estimates,
-            &mut strategies,
-            &mut decided_batches,
-            &mut aggregated,
-            true,
-        )?;
-        trace.push(record);
+        });
     }
-    let record = run_iteration(
-        options.iterations,
-        &mut estimates,
-        &mut strategies,
-        &mut decided_batches,
-        &mut aggregated,
-        false,
-    )?;
-    trace.push(record);
+
+    let final_spread = estimates
+        .iter()
+        .enumerate()
+        .flat_map(|(p, a)| estimates[p + 1..].iter().map(move |b| a.dist(b)))
+        .fold(0.0f64, f64::max);
 
     Ok(PeerToPeerResult {
         result: RunResult {
@@ -268,7 +332,8 @@ pub(crate) fn execute(
             final_estimate: estimates[0].clone(),
         },
         broadcasts,
-        messages,
+        net: bus.metrics(),
+        final_spread,
     })
 }
 
@@ -276,6 +341,7 @@ pub(crate) fn execute(
 mod tests {
     use super::*;
     use abft_attacks::{GradientReverse, LittleIsEnough};
+    use abft_core::SystemConfig;
     use abft_dgd::DgdSimulation;
     use abft_filters::{Cge, Cwtm};
     use abft_problems::RegressionProblem;
@@ -288,10 +354,14 @@ mod tests {
     }
 
     #[test]
-    fn bits_vector_round_trips() {
+    fn bits_vector_round_trips_and_negates() {
         let v = Vector::from(vec![1.5, -0.25, 0.0]);
         assert!(BitsVector::from_vector(&v).to_vector().approx_eq(&v, 0.0));
         assert_eq!(BitsVector::from_vector(&v), BitsVector::from_vector(&v));
+        assert!(BitsVector::from_vector(&v)
+            .negated()
+            .to_vector()
+            .approx_eq(&v.scale(-1.0), 0.0));
     }
 
     #[test]
@@ -309,6 +379,10 @@ mod tests {
         assert_eq!(p2p.result.trace.records(), server.trace.records());
         // n broadcasts per round, 61 rounds.
         assert_eq!(p2p.broadcasts, 6 * 61);
+        // On the reliable bus every transmission is delivered, and the
+        // honest agents end in perfect lockstep.
+        assert_eq!(p2p.net.delivered, p2p.net.sent);
+        assert_eq!(p2p.final_spread, 0.0);
     }
 
     #[test]
@@ -345,6 +419,7 @@ mod tests {
             "distance = {}",
             p2p.result.final_distance()
         );
+        assert_eq!(p2p.final_spread, 0.0);
     }
 
     #[test]
@@ -368,22 +443,64 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_matches_task_entry_point() {
-        let (problem, options) = paper_options(15);
-        #[allow(deprecated)]
-        let shimmed = run_peer_to_peer_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(GradientReverse::new()))],
-            false,
-            &Cge::new(),
-            &options,
-        )
-        .unwrap();
+    fn net_fault_assignments_are_validated() {
+        let (problem, options) = paper_options(5);
+        let run = |net_faults: &[(usize, NetFault)]| {
+            let task = DgdTask::new(*problem.config(), problem.costs());
+            let mut bus = PerfectBus::new(task.config().n());
+            execute_on(
+                task,
+                false,
+                &Cge::new(),
+                &options,
+                &mut bus,
+                net_faults,
+                true,
+            )
+        };
+        // Out-of-range agent.
+        assert!(run(&[(9, NetFault::EquivocateSplit { boundary: 3 })]).is_err());
+        // Out-of-range victim.
+        assert!(run(&[(0, NetFault::SelectiveSend(vec![11]))]).is_err());
+        // Out-of-range equivocation boundary (would silently degenerate).
+        assert!(run(&[(0, NetFault::EquivocateSplit { boundary: 30 })]).is_err());
+        // Two net-faulty agents blow the f = 1 budget.
+        assert!(run(&[
+            (0, NetFault::EquivocateSplit { boundary: 3 }),
+            (1, NetFault::EquivocateSplit { boundary: 3 }),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn per_link_equivocation_on_reliable_bus_keeps_lockstep() {
+        // A net-level equivocator on a *reliable* bus is exactly the
+        // legacy `equivocate` mode with a custom boundary: EIG contains it.
+        let (problem, options) = paper_options(40);
         let task = DgdTask::new(*problem.config(), problem.costs())
-            .byzantine(0, Box::new(GradientReverse::new()))
-            .run_peer_to_peer(false, &Cge::new(), &options)
-            .unwrap();
-        assert_eq!(shimmed.result.trace.records(), task.result.trace.records());
+            .byzantine(0, Box::new(GradientReverse::new()));
+        let mut bus = PerfectBus::new(task.config().n());
+        let faults = [(0, NetFault::EquivocateSplit { boundary: 2 })];
+        let outcome =
+            execute_on(task, false, &Cwtm::new(), &options, &mut bus, &faults, true).unwrap();
+        assert_eq!(outcome.final_spread, 0.0);
+        assert!(
+            outcome.result.final_distance() < 0.2,
+            "distance = {}",
+            outcome.result.final_distance()
+        );
+    }
+
+    #[test]
+    fn selective_sender_on_reliable_bus_keeps_lockstep() {
+        let (problem, options) = paper_options(40);
+        let task = DgdTask::new(*problem.config(), problem.costs());
+        let mut bus = PerfectBus::new(task.config().n());
+        // Agent 0 never sends to agents 1 and 2 (and forges nothing).
+        let faults = [(0, NetFault::SelectiveSend(vec![1, 2]))];
+        let outcome =
+            execute_on(task, false, &Cge::new(), &options, &mut bus, &faults, true).unwrap();
+        assert_eq!(outcome.final_spread, 0.0, "EIG absorbs selective sending");
+        assert!(outcome.result.final_distance() < 0.2);
     }
 }

@@ -1,0 +1,542 @@
+//! DGD over a simulated network: the same protocols, faulty links.
+//!
+//! [`DgdTask::run_simulated`] executes a task on an
+//! [`abft_net::SimulatedNetwork`] — a seeded discrete-event simulator whose
+//! links can delay, drop, reorder, and partition messages — in either of
+//! the paper's two architectures:
+//!
+//! * [`SimTopology::Server`] — the Figure-1 server loop over simulated
+//!   links: the server (bus address `n`) broadcasts `x_t` to the agents,
+//!   collects the gradients that arrive *within the round deadline*, and
+//!   aggregates. A reply that is lost or late is treated exactly like a
+//!   crash for that round: the agent's row is absent and the server
+//!   applies the per-round S1 rule (its fault budget for the round shrinks
+//!   by the number of silent agents). Over ideal links this reproduces the
+//!   in-process and threaded drivers bit-for-bit, crashes included.
+//! * [`SimTopology::PeerToPeer`] — the EIG-broadcast loop of
+//!   [`crate::peer_to_peer`] over simulated links. Lost or late
+//!   transmissions become EIG omissions; with enough of them, honest
+//!   agents fall out of lockstep — reported, not asserted, via
+//!   [`PeerToPeerResult::final_spread`](crate::PeerToPeerResult::final_spread).
+//!   Over ideal links this is bit-identical to
+//!   [`DgdTask::run_peer_to_peer`].
+//!
+//! Network-level Byzantine behaviours ([`NetFault`]: selective sending,
+//! per-link equivocation) layer on top of the value-forging attack
+//! registry: the attack decides *what* a faulty agent claims, the net
+//! fault decides *which links* hear it (or its negation).
+
+use crate::error::RuntimeError;
+use crate::message::{FromAgent, ServerWire, ToAgent};
+use crate::peer_to_peer;
+use crate::task::DgdTask;
+use crate::threaded::record;
+use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::validate::{self, FaultBudget};
+use abft_core::Trace;
+use abft_dgd::{RunOptions, RunResult};
+use abft_filters::GradientFilter;
+use abft_linalg::{GradientBatch, Vector};
+use abft_net::{MessageBus, NetFault, NetMetrics, NetworkModel, SimulatedNetwork};
+
+/// Which architecture the simulated network carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimTopology {
+    /// Trusted server + `n` agents; the server is bus address `n`.
+    Server,
+    /// EIG-broadcast peer-to-peer network (requires `3f < n`).
+    PeerToPeer {
+        /// When set, every Byzantine agent splits its forged gradient
+        /// across the network halves (the legacy equivocation mode; use
+        /// [`NetFault::EquivocateSplit`] for per-agent boundaries).
+        equivocate: bool,
+    },
+}
+
+/// A simulated execution plan: topology, network behaviour, and
+/// network-level Byzantine faults.
+#[derive(Debug, Clone)]
+pub struct SimulatedRun {
+    /// The architecture to simulate.
+    pub topology: SimTopology,
+    /// The network's declarative model (links, partitions, seed, round
+    /// deadline).
+    pub network: NetworkModel,
+    /// Per-agent network-level behaviours, layered on the task's attacks.
+    pub net_faults: Vec<(usize, NetFault)>,
+}
+
+impl SimulatedRun {
+    /// A peer-to-peer plan over `network`.
+    pub fn peer_to_peer(network: NetworkModel) -> Self {
+        SimulatedRun {
+            topology: SimTopology::PeerToPeer { equivocate: false },
+            network,
+            net_faults: Vec::new(),
+        }
+    }
+
+    /// A server-based plan over `network`.
+    pub fn server(network: NetworkModel) -> Self {
+        SimulatedRun {
+            topology: SimTopology::Server,
+            network,
+            net_faults: Vec::new(),
+        }
+    }
+
+    /// Adds a network-level Byzantine behaviour for `agent`.
+    #[must_use]
+    pub fn with_net_fault(mut self, agent: usize, fault: NetFault) -> Self {
+        self.net_faults.push((agent, fault));
+        self
+    }
+
+    /// The server's bus address in a [`SimTopology::Server`] run over `n`
+    /// agents (useful for link overrides and selective-send victim lists).
+    pub fn server_address(n: usize) -> usize {
+        n
+    }
+}
+
+/// The outcome of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimulatedResult {
+    /// The recorded trajectory (the first honest agent's, in the
+    /// peer-to-peer topology; the server's, in the server topology).
+    pub result: RunResult,
+    /// Network counters: sent / delivered / dropped / late, virtual time,
+    /// and the order-sensitive schedule digest.
+    pub net: NetMetrics,
+    /// EIG broadcast instances executed (peer-to-peer topology; zero for
+    /// the server topology).
+    pub broadcasts: usize,
+    /// Rounds × agents in which an expected gradient missed the deadline
+    /// or was lost (server topology; zero for peer-to-peer, whose
+    /// omissions are per-transmission and counted in
+    /// [`SimulatedResult::net`]).
+    pub stragglers: usize,
+    /// Largest final pairwise distance between honest agents' estimates
+    /// (peer-to-peer topology; zero for the server topology, which has one
+    /// shared estimate by construction).
+    pub final_spread: f64,
+}
+
+/// Entry point behind [`DgdTask::run_simulated`].
+pub(crate) fn execute(
+    task: DgdTask,
+    sim: &SimulatedRun,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<SimulatedResult, RuntimeError> {
+    match sim.topology {
+        SimTopology::PeerToPeer { equivocate } => {
+            execute_p2p(task, sim, equivocate, filter, options)
+        }
+        SimTopology::Server => execute_server(task, sim, filter, options),
+    }
+}
+
+/// Peer-to-peer over the simulator: the shared loop of
+/// [`crate::peer_to_peer`] on a faulty bus, lockstep measured instead of
+/// asserted.
+fn execute_p2p(
+    task: DgdTask,
+    sim: &SimulatedRun,
+    equivocate: bool,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<SimulatedResult, RuntimeError> {
+    let n = task.config().n();
+    let mut net: SimulatedNetwork<_> = sim.network.build(n);
+    let outcome = peer_to_peer::execute_on(
+        task,
+        equivocate,
+        filter,
+        options,
+        &mut net,
+        &sim.net_faults,
+        false,
+    )?;
+    Ok(SimulatedResult {
+        result: outcome.result,
+        net: outcome.net,
+        broadcasts: outcome.broadcasts,
+        stragglers: 0,
+        final_spread: outcome.final_spread,
+    })
+}
+
+/// The server architecture over the simulator: one iteration is two bus
+/// rounds (estimate broadcast down, gradient replies up), with the
+/// per-round S1 rule for replies that never make it.
+fn execute_server(
+    task: DgdTask,
+    sim: &SimulatedRun,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+) -> Result<SimulatedResult, RuntimeError> {
+    let DgdTask {
+        config,
+        costs,
+        byzantine,
+        crashes,
+    } = task;
+    let n = config.n();
+    let server = SimulatedRun::server_address(n);
+    let dim = validate::cost_dimension(n, costs.iter().map(|c| c.dim()))?;
+    validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
+
+    // Validate and index fault assignments (mirrors the threaded runtime,
+    // plus the net-fault layer).
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
+    let mut crash_at: Vec<Option<usize>> = vec![None; n];
+    let mut budget = FaultBudget::new(&config);
+    for (agent, strategy) in byzantine {
+        budget.assign(agent)?;
+        if strategy.is_omniscient() {
+            return Err(RuntimeError::Config(format!(
+                "strategy '{}' is omniscient; simulated agents cannot observe \
+                 other agents' in-flight gradients",
+                strategy.name()
+            )));
+        }
+        strategies[agent] = Some(strategy);
+    }
+    for (agent, iteration) in crashes {
+        budget.assign(agent)?;
+        crash_at[agent] = Some(iteration);
+    }
+    // The server's address participates in the bus, so victim lists and
+    // equivocation boundaries may reference it.
+    let net_faults =
+        abft_net::validate_net_faults(&sim.net_faults, n, n + 1).map_err(RuntimeError::Config)?;
+    for &agent in net_faults.keys() {
+        if strategies[agent].is_none() && crash_at[agent].is_none() {
+            budget.assign(agent)?;
+        }
+    }
+    let honest: Vec<usize> = (0..n)
+        .filter(|&i| {
+            strategies[i].is_none() && crash_at[i].is_none() && !net_faults.contains_key(&i)
+        })
+        .collect();
+
+    let mut net: SimulatedNetwork<ServerWire> = sim.network.build(n + 1);
+    let mut trace = Trace::new(filter.name());
+    let mut x = options.projection.project(&options.x0);
+    let mut batch = GradientBatch::with_capacity(n, dim);
+    let mut aggregated = Vector::zeros(dim);
+    let mut stragglers = 0usize;
+    // Reply slots reused every round: agent-id order in, agent-id order out.
+    let mut replies: Vec<Option<Vector>> = (0..n).map(|_| None).collect();
+
+    for t in 0..=options.iterations {
+        let advance = t < options.iterations;
+        net.begin_iteration(t);
+
+        // Phase 1 — S1 broadcast: the server sends x_t to every agent.
+        for agent in 0..n {
+            net.send(
+                server,
+                agent,
+                ServerWire::Command(ToAgent::Estimate {
+                    iteration: t,
+                    estimate: x.clone(),
+                }),
+            );
+        }
+        // Agents that heard the estimate this round compute a reply.
+        let mut heard = vec![false; n];
+        for delivery in net.end_round() {
+            if let ServerWire::Command(ToAgent::Estimate { iteration, .. }) = delivery.payload {
+                debug_assert_eq!(iteration, t, "rounds drain fully");
+                heard[delivery.to] = true;
+            }
+        }
+
+        // Phase 2 — replies: honest gradient, forged gradient, or silence.
+        let mut expected = 0usize;
+        for agent in 0..n {
+            if !heard[agent] {
+                continue;
+            }
+            if crash_at[agent].is_some_and(|crash| t >= crash) {
+                continue; // crashed: permanently silent, no reply expected
+            }
+            let true_gradient = costs[agent].gradient(&x);
+            let mut report = match strategies[agent].as_mut() {
+                Some(strategy) => {
+                    let ctx = AttackContext::new(t, &true_gradient, &x);
+                    strategy.corrupt(&ctx)
+                }
+                None => true_gradient,
+            };
+            match net_faults.get(&agent) {
+                Some(NetFault::SelectiveSend(victims)) if victims.contains(&server) => {
+                    continue; // silences the agent's only outgoing link
+                }
+                Some(NetFault::EquivocateSplit { boundary }) if server >= *boundary => {
+                    // The server sits on the negated side of the split.
+                    report = report.scale(-1.0);
+                }
+                _ => {}
+            }
+            expected += 1;
+            net.send(
+                agent,
+                server,
+                ServerWire::Reply(FromAgent::Gradient {
+                    iteration: t,
+                    gradient: report,
+                }),
+            );
+        }
+
+        // Collect what made the deadline; fill rows in agent-id order so
+        // the filter input matches the in-process and threaded drivers.
+        for slot in replies.iter_mut() {
+            *slot = None;
+        }
+        let mut received = 0usize;
+        for delivery in net.end_round() {
+            if let ServerWire::Reply(FromAgent::Gradient {
+                iteration,
+                gradient,
+            }) = delivery.payload
+            {
+                debug_assert_eq!(iteration, t, "rounds drain fully");
+                if gradient.dim() != dim {
+                    return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
+                        expected: format!("gradient of dim {dim}"),
+                        actual: format!("agent {} sent dim {}", delivery.from, gradient.dim()),
+                    }));
+                }
+                replies[delivery.from] = Some(gradient);
+                received += 1;
+            }
+        }
+        stragglers += expected - received;
+
+        // Per-round S1: an agent whose gradient never arrived is treated
+        // exactly like a crashed agent for this round — its row is absent
+        // and it counts against the fault budget the filter is run with.
+        batch.clear();
+        for reply in replies.iter().flatten() {
+            batch.push_row(reply.as_slice());
+        }
+        if batch.is_empty() {
+            // A fully silent round (every reply lost or late) carries no
+            // gradient information: the server holds its estimate instead
+            // of failing the run — the timeout-driven analogue of "no
+            // update this round".
+            for slot in aggregated.as_mut_slice() {
+                *slot = 0.0;
+            }
+        } else {
+            let silent = n - batch.len();
+            let f_round = config.f().saturating_sub(silent);
+            filter.aggregate_into(&batch, f_round, &mut aggregated)?;
+        }
+
+        trace.push(record(&costs, &honest, t, &x, &aggregated, options));
+        if advance {
+            let eta = options.schedule.eta(t);
+            x.axpy(-eta, &aggregated);
+            options.projection.project_in_place(&mut x);
+        }
+    }
+
+    Ok(SimulatedResult {
+        result: RunResult {
+            trace,
+            final_estimate: x,
+        },
+        net: net.metrics(),
+        broadcasts: 0,
+        stragglers,
+        final_spread: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_attacks::GradientReverse;
+    use abft_dgd::DgdSimulation;
+    use abft_filters::{Cge, Cwtm};
+    use abft_net::LinkModel;
+    use abft_problems::RegressionProblem;
+
+    fn paper_options(iterations: usize) -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        (problem, options)
+    }
+
+    #[test]
+    fn ideal_server_topology_matches_in_process_driver_exactly() {
+        let (problem, options) = paper_options(80);
+        let sim = SimulatedRun::server(NetworkModel::ideal());
+        let simulated = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        let mut reference = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
+        let in_process = reference.run(&Cge::new(), &options).unwrap();
+        assert_eq!(simulated.result.trace.records(), in_process.trace.records());
+        assert!(simulated
+            .result
+            .final_estimate
+            .approx_eq(&in_process.final_estimate, 0.0));
+        assert_eq!(simulated.stragglers, 0);
+        assert!(simulated.net.is_balanced());
+    }
+
+    #[test]
+    fn ideal_server_topology_matches_threaded_under_crash() {
+        // The per-round S1 rule degenerates to the threaded runtime's
+        // permanent elimination when links are ideal.
+        let (problem, options) = paper_options(60);
+        let sim = SimulatedRun::server(NetworkModel::ideal());
+        let simulated = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        let threaded = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_threaded(&Cge::new(), &options)
+            .unwrap();
+        assert_eq!(simulated.result.trace.records(), threaded.trace.records());
+    }
+
+    #[test]
+    fn ideal_p2p_topology_matches_real_p2p_exactly() {
+        let (problem, options) = paper_options(50);
+        let sim = SimulatedRun::peer_to_peer(NetworkModel::ideal());
+        let simulated = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        let real = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_peer_to_peer(false, &Cge::new(), &options)
+            .unwrap();
+        assert_eq!(
+            simulated.result.trace.records(),
+            real.result.trace.records()
+        );
+        assert_eq!(simulated.broadcasts, real.broadcasts);
+        // Same protocol, same message count; only the wire differs.
+        assert_eq!(simulated.net.sent, real.net.sent);
+        assert_eq!(simulated.final_spread, 0.0);
+    }
+
+    #[test]
+    fn lossy_server_still_converges_and_counts_stragglers() {
+        let (problem, options) = paper_options(120);
+        let sim = SimulatedRun::server(
+            NetworkModel::seeded(7)
+                .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(2_000)),
+        );
+        let outcome = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        assert!(
+            outcome.net.dropped > 0,
+            "losses occurred: {:?}",
+            outcome.net
+        );
+        assert!(outcome.stragglers > 0);
+        assert!(
+            outcome.result.final_distance() < 0.3,
+            "d = {}",
+            outcome.result.final_distance()
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_lossy_runs() {
+        let (problem, options) = paper_options(40);
+        let run = || {
+            let sim = SimulatedRun::peer_to_peer(
+                NetworkModel::seeded(99)
+                    .with_default_link(LinkModel::ideal().with_drop(0.05).with_reorder_ns(500)),
+            );
+            DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_simulated(&sim, &Cwtm::new(), &options)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.result.trace.records(), b.result.trace.records());
+        assert_eq!(a.net, b.net, "full event schedule reproduced");
+        assert_eq!(a.final_spread, b.final_spread);
+    }
+
+    #[test]
+    fn selective_send_to_server_silences_the_agent() {
+        let (problem, options) = paper_options(50);
+        let server = SimulatedRun::server_address(problem.config().n());
+        let sim = SimulatedRun::server(NetworkModel::ideal())
+            .with_net_fault(0, NetFault::SelectiveSend(vec![server]));
+        let outcome = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        // The agent computes a reply but never sends it: not a straggler,
+        // simply fewer sends on the bus.
+        assert_eq!(outcome.stragglers, 0);
+        assert!(outcome.result.final_distance() < 0.2);
+    }
+
+    #[test]
+    fn duplicate_net_faults_are_rejected() {
+        let (problem, options) = paper_options(5);
+        let sim = SimulatedRun::server(NetworkModel::ideal())
+            .with_net_fault(0, NetFault::EquivocateSplit { boundary: 1 })
+            .with_net_fault(0, NetFault::SelectiveSend(vec![1]));
+        assert!(DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .is_err());
+    }
+
+    #[test]
+    fn heavy_loss_degrades_but_never_panics() {
+        // Sanity: even absurd loss rates produce a Result, not a panic.
+        let (problem, options) = paper_options(10);
+        let sim = SimulatedRun::server(
+            NetworkModel::seeded(3).with_default_link(LinkModel::ideal().with_drop(0.9)),
+        );
+        let _ = DgdTask::new(*problem.config(), problem.costs()).run_simulated(
+            &sim,
+            &Cge::new(),
+            &options,
+        );
+    }
+
+    #[test]
+    fn fully_silent_rounds_hold_the_estimate() {
+        // Every message exceeds the round deadline: no estimate ever
+        // reaches an agent, no reply ever reaches the server. The run
+        // completes with the estimate parked at the projected x0.
+        let (problem, options) = paper_options(8);
+        let sim = SimulatedRun::server(
+            NetworkModel::ideal()
+                .with_default_link(LinkModel::ideal().with_delay_ns(5_000_000))
+                .with_round_timeout_ns(1_000),
+        );
+        let outcome = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        assert_eq!(outcome.net.delivered, 0);
+        assert_eq!(outcome.net.late, outcome.net.sent);
+        assert_eq!(outcome.result.trace.len(), 9);
+        let x0 = options.projection.project(&options.x0);
+        assert!(outcome.result.final_estimate.approx_eq(&x0, 0.0));
+    }
+}

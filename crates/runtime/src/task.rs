@@ -33,6 +33,7 @@
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeMetrics;
 use crate::peer_to_peer::PeerToPeerResult;
+use crate::simulated::{SimulatedResult, SimulatedRun};
 use abft_attacks::ByzantineStrategy;
 use abft_core::SystemConfig;
 use abft_dgd::{RunOptions, RunResult};
@@ -137,5 +138,29 @@ impl DgdTask {
         options: &RunOptions,
     ) -> Result<PeerToPeerResult, RuntimeError> {
         crate::peer_to_peer::execute(self, equivocate, filter, options)
+    }
+
+    /// Runs the task over a seeded network simulator, in either
+    /// architecture: links may delay, drop, reorder, and partition the
+    /// protocol's messages, and [`SimulatedRun::net_faults`] layer
+    /// network-level Byzantine behaviours on the task's attacks.
+    ///
+    /// Over a fault-free [`abft_net::NetworkModel`] this is bit-identical
+    /// to the corresponding real runtime ([`DgdTask::run_peer_to_peer`],
+    /// or the in-process/threaded drivers for the server topology).
+    ///
+    /// # Errors
+    ///
+    /// The corresponding real runtime's errors, plus
+    /// [`RuntimeError::Config`] for invalid net-fault assignments; heavy
+    /// message loss can also surface as [`RuntimeError::Dgd`] when a
+    /// round delivers fewer gradients than the filter needs.
+    pub fn run_simulated(
+        self,
+        sim: &SimulatedRun,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+    ) -> Result<SimulatedResult, RuntimeError> {
+        crate::simulated::execute(self, sim, filter, options)
     }
 }

@@ -13,7 +13,7 @@ use crate::metrics::RuntimeMetrics;
 use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::validate::{self, FaultBudget};
-use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_core::{IterationRecord, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector};
@@ -74,7 +74,7 @@ fn agent_loop(
     }
 }
 
-/// Runs DGD over a thread-per-agent synchronous network.
+/// The thread-per-agent server loop behind [`DgdTask::run_threaded`].
 ///
 /// Omniscient strategies are rejected: a threaded agent cannot observe the
 /// other agents' in-flight gradients (use [`abft_dgd::DgdSimulation`] for
@@ -82,55 +82,6 @@ fn agent_loop(
 ///
 /// The recorded trace matches [`abft_dgd::DgdSimulation::run`] exactly for
 /// the same inputs — asserted by the cross-runtime equivalence test.
-///
-/// # Errors
-///
-/// Returns [`RuntimeError::Config`] for invalid fault assignments,
-/// [`RuntimeError::Dgd`] for filter/dimension failures, and
-/// [`RuntimeError::ChannelBroken`] if an agent thread dies unexpectedly.
-#[deprecated(
-    since = "0.1.0",
-    note = "use abft_runtime::DgdTask::run_threaded or the abft-scenario crate"
-)]
-pub fn run_threaded_dgd(
-    config: SystemConfig,
-    costs: Vec<SharedCost>,
-    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
-    crashes: Vec<(usize, usize)>,
-    filter: &dyn GradientFilter,
-    options: &RunOptions,
-) -> Result<RunResult, RuntimeError> {
-    let mut task = DgdTask::new(config, costs);
-    task.byzantine = byzantine;
-    task.crashes = crashes;
-    execute(task, filter, options, &RuntimeMetrics::new())
-}
-
-/// [`run_threaded_dgd`] with an external metrics collector.
-///
-/// # Errors
-///
-/// See [`run_threaded_dgd`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use abft_runtime::DgdTask::run_threaded_with_metrics or the abft-scenario crate"
-)]
-pub fn run_threaded_dgd_with_metrics(
-    config: SystemConfig,
-    costs: Vec<SharedCost>,
-    byzantine: Vec<(usize, Box<dyn ByzantineStrategy>)>,
-    crashes: Vec<(usize, usize)>,
-    filter: &dyn GradientFilter,
-    options: &RunOptions,
-    metrics: &RuntimeMetrics,
-) -> Result<RunResult, RuntimeError> {
-    let mut task = DgdTask::new(config, costs);
-    task.byzantine = byzantine;
-    task.crashes = crashes;
-    execute(task, filter, options, metrics)
-}
-
-/// The thread-per-agent server loop behind [`DgdTask::run_threaded`].
 pub(crate) fn execute(
     task: DgdTask,
     filter: &dyn GradientFilter,
@@ -308,8 +259,8 @@ pub(crate) fn execute(
 }
 
 /// Builds one trace record at estimate `x` (mirrors the in-process driver;
-/// allocation-free like it).
-fn record(
+/// allocation-free like it). Shared with the simulated server topology.
+pub(crate) fn record(
     costs: &[SharedCost],
     honest: &[usize],
     t: usize,
@@ -420,26 +371,6 @@ mod tests {
             .run_threaded(&Cge::new(), &options)
             .unwrap_err();
         assert!(matches!(err, RuntimeError::Config(_)));
-    }
-
-    #[test]
-    fn deprecated_shim_matches_task_entry_point() {
-        let (problem, options) = paper_options(20);
-        #[allow(deprecated)]
-        let shimmed = run_threaded_dgd(
-            *problem.config(),
-            problem.costs(),
-            vec![(0, Box::new(GradientReverse::new()))],
-            vec![],
-            &Cge::new(),
-            &options,
-        )
-        .unwrap();
-        let task = DgdTask::new(*problem.config(), problem.costs())
-            .byzantine(0, Box::new(GradientReverse::new()))
-            .run_threaded(&Cge::new(), &options)
-            .unwrap();
-        assert_eq!(shimmed.trace.records(), task.trace.records());
     }
 
     #[test]

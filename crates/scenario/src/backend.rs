@@ -6,7 +6,8 @@ use abft_core::csv::CsvTable;
 use abft_core::{CoreError, Trace};
 use abft_dgd::{DgdSimulation, RoundWorkspace};
 use abft_linalg::Vector;
-use abft_runtime::{DgdTask, RuntimeMetrics};
+use abft_net::{NetMetrics, NetworkModel};
+use abft_runtime::{DgdTask, RuntimeMetrics, SimTopology, SimulatedRun};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -23,11 +24,20 @@ pub struct BackendMetrics {
     pub replies_received: usize,
     /// Agents eliminated via the S1 no-reply rule (threaded backend).
     pub agents_eliminated: usize,
-    /// EIG broadcast instances executed (peer-to-peer backend).
+    /// EIG broadcast instances executed (peer-to-peer and simulated
+    /// peer-to-peer backends).
     pub eig_broadcasts: usize,
-    /// Point-to-point messages simulated inside EIG broadcasts
-    /// (peer-to-peer backend).
+    /// Point-to-point messages inside EIG broadcasts (peer-to-peer and
+    /// simulated peer-to-peer backends).
     pub eig_messages: usize,
+    /// Gradient replies that missed a round deadline or were lost
+    /// (simulated server backend).
+    pub stragglers: usize,
+    /// Network counters — sent / delivered / dropped / late message
+    /// totals, virtual time elapsed, and the order-sensitive schedule
+    /// digest — reported by every backend that moves messages over an
+    /// `abft_net` bus (peer-to-peer and both simulated topologies).
+    pub net: NetMetrics,
 }
 
 /// The unified result of running one [`Scenario`] on one [`Backend`]: the
@@ -148,8 +158,22 @@ pub trait Backend: Send + Sync {
     }
 }
 
+/// Rejects scenarios carrying network-level faults on a backend without a
+/// simulated network to execute them.
+fn reject_net_faults(backend: &'static str, scenario: &Scenario) -> Result<(), ScenarioError> {
+    if scenario.net_faults().is_empty() {
+        Ok(())
+    } else {
+        Err(ScenarioError::Unsupported(format!(
+            "scenario '{}' carries network-level faults, which only the \
+             simulated backend executes (backend: {backend})",
+            scenario.label()
+        )))
+    }
+}
+
 /// Materializes a scenario's fault plan onto a [`DgdTask`] — the single
-/// mapping both message-passing backends launch from, so they cannot
+/// mapping every message-passing backend launches from, so they cannot
 /// diverge on assignment order (which the bit-exactness contract relies
 /// on).
 fn task_for(scenario: &Scenario) -> DgdTask {
@@ -179,6 +203,7 @@ impl Backend for InProcess {
         scenario: &Scenario,
         workspace: &mut RoundWorkspace,
     ) -> Result<RunReport, ScenarioError> {
+        reject_net_faults(self.name(), scenario)?;
         let mut sim = DgdSimulation::new(*scenario.config(), scenario.costs().to_vec())?;
         for (agent, strategy) in scenario.byzantine_assignments() {
             sim = sim.with_byzantine(agent, strategy)?;
@@ -219,6 +244,7 @@ impl Backend for Threaded {
         scenario: &Scenario,
         _workspace: &mut RoundWorkspace,
     ) -> Result<RunReport, ScenarioError> {
+        reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let metrics = RuntimeMetrics::new();
         let started = Instant::now();
@@ -264,6 +290,7 @@ impl Backend for PeerToPeer {
         scenario: &Scenario,
         _workspace: &mut RoundWorkspace,
     ) -> Result<RunReport, ScenarioError> {
+        reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let started = Instant::now();
         let outcome =
@@ -276,7 +303,93 @@ impl Backend for PeerToPeer {
             metrics: BackendMetrics {
                 rounds: outcome.result.trace.len(),
                 eig_broadcasts: outcome.broadcasts,
-                eig_messages: outcome.messages,
+                eig_messages: outcome.net.sent as usize,
+                net: outcome.net,
+                ..BackendMetrics::default()
+            },
+            final_estimate: outcome.result.final_estimate,
+            trace: outcome.result.trace,
+            elapsed,
+        })
+    }
+}
+
+/// The discrete-event network simulator backend: either architecture over
+/// seeded faulty links ([`abft_net::SimulatedNetwork`]). The only backend
+/// that executes scenarios with network-level faults
+/// ([`Scenario`]`::net_fault`), and the only one whose network can delay,
+/// drop, reorder, and partition messages — deterministically, so the same
+/// scenario and network seed reproduce the identical [`RunReport`], event
+/// schedule included.
+///
+/// With a fault-free [`NetworkModel`] the traces are bit-identical to the
+/// corresponding real backend ([`PeerToPeer`], or [`InProcess`] /
+/// [`Threaded`] for the server topology) — pinned by the cross-backend
+/// tests.
+#[derive(Debug, Clone)]
+pub struct Simulated {
+    /// The execution plan template — topology and network model. Any
+    /// net faults listed here apply to every scenario this backend runs;
+    /// the scenario's own [`Scenario::net_faults`] are appended per run.
+    pub plan: SimulatedRun,
+}
+
+impl Simulated {
+    /// Peer-to-peer over `network`.
+    pub fn peer_to_peer(network: NetworkModel) -> Self {
+        Simulated {
+            plan: SimulatedRun::peer_to_peer(network),
+        }
+    }
+
+    /// Server-based over `network`.
+    pub fn server(network: NetworkModel) -> Self {
+        Simulated {
+            plan: SimulatedRun::server(network),
+        }
+    }
+}
+
+impl Default for Simulated {
+    /// Peer-to-peer over an ideal network — the configuration that is
+    /// bit-identical to the [`PeerToPeer`] backend.
+    fn default() -> Self {
+        Simulated::peer_to_peer(NetworkModel::ideal())
+    }
+}
+
+impl Backend for Simulated {
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn run_with_workspace(
+        &self,
+        scenario: &Scenario,
+        _workspace: &mut RoundWorkspace,
+    ) -> Result<RunReport, ScenarioError> {
+        let task = task_for(scenario);
+        let mut sim = self.plan.clone();
+        sim.net_faults.extend(scenario.net_faults().iter().cloned());
+        let started = Instant::now();
+        let outcome = task.run_simulated(&sim, scenario.filter(), scenario.options())?;
+        let elapsed = started.elapsed();
+        // EIG counters only exist in the peer-to-peer topology; the server
+        // topology's wire traffic lives solely in the `net` counters.
+        let eig_messages = match self.plan.topology {
+            SimTopology::PeerToPeer { .. } => outcome.net.sent as usize,
+            SimTopology::Server => 0,
+        };
+        Ok(RunReport {
+            scenario: scenario.label().to_string(),
+            backend: self.name(),
+            filter: scenario.filter().name().to_string(),
+            metrics: BackendMetrics {
+                rounds: outcome.result.trace.len(),
+                eig_broadcasts: outcome.broadcasts,
+                eig_messages,
+                stragglers: outcome.stragglers,
+                net: outcome.net,
                 ..BackendMetrics::default()
             },
             final_estimate: outcome.result.final_estimate,

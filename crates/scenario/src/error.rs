@@ -26,8 +26,12 @@ pub enum ScenarioError {
     Attack(UnknownAttack),
     /// The in-process driver failed.
     Dgd(DgdError),
-    /// The threaded or peer-to-peer runtime failed.
+    /// The threaded, peer-to-peer, or simulated runtime failed.
     Runtime(RuntimeError),
+    /// The scenario asks for something its backend (or the spec itself)
+    /// cannot express — e.g. network-level faults on a backend without a
+    /// simulated network.
+    Unsupported(String),
     /// Writing a report to disk failed.
     Io(String),
 }
@@ -50,6 +54,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Attack(e) => write!(f, "attack failure: {e}"),
             ScenarioError::Dgd(e) => write!(f, "dgd failure: {e}"),
             ScenarioError::Runtime(e) => write!(f, "runtime failure: {e}"),
+            ScenarioError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
             ScenarioError::Io(msg) => write!(f, "i/o failure: {msg}"),
         }
     }

@@ -12,8 +12,12 @@
 //!   seeds, and run options.
 //! * [`Backend`] — where the spec runs. [`InProcess`] drives
 //!   [`abft_dgd::DgdSimulation`], [`Threaded`] the thread-per-agent server
-//!   runtime, and [`PeerToPeer`] the EIG-broadcast runtime. The same
-//!   scenario value produces the identical trace on every backend.
+//!   runtime, [`PeerToPeer`] the EIG-broadcast runtime, and [`Simulated`]
+//!   a seeded discrete-event network simulator (either architecture over
+//!   links that can delay, drop, reorder, and partition messages — see
+//!   [`NetworkModel`]). The same scenario value produces the identical
+//!   trace on every reliable backend, and on the simulator whenever its
+//!   network model is fault-free.
 //! * [`RunReport`] — the unified result: full per-iteration [`trace`]
 //!   (`iteration, loss, distance, grad_norm, phi`), the final estimate,
 //!   wall-clock timing, and [`BackendMetrics`].
@@ -58,15 +62,21 @@ pub mod error;
 pub mod spec;
 pub mod suite;
 
-pub use backend::{Backend, BackendMetrics, InProcess, PeerToPeer, RunReport, Threaded};
+pub use backend::{Backend, BackendMetrics, InProcess, PeerToPeer, RunReport, Simulated, Threaded};
 pub use error::ScenarioError;
 pub use spec::{IntoCosts, Scenario, ScenarioBuilder};
 pub use suite::{ScenarioSuite, SuiteOutcomes, SuiteReport};
 
+// The network vocabulary a simulated scenario is described with, re-
+// exported so scenario authors need no direct `abft-net` dependency.
+pub use abft_net::{LinkModel, NetFault, NetMetrics, NetworkModel, Partition};
+pub use abft_runtime::SimTopology;
+
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
-    pub use crate::backend::{Backend, InProcess, PeerToPeer, RunReport, Threaded};
+    pub use crate::backend::{Backend, InProcess, PeerToPeer, RunReport, Simulated, Threaded};
     pub use crate::error::ScenarioError;
     pub use crate::spec::{Scenario, ScenarioBuilder};
     pub use crate::suite::{ScenarioSuite, SuiteReport};
+    pub use abft_net::{LinkModel, NetFault, NetworkModel, Partition};
 }

@@ -6,6 +6,7 @@ use abft_core::validate::{self, FaultBudget};
 use abft_core::SystemConfig;
 use abft_dgd::RunOptions;
 use abft_filters::{by_name, GradientFilter};
+use abft_net::NetFault;
 use abft_problems::{RegressionProblem, SharedCost};
 use std::sync::Arc;
 
@@ -74,6 +75,7 @@ pub struct Scenario {
     pub(crate) config: SystemConfig,
     pub(crate) costs: Vec<SharedCost>,
     pub(crate) faults: Vec<FaultSpec>,
+    pub(crate) net_faults: Vec<(usize, NetFault)>,
     pub(crate) filter: Arc<dyn GradientFilter>,
     pub(crate) options: RunOptions,
 }
@@ -122,11 +124,22 @@ impl Scenario {
         &self.options
     }
 
-    /// Indices of the truly honest agents (no attack, no crash schedule).
+    /// Indices of the truly honest agents (no attack, no crash schedule,
+    /// no network-level fault).
     pub fn honest_agents(&self) -> Vec<usize> {
         (0..self.config.n())
-            .filter(|&i| self.faults.iter().all(|fault| fault.agent != i))
+            .filter(|&i| {
+                self.faults.iter().all(|fault| fault.agent != i)
+                    && self.net_faults.iter().all(|(agent, _)| *agent != i)
+            })
             .collect()
+    }
+
+    /// The network-level Byzantine behaviours, in assignment order. Only
+    /// the `Simulated` backend executes these; the other backends reject
+    /// scenarios that carry any.
+    pub fn net_faults(&self) -> &[(usize, NetFault)] {
+        &self.net_faults
     }
 
     /// Materializes fresh Byzantine strategy instances, in assignment order.
@@ -151,10 +164,10 @@ impl Scenario {
             .collect()
     }
 
-    /// A short description of the fault plan, e.g. `"gradient-reverse@0"`
-    /// or `"fault-free"`.
+    /// A short description of the fault plan, e.g. `"gradient-reverse@0"`,
+    /// `"zero@0+selective[1,2]@0"`, or `"fault-free"`.
     pub fn fault_summary(&self) -> String {
-        if self.faults.is_empty() {
+        if self.faults.is_empty() && self.net_faults.is_empty() {
             return "fault-free".to_string();
         }
         self.faults
@@ -165,6 +178,11 @@ impl Scenario {
                     format!("crash(t={at_iteration})@{}", fault.agent)
                 }
             })
+            .chain(
+                self.net_faults
+                    .iter()
+                    .map(|(agent, fault)| format!("{}@{agent}", fault.summary())),
+            )
             .collect::<Vec<_>>()
             .join("+")
     }
@@ -230,6 +248,7 @@ pub struct ScenarioBuilder {
     costs: Vec<SharedCost>,
     f: usize,
     faults: Vec<(usize, PendingFault)>,
+    net_faults: Vec<(usize, NetFault)>,
     filter: Option<PendingFilter>,
     options: Option<RunOptions>,
 }
@@ -299,6 +318,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Gives `agent` a network-level Byzantine behaviour (selective
+    /// sending or per-link equivocation), layered on any attack already
+    /// assigned to it. Net faults make the agent Byzantine — a net-faulty
+    /// agent with no attack still consumes fault budget — and only the
+    /// `Simulated` backend executes them.
+    #[must_use]
+    pub fn net_fault(mut self, agent: usize, fault: NetFault) -> Self {
+        self.net_faults.push((agent, fault));
+        self
+    }
+
     /// Selects the gradient filter by registry name (case-insensitive; see
     /// [`abft_filters::by_name`]).
     #[must_use]
@@ -357,9 +387,11 @@ impl ScenarioBuilder {
         };
 
         let mut budget = FaultBudget::new(&config);
+        let mut fault_agents = std::collections::BTreeSet::new();
         let mut faults = Vec::with_capacity(self.faults.len());
         for (agent, pending) in self.faults {
             budget.assign(agent)?;
+            fault_agents.insert(agent);
             let kind = match pending {
                 PendingFault::Named { name, seed } => {
                     // Resolve now so typos fail at build time, then bake the
@@ -379,12 +411,25 @@ impl ScenarioBuilder {
             };
             faults.push(FaultSpec { agent, kind });
         }
+        // Net faults make their agent Byzantine too; one that already has
+        // an attack or crash consumes no extra budget, one without does.
+        // Addresses span `n + 1` here because the spec is topology-
+        // agnostic: a server-topology victim list may name the server
+        // (address `n`); the peer-to-peer runtime re-validates at `n`.
+        let validated = abft_net::validate_net_faults(&self.net_faults, config.n(), config.n() + 1)
+            .map_err(ScenarioError::Unsupported)?;
+        for agent in validated.keys() {
+            if !fault_agents.contains(agent) {
+                budget.assign(*agent)?;
+            }
+        }
 
         let mut scenario = Scenario {
             label: String::new(),
             config,
             costs: self.costs,
             faults,
+            net_faults: self.net_faults,
             filter,
             options,
         };

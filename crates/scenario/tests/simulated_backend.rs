@@ -1,0 +1,288 @@
+//! The `Simulated` backend's two contracts:
+//!
+//! 1. **Ideal-network equivalence** — with a fault-free `NetworkModel`,
+//!    the simulator reproduces the corresponding real backend bit for bit
+//!    (`PeerToPeer` for the p2p topology; `InProcess`/`Threaded` for the
+//!    server topology).
+//! 2. **Seeded determinism** — with faults enabled, the same scenario and
+//!    network seed reproduce the identical `RunReport` — trace, final
+//!    estimate, and network counters including the order-sensitive event
+//!    schedule digest — across repeated runs and suite worker counts.
+
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{
+    Backend, InProcess, LinkModel, NetFault, NetworkModel, Partition, PeerToPeer, RunReport,
+    Scenario, ScenarioBuilder, ScenarioSuite, Simulated, Threaded,
+};
+use proptest::prelude::*;
+
+fn template(iterations: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(RunOptions::paper_defaults_with_iterations(x_h, iterations))
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.trace.records(), b.trace.records(), "trace: {what}");
+    assert!(
+        a.final_estimate.approx_eq(&b.final_estimate, 0.0),
+        "final estimate: {what}"
+    );
+    assert_eq!(a.metrics, b.metrics, "metrics: {what}");
+}
+
+#[test]
+fn ideal_simulated_p2p_is_bit_identical_to_peer_to_peer_across_the_grid() {
+    let template = template(20);
+    for filter in ["cge", "cwtm", "cwmed", "mean"] {
+        for attack in ["gradient-reverse", "random", "zero"] {
+            let scenario = template
+                .clone()
+                .filter(filter)
+                .attack_seeded(0, attack, 5)
+                .build()
+                .expect("cell builds");
+            let real = PeerToPeer::default().run(&scenario).expect("p2p runs");
+            let simulated = Simulated::default().run(&scenario).expect("simulator runs");
+            assert_eq!(
+                real.trace.records(),
+                simulated.trace.records(),
+                "trace diverged for {filter} × {attack}"
+            );
+            assert!(
+                real.final_estimate
+                    .approx_eq(&simulated.final_estimate, 0.0),
+                "estimate diverged for {filter} × {attack}"
+            );
+            assert_eq!(
+                real.metrics.eig_broadcasts,
+                simulated.metrics.eig_broadcasts
+            );
+            assert_eq!(real.metrics.eig_messages, simulated.metrics.eig_messages);
+            // Every protocol message made its deadline on the ideal net.
+            assert_eq!(simulated.metrics.net.sent, simulated.metrics.net.delivered);
+        }
+    }
+}
+
+#[test]
+fn ideal_simulated_server_is_bit_identical_to_in_process_and_threaded() {
+    let scenario = template(30)
+        .filter("cge")
+        .attack(0, "gradient-reverse")
+        .build()
+        .expect("builds");
+    let simulated = Simulated::server(NetworkModel::ideal())
+        .run(&scenario)
+        .expect("simulator runs");
+    let in_process = InProcess.run(&scenario).expect("in-process runs");
+    let threaded = Threaded.run(&scenario).expect("threaded runs");
+    assert_eq!(simulated.trace.records(), in_process.trace.records());
+    assert_eq!(simulated.trace.records(), threaded.trace.records());
+
+    // Crashes too: the simulator's per-round S1 rule degenerates to the
+    // threaded runtime's permanent elimination over ideal links.
+    let crash = template(40)
+        .filter("cge")
+        .crash(2, 7)
+        .build()
+        .expect("builds");
+    let simulated = Simulated::server(NetworkModel::ideal())
+        .run(&crash)
+        .expect("simulator runs");
+    let threaded = Threaded.run(&crash).expect("threaded runs");
+    assert_eq!(simulated.trace.records(), threaded.trace.records());
+    assert_eq!(simulated.metrics.stragglers, 0);
+}
+
+#[test]
+fn faulty_network_runs_reproduce_identical_reports_for_identical_seeds() {
+    let scenario = template(40)
+        .filter("cwtm")
+        .attack_seeded(0, "random", 13)
+        .build()
+        .expect("builds");
+    let backend = Simulated::peer_to_peer(
+        NetworkModel::seeded(77)
+            .with_default_link(LinkModel::ideal().with_drop(0.08).with_reorder_ns(800))
+            .with_partition(Partition::isolate(vec![4, 5], 10, 14)),
+    );
+    let a = backend.run(&scenario).expect("runs");
+    let b = backend.run(&scenario).expect("runs");
+    assert_reports_identical(&a, &b, "repeated lossy p2p runs");
+    assert!(a.metrics.net.dropped > 0, "the faults actually fired");
+
+    // A different network seed is a genuinely different execution.
+    let other = Simulated::peer_to_peer(
+        NetworkModel::seeded(78)
+            .with_default_link(LinkModel::ideal().with_drop(0.08).with_reorder_ns(800))
+            .with_partition(Partition::isolate(vec![4, 5], 10, 14)),
+    )
+    .run(&scenario)
+    .expect("runs");
+    assert_ne!(
+        a.metrics.net.schedule_digest, other.metrics.net.schedule_digest,
+        "seed must steer the event schedule"
+    );
+}
+
+#[test]
+fn suite_runs_are_bit_identical_across_worker_counts() {
+    let template = template(15);
+    let suite = ScenarioSuite::grid(
+        &template,
+        0,
+        &["cge", "cwtm"],
+        &["gradient-reverse", "zero", "random"],
+    )
+    .expect("grid builds");
+    let backend = Simulated::server(
+        NetworkModel::seeded(3).with_default_link(LinkModel::ideal().with_drop(0.05)),
+    );
+    let serial = suite.run(&backend).expect("serial suite runs");
+    for workers in [2, 4] {
+        let parallel = suite
+            .run_parallel(&backend, workers)
+            .expect("parallel suite runs");
+        for (a, b) in serial.reports().iter().zip(parallel.reports()) {
+            assert_reports_identical(
+                a,
+                b,
+                &format!("suite cell {} × {workers} workers", a.scenario),
+            );
+        }
+    }
+}
+
+#[test]
+fn net_faults_run_on_the_simulator_and_are_rejected_elsewhere() {
+    let scenario = template(25)
+        .filter("cwtm")
+        .net_fault(0, NetFault::EquivocateSplit { boundary: 3 })
+        .build()
+        .expect("builds");
+    assert_eq!(scenario.fault_summary(), "equivocate<3@0");
+    assert_eq!(scenario.honest_agents(), vec![1, 2, 3, 4, 5]);
+
+    let report = Simulated::default().run(&scenario).expect("simulator runs");
+    assert!(
+        report.final_distance() < 0.3,
+        "d = {}",
+        report.final_distance()
+    );
+
+    for (name, result) in [
+        ("in-process", InProcess.run(&scenario)),
+        ("threaded", Threaded.run(&scenario)),
+        ("peer-to-peer", PeerToPeer::default().run(&scenario)),
+    ] {
+        let err = result.expect_err(name).to_string();
+        assert!(
+            err.contains("network-level faults"),
+            "{name} must reject net faults, said: {err}"
+        );
+    }
+}
+
+#[test]
+fn net_faults_count_against_the_fault_budget() {
+    // f = 1 but two distinct net-faulty agents: rejected at build time.
+    let err = template(5)
+        .filter("cge")
+        .net_fault(0, NetFault::SelectiveSend(vec![1]))
+        .net_fault(2, NetFault::SelectiveSend(vec![1]))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("fault"), "got: {err}");
+    // An attack plus a net fault on the SAME agent costs one budget slot.
+    let scenario = template(5)
+        .filter("cge")
+        .attack(0, "gradient-reverse")
+        .net_fault(0, NetFault::EquivocateSplit { boundary: 3 })
+        .build()
+        .expect("one faulty agent fits f = 1");
+    assert_eq!(scenario.honest_agents().len(), 5);
+    // Two net faults on one agent are ambiguous and rejected.
+    assert!(template(5)
+        .filter("cge")
+        .net_fault(0, NetFault::SelectiveSend(vec![1]))
+        .net_fault(0, NetFault::EquivocateSplit { boundary: 2 })
+        .build()
+        .is_err());
+}
+
+#[test]
+fn partition_visibly_degrades_convergence_and_heals() {
+    let scenario = template(60).filter("cge").build().expect("builds");
+    let healthy = Simulated::peer_to_peer(NetworkModel::seeded(1))
+        .run(&scenario)
+        .expect("runs");
+    // Cut agents {0, 1} off for a window in the middle of the run.
+    let partitioned = Simulated::peer_to_peer(
+        NetworkModel::seeded(1).with_partition(Partition::isolate(vec![0, 1], 10, 30)),
+    )
+    .run(&scenario)
+    .expect("runs");
+    assert!(partitioned.metrics.net.dropped > 0);
+    // The partition really perturbed the trajectory…
+    assert_ne!(healthy.trace.records(), partitioned.trace.records());
+    // …but after healing, convergence recovers to a sane neighbourhood.
+    assert!(
+        partitioned.final_distance() < 0.5,
+        "d = {}",
+        partitioned.final_distance()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The satellite determinism property: any (scenario seed, network
+    /// seed, loss, jitter) combination yields bit-identical traces and
+    /// event schedules across repeated runs AND across suite worker
+    /// counts; and whenever the network model is fault-free, the simulated
+    /// p2p trace equals the real `PeerToPeer` backend's bit for bit.
+    #[test]
+    fn simulated_runs_are_deterministic_and_anchor_to_peer_to_peer(
+        attack_seed in 0u64..1_000,
+        net_seed in 0u64..1_000,
+        drop_sel in 0usize..3,
+        reorder_sel in 0usize..2,
+    ) {
+        let drop = [0.0, 0.1, 0.25][drop_sel];
+        let reorder = [0, 2_000][reorder_sel];
+        let scenario = template(12)
+            .filter("cwtm")
+            .attack_seeded(0, "random", attack_seed)
+            .build()
+            .expect("builds");
+        let model = NetworkModel::seeded(net_seed)
+            .with_default_link(LinkModel::ideal().with_drop(drop).with_reorder_ns(reorder));
+        let backend = Simulated::peer_to_peer(model.clone());
+
+        let a = backend.run(&scenario).expect("runs");
+        let b = backend.run(&scenario).expect("runs");
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert_eq!(a.metrics, b.metrics);
+
+        // Across worker counts via a two-cell suite.
+        let suite = ScenarioSuite::from_scenarios(vec![scenario.clone(), scenario.clone()]);
+        let parallel = suite.run_parallel(&backend, 2).expect("suite runs");
+        for report in parallel.reports() {
+            prop_assert_eq!(report.trace.records(), a.trace.records());
+            prop_assert_eq!(report.metrics, a.metrics);
+        }
+
+        // Fault-free models anchor to the real peer-to-peer backend.
+        if model.is_fault_free() {
+            let real = PeerToPeer::default().run(&scenario).expect("p2p runs");
+            prop_assert_eq!(real.trace.records(), a.trace.records());
+        }
+    }
+}

@@ -24,9 +24,10 @@
 //! | [`attacks`] | gradient-reverse, random (σ=200), ALIE, … — forging directly into batch rows via `corrupt_into` |
 //! | [`redundancy`] | ε measurement, Theorem-2 exact algorithm, bounds, necessity witness |
 //! | [`dgd`] | the Section-4 DGD loop with projection and schedules; one batch + scratch reused across all `T` iterations (zero per-iteration gradient allocations) |
-//! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast, aggregating off the wire into reused batches |
+//! | [`net`] | deterministic discrete-event network simulator: the `MessageBus` abstraction, seeded per-link delay/drop/reorder models, scheduled partitions, network-level Byzantine faults |
+//! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast over the shared `MessageBus`, aggregating off the wire into reused batches; `DgdTask::run_simulated` runs either architecture on faulty links |
 //! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
-//! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, and peer-to-peer backends, plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
+//! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, peer-to-peer, and simulated-network backends, plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
 //!
 //! The gradient data path — who produces into and who consumes out of a
 //! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
@@ -71,6 +72,7 @@ pub use abft_dgd as dgd;
 pub use abft_filters as filters;
 pub use abft_linalg as linalg;
 pub use abft_ml as ml;
+pub use abft_net as net;
 pub use abft_problems as problems;
 pub use abft_redundancy as redundancy;
 pub use abft_runtime as runtime;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use abft_filters::{all_filters, by_name, Cge, Cwtm, GradientFilter, Mean};
     pub use abft_linalg::prelude::*;
     pub use abft_ml::prelude::*;
+    pub use abft_net::prelude::*;
     pub use abft_problems::prelude::*;
     pub use abft_redundancy::prelude::*;
     pub use abft_runtime::prelude::*;
