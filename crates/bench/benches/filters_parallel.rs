@@ -1,0 +1,128 @@
+//! Thread-scaling of the sharded aggregation path at the production shape
+//! (`n = 100` gradients of dimension `d = 10 000`).
+//!
+//! For each filter the same reused `GradientBatch` is aggregated with no
+//! pool (serial) and with worker pools of 2 and 4 threads; the speedup
+//! table prints `serial / parallel` per thread count. Outputs are asserted
+//! **bit-identical** across all variants before anything is timed — the
+//! pool contract means the knob buys wall-clock only.
+//!
+//! The acceptance target for this suite is ≥ 2× on CWTM at 4 threads on a
+//! ≥ 4-core machine (thread counts beyond the hardware's cores timeshare
+//! and cannot speed up — the table prints the machine's parallelism for
+//! context). This is a workload bench (manual timing, like
+//! `suite_throughput`), not a criterion microbench: one aggregation at
+//! this shape is milliseconds, and the table *is* the deliverable.
+//!
+//! Run with: `cargo bench -p abft-bench --bench filters_parallel`
+
+use abft_bench::gradient_bundle;
+use abft_filters::{batch_of, by_name};
+use abft_linalg::{Vector, WorkerPool};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 100;
+const F: usize = 10;
+const DIM: usize = 10_000;
+const THREADS: [usize; 2] = [2, 4];
+
+/// The filters the tentpole parallelizes: the per-coordinate family
+/// (column tiles) and the distance-based family (score rows).
+const FILTERS: [&str; 7] = [
+    "cwtm",
+    "cwmed",
+    "sign-majority",
+    "mean",
+    "cge",
+    "krum",
+    "geomed",
+];
+
+/// Median wall-clock seconds of `reps` aggregations.
+fn time_aggregations(
+    filter: &dyn abft_filters::GradientFilter,
+    batch: &abft_linalg::GradientBatch,
+    out: &mut Vector,
+    reps: usize,
+) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        filter
+            .aggregate_into(black_box(batch), F, out)
+            .expect("aggregates");
+        samples.push(started.elapsed().as_secs_f64());
+        black_box(&out);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let gradients = gradient_bundle(N, F, DIM, 42);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "filters_parallel: n = {N}, d = {DIM}, f = {F}, threads in {THREADS:?} \
+         (machine parallelism: {cores})\n"
+    );
+    println!(
+        "{:<14} {:>11} {:>11} {:>7} {:>11} {:>7}",
+        "filter", "serial ms", "2t ms", "2t x", "4t ms", "4t x"
+    );
+
+    let mut cwtm_speedup_4t = 0.0;
+    for name in FILTERS {
+        let filter = by_name(name).expect("registered");
+        // Iterative/quadratic filters are slower per call; fewer reps keep
+        // the bench seconds-scale without hurting the median.
+        let reps = match name {
+            "krum" | "geomed" => 5,
+            _ => 9,
+        };
+
+        let serial_batch = batch_of(&gradients).expect("batch builds");
+        let mut serial_out = Vector::zeros(DIM);
+        // Warm the scratch arena, then measure.
+        let _ = time_aggregations(filter.as_ref(), &serial_batch, &mut serial_out, 2);
+        let serial = time_aggregations(filter.as_ref(), &serial_batch, &mut serial_out, reps);
+
+        let mut cells = Vec::new();
+        for threads in THREADS {
+            let mut batch = batch_of(&gradients).expect("batch builds");
+            batch.set_worker_pool(Some(Arc::new(WorkerPool::new(threads))));
+            let mut out = Vector::zeros(DIM);
+            let _ = time_aggregations(filter.as_ref(), &batch, &mut out, 2);
+            let parallel = time_aggregations(filter.as_ref(), &batch, &mut out, reps);
+            assert!(
+                serial_out
+                    .iter()
+                    .zip(out.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{name}: {threads}-thread output diverged from serial"
+            );
+            let speedup = serial / parallel;
+            if name == "cwtm" && threads == 4 {
+                cwtm_speedup_4t = speedup;
+            }
+            cells.push((parallel, speedup));
+        }
+        println!(
+            "{name:<14} {:>11.3} {:>11.3} {:>6.2}x {:>11.3} {:>6.2}x",
+            serial * 1e3,
+            cells[0].0 * 1e3,
+            cells[0].1,
+            cells[1].0 * 1e3,
+            cells[1].1,
+        );
+    }
+
+    println!(
+        "\nacceptance: CWTM at 4 threads = {cwtm_speedup_4t:.2}x \
+         (target >= 2x on a >= 4-core machine)"
+    );
+    if cores >= 4 && cwtm_speedup_4t < 2.0 {
+        eprintln!("WARNING: CWTM 4-thread speedup below the 2x target on this machine");
+    }
+}

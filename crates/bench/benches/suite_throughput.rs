@@ -1,5 +1,5 @@
 //! Scenario-suite throughput: the full registered filters × attacks grid
-//! (14 × 6 = 84 cells) as one parallel `ScenarioSuite`, timed end to end.
+//! as one parallel `ScenarioSuite` per backend, timed end to end.
 //!
 //! Unlike the criterion benches this is a *workload* bench: it measures
 //! scenarios/second for the whole grid — the number that governs how fast
@@ -7,13 +7,25 @@
 //! results machine-readably to `BENCH_suite.json` (for trend tracking) in
 //! addition to the human-readable table.
 //!
+//! Two axes:
+//!
+//! * **Backend.** The in-process backend runs the full grid (it is the
+//!   only backend allowing omniscient attacks); the threaded and
+//!   simulated-server backends run the grid minus the omniscient columns.
+//!   Each JSON row records its **own** `grid` — the per-backend filter ×
+//!   attack counts actually executed — so the file cannot claim 84 cells
+//!   for a 56-cell run.
+//! * **Aggregation threads.** Every grid runs at `aggregation_threads ∈
+//!   {1, 4}`; suite workers share one pool per run. Parallel aggregation
+//!   is bit-identical to serial, so this axis is pure throughput.
+//!
 //! Run with: `cargo bench -p abft-bench --bench suite_throughput`
 
 use abft_bench::fan_fixture;
 use abft_dgd::RunOptions;
 use abft_linalg::Vector;
 use abft_scenario::{
-    Backend, InProcess, NetworkModel, Scenario, ScenarioSuite, Simulated, Threaded,
+    Backend, InProcess, NetworkModel, Scenario, ScenarioBuilder, ScenarioSuite, Simulated, Threaded,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,8 +34,14 @@ use std::time::Instant;
 /// that the whole grid stays a seconds-scale bench.
 const ITERATIONS: usize = 200;
 
+/// The aggregation-thread axis every backend grid runs at.
+const THREADS_AXIS: [usize; 2] = [1, 4];
+
 struct Row {
     backend: &'static str,
+    threads: usize,
+    filters: usize,
+    attacks: usize,
     scenarios: usize,
     completed: usize,
     failed: usize,
@@ -31,28 +49,22 @@ struct Row {
     scenarios_per_sec: f64,
 }
 
-fn main() {
+fn template(threads: usize) -> ScenarioBuilder {
     // n = 9, f = 1 admits every registered filter (Bulyan needs 4f + 3).
     let (problem, x_h) = fan_fixture(9, 1);
     let mut options = RunOptions::paper_defaults(x_h);
     options.x0 = Vector::zeros(2);
     options.iterations = ITERATIONS;
-    let template = Scenario::builder()
+    options.aggregation_threads = threads;
+    Scenario::builder()
         .problem(&problem)
         .faults(1)
-        .options(options);
+        .options(options)
+}
 
-    // The headline 14 × 6 grid runs in-process (the only backend allowing
-    // omniscient attacks); the message-passing backends get the same grid
-    // minus the two omniscient columns, so every timed cell is real work.
-    let full_grid = ScenarioSuite::grid_seeded(
-        &template,
-        0,
-        abft_filters::filter_names(),
-        abft_attacks::attack_names(),
-        42,
-    )
-    .expect("registry grid builds");
+fn main() {
+    // The message-passing backends get the grid minus the omniscient
+    // columns, so every timed cell is real work.
     let observable: Vec<&str> = abft_attacks::attack_names()
         .iter()
         .copied()
@@ -62,52 +74,71 @@ fn main() {
                 .unwrap_or(false)
         })
         .collect();
-    let wire_grid =
-        ScenarioSuite::grid_seeded(&template, 0, abft_filters::filter_names(), &observable, 42)
-            .expect("registry grid builds");
+    let all_filters = abft_filters::filter_names();
+    let all_attacks = abft_attacks::attack_names();
     let workers = ScenarioSuite::auto_workers();
 
-    let backends: Vec<(&'static str, &ScenarioSuite, Box<dyn Backend>)> = vec![
-        ("in-process", &full_grid, Box::new(InProcess)),
-        ("threaded", &wire_grid, Box::new(Threaded)),
-        (
-            "simulated-server",
-            &wire_grid,
-            Box::new(Simulated::server(NetworkModel::ideal())),
-        ),
-    ];
-
     println!(
-        "suite_throughput: {} filters x {} attacks, {ITERATIONS} iterations, {workers} workers\n",
-        abft_filters::filter_names().len(),
-        abft_attacks::attack_names().len(),
+        "suite_throughput: {} filters x {} attacks (omniscient columns in-process only), \
+         {ITERATIONS} iterations, {workers} workers, aggregation threads in {THREADS_AXIS:?}\n",
+        all_filters.len(),
+        all_attacks.len(),
     );
     println!(
-        "{:<18} {:>5} {:>9} {:>7} {:>10} {:>15}",
-        "backend", "cells", "completed", "failed", "elapsed", "scenarios/sec"
+        "{:<18} {:>7} {:>5} {:>9} {:>7} {:>10} {:>15}",
+        "backend", "aggthr", "cells", "completed", "failed", "elapsed", "scenarios/sec"
     );
 
     let mut rows = Vec::new();
-    for (name, suite, backend) in &backends {
-        let started = Instant::now();
-        let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
-        let elapsed_s = started.elapsed().as_secs_f64();
-        let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
-        let failed = outcome.outcomes.len() - completed;
-        let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
-        println!(
-            "{name:<18} {:>5} {completed:>9} {failed:>7} {:>9.2}s {scenarios_per_sec:>15.1}",
-            suite.len(),
-            elapsed_s
-        );
-        rows.push(Row {
-            backend: name,
-            scenarios: suite.len(),
-            completed,
-            failed,
-            elapsed_s,
-            scenarios_per_sec,
-        });
+    for threads in THREADS_AXIS {
+        let full_grid =
+            ScenarioSuite::grid_seeded(&template(threads), 0, all_filters, all_attacks, 42)
+                .expect("registry grid builds");
+        let wire_grid =
+            ScenarioSuite::grid_seeded(&template(threads), 0, all_filters, &observable, 42)
+                .expect("registry grid builds");
+
+        let backends: Vec<(&'static str, &ScenarioSuite, usize, Box<dyn Backend>)> = vec![
+            (
+                "in-process",
+                &full_grid,
+                all_attacks.len(),
+                Box::new(InProcess),
+            ),
+            ("threaded", &wire_grid, observable.len(), Box::new(Threaded)),
+            (
+                "simulated-server",
+                &wire_grid,
+                observable.len(),
+                Box::new(Simulated::server(NetworkModel::ideal())),
+            ),
+        ];
+
+        for (name, suite, attacks, backend) in &backends {
+            let started = Instant::now();
+            let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
+            let elapsed_s = started.elapsed().as_secs_f64();
+            let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
+            let failed = outcome.outcomes.len() - completed;
+            let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
+            println!(
+                "{name:<18} {threads:>7} {:>5} {completed:>9} {failed:>7} {:>9.2}s \
+                 {scenarios_per_sec:>15.1}",
+                suite.len(),
+                elapsed_s
+            );
+            rows.push(Row {
+                backend: name,
+                threads,
+                filters: all_filters.len(),
+                attacks: *attacks,
+                scenarios: suite.len(),
+                completed,
+                failed,
+                elapsed_s,
+                scenarios_per_sec,
+            });
+        }
     }
 
     // Workspace root, so CI and trend tooling find one canonical path.
@@ -118,26 +149,31 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the workspace has no serde): stable field order, one
-/// object per backend.
+/// object per (backend, threads) cell, each carrying the grid it actually
+/// ran.
 fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"suite_throughput\",");
-    let _ = writeln!(
-        out,
-        "  \"grid\": {{\"filters\": {}, \"attacks\": {}}},",
-        abft_filters::filter_names().len(),
-        abft_attacks::attack_names().len()
-    );
     let _ = writeln!(out, "  \"iterations\": {iterations},");
     let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(
+        out,
+        "  \"threads_axis\": [{}],",
+        THREADS_AXIS.map(|t| t.to_string()).join(", ")
+    );
     let _ = writeln!(out, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"backend\": \"{}\", \"scenarios\": {}, \"completed\": {}, \"failed\": {}, \
-             \"elapsed_s\": {:.4}, \"scenarios_per_sec\": {:.2}}}{comma}",
+            "    {{\"backend\": \"{}\", \"threads\": {}, \
+             \"grid\": {{\"filters\": {}, \"attacks\": {}}}, \"scenarios\": {}, \
+             \"completed\": {}, \"failed\": {}, \"elapsed_s\": {:.4}, \
+             \"scenarios_per_sec\": {:.2}}}{comma}",
             row.backend,
+            row.threads,
+            row.filters,
+            row.attacks,
             row.scenarios,
             row.completed,
             row.failed,

@@ -7,9 +7,10 @@ use abft_attacks::{AttackContext, ByzantineStrategy};
 use abft_core::validate::{self, FaultBudget};
 use abft_core::{IterationRecord, SystemConfig, Trace};
 use abft_filters::GradientFilter;
-use abft_linalg::{GradientBatch, Vector};
+use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_problems::{total_value, SharedCost};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Options for one DGD execution.
 #[derive(Debug, Clone)]
@@ -25,6 +26,12 @@ pub struct RunOptions {
     /// The reference point for the recorded `distance`/`φ_t` series —
     /// normally the honest minimizer `x_H`.
     pub reference: Vector,
+    /// Worker threads for sharded batch aggregation (default 1 = serial).
+    /// Parallel output is **bit-identical** to serial by the pool's fixed
+    /// tile schedule (see [`abft_linalg::WorkerPool`]), so this knob is
+    /// pure throughput: traces, estimates, and equivalence guarantees are
+    /// unchanged at any value.
+    pub aggregation_threads: usize,
 }
 
 impl RunOptions {
@@ -42,6 +49,7 @@ impl RunOptions {
             schedule: StepSchedule::paper(),
             projection: ProjectionSet::paper(),
             reference,
+            aggregation_threads: Self::default_aggregation_threads(),
         }
     }
 
@@ -51,6 +59,21 @@ impl RunOptions {
         let mut opts = Self::paper_defaults(reference);
         opts.iterations = iterations;
         opts
+    }
+
+    /// The default worker count for sharded aggregation: 1 (serial) unless
+    /// the `ABFT_AGGREGATION_THREADS` environment variable overrides it —
+    /// which is how CI forces the whole tier-1 suite through the parallel
+    /// path without a feature flag.
+    pub fn default_aggregation_threads() -> usize {
+        abft_linalg::pool::env_aggregation_threads(1)
+    }
+
+    /// Overrides the aggregation worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_aggregation_threads(mut self, threads: usize) -> Self {
+        self.aggregation_threads = threads.max(1);
+        self
     }
 }
 
@@ -200,8 +223,12 @@ impl DgdSimulation {
         // via the workspace, across runs): the contiguous gradient batch,
         // the aggregate, a scratch vector for faulty agents' true
         // gradients, and the honest-row index list omniscient attacks
-        // read. The inner loop allocates nothing.
+        // read. The inner loop allocates nothing on the serial path; with
+        // `aggregation_threads > 1` the workspace attaches its (cached or
+        // suite-shared) worker pool so the filters shard their kernels.
         workspace.ensure(self.config.n(), dim);
+        let pool = workspace.pool_for(options.aggregation_threads);
+        workspace.round.batch.set_worker_pool(pool);
         let RoundWorkspace {
             round, aggregated, ..
         } = workspace;
@@ -367,12 +394,20 @@ pub struct RoundWorkspace {
     aggregated: Vector,
     /// The `(n, dim)` shape the buffers were last sized for.
     shape: (usize, usize),
+    /// The lazily created worker pool, cached across runs of the same
+    /// thread count.
+    pool: Option<Arc<WorkerPool>>,
+    /// A pool installed from outside (one per suite, shared by all its
+    /// workers) that takes precedence when its thread count matches.
+    shared_pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for RoundState {
     fn default() -> Self {
         RoundState {
-            batch: GradientBatch::new(0),
+            // 1-dimensional placeholder (batches reject dim 0); `ensure`
+            // replaces it with a correctly shaped batch before first use.
+            batch: GradientBatch::new(1),
             honest_rows: Vec::new(),
             true_gradient: Vector::zeros(0),
             forged: Vector::zeros(0),
@@ -405,6 +440,31 @@ impl RoundWorkspace {
             self.round.honest_rows.reserve(n);
             self.shape = (n, dim);
         }
+    }
+
+    /// Installs a pool shared from outside — suites create one
+    /// [`WorkerPool`] and hand it to every worker's workspace so a whole
+    /// grid shares one set of aggregation threads.
+    pub fn set_shared_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.shared_pool = Some(pool);
+    }
+
+    /// The pool for a run requesting `threads` aggregation workers:
+    /// `None` for the serial default, the suite-shared pool when its
+    /// thread count matches, otherwise a pool cached across runs.
+    fn pool_for(&mut self, threads: usize) -> Option<Arc<WorkerPool>> {
+        if threads <= 1 {
+            return None;
+        }
+        if let Some(shared) = &self.shared_pool {
+            if shared.threads() == threads {
+                return Some(shared.clone());
+            }
+        }
+        if self.pool.as_ref().is_none_or(|p| p.threads() != threads) {
+            self.pool = Some(Arc::new(WorkerPool::new(threads)));
+        }
+        self.pool.clone()
     }
 }
 
@@ -624,6 +684,7 @@ mod tests {
             schedule: StepSchedule::paper(),
             projection: ProjectionSet::paper(),
             reference: Vector::zeros(2),
+            aggregation_threads: 1,
         };
         assert!(matches!(
             sim.run(&Cge::new(), &options),

@@ -47,7 +47,12 @@ fn allocations_for_run(filter_name: &str, byzantine: bool, iterations: usize) ->
             .with_byzantine(0, Box::new(GradientReverse::new()))
             .expect("f = 1 budget");
     }
-    let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+    // The zero-per-iteration-allocation property is a contract of the
+    // *serial* default; the parallel path trades a handful of dispatch
+    // allocations per round for wall-clock. Pin serial explicitly so a CI
+    // run with ABFT_AGGREGATION_THREADS set still measures the contract.
+    let options =
+        RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1);
     let filter = by_name(filter_name).expect("registered");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -96,7 +101,8 @@ fn omniscient_attacks_stay_on_the_zero_copy_path() {
             .expect("valid")
             .with_byzantine(0, Box::new(LittleIsEnough::new(1.0)))
             .expect("f = 1 budget");
-        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        let options =
+            RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1); // serial contract; see above
         let filter = by_name("cwtm").expect("registered");
         let before = ALLOCATIONS.load(Ordering::Relaxed);
         sim.run(filter.as_ref(), &options).expect("runs");

@@ -16,6 +16,7 @@ fn options(x_h: Vector, iterations: usize) -> RunOptions {
         schedule: StepSchedule::paper(),
         projection: ProjectionSet::paper(),
         reference: x_h,
+        aggregation_threads: RunOptions::default_aggregation_threads(),
     }
 }
 
@@ -94,6 +95,7 @@ proptest! {
             schedule: StepSchedule::paper(),
             projection: w.clone(),
             reference: x_h,
+            aggregation_threads: RunOptions::default_aggregation_threads(),
         };
         let run = sim.run(&Mean::new(), &opts).expect("runs");
         prop_assert!(w.contains(&run.final_estimate));

@@ -309,6 +309,7 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
                 schedule: *schedule,
                 projection: ProjectionSet::paper(),
                 reference: x_h.clone(),
+                aggregation_threads: RunOptions::default_aggregation_threads(),
             };
             let scenario = Scenario::builder()
                 .problem(&problem)

@@ -3,6 +3,7 @@
 
 use crate::error::FilterError;
 use crate::krum::krum_scores_into;
+use crate::par::for_each_column;
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::stats::trimmed_mean_in_place;
 use abft_linalg::{rowops, GradientBatch, Vector};
@@ -71,8 +72,7 @@ impl GradientFilter for Bulyan {
                 .iter()
                 .enumerate()
                 .min_by(|(i, a), (j, b)| {
-                    a.partial_cmp(b)
-                        .expect("finite scores")
+                    a.total_cmp(b)
                         .then_with(|| rowops::lex_cmp(batch.row(pool[*i]), batch.row(pool[*j])))
                 })
                 .map(|(i, _)| i)
@@ -83,13 +83,11 @@ impl GradientFilter for Bulyan {
 
         // Stage 2: coordinate-wise trimmed mean over the selection with
         // trim f (keeps θ − 2f ≥ 3 values; n ≥ 4f+3 guarantees positivity).
+        // Column tiles shard across the batch's worker pool like CWTM.
         let slots = zeroed_out(out, dim);
-        for (k, slot) in slots.iter_mut().enumerate() {
-            s.column.clear();
-            s.column
-                .extend(s.selection.iter().map(|&i| batch.row(i)[k]));
-            *slot = trimmed_mean_in_place(&mut s.column, f).expect("theta > 2f by n >= 4f + 3");
-        }
+        for_each_column(batch, Some(&s.selection), &mut s.flat, slots, |column| {
+            trimmed_mean_in_place(column, f)
+        });
         Ok(())
     }
 

@@ -1,6 +1,7 @@
 //! Comparative gradient elimination (CGE) — eq. (23) of the paper.
 
 use crate::error::FilterError;
+use crate::par::{fill_slots, weighted_sum_into, Rows};
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::{rowops, BatchScratch, GradientBatch, Vector};
 
@@ -45,8 +46,7 @@ impl Cge {
         order.sort_by(|&i, &j| {
             gradients[i]
                 .norm()
-                .partial_cmp(&gradients[j].norm())
-                .expect("finite norms")
+                .total_cmp(&gradients[j].norm())
                 .then(i.cmp(&j))
         });
         order.truncate(gradients.len() - f);
@@ -57,17 +57,18 @@ impl Cge {
     /// the kept row indices using `scratch.keys` for the norms.
     fn select_rows(batch: &GradientBatch, f: usize, scratch: &mut BatchScratch) {
         let n = batch.len();
+        let rows = Rows::of(batch);
         scratch.keys.clear();
-        scratch.keys.extend(batch.rows_iter().map(rowops::norm));
+        scratch.keys.resize(n, 0.0);
+        fill_slots(batch.worker_pool(), batch.dim(), &mut scratch.keys, |i| {
+            rowops::norm(rows.row(i))
+        });
         scratch.order.clear();
         scratch.order.extend(0..n);
         let keys = &scratch.keys;
-        scratch.order.sort_unstable_by(|&i, &j| {
-            keys[i]
-                .partial_cmp(&keys[j])
-                .expect("finite norms")
-                .then(i.cmp(&j))
-        });
+        scratch
+            .order
+            .sort_unstable_by(|&i, &j| keys[i].total_cmp(&keys[j]).then(i.cmp(&j)));
         scratch.order.truncate(n - f);
     }
 }
@@ -83,9 +84,14 @@ impl GradientFilter for Cge {
         let mut scratch = batch.scratch();
         Self::select_rows(batch, f, &mut scratch);
         let acc = zeroed_out(out, dim);
-        for &i in &scratch.order {
-            rowops::add_assign(acc, batch.row(i));
-        }
+        weighted_sum_into(
+            batch.worker_pool(),
+            Rows::of(batch),
+            Some(&scratch.order),
+            None,
+            scratch.order.len(),
+            acc,
+        );
         if self.averaged {
             rowops::scale(acc, 1.0 / scratch.order.len() as f64);
         }

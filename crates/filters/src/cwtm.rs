@@ -1,7 +1,8 @@
 //! Coordinate-wise trimmed mean (CWTM, eq. 24) and coordinate-wise median.
 
 use crate::error::FilterError;
-use crate::traits::{for_each_column, validate_batch, zeroed_out, GradientFilter};
+use crate::par::for_each_column;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::stats::{median_in_place, trimmed_mean_in_place};
 use abft_linalg::{GradientBatch, Vector};
 
@@ -33,7 +34,7 @@ impl GradientFilter for Cwtm {
         let dim = validate_batch("cwtm", batch, f)?;
         let mut scratch = batch.scratch();
         let slots = zeroed_out(out, dim);
-        for_each_column(batch, &mut scratch.flat, slots, |column| {
+        for_each_column(batch, None, &mut scratch.flat, slots, |column| {
             trimmed_mean_in_place(column, f)
         });
         Ok(())
@@ -68,7 +69,7 @@ impl GradientFilter for CoordinateWiseMedian {
         let dim = validate_batch("cwmed", batch, f)?;
         let mut scratch = batch.scratch();
         let slots = zeroed_out(out, dim);
-        for_each_column(batch, &mut scratch.flat, slots, median_in_place);
+        for_each_column(batch, None, &mut scratch.flat, slots, median_in_place);
         Ok(())
     }
 

@@ -7,6 +7,7 @@
 //! norm blends in but whose direction is off.
 
 use crate::error::FilterError;
+use crate::par::{fill_slots, weighted_sum_into, Rows};
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::{rowops, GradientBatch, Vector};
 
@@ -29,42 +30,48 @@ impl GradientFilter for Faba {
         out: &mut Vector,
     ) -> Result<(), FilterError> {
         let dim = validate_batch("faba", batch, f)?;
+        let rows = Rows::of(batch);
+        let pool = batch.worker_pool();
         let mut scratch = batch.scratch();
         let s = &mut *scratch;
         s.pool.clear();
         s.pool.extend(0..batch.len());
 
         for _ in 0..f {
-            // Mean of the remaining gradients.
-            let mean = &mut s.vec_a;
-            mean.clear();
-            mean.resize(dim, 0.0);
-            for &i in &s.pool {
-                rowops::add_assign(mean, batch.row(i));
-            }
-            rowops::scale(mean, 1.0 / s.pool.len() as f64);
+            // Mean of the remaining gradients (column-sharded; addition
+            // order per coordinate is the pool order either way).
+            s.vec_a.clear();
+            s.vec_a.resize(dim, 0.0);
+            weighted_sum_into(pool, rows, Some(&s.pool), None, s.pool.len(), &mut s.vec_a);
+            rowops::scale(&mut s.vec_a, 1.0 / s.pool.len() as f64);
+
+            // Distance-to-mean per remaining gradient, one slot each.
+            let mean = &s.vec_a;
+            let members = &s.pool;
+            s.keys.clear();
+            s.keys.resize(members.len(), 0.0);
+            fill_slots(pool, dim, &mut s.keys, |p| {
+                rowops::dist(rows.row(members[p]), mean)
+            });
 
             // Discard the farthest-from-mean gradient; ties break by the
-            // gradient's lexicographic value for permutation invariance.
-            let mean = &s.vec_a;
-            let (slot, _) = s
-                .pool
+            // gradient's lexicographic value for permutation invariance
+            // (`total_cmp` keeps the comparison total on any input).
+            let dists = &s.keys;
+            let (slot, _) = members
                 .iter()
                 .enumerate()
-                .max_by(|(_, &i), (_, &j)| {
-                    rowops::dist(batch.row(i), mean)
-                        .partial_cmp(&rowops::dist(batch.row(j), mean))
-                        .expect("finite distances")
-                        .then_with(|| rowops::lex_cmp(batch.row(i), batch.row(j)))
+                .max_by(|(p, &i), (q, &j)| {
+                    dists[*p]
+                        .total_cmp(&dists[*q])
+                        .then_with(|| rowops::lex_cmp(rows.row(i), rows.row(j)))
                 })
                 .expect("remaining is non-empty while peeling");
             s.pool.remove(slot);
         }
 
         let acc = zeroed_out(out, dim);
-        for &i in &s.pool {
-            rowops::add_assign(acc, batch.row(i));
-        }
+        weighted_sum_into(pool, rows, Some(&s.pool), None, s.pool.len(), acc);
         rowops::scale(acc, 1.0 / s.pool.len() as f64);
         Ok(())
     }

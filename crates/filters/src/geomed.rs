@@ -1,7 +1,9 @@
 //! Geometric median (Weiszfeld) and geometric median-of-means.
 
 use crate::error::FilterError;
+use crate::par::{fill_slots, weighted_sum_into, Rows};
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
+use abft_linalg::pool::WorkerPool;
 use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// Geometric median via the (smoothed) Weiszfeld algorithm.
@@ -63,15 +65,25 @@ impl GeometricMedian {
         })
     }
 
-    /// Smoothed Weiszfeld over `count` rows supplied by `row`, writing the
-    /// geometric median into `out`. `z` and `numerator` are caller-owned
-    /// scratch (reused across calls); nothing is allocated here beyond
-    /// their first-use growth.
-    pub(crate) fn weiszfeld_into<'a>(
+    /// Smoothed Weiszfeld over the `count` contiguous rows of `rows`,
+    /// writing the geometric median into `out`. `weights`, `z`, and
+    /// `numerator` are caller-owned scratch (reused across calls); nothing
+    /// is allocated here beyond their first-use growth.
+    ///
+    /// With a `pool`, each iteration shards its two O(count · dim) phases:
+    /// the per-row weights `w_p = 1/(‖z − g_p‖ + ε)` across row slots, and
+    /// the weighted accumulation across column tiles — both bit-identical
+    /// to the serial pass (the per-coordinate addition order is the row
+    /// order either way, and the denominator sums the weights buffer in
+    /// row order exactly as the fused serial loop did).
+    #[allow(clippy::too_many_arguments)] // internal kernel: scratch plumbing
+    pub(crate) fn weiszfeld_into(
         &self,
-        row: impl Fn(usize) -> &'a [f64],
+        rows: Rows<'_>,
         count: usize,
         dim: usize,
+        pool: Option<&WorkerPool>,
+        weights: &mut Vec<f64>,
         z: &mut Vec<f64>,
         numerator: &mut Vec<f64>,
         out: &mut [f64],
@@ -79,21 +91,24 @@ impl GeometricMedian {
         // Start from the coordinate-wise mean.
         z.clear();
         z.resize(dim, 0.0);
-        for p in 0..count {
-            rowops::add_assign(z, row(p));
-        }
+        weighted_sum_into(pool, rows, None, None, count, z);
         rowops::scale(z, 1.0 / count as f64);
 
         numerator.clear();
         numerator.resize(dim, 0.0);
+        weights.clear();
+        weights.resize(count, 0.0);
         for _ in 0..self.max_iters {
-            rowops::fill_zero(numerator);
-            let mut denominator = 0.0;
-            for p in 0..count {
-                let w = 1.0 / (rowops::dist(z, row(p)) + self.epsilon);
-                rowops::axpy(numerator, w, row(p));
-                denominator += w;
+            let epsilon = self.epsilon;
+            {
+                let z = &*z;
+                fill_slots(pool, dim, weights, |p| {
+                    1.0 / (rowops::dist(z, rows.row(p)) + epsilon)
+                });
             }
+            let denominator: f64 = weights.iter().sum();
+            rowops::fill_zero(numerator);
+            weighted_sum_into(pool, rows, None, Some(weights), count, numerator);
             rowops::scale(numerator, 1.0 / denominator);
             let step = rowops::dist(numerator, z);
             z.copy_from_slice(numerator);
@@ -117,9 +132,11 @@ impl GradientFilter for GeometricMedian {
         let s = &mut *scratch;
         let slots = zeroed_out(out, dim);
         self.weiszfeld_into(
-            |i| batch.row(i),
+            Rows::of(batch),
             batch.len(),
             dim,
+            batch.worker_pool(),
+            &mut s.keys,
             &mut s.vec_a,
             &mut s.vec_b,
             slots,
@@ -224,11 +241,12 @@ impl GradientFilter for GeometricMedianOfMeans {
         }
 
         let slots = zeroed_out(out, dim);
-        let means = &s.flat;
         self.inner.weiszfeld_into(
-            |b| &means[b * dim..(b + 1) * dim],
+            Rows::new(&s.flat[..self.groups * dim], dim),
             self.groups,
             dim,
+            batch.worker_pool(),
+            &mut s.keys,
             &mut s.vec_a,
             &mut s.vec_b,
             slots,

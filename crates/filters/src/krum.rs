@@ -2,12 +2,20 @@
 //! reference \[6\]).
 
 use crate::error::FilterError;
+use crate::par::{fill_slots_with_scratch, weighted_sum_into, Rows};
 use crate::traits::{batch_of, validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::{rowops, GradientBatch, Vector};
 
 /// Computes each pool member's Krum score — the sum of squared distances
 /// to its `neighbours` nearest neighbours within the pool — into
 /// `scores`. `pool` holds batch row indices; `dists` is reusable scratch.
+///
+/// Scores are independent per member, so with a worker pool attached to
+/// the batch the pairwise-distance rows are split across its threads —
+/// each worker sorting its members' distances in a persistent scratch
+/// buffer — bit-identically to the serial pass. Distances compare under
+/// `total_cmp`, so a NaN reaching this deep orders deterministically
+/// instead of aborting.
 pub(crate) fn krum_scores_into(
     batch: &GradientBatch,
     pool: &[usize],
@@ -15,18 +23,28 @@ pub(crate) fn krum_scores_into(
     dists: &mut Vec<f64>,
     scores: &mut Vec<f64>,
 ) {
+    let rows = Rows::of(batch);
     scores.clear();
-    for &i in pool {
-        dists.clear();
-        for &j in pool {
-            if j != i {
-                let d = rowops::dist(batch.row(i), batch.row(j));
-                dists.push(d * d);
+    scores.resize(pool.len(), 0.0);
+    // Each score visits every other member once: O(|pool| · dim) work.
+    fill_slots_with_scratch(
+        batch.worker_pool(),
+        pool.len().saturating_mul(batch.dim()),
+        dists,
+        scores,
+        |buf, p| {
+            let i = pool[p];
+            buf.clear();
+            for &j in pool {
+                if j != i {
+                    let d = rowops::dist(rows.row(i), rows.row(j));
+                    buf.push(d * d);
+                }
             }
-        }
-        dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-        scores.push(dists.iter().take(neighbours).sum());
-    }
+            buf.sort_unstable_by(f64::total_cmp);
+            buf.iter().take(neighbours).sum()
+        },
+    );
 }
 
 /// Validates Krum's `n ≥ 2f + 3` requirement on top of the shared checks.
@@ -74,7 +92,7 @@ impl Krum {
         Ok(s.keys
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite scores"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .expect("non-empty scores"))
     }
@@ -156,18 +174,19 @@ impl GradientFilter for MultiKrum {
         s.order.clear();
         s.order.extend(0..n);
         let scores = &s.keys;
-        s.order.sort_unstable_by(|&i, &j| {
-            scores[i]
-                .partial_cmp(&scores[j])
-                .expect("finite scores")
-                .then(i.cmp(&j))
-        });
+        s.order
+            .sort_unstable_by(|&i, &j| scores[i].total_cmp(&scores[j]).then(i.cmp(&j)));
         s.order.truncate(self.m);
 
         let acc = zeroed_out(out, dim);
-        for &i in &s.order {
-            rowops::add_assign(acc, batch.row(i));
-        }
+        weighted_sum_into(
+            batch.worker_pool(),
+            Rows::of(batch),
+            Some(&s.order),
+            None,
+            s.order.len(),
+            acc,
+        );
         rowops::scale(acc, 1.0 / s.order.len() as f64);
         Ok(())
     }

@@ -16,6 +16,15 @@
 //! All filters implement [`GradientFilter`] and are registered by name in
 //! [`registry`] for the experiment grid.
 //!
+//! Aggregation is serial by default; attach an
+//! [`abft_linalg::WorkerPool`] to the round's batch
+//! ([`GradientBatch::set_worker_pool`](abft_linalg::GradientBatch::set_worker_pool))
+//! and every filter shards its kernels — per-coordinate filters over
+//! column tiles, distance-based filters over score rows — with output
+//! **bit-identical** to serial at any thread count (fixed tile schedule,
+//! fixed reduction order; pinned by the registry-wide
+//! `parallel_equivalence` test).
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +56,7 @@ pub mod faba;
 pub mod geomed;
 pub mod krum;
 pub mod mean;
+pub(crate) mod par;
 pub mod registry;
 pub mod sign;
 pub mod traits;

@@ -1,6 +1,7 @@
 //! Plain averaging — the traditional (non-robust) DGD aggregation.
 
 use crate::error::FilterError;
+use crate::par::{weighted_sum_into, Rows};
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::{rowops, GradientBatch, Vector};
 
@@ -32,9 +33,14 @@ impl GradientFilter for Mean {
         let _ = f;
         let dim = validate_batch("mean", batch, 0)?;
         let acc = zeroed_out(out, dim);
-        for row in batch.rows_iter() {
-            rowops::add_assign(acc, row);
-        }
+        weighted_sum_into(
+            batch.worker_pool(),
+            Rows::of(batch),
+            None,
+            None,
+            batch.len(),
+            acc,
+        );
         rowops::scale(acc, 1.0 / batch.len() as f64);
         Ok(())
     }

@@ -1,0 +1,375 @@
+//! Tiled kernels shared by the filters, serial or sharded across a
+//! [`WorkerPool`].
+//!
+//! Every kernel here obeys the pool contract (fixed schedule, disjoint
+//! output slots — see [`abft_linalg::pool`]): a unit's result is computed
+//! by exactly the same floating-point operations in the same order
+//! whether the batch carries a pool or not, so parallel aggregation is
+//! **bit-identical** to serial at any thread count. Kernels read the batch
+//! through [`Rows`] — a `Copy` view of the flat storage — because the
+//! batch itself (scratch arena included) is deliberately not `Sync`.
+//!
+//! Two sharding axes cover all registered filters:
+//!
+//! * **Column tiles** ([`for_each_column`], [`weighted_sum_into`]): the
+//!   per-coordinate filters (CWTM, CWMed, sign-majority, mean) and every
+//!   row-accumulation reduce independently per coordinate; columns are
+//!   split into contiguous tile chunks.
+//! * **Slot rows** ([`fill_slots`], [`fill_slots_with_scratch`]): the
+//!   distance-based filters (Krum, multi-Krum, CGE, FABA, geomed) compute
+//!   one scalar per row — a pairwise-distance score, a norm, a Weiszfeld
+//!   weight — into its own slot; rows are split into contiguous chunks.
+
+use abft_linalg::pool::{SharedSlots, WorkerPool};
+use abft_linalg::{GradientBatch, LinalgError};
+
+/// Columns transposed per tile pass. At 32 columns × 8 bytes each row
+/// segment spans four cache lines, so the row-major batch streams through
+/// the cache once per tile instead of missing once per (row, column) pair
+/// — the difference between memory-bound and compute-bound behaviour for
+/// the coordinate-wise filters at `d ≫ n`. Tiles are also the unit of the
+/// parallel schedule: a worker owns a contiguous run of whole tiles.
+const TILE_COLUMNS: usize = 32;
+
+/// Minimum estimated scalar operations before a kernel dispatches to the
+/// pool. Cross-thread dispatch costs a few microseconds per round; below
+/// this floor (the paper's `n = 6, d = 2` regime, say) the serial pass is
+/// faster than waking a worker, and since parallel output is bit-identical
+/// anyway the cutoff is pure scheduling — results never change.
+const MIN_PARALLEL_WORK: usize = 8192;
+
+/// The pool, if sharding `work` estimated scalar operations across it is
+/// worth the dispatch.
+fn worth_sharding(pool: Option<&WorkerPool>, work: usize) -> Option<&WorkerPool> {
+    pool.filter(|_| work >= MIN_PARALLEL_WORK)
+}
+
+/// A `Copy + Sync` view of a batch's rows (or any contiguous
+/// `count × dim` buffer, e.g. GMoM's bucket means), safe to capture in
+/// pool tasks.
+#[derive(Clone, Copy)]
+pub(crate) struct Rows<'a> {
+    data: &'a [f64],
+    dim: usize,
+}
+
+impl<'a> Rows<'a> {
+    /// A view over `data` holding rows of width `dim`.
+    pub(crate) fn new(data: &'a [f64], dim: usize) -> Self {
+        debug_assert!(dim > 0 && data.len().is_multiple_of(dim));
+        Rows { data, dim }
+    }
+
+    /// The batch's rows.
+    pub(crate) fn of(batch: &'a GradientBatch) -> Self {
+        Rows::new(batch.as_flat(), batch.dim())
+    }
+
+    /// Row `i`.
+    pub(crate) fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Applies `reduce` to every column of the batch (restricted to `rows`
+/// when given, in that order), writing results into `slots`. Columns are
+/// gathered tile-by-tile into a reused column-major buffer which `reduce`
+/// may reorder; with a pool attached to the batch, tile chunks run on the
+/// workers (each gathering into its own persistent buffer), bit-identical
+/// to the serial pass.
+///
+/// # Panics
+///
+/// Panics if `reduce` fails — callers validate the batch shape first, and
+/// every per-column reduce in this crate is total on validated shapes.
+pub(crate) fn for_each_column(
+    batch: &GradientBatch,
+    rows: Option<&[usize]>,
+    tile: &mut Vec<f64>,
+    slots: &mut [f64],
+    reduce: impl Fn(&mut [f64]) -> Result<f64, LinalgError> + Sync,
+) {
+    let view = Rows::of(batch);
+    let count = rows.map_or(batch.len(), <[usize]>::len);
+    let dim = slots.len();
+    let tiles = dim.div_ceil(TILE_COLUMNS);
+    match worth_sharding(batch.worker_pool(), count * dim) {
+        Some(pool) if tiles > 1 => {
+            let out = SharedSlots::new(slots);
+            pool.run_with_scratch(tiles, tile, &|buf, tile_range| {
+                for t in tile_range {
+                    let k0 = t * TILE_COLUMNS;
+                    let width = TILE_COLUMNS.min(dim - k0);
+                    // SAFETY: tile `t` owns columns `k0..k0 + width`, and
+                    // the fixed schedule hands every tile to one chunk.
+                    let tile_slots = unsafe { out.slice(k0..k0 + width) };
+                    reduce_tile(view, rows, count, k0, tile_slots, buf, &reduce);
+                }
+            });
+        }
+        _ => {
+            for t in 0..tiles {
+                let k0 = t * TILE_COLUMNS;
+                let width = TILE_COLUMNS.min(dim - k0);
+                reduce_tile(
+                    view,
+                    rows,
+                    count,
+                    k0,
+                    &mut slots[k0..k0 + width],
+                    tile,
+                    &reduce,
+                );
+            }
+        }
+    }
+}
+
+/// One tile of [`for_each_column`]: gather columns `k0..k0 + slots.len()`
+/// into `tile` (column-major) and reduce each into its slot.
+fn reduce_tile(
+    view: Rows<'_>,
+    rows: Option<&[usize]>,
+    count: usize,
+    k0: usize,
+    slots: &mut [f64],
+    tile: &mut Vec<f64>,
+    reduce: &(impl Fn(&mut [f64]) -> Result<f64, LinalgError> + Sync),
+) {
+    let width = slots.len();
+    tile.clear();
+    tile.resize(TILE_COLUMNS * count, 0.0);
+    for i in 0..count {
+        let row = view.row(rows.map_or(i, |r| r[i]));
+        for (c, &v) in row[k0..k0 + width].iter().enumerate() {
+            tile[c * count + i] = v;
+        }
+    }
+    for (c, slot) in slots.iter_mut().enumerate() {
+        let column = &mut tile[c * count..(c + 1) * count];
+        *slot = reduce(column).expect("column shape validated by caller");
+    }
+}
+
+/// `slots[i] = compute(i)` for every slot, chunked across the pool when
+/// one is supplied and the total work (`slots.len() × unit_work`
+/// estimated scalar operations) clears the sharding floor. Each slot is
+/// an independent computation, so parallel output is bit-identical to
+/// serial.
+pub(crate) fn fill_slots(
+    pool: Option<&WorkerPool>,
+    unit_work: usize,
+    slots: &mut [f64],
+    compute: impl Fn(usize) -> f64 + Sync,
+) {
+    match worth_sharding(pool, slots.len().saturating_mul(unit_work)) {
+        Some(pool) if slots.len() > 1 => {
+            let out = SharedSlots::new(slots);
+            pool.run(out.len(), &|range| {
+                for i in range {
+                    // SAFETY: `i` is owned by exactly one chunk.
+                    unsafe { out.write(i, compute(i)) };
+                }
+            });
+        }
+        _ => {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = compute(i);
+            }
+        }
+    }
+}
+
+/// [`fill_slots`] for computations needing a scratch buffer: the caller's
+/// chunk uses `scratch`, pool workers use their persistent per-worker
+/// buffers.
+pub(crate) fn fill_slots_with_scratch(
+    pool: Option<&WorkerPool>,
+    unit_work: usize,
+    scratch: &mut Vec<f64>,
+    slots: &mut [f64],
+    compute: impl Fn(&mut Vec<f64>, usize) -> f64 + Sync,
+) {
+    match worth_sharding(pool, slots.len().saturating_mul(unit_work)) {
+        Some(pool) if slots.len() > 1 => {
+            let out = SharedSlots::new(slots);
+            pool.run_with_scratch(out.len(), scratch, &|buf, range| {
+                for i in range {
+                    // SAFETY: `i` is owned by exactly one chunk.
+                    unsafe { out.write(i, compute(buf, i)) };
+                }
+            });
+        }
+        _ => {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = compute(scratch, i);
+            }
+        }
+    }
+}
+
+/// `acc[k] += Σ_p w_p · row_p[k]` over the listed rows, **in list order
+/// per coordinate** — the exact addition sequence of the serial
+/// row-major loop, so splitting columns across the pool changes nothing
+/// bitwise. `indices = None` means rows `0..count` in order; `weights =
+/// None` means all ones (plain accumulation).
+pub(crate) fn weighted_sum_into(
+    pool: Option<&WorkerPool>,
+    rows: Rows<'_>,
+    indices: Option<&[usize]>,
+    weights: Option<&[f64]>,
+    count: usize,
+    acc: &mut [f64],
+) {
+    debug_assert!(indices.is_none_or(|idx| idx.len() == count));
+    debug_assert!(weights.is_none_or(|w| w.len() == count));
+    match worth_sharding(pool, count.saturating_mul(acc.len())) {
+        Some(pool) if acc.len() > 1 => {
+            let out = SharedSlots::new(acc);
+            pool.run(out.len(), &|range| {
+                // SAFETY: this chunk owns exactly the columns in `range`.
+                let acc = unsafe { out.slice(range.clone()) };
+                for p in 0..count {
+                    let row = &rows.row(indices.map_or(p, |idx| idx[p]))[range.clone()];
+                    match weights {
+                        None => {
+                            for (a, &v) in acc.iter_mut().zip(row) {
+                                *a += v;
+                            }
+                        }
+                        Some(w) => {
+                            let w = w[p];
+                            for (a, &v) in acc.iter_mut().zip(row) {
+                                *a += w * v;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        _ => {
+            for p in 0..count {
+                let row = rows.row(indices.map_or(p, |idx| idx[p]));
+                match weights {
+                    None => abft_linalg::rowops::add_assign(acc, row),
+                    Some(w) => abft_linalg::rowops::axpy(acc, w[p], row),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_linalg::{stats, Vector, WorkerPool};
+    use std::sync::Arc;
+
+    fn demo_batch(n: usize, dim: usize) -> GradientBatch {
+        let mut batch = GradientBatch::with_capacity(n, dim);
+        for i in 0..n {
+            let row: Vec<f64> = (0..dim)
+                .map(|k| ((i * 31 + k * 7) % 13) as f64 - 6.0 + 0.1 * i as f64)
+                .collect();
+            batch.push_row(&row);
+        }
+        batch
+    }
+
+    #[test]
+    fn for_each_column_parallel_is_bit_identical_to_serial() {
+        // 1024 and 2000 clear the sharding floor at n = 9 (so the pool
+        // actually engages); the small dims pin the serial-fallback path.
+        for dim in [1usize, 31, 32, 33, 100, 1024, 2000] {
+            let mut serial_batch = demo_batch(9, dim);
+            let mut serial = Vector::zeros(dim);
+            let mut tile = Vec::new();
+            for_each_column(
+                &serial_batch,
+                None,
+                &mut tile,
+                serial.as_mut_slice(),
+                stats::median_in_place,
+            );
+            for threads in [2usize, 4] {
+                serial_batch.set_worker_pool(Some(Arc::new(WorkerPool::new(threads))));
+                let mut parallel = Vector::zeros(dim);
+                for_each_column(
+                    &serial_batch,
+                    None,
+                    &mut tile,
+                    parallel.as_mut_slice(),
+                    stats::median_in_place,
+                );
+                assert_eq!(
+                    serial.as_slice(),
+                    parallel.as_slice(),
+                    "dim {dim}, {threads}t"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_subsets_restrict_the_reduction() {
+        let batch = demo_batch(5, 3);
+        let mut tile = Vec::new();
+        let mut all = vec![0.0; 3];
+        let subset = [1usize, 3];
+        let mut sub = vec![0.0; 3];
+        for_each_column(&batch, None, &mut tile, &mut all, |col| stats::mean(col));
+        for_each_column(&batch, Some(&subset), &mut tile, &mut sub, |col| {
+            stats::mean(col)
+        });
+        for k in 0..3 {
+            let expected = 0.5 * (batch.row(1)[k] + batch.row(3)[k]);
+            assert_eq!(sub[k], expected);
+            assert_ne!(all[k], sub[k]);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_serial_axpy_bitwise() {
+        // 7 × 1500 clears the sharding floor, so the pool path runs.
+        let batch = demo_batch(7, 1500);
+        let rows = Rows::of(&batch);
+        let weights: Vec<f64> = (0..7).map(|p| 0.3 + 0.1 * p as f64).collect();
+        let mut serial = vec![0.0; 1500];
+        weighted_sum_into(None, rows, None, Some(&weights), 7, &mut serial);
+        let pool = WorkerPool::new(4);
+        let mut parallel = vec![0.0; 1500];
+        weighted_sum_into(Some(&pool), rows, None, Some(&weights), 7, &mut parallel);
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn fill_slots_covers_every_slot_in_parallel() {
+        let pool = WorkerPool::new(3);
+        let mut serial = vec![0.0; 11];
+        fill_slots(None, 10_000, &mut serial, |i| (i as f64).sqrt());
+        let mut parallel = vec![0.0; 11];
+        fill_slots(Some(&pool), 10_000, &mut parallel, |i| (i as f64).sqrt());
+        assert_eq!(serial, parallel);
+
+        let mut scratch = Vec::new();
+        let mut with_scratch = vec![0.0; 11];
+        fill_slots_with_scratch(
+            Some(&pool),
+            10_000,
+            &mut scratch,
+            &mut with_scratch,
+            |buf, i| {
+                buf.clear();
+                buf.extend((0..=i).map(|k| k as f64));
+                buf.iter().sum::<f64>().sqrt()
+            },
+        );
+        assert!(with_scratch
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == ((i * (i + 1)) as f64 / 2.0).sqrt()));
+    }
+}

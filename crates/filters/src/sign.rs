@@ -2,7 +2,8 @@
 //! reference \[3\], Bernstein et al.).
 
 use crate::error::FilterError;
-use crate::traits::{for_each_column, validate_batch, zeroed_out, GradientFilter};
+use crate::par::for_each_column;
+use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::{GradientBatch, Vector};
 
 /// Coordinate-wise sign-majority vote, scaled by a fixed magnitude.
@@ -54,7 +55,7 @@ impl GradientFilter for SignMajority {
         }
         let mut scratch = batch.scratch();
         let slots = zeroed_out(out, dim);
-        for_each_column(batch, &mut scratch.flat, slots, |column| {
+        for_each_column(batch, None, &mut scratch.flat, slots, |column| {
             let vote: f64 = column.iter().map(|&v| sign(v)).sum();
             Ok(self.scale * sign(vote))
         });

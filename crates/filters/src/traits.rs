@@ -59,6 +59,12 @@ pub trait GradientFilter: Send + Sync {
 pub fn batch_of(gradients: &[Vector]) -> Result<GradientBatch, FilterError> {
     let first = gradients.first().ok_or(FilterError::Empty)?;
     let dim = first.dim();
+    if dim == 0 {
+        // Zero-dimension gradients carry nothing to aggregate; rejecting
+        // them here (instead of panicking in `GradientBatch` construction)
+        // keeps the adapter total on arbitrary caller input.
+        return Err(FilterError::Empty);
+    }
     let mut batch = GradientBatch::with_capacity(gradients.len(), dim);
     for g in gradients {
         if g.dim() != dim {
@@ -98,41 +104,6 @@ pub(crate) fn validate_batch(
         });
     }
     Ok(batch.dim())
-}
-
-/// Columns transposed per tile pass. At 32 columns × 8 bytes each row
-/// segment spans four cache lines, so the row-major batch streams through
-/// the cache once per tile instead of missing once per (row, column) pair
-/// — the difference between memory-bound and compute-bound behaviour for
-/// the coordinate-wise filters at `d ≫ n`.
-const TILE_COLUMNS: usize = 32;
-
-/// Applies `reduce` to every column of the batch, writing results into
-/// `slots`. Columns are gathered tile-by-tile into `tile` (a reused
-/// `TILE_COLUMNS × n` column-major buffer) which `reduce` may reorder.
-pub(crate) fn for_each_column(
-    batch: &GradientBatch,
-    tile: &mut Vec<f64>,
-    slots: &mut [f64],
-    mut reduce: impl FnMut(&mut [f64]) -> Result<f64, abft_linalg::LinalgError>,
-) {
-    let n = batch.len();
-    tile.clear();
-    tile.resize(TILE_COLUMNS * n, 0.0);
-    let mut k0 = 0;
-    while k0 < slots.len() {
-        let width = TILE_COLUMNS.min(slots.len() - k0);
-        for (i, row) in batch.rows_iter().enumerate() {
-            for (c, &v) in row[k0..k0 + width].iter().enumerate() {
-                tile[c * n + i] = v;
-            }
-        }
-        for c in 0..width {
-            let column = &mut tile[c * n..(c + 1) * n];
-            slots[k0 + c] = reduce(column).expect("column shape validated by caller");
-        }
-        k0 += width;
-    }
 }
 
 /// Resizes `out` to `dim` zeros without reallocating when the dimension

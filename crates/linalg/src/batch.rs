@@ -25,7 +25,9 @@
 //! assert!(batch.is_empty());
 //! ```
 
+use crate::pool::WorkerPool;
 use std::cell::{RefCell, RefMut};
+use std::sync::Arc;
 
 /// Reusable working buffers for batch consumers (filters, drivers).
 ///
@@ -60,28 +62,55 @@ pub struct BatchScratch {
 /// entry points take `&GradientBatch` and borrow the scratch internally.
 /// (The type is `Send` but deliberately not `Sync` — each server loop or
 /// simulation owns one.)
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GradientBatch {
     data: Vec<f64>,
     dim: usize,
     rows: usize,
     scratch: RefCell<BatchScratch>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl GradientBatch {
     /// An empty batch of `dim`-dimensional rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`: a zero-dimension gradient carries no
+    /// information, and rejecting it here keeps every row exactly `dim`
+    /// entries wide with no special cases downstream.
     pub fn new(dim: usize) -> Self {
         Self::with_capacity(0, dim)
     }
 
     /// An empty batch with storage reserved for `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0` (see [`GradientBatch::new`]).
     pub fn with_capacity(rows: usize, dim: usize) -> Self {
+        assert!(dim > 0, "GradientBatch requires dim > 0");
         GradientBatch {
             data: Vec::with_capacity(rows * dim),
             dim,
             rows: 0,
             scratch: RefCell::new(BatchScratch::default()),
+            pool: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) the worker pool filters shard
+    /// their kernels across. Serial aggregation — the default — is simply a
+    /// batch with no pool.
+    pub fn set_worker_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.pool = pool;
+    }
+
+    /// The attached worker pool, if any. A pool of one thread counts as
+    /// serial and is reported as `None`, so kernels have exactly one
+    /// serial path.
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_deref().filter(|pool| pool.threads() > 1)
     }
 
     /// Row dimension `d`.
@@ -147,14 +176,37 @@ impl GradientBatch {
         &mut self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// Removes row `i`, shifting the rows after it down by one (used by
+    /// the threaded server when an agent is eliminated mid-round and its
+    /// pre-assigned row must be vacated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn remove_row(&mut self, i: usize) {
+        assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
+        let start = i * self.dim;
+        self.data.copy_within((i + 1) * self.dim.., start);
+        self.data.truncate((self.rows - 1) * self.dim);
+        self.rows -= 1;
+    }
+
     /// Iterates over the rows in order.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.dim.max(1)).take(self.rows)
+        // dim > 0 is a construction invariant, so the chunk size is valid.
+        self.data.chunks_exact(self.dim).take(self.rows)
     }
 
     /// The whole buffer as one flat slice (`len() * dim()` values).
     pub fn as_flat(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The whole buffer as one flat mutable slice. Runtimes that stream
+    /// agent replies directly into their rows derive per-row pointers from
+    /// this base exactly once per round.
+    pub fn as_flat_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// `true` if any entry of any row is NaN or infinite, along with the
@@ -249,13 +301,22 @@ pub mod rowops {
         row.fill(0.0);
     }
 
-    /// Lexicographic comparison of two equal-length rows of finite values.
+    /// Lexicographic comparison of two rows under IEEE-754 `totalOrder`
+    /// ([`f64::total_cmp`] per entry, then length).
     ///
-    /// # Panics
-    ///
-    /// Panics on NaN entries (aggregation validates finiteness first).
+    /// Total order makes tie-breaking well-defined on *any* input: a NaN
+    /// that slips past an entry guard sorts deterministically instead of
+    /// aborting the aggregator mid-round. (For the finite values the
+    /// aggregation path actually admits, this agrees with the numeric
+    /// order, except that `-0.0` sorts before `+0.0`.)
     pub fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
-        a.partial_cmp(b).expect("finite entries are comparable")
+        for (x, y) in a.iter().zip(b) {
+            match x.total_cmp(y) {
+                std::cmp::Ordering::Equal => {}
+                unequal => return unequal,
+            }
+        }
+        a.len().cmp(&b.len())
     }
 }
 
@@ -288,6 +349,43 @@ mod tests {
     fn row_out_of_range_panics() {
         let b = GradientBatch::new(2);
         let _ = b.row(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim > 0")]
+    fn zero_dimension_batches_are_rejected_at_construction() {
+        let _ = GradientBatch::new(0);
+    }
+
+    #[test]
+    fn remove_row_shifts_later_rows_down() {
+        let mut b = GradientBatch::new(2);
+        b.push_row(&[1.0, 2.0]);
+        b.push_row(&[3.0, 4.0]);
+        b.push_row(&[5.0, 6.0]);
+        b.remove_row(1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+        assert_eq!(b.row(1), &[5.0, 6.0]);
+        b.remove_row(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.as_flat(), &[1.0, 2.0]);
+        b.remove_row(0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn worker_pool_attachment_reports_parallel_pools_only() {
+        use crate::pool::WorkerPool;
+        use std::sync::Arc;
+        let mut b = GradientBatch::new(2);
+        assert!(b.worker_pool().is_none());
+        b.set_worker_pool(Some(Arc::new(WorkerPool::new(1))));
+        assert!(b.worker_pool().is_none(), "1 thread means serial");
+        b.set_worker_pool(Some(Arc::new(WorkerPool::new(2))));
+        assert_eq!(b.worker_pool().expect("parallel pool").threads(), 2);
+        b.set_worker_pool(None);
+        assert!(b.worker_pool().is_none());
     }
 
     #[test]
@@ -375,5 +473,19 @@ mod tests {
         assert_eq!(rowops::lex_cmp(&[1.0, 2.0], &[1.0, 3.0]), Ordering::Less);
         assert_eq!(rowops::lex_cmp(&[2.0], &[1.0]), Ordering::Greater);
         assert_eq!(rowops::lex_cmp(&[1.0], &[1.0]), Ordering::Equal);
+        assert_eq!(rowops::lex_cmp(&[1.0], &[1.0, 0.0]), Ordering::Less);
+    }
+
+    #[test]
+    fn lex_cmp_is_total_on_non_finite_rows() {
+        use std::cmp::Ordering;
+        // A NaN that slips past the entry guard must order, not panic.
+        assert_eq!(rowops::lex_cmp(&[f64::NAN], &[1.0]), Ordering::Greater);
+        assert_eq!(rowops::lex_cmp(&[1.0], &[f64::NAN]), Ordering::Less);
+        assert_eq!(rowops::lex_cmp(&[f64::NAN], &[f64::NAN]), Ordering::Equal);
+        assert_eq!(
+            rowops::lex_cmp(&[f64::NEG_INFINITY], &[f64::INFINITY]),
+            Ordering::Less
+        );
     }
 }

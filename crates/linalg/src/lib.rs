@@ -30,6 +30,7 @@ pub mod batch;
 pub mod eigen;
 pub mod error;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod solve;
 pub mod stats;
@@ -39,6 +40,7 @@ pub use batch::{rowops, BatchScratch, GradientBatch};
 pub use eigen::{power_iteration, sym_eigenvalues, SymEigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use pool::{SharedSlots, WorkerPool};
 pub use solve::{cholesky, determinant, inverse, least_squares, solve, solve_spd};
 pub use vector::Vector;
 
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::eigen::{power_iteration, sym_eigenvalues, SymEigen};
     pub use crate::error::LinalgError;
     pub use crate::matrix::Matrix;
+    pub use crate::pool::{SharedSlots, WorkerPool};
     pub use crate::solve::{cholesky, determinant, inverse, least_squares, solve, solve_spd};
     pub use crate::vector::Vector;
 }

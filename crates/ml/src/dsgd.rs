@@ -85,6 +85,10 @@ pub struct DsgdConfig {
     pub eval_every: usize,
     /// RNG seed for batch sampling.
     pub seed: u64,
+    /// Worker threads for sharded gradient aggregation (1 = serial).
+    /// Parallel aggregation is bit-identical to serial (fixed tile
+    /// schedule), so this is pure throughput for large `param_dim`.
+    pub aggregation_threads: usize,
 }
 
 impl DsgdConfig {
@@ -96,6 +100,7 @@ impl DsgdConfig {
             iterations: 1000,
             eval_every: 50,
             seed,
+            aggregation_threads: abft_linalg::pool::env_aggregation_threads(1),
         }
     }
 
@@ -183,7 +188,14 @@ pub fn train_distributed<M: Model>(
     // Round state reused across all iterations: the contiguous gradient
     // batch (one row per agent, refilled in place) and the filtered
     // direction — the same zero-copy aggregation path as the DGD drivers.
+    // With `aggregation_threads > 1` the batch carries a worker pool and
+    // the filter shards its kernels (bit-identical to serial).
     let mut round = GradientBatch::with_capacity(n, model.param_dim());
+    if config.aggregation_threads > 1 {
+        round.set_worker_pool(Some(std::sync::Arc::new(abft_linalg::WorkerPool::new(
+            config.aggregation_threads,
+        ))));
+    }
     let mut direction = Vector::zeros(model.param_dim());
 
     for t in 0..config.iterations {
@@ -264,6 +276,7 @@ mod tests {
             iterations: 600,
             eval_every: 100,
             seed: 5,
+            ..DsgdConfig::paper(5)
         }
     }
 

@@ -60,7 +60,7 @@ impl CostFunction for AbsoluteCost {
 pub fn median_interval(centers: &[f64]) -> (f64, f64) {
     assert!(!centers.is_empty(), "median interval of no centers");
     let mut sorted = centers.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable centers"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         let m = sorted[n / 2];

@@ -1,4 +1,10 @@
-//! Message types exchanged between the server and agent threads.
+//! Serializable server ↔ agent message types.
+//!
+//! These are the wire values the *simulated* server topology moves over
+//! its [`abft_net::MessageBus`]. The real threaded runtime no longer
+//! ships gradients through messages at all — agents stream them straight
+//! into their loaned `GradientBatch` rows (see `crate::threaded`) and the
+//! channels carry only round commands and zero-payload `Ready` tokens.
 
 use abft_linalg::Vector;
 

@@ -36,8 +36,9 @@ use abft_core::validate::{self, FaultBudget};
 use abft_core::Trace;
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
-use abft_linalg::{GradientBatch, Vector};
+use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_net::{MessageBus, NetFault, NetMetrics, NetworkModel, SimulatedNetwork};
+use std::sync::Arc;
 
 /// Which architecture the simulated network carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,10 +227,11 @@ fn execute_server(
     let mut trace = Trace::new(filter.name());
     let mut x = options.projection.project(&options.x0);
     let mut batch = GradientBatch::with_capacity(n, dim);
+    if options.aggregation_threads > 1 {
+        batch.set_worker_pool(Some(Arc::new(WorkerPool::new(options.aggregation_threads))));
+    }
     let mut aggregated = Vector::zeros(dim);
     let mut stragglers = 0usize;
-    // Reply slots reused every round: agent-id order in, agent-id order out.
-    let mut replies: Vec<Option<Vector>> = (0..n).map(|_| None).collect();
 
     for t in 0..=options.iterations {
         let advance = t < options.iterations;
@@ -293,13 +295,16 @@ fn execute_server(
             );
         }
 
-        // Collect what made the deadline; fill rows in agent-id order so
-        // the filter input matches the in-process and threaded drivers.
-        for slot in replies.iter_mut() {
-            *slot = None;
-        }
+        // Collect what made the deadline and stream it straight into the
+        // batch: deliveries re-ordered by sender (stable, deterministic —
+        // at most one reply per agent per round) so rows land in agent-id
+        // order, the filter-input order every backend shares, without the
+        // per-agent staging slots replies used to be parked in.
+        let mut deliveries = net.end_round();
+        deliveries.sort_by_key(|delivery| delivery.from);
+        batch.clear();
         let mut received = 0usize;
-        for delivery in net.end_round() {
+        for delivery in deliveries {
             if let ServerWire::Reply(FromAgent::Gradient {
                 iteration,
                 gradient,
@@ -312,7 +317,7 @@ fn execute_server(
                         actual: format!("agent {} sent dim {}", delivery.from, gradient.dim()),
                     }));
                 }
-                replies[delivery.from] = Some(gradient);
+                batch.push_row(gradient.as_slice());
                 received += 1;
             }
         }
@@ -321,10 +326,6 @@ fn execute_server(
         // Per-round S1: an agent whose gradient never arrived is treated
         // exactly like a crashed agent for this round — its row is absent
         // and it counts against the fault budget the filter is run with.
-        batch.clear();
-        for reply in replies.iter().flatten() {
-            batch.push_row(reply.as_slice());
-        }
         if batch.is_empty() {
             // A fully silent round (every reply lost or late) carries no
             // gradient information: the server holds its estimate instead

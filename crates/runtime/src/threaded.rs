@@ -6,9 +6,18 @@
 //! collect, filter, update. A crashed agent's channel disconnects, which the
 //! server treats as the "no gradient received" case of step S1 and
 //! eliminates the agent (updating its `(n, f)` view).
+//!
+//! Replies **stream directly into the round's `GradientBatch` rows**: the
+//! server pre-assigns every active agent an exclusive row slot for the
+//! round and broadcasts it with the estimate; the agent writes its
+//! (possibly forged) gradient in place and replies with a zero-payload
+//! `Ready` token. No per-reply `Vector` is allocated and no wire→batch
+//! copy happens — the message-passing hop the in-process driver never had
+//! is gone here too. Rows remain in agent-id order (an agent eliminated
+//! mid-round has its vacant row compacted away), so traces stay
+//! bit-identical to the in-process driver.
 
 use crate::error::RuntimeError;
-use crate::message::{FromAgent, ToAgent};
 use crate::metrics::RuntimeMetrics;
 use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
@@ -16,60 +25,98 @@ use abft_core::validate::{self, FaultBudget};
 use abft_core::{IterationRecord, Trace};
 use abft_dgd::{RunOptions, RunResult};
 use abft_filters::GradientFilter;
-use abft_linalg::{GradientBatch, Vector};
+use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_problems::{total_value, SharedCost};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
 use std::thread;
+
+/// An exclusive, round-scoped loan of one batch row to one agent thread.
+///
+/// The server derives the pointer from the batch's flat storage after
+/// `reset_rows`, sends it with the round command, and does not touch the
+/// batch again until it has received (or failed to receive) that agent's
+/// `Ready` reply — the channel round-trip is the happens-before edge that
+/// hands the row back.
+struct RowSlot {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: the slot crosses threads exactly once per round under the
+// protocol above; rows of distinct agents never alias.
+unsafe impl Send for RowSlot {}
+
+/// Server → agent traffic (channel-internal; the simulated topology keeps
+/// the serializable `ToAgent`/`FromAgent` wire types).
+enum ServerCmd {
+    /// "Here is `x_t`; write your gradient into your row and say Ready."
+    Round {
+        iteration: usize,
+        estimate: Vector,
+        slot: RowSlot,
+    },
+    /// Graceful shutdown at the end of a run.
+    Shutdown,
+}
+
+/// Agent → server: the zero-payload reply confirming the row is written.
+struct Ready {
+    iteration: usize,
+}
 
 /// One agent's end of the wire plus its join handle.
 struct AgentHandle {
-    commands: Sender<ToAgent>,
-    replies: Receiver<FromAgent>,
+    commands: Sender<ServerCmd>,
+    replies: Receiver<Ready>,
     thread: Option<thread::JoinHandle<()>>,
 }
 
-/// The agent thread body: receive an estimate, reply with a (possibly
-/// forged) gradient; crash by exiting (disconnecting both channels).
+/// The agent thread body: receive an estimate plus a row slot, write the
+/// (possibly forged) gradient straight into the row, confirm with `Ready`;
+/// crash by exiting (disconnecting both channels).
 fn agent_loop(
     cost: SharedCost,
     mut strategy: Option<Box<dyn ByzantineStrategy>>,
     crash_at: Option<usize>,
-    commands: Receiver<ToAgent>,
-    replies: Sender<FromAgent>,
+    commands: Receiver<ServerCmd>,
+    replies: Sender<Ready>,
 ) {
+    // The honest gradient, staged once per agent (reused every round) so
+    // Byzantine strategies can read it while forging into the row.
+    let mut true_gradient = Vector::zeros(cost.dim());
     while let Ok(message) = commands.recv() {
         match message {
-            ToAgent::Estimate {
+            ServerCmd::Round {
                 iteration,
                 estimate,
+                slot,
             } => {
                 if let Some(crash) = crash_at {
                     if iteration >= crash {
                         // Crash: silently stop participating. Dropping the
                         // channels is the threaded analogue of silence in a
-                        // synchronous round.
+                        // synchronous round. The unwritten row is compacted
+                        // away by the server.
                         return;
                     }
                 }
-                let true_gradient = cost.gradient(&estimate);
-                let report = match strategy.as_mut() {
+                // SAFETY: the server loaned this row exclusively to us for
+                // the round; `len` is the batch dimension.
+                let row = unsafe { std::slice::from_raw_parts_mut(slot.ptr, slot.len) };
+                match strategy.as_mut() {
                     Some(s) => {
+                        cost.gradient_into(&estimate, true_gradient.as_mut_slice());
                         let ctx = AttackContext::new(iteration, &true_gradient, &estimate);
-                        s.corrupt(&ctx)
+                        s.corrupt_into(&ctx, row);
                     }
-                    None => true_gradient,
-                };
-                if replies
-                    .send(FromAgent::Gradient {
-                        iteration,
-                        gradient: report,
-                    })
-                    .is_err()
-                {
+                    None => cost.gradient_into(&estimate, row),
+                }
+                if replies.send(Ready { iteration }).is_err() {
                     return; // Server hung up.
                 }
             }
-            ToAgent::Shutdown => return,
+            ServerCmd::Shutdown => return,
         }
     }
 }
@@ -124,8 +171,8 @@ pub(crate) fn execute(
     // Spawn the agents.
     let mut handles: Vec<AgentHandle> = Vec::with_capacity(n);
     for i in 0..n {
-        let (cmd_tx, cmd_rx) = unbounded::<ToAgent>();
-        let (rep_tx, rep_rx) = unbounded::<FromAgent>();
+        let (cmd_tx, cmd_rx) = unbounded::<ServerCmd>();
+        let (rep_tx, rep_rx) = unbounded::<Ready>();
         let cost = costs[i].clone();
         let strategy = strategies[i].take();
         let crash = crash_at[i];
@@ -141,67 +188,90 @@ pub(crate) fn execute(
     }
 
     // Server loop. The gradient batch and the aggregate vector are
-    // allocated once and refilled every round: replies are copied off the
-    // wire into contiguous rows (wire order = agent-id order, matching the
-    // in-process driver exactly) and filtered zero-copy from there.
+    // allocated once and refilled every round: each active agent is loaned
+    // its row for the round and streams its gradient straight into it
+    // (rows in agent-id order, matching the in-process driver exactly);
+    // the filter then reads the batch zero-copy. With
+    // `aggregation_threads > 1` the batch carries a worker pool and the
+    // filter shards its kernels — bit-identically to serial.
     let mut eliminated = vec![false; n];
     let mut server_f = config.f();
     let mut trace = Trace::new(filter.name());
     let mut x = options.projection.project(&options.x0);
     let mut batch = GradientBatch::with_capacity(n, dim);
+    if options.aggregation_threads > 1 {
+        batch.set_worker_pool(Some(Arc::new(WorkerPool::new(options.aggregation_threads))));
+    }
     let mut aggregated = Vector::zeros(dim);
+    // Per-round bookkeeping, reused: which row each agent was loaned, and
+    // the rows vacated by agents eliminated mid-round.
+    let mut row_of = vec![usize::MAX; n];
+    let mut vacated: Vec<usize> = Vec::with_capacity(n);
 
     let run_round = |t: usize,
                      x: &Vector,
                      eliminated: &mut Vec<bool>,
                      server_f: &mut usize,
                      batch: &mut GradientBatch,
-                     aggregated: &mut Vector|
+                     aggregated: &mut Vector,
+                     row_of: &mut Vec<usize>,
+                     vacated: &mut Vec<usize>|
      -> Result<(), RuntimeError> {
-        // S1: broadcast the estimate to all non-eliminated agents.
+        // S1 broadcast: assign every non-eliminated agent a row and send
+        // it the estimate. The base pointer is derived once per round;
+        // rows are disjoint, and the batch is not touched again until
+        // every loan has been resolved by the collect phase below.
+        let active = eliminated.iter().filter(|gone| !**gone).count();
+        batch.reset_rows(active);
+        let base = batch.as_flat_mut().as_mut_ptr();
+        let mut row = 0usize;
         let mut broadcast_count = 0usize;
         for (i, handle) in handles.iter().enumerate() {
             if eliminated[i] {
                 continue;
             }
+            row_of[i] = row;
+            // SAFETY: `row < active`, so the slot lies inside the buffer.
+            let slot = RowSlot {
+                ptr: unsafe { base.add(row * dim) },
+                len: dim,
+            };
             // A send failure means the agent already crashed; the collect
             // phase below will register the elimination.
-            let _ = handle.commands.send(ToAgent::Estimate {
+            let _ = handle.commands.send(ServerCmd::Round {
                 iteration: t,
                 estimate: x.clone(),
+                slot,
             });
+            row += 1;
             broadcast_count += 1;
         }
         metrics.record_broadcasts(broadcast_count);
 
-        // Collect replies into the reused batch; a disconnected channel is
-        // the no-reply case.
-        batch.clear();
+        // Collect the Ready tokens; a disconnected channel is the
+        // no-reply case and vacates the agent's loaned row.
+        vacated.clear();
         for (i, handle) in handles.iter().enumerate() {
             if eliminated[i] {
                 continue;
             }
             match handle.replies.recv() {
-                Ok(FromAgent::Gradient {
-                    iteration,
-                    gradient,
-                }) => {
+                Ok(Ready { iteration }) => {
                     debug_assert_eq!(iteration, t, "synchronous rounds never reorder");
-                    if gradient.dim() != batch.dim() {
-                        return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
-                            expected: format!("gradient of dim {}", batch.dim()),
-                            actual: format!("agent {i} sent dim {}", gradient.dim()),
-                        }));
-                    }
-                    batch.push_row(gradient.as_slice());
                 }
                 Err(_) => {
                     // S1 elimination: the agent must be faulty.
                     eliminated[i] = true;
                     *server_f = server_f.saturating_sub(1);
                     metrics.record_elimination();
+                    vacated.push(row_of[i]);
                 }
             }
+        }
+        // Compact away unwritten rows (descending order keeps the earlier
+        // indices stable), restoring agent-id row order over survivors.
+        for &r in vacated.iter().rev() {
+            batch.remove_row(r);
         }
         metrics.record_replies(batch.len());
         metrics.record_round();
@@ -218,6 +288,8 @@ pub(crate) fn execute(
                 &mut server_f,
                 &mut batch,
                 &mut aggregated,
+                &mut row_of,
+                &mut vacated,
             )?;
             trace.push(record(&costs, &honest, t, &x, &aggregated, options));
             let eta = options.schedule.eta(t);
@@ -231,6 +303,8 @@ pub(crate) fn execute(
             &mut server_f,
             &mut batch,
             &mut aggregated,
+            &mut row_of,
+            &mut vacated,
         )?;
         trace.push(record(
             &costs,
@@ -248,7 +322,7 @@ pub(crate) fn execute(
 
     // Shutdown and join regardless of outcome.
     for handle in &handles {
-        let _ = handle.commands.send(ToAgent::Shutdown);
+        let _ = handle.commands.send(ServerCmd::Shutdown);
     }
     for handle in &mut handles {
         if let Some(t) = handle.thread.take() {

@@ -5,9 +5,11 @@ use crate::error::ScenarioError;
 use crate::spec::{Scenario, ScenarioBuilder};
 use abft_core::csv::CsvTable;
 use abft_dgd::RoundWorkspace;
+use abft_linalg::WorkerPool;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A batch of scenarios executed on one backend, serially or across worker
@@ -143,6 +145,24 @@ impl ScenarioSuite {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     }
 
+    /// The one aggregation pool a suite run shares: sized to the largest
+    /// `aggregation_threads` any scenario requests, `None` when every
+    /// scenario is serial. Suite workers install it in their workspaces,
+    /// so in-process grids share one set of aggregation threads instead
+    /// of spawning a pool per worker. (The message-passing backends own
+    /// their round state and build their own per-run pool — lazily, so a
+    /// pool whose rounds stay below the kernels' sharding floor costs
+    /// nothing.)
+    fn shared_aggregation_pool(&self) -> Option<Arc<WorkerPool>> {
+        let threads = self
+            .scenarios
+            .iter()
+            .map(|scenario| scenario.options().aggregation_threads)
+            .max()
+            .unwrap_or(1);
+        (threads > 1).then(|| Arc::new(WorkerPool::new(threads)))
+    }
+
     /// Runs every scenario serially on `backend`, reusing one workspace
     /// across the whole suite.
     ///
@@ -152,6 +172,9 @@ impl ScenarioSuite {
     pub fn run(&self, backend: &dyn Backend) -> Result<SuiteReport, ScenarioError> {
         let started = Instant::now();
         let mut workspace = RoundWorkspace::new();
+        if let Some(pool) = self.shared_aggregation_pool() {
+            workspace.set_shared_pool(pool);
+        }
         let mut reports = Vec::with_capacity(self.scenarios.len());
         for scenario in &self.scenarios {
             reports.push(backend.run_with_workspace(scenario, &mut workspace)?);
@@ -201,8 +224,14 @@ impl ScenarioSuite {
     pub fn run_parallel_collect(&self, backend: &dyn Backend, workers: usize) -> SuiteOutcomes {
         let workers = workers.clamp(1, self.scenarios.len().max(1));
         let started = Instant::now();
+        // One aggregation pool for the whole run — workers *share* it, so
+        // `suite workers × aggregation threads` never multiplies.
+        let shared_pool = self.shared_aggregation_pool();
         if workers <= 1 {
             let mut workspace = RoundWorkspace::new();
+            if let Some(pool) = shared_pool {
+                workspace.set_shared_pool(pool);
+            }
             let outcomes = self
                 .scenarios
                 .iter()
@@ -221,8 +250,12 @@ impl ScenarioSuite {
                 let tx = tx.clone();
                 let next = &next;
                 let scenarios = &self.scenarios;
+                let shared_pool = shared_pool.clone();
                 scope.spawn(move || {
                     let mut workspace = RoundWorkspace::new();
+                    if let Some(pool) = shared_pool {
+                        workspace.set_shared_pool(pool);
+                    }
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         let Some(scenario) = scenarios.get(index) else {

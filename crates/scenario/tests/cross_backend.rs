@@ -73,6 +73,94 @@ fn one_scenario_is_bit_identical_on_all_three_backends_across_the_grid() {
 }
 
 #[test]
+fn the_grid_is_bit_identical_at_every_aggregation_thread_count() {
+    // `RunOptions::aggregation_threads` is pure throughput: the pool's
+    // fixed tile schedule keeps parallel aggregation bit-identical to
+    // serial, so the cross-backend grid must reproduce the serial traces
+    // exactly at threads ∈ {1, 2, 4} — on the in-process backend (whose
+    // workspace carries the pool) and on the message-passing backends
+    // (which build their own).
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    for attack in ATTACKS {
+        for filter in FILTERS {
+            let build = |threads: usize| {
+                Scenario::builder()
+                    .problem(&problem)
+                    .faults(1)
+                    .options(
+                        RunOptions::paper_defaults_with_iterations(x_h.clone(), 25)
+                            .with_aggregation_threads(threads),
+                    )
+                    .filter(filter)
+                    .attack_seeded(0, attack, 9)
+                    .label(format!("{filter}+{attack}@{threads}t"))
+                    .build()
+                    .expect("grid cell builds")
+            };
+            let serial = InProcess.run(&build(1)).expect("serial runs");
+            for threads in [2usize, 4] {
+                let scenario = build(threads);
+                let in_process = InProcess.run(&scenario).expect("in-process runs");
+                let threaded = Threaded.run(&scenario).expect("threaded runs");
+                assert_eq!(
+                    serial.trace.records(),
+                    in_process.trace.records(),
+                    "in-process trace diverged for {filter} × {attack} at {threads} threads"
+                );
+                assert_eq!(
+                    serial.trace.records(),
+                    threaded.trace.records(),
+                    "threaded trace diverged for {filter} × {attack} at {threads} threads"
+                );
+                assert!(
+                    serial
+                        .final_estimate
+                        .approx_eq(&in_process.final_estimate, 0.0)
+                        && serial
+                            .final_estimate
+                            .approx_eq(&threaded.final_estimate, 0.0),
+                    "estimate diverged for {filter} × {attack} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_suites_share_one_pool_and_stay_deterministic() {
+    // A suite whose scenarios request aggregation threads creates one
+    // shared pool; its reports must match the serial suite bit for bit.
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    let build_suite = |threads: usize| {
+        let template = Scenario::builder().problem(&problem).faults(1).options(
+            RunOptions::paper_defaults_with_iterations(x_h.clone(), 20)
+                .with_aggregation_threads(threads),
+        );
+        abft_scenario::ScenarioSuite::grid(&template, 0, &FILTERS, &["zero", "random"])
+            .expect("grid builds")
+    };
+    let serial = build_suite(1).run(&InProcess).expect("serial suite");
+    let pooled = build_suite(4)
+        .run_parallel(&InProcess, 3)
+        .expect("pooled suite");
+    assert_eq!(serial.reports().len(), pooled.reports().len());
+    for (a, b) in serial.reports().iter().zip(pooled.reports()) {
+        assert_eq!(
+            a.trace.records(),
+            b.trace.records(),
+            "suite cell {} diverged under shared-pool parallel aggregation",
+            a.scenario
+        );
+    }
+}
+
+#[test]
 fn crash_scenarios_agree_between_in_process_and_threaded() {
     // The peer-to-peer runtime has no S1 elimination rule, so crashes are
     // a two-backend contract.

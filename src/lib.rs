@@ -18,7 +18,7 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`core`] | agent ids, `(n, f)` configuration, traces, subsets |
-//! | [`linalg`] | vectors, matrices, solvers, eigenvalues (from scratch), and [`linalg::GradientBatch`] — the contiguous `n × d` arena the whole aggregation path runs on |
+//! | [`linalg`] | vectors, matrices, solvers, eigenvalues (from scratch), [`linalg::GradientBatch`] — the contiguous `n × d` arena the whole aggregation path runs on — and [`linalg::WorkerPool`], the deterministic pool that shards aggregation bit-identically across threads |
 //! | [`problems`] | cost functions with in-place `gradient_into`, the paper's regression dataset, µ/γ analysis |
 //! | [`filters`] | CGE, CWTM + nine baseline robust aggregators, each implementing the zero-copy `aggregate_into` batch path (the `&[Vector]` signature remains as a thin adapter) |
 //! | [`attacks`] | gradient-reverse, random (σ=200), ALIE, … — forging directly into batch rows via `corrupt_into` |
@@ -31,8 +31,17 @@
 //!
 //! The gradient data path — who produces into and who consumes out of a
 //! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
-//! gradient data path”, together with how the `filters_batch` bench is
-//! run.
+//! gradient data path”, together with how the `filters_batch` and
+//! `filters_parallel` benches are run.
+//!
+//! Aggregation is serial by default; set
+//! [`dgd::RunOptions::aggregation_threads`] (or
+//! `ABFT_AGGREGATION_THREADS` in the environment, which flips the
+//! default) to shard each round's filter across a worker pool. The
+//! pool's fixed tile schedule makes parallel output **bit-identical** to
+//! serial, so every trace, equivalence guarantee, and test holds
+//! unchanged at any thread count — the knob is pure wall-clock for large
+//! `d`.
 //!
 //! # Quickstart
 //!

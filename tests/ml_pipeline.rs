@@ -27,6 +27,7 @@ fn quick_config() -> DsgdConfig {
         iterations: 450,
         eval_every: 100,
         seed: 5,
+        ..DsgdConfig::paper(5)
     }
 }
 

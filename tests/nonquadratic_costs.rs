@@ -48,6 +48,7 @@ fn run_logistic(filter: &dyn GradientFilter, byzantine: bool) -> Vector {
         schedule: StepSchedule::Harmonic { numerator: 3.0 },
         projection: ProjectionSet::centered_box(-50.0, 50.0),
         reference: Vector::zeros(2), // distance series unused here
+        aggregation_threads: RunOptions::default_aggregation_threads(),
     };
     sim.run(filter, &options).expect("runs").final_estimate
 }
@@ -105,6 +106,7 @@ fn huber_regression_with_a_byzantine_agent() {
         schedule: StepSchedule::Harmonic { numerator: 3.0 },
         projection: ProjectionSet::paper(),
         reference: x_h.clone(),
+        aggregation_threads: RunOptions::default_aggregation_threads(),
     };
     let run = sim.run(&Cge::new(), &options).expect("runs");
     assert!(
