@@ -18,6 +18,12 @@
 //! * **Aggregation threads.** Every grid runs at `aggregation_threads ∈
 //!   {1, 4}`; suite workers share one pool per run. Parallel aggregation
 //!   is bit-identical to serial, so this axis is pure throughput.
+//! * **Recording.** Every grid runs with `Recording::Full` (the historical
+//!   dense trace, one honest-cost pass per round) and
+//!   `Recording::SummaryOnly` (lazy instrumentation off: no per-round
+//!   loss/φ evaluation, no trace memory) — the JSON rows put the
+//!   instrumentation cost next to the threads axis. Recording is pure
+//!   observation, so the trajectories are identical on both rows.
 //!
 //! Run with: `cargo bench -p abft-bench --bench suite_throughput`
 
@@ -25,7 +31,8 @@ use abft_bench::fan_fixture;
 use abft_dgd::RunOptions;
 use abft_linalg::Vector;
 use abft_scenario::{
-    Backend, InProcess, NetworkModel, Scenario, ScenarioBuilder, ScenarioSuite, Simulated, Threaded,
+    Backend, InProcess, NetworkModel, Recording, Scenario, ScenarioBuilder, ScenarioSuite,
+    Simulated, Threaded,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,9 +44,16 @@ const ITERATIONS: usize = 200;
 /// The aggregation-thread axis every backend grid runs at.
 const THREADS_AXIS: [usize; 2] = [1, 4];
 
+/// The recording axis: dense instrumentation vs. instrumentation off.
+const RECORDING_AXIS: [(&str, Recording); 2] = [
+    ("full", Recording::Full),
+    ("summary-only", Recording::SummaryOnly),
+];
+
 struct Row {
     backend: &'static str,
     threads: usize,
+    recording: &'static str,
     filters: usize,
     attacks: usize,
     scenarios: usize,
@@ -49,7 +63,7 @@ struct Row {
     scenarios_per_sec: f64,
 }
 
-fn template(threads: usize) -> ScenarioBuilder {
+fn template(threads: usize, recording: Recording) -> ScenarioBuilder {
     // n = 9, f = 1 admits every registered filter (Bulyan needs 4f + 3).
     let (problem, x_h) = fan_fixture(9, 1);
     let mut options = RunOptions::paper_defaults(x_h);
@@ -60,6 +74,7 @@ fn template(threads: usize) -> ScenarioBuilder {
         .problem(&problem)
         .faults(1)
         .options(options)
+        .record(recording)
 }
 
 fn main() {
@@ -80,64 +95,85 @@ fn main() {
 
     println!(
         "suite_throughput: {} filters x {} attacks (omniscient columns in-process only), \
-         {ITERATIONS} iterations, {workers} workers, aggregation threads in {THREADS_AXIS:?}\n",
+         {ITERATIONS} iterations, {workers} workers, aggregation threads in {THREADS_AXIS:?}, \
+         recording in [full, summary-only]\n",
         all_filters.len(),
         all_attacks.len(),
     );
     println!(
-        "{:<18} {:>7} {:>5} {:>9} {:>7} {:>10} {:>15}",
-        "backend", "aggthr", "cells", "completed", "failed", "elapsed", "scenarios/sec"
+        "{:<18} {:>7} {:>13} {:>5} {:>9} {:>7} {:>10} {:>15}",
+        "backend",
+        "aggthr",
+        "recording",
+        "cells",
+        "completed",
+        "failed",
+        "elapsed",
+        "scenarios/sec"
     );
 
     let mut rows = Vec::new();
     for threads in THREADS_AXIS {
-        let full_grid =
-            ScenarioSuite::grid_seeded(&template(threads), 0, all_filters, all_attacks, 42)
-                .expect("registry grid builds");
-        let wire_grid =
-            ScenarioSuite::grid_seeded(&template(threads), 0, all_filters, &observable, 42)
-                .expect("registry grid builds");
+        for (recording_name, recording) in RECORDING_AXIS {
+            let full_grid = ScenarioSuite::grid_seeded(
+                &template(threads, recording),
+                0,
+                all_filters,
+                all_attacks,
+                42,
+            )
+            .expect("registry grid builds");
+            let wire_grid = ScenarioSuite::grid_seeded(
+                &template(threads, recording),
+                0,
+                all_filters,
+                &observable,
+                42,
+            )
+            .expect("registry grid builds");
 
-        let backends: Vec<(&'static str, &ScenarioSuite, usize, Box<dyn Backend>)> = vec![
-            (
-                "in-process",
-                &full_grid,
-                all_attacks.len(),
-                Box::new(InProcess),
-            ),
-            ("threaded", &wire_grid, observable.len(), Box::new(Threaded)),
-            (
-                "simulated-server",
-                &wire_grid,
-                observable.len(),
-                Box::new(Simulated::server(NetworkModel::ideal())),
-            ),
-        ];
+            let backends: Vec<(&'static str, &ScenarioSuite, usize, Box<dyn Backend>)> = vec![
+                (
+                    "in-process",
+                    &full_grid,
+                    all_attacks.len(),
+                    Box::new(InProcess),
+                ),
+                ("threaded", &wire_grid, observable.len(), Box::new(Threaded)),
+                (
+                    "simulated-server",
+                    &wire_grid,
+                    observable.len(),
+                    Box::new(Simulated::server(NetworkModel::ideal())),
+                ),
+            ];
 
-        for (name, suite, attacks, backend) in &backends {
-            let started = Instant::now();
-            let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
-            let elapsed_s = started.elapsed().as_secs_f64();
-            let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
-            let failed = outcome.outcomes.len() - completed;
-            let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
-            println!(
-                "{name:<18} {threads:>7} {:>5} {completed:>9} {failed:>7} {:>9.2}s \
-                 {scenarios_per_sec:>15.1}",
-                suite.len(),
-                elapsed_s
-            );
-            rows.push(Row {
-                backend: name,
-                threads,
-                filters: all_filters.len(),
-                attacks: *attacks,
-                scenarios: suite.len(),
-                completed,
-                failed,
-                elapsed_s,
-                scenarios_per_sec,
-            });
+            for (name, suite, attacks, backend) in &backends {
+                let started = Instant::now();
+                let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
+                let elapsed_s = started.elapsed().as_secs_f64();
+                let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
+                let failed = outcome.outcomes.len() - completed;
+                let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
+                println!(
+                    "{name:<18} {threads:>7} {recording_name:>13} {:>5} {completed:>9} \
+                 {failed:>7} {:>9.2}s {scenarios_per_sec:>15.1}",
+                    suite.len(),
+                    elapsed_s
+                );
+                rows.push(Row {
+                    backend: name,
+                    threads,
+                    recording: recording_name,
+                    filters: all_filters.len(),
+                    attacks: *attacks,
+                    scenarios: suite.len(),
+                    completed,
+                    failed,
+                    elapsed_s,
+                    scenarios_per_sec,
+                });
+            }
         }
     }
 
@@ -161,17 +197,25 @@ fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
         "  \"threads_axis\": [{}],",
         THREADS_AXIS.map(|t| t.to_string()).join(", ")
     );
+    let _ = writeln!(
+        out,
+        "  \"recording_axis\": [{}],",
+        RECORDING_AXIS
+            .map(|(name, _)| format!("\"{name}\""))
+            .join(", ")
+    );
     let _ = writeln!(out, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"backend\": \"{}\", \"threads\": {}, \
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"recording\": \"{}\", \
              \"grid\": {{\"filters\": {}, \"attacks\": {}}}, \"scenarios\": {}, \
              \"completed\": {}, \"failed\": {}, \"elapsed_s\": {:.4}, \
              \"scenarios_per_sec\": {:.2}}}{comma}",
             row.backend,
             row.threads,
+            row.recording,
             row.filters,
             row.attacks,
             row.scenarios,

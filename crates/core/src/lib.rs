@@ -34,6 +34,7 @@ pub mod agent;
 pub mod config;
 pub mod csv;
 pub mod error;
+pub mod observe;
 pub mod subsets;
 pub mod trace;
 pub mod validate;
@@ -41,6 +42,10 @@ pub mod validate;
 pub use agent::{AgentId, AgentRole};
 pub use config::SystemConfig;
 pub use error::CoreError;
+pub use observe::{
+    observe_round, ControlFlow, ConvergenceHalt, CsvStreamer, HaltReason, MetricSource,
+    NullObserver, Probe, RoundView, RunObserver, RunSummary, TraceRecorder,
+};
 pub use trace::{IterationRecord, Trace};
 pub use validate::ValidationError;
 
@@ -49,5 +54,8 @@ pub mod prelude {
     pub use crate::agent::{AgentId, AgentRole};
     pub use crate::config::SystemConfig;
     pub use crate::error::CoreError;
+    pub use crate::observe::{
+        ControlFlow, ConvergenceHalt, HaltReason, RunObserver, RunSummary, TraceRecorder,
+    };
     pub use crate::trace::{IterationRecord, Trace};
 }

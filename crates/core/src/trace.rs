@@ -94,14 +94,26 @@ impl Trace {
         self.final_record().map(|r| r.distance)
     }
 
-    /// The loss series, in iteration order.
-    pub fn losses(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.loss).collect()
+    /// The loss series in iteration order, borrowed — no allocation.
+    pub fn iter_losses(&self) -> impl Iterator<Item = f64> + '_ {
+        self.records.iter().map(|r| r.loss)
     }
 
-    /// The distance series, in iteration order.
+    /// The distance series in iteration order, borrowed — no allocation.
+    pub fn iter_distances(&self) -> impl Iterator<Item = f64> + '_ {
+        self.records.iter().map(|r| r.distance)
+    }
+
+    /// The loss series, in iteration order (allocating; prefer
+    /// [`Trace::iter_losses`] when a borrow suffices).
+    pub fn losses(&self) -> Vec<f64> {
+        self.iter_losses().collect()
+    }
+
+    /// The distance series, in iteration order (allocating; prefer
+    /// [`Trace::iter_distances`] when a borrow suffices).
     pub fn distances(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.distance).collect()
+        self.iter_distances().collect()
     }
 
     /// Maximum distance over a suffix of the run — useful for asserting that
@@ -113,9 +125,8 @@ impl Trace {
         if self.records.len() < suffix_len || suffix_len == 0 {
             return None;
         }
-        self.records[self.records.len() - suffix_len..]
-            .iter()
-            .map(|r| r.distance)
+        self.iter_distances()
+            .skip(self.records.len() - suffix_len)
             .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
     }
 

@@ -47,12 +47,16 @@ pub use convergence::{phi_lower_bound_holds, settles_within};
 pub use error::DgdError;
 pub use projection::ProjectionSet;
 pub use schedule::StepSchedule;
-pub use simulation::{DgdSimulation, RoundWorkspace, RunOptions, RunResult};
+pub use simulation::{
+    DgdSimulation, HonestCostMetrics, ObservedRun, RoundWorkspace, RunOptions, RunResult,
+};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::error::DgdError;
     pub use crate::projection::ProjectionSet;
     pub use crate::schedule::StepSchedule;
-    pub use crate::simulation::{DgdSimulation, RoundWorkspace, RunOptions, RunResult};
+    pub use crate::simulation::{
+        DgdSimulation, ObservedRun, RoundWorkspace, RunOptions, RunResult,
+    };
 }

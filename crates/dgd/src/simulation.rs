@@ -4,8 +4,11 @@ use crate::error::DgdError;
 use crate::projection::ProjectionSet;
 use crate::schedule::StepSchedule;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::observe::{
+    observe_round, MetricSource, RoundView, RunObserver, RunSummary, TraceRecorder,
+};
 use abft_core::validate::{self, FaultBudget};
-use abft_core::{IterationRecord, SystemConfig, Trace};
+use abft_core::{SystemConfig, Trace};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_problems::{total_value, SharedCost};
@@ -77,7 +80,7 @@ impl RunOptions {
     }
 }
 
-/// The result of one DGD execution.
+/// The result of one DGD execution with dense recording.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Per-iteration records: `iterations + 1` entries, one per visited
@@ -86,14 +89,82 @@ pub struct RunResult {
     pub trace: Trace,
     /// The final estimate `x_T` — the paper's `x_out`.
     pub final_estimate: Vector,
+    /// The always-present run summary (final record, rounds, halt reason).
+    pub summary: RunSummary,
 }
 
 impl RunResult {
     /// Final approximation error `‖x_T − reference‖`.
+    ///
+    /// Infallible: reads the [`RunSummary`]'s final record, which every
+    /// run carries, rather than unwrapping a trace that observers may not
+    /// have recorded.
     pub fn final_distance(&self) -> f64 {
-        self.trace
-            .final_distance()
-            .expect("trace always has at least the initial record")
+        self.summary.final_distance()
+    }
+}
+
+/// The result of one *observed* DGD execution: whatever the caller's
+/// [`RunObserver`]s captured lives with them; the run itself yields only
+/// the final estimate and the always-present [`RunSummary`].
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The final estimate — the paper's `x_out` (the estimate of the
+    /// round the run halted on, when it halted early).
+    pub final_estimate: Vector,
+    /// Final record, rounds executed, and halt reason.
+    pub summary: RunSummary,
+}
+
+/// The [`MetricSource`] every server-architecture driver derives its
+/// round records from: loss is the honest-cost pass `Σ_{i∈H} Q_i(x_t)`,
+/// distance/φ are measured against the options' reference point, and the
+/// gradient norm reads the filtered aggregate. Field-for-field the
+/// historical `IterationRecord` construction, computed lazily.
+pub struct HonestCostMetrics<'a> {
+    costs: &'a [SharedCost],
+    honest: &'a [usize],
+    x: &'a Vector,
+    reference: &'a Vector,
+    aggregated: &'a Vector,
+}
+
+impl<'a> HonestCostMetrics<'a> {
+    /// A source over one round's state: the agents' true costs, the
+    /// honest index set, the current estimate, the reference point, and
+    /// the filtered aggregate.
+    pub fn new(
+        costs: &'a [SharedCost],
+        honest: &'a [usize],
+        x: &'a Vector,
+        reference: &'a Vector,
+        aggregated: &'a Vector,
+    ) -> Self {
+        HonestCostMetrics {
+            costs,
+            honest,
+            x,
+            reference,
+            aggregated,
+        }
+    }
+}
+
+impl MetricSource for HonestCostMetrics<'_> {
+    fn loss(&self) -> f64 {
+        total_value(self.costs, self.honest, self.x)
+    }
+
+    fn distance(&self) -> f64 {
+        self.x.dist(self.reference)
+    }
+
+    fn grad_norm(&self) -> f64 {
+        self.aggregated.norm()
+    }
+
+    fn phi(&self) -> f64 {
+        offset_dot(self.x, self.reference, self.aggregated)
     }
 }
 
@@ -209,11 +280,43 @@ impl DgdSimulation {
         options: &RunOptions,
         workspace: &mut RoundWorkspace,
     ) -> Result<RunResult, DgdError> {
+        let mut recorder = TraceRecorder::dense(filter.name());
+        let run = self.run_observed(filter, options, workspace, &mut recorder)?;
+        Ok(RunResult {
+            trace: recorder.into_trace(),
+            final_estimate: run.final_estimate,
+            summary: run.summary,
+        })
+    }
+
+    /// Runs DGD with a caller-supplied [`RunObserver`] instead of dense
+    /// in-memory recording — the streaming entry point the fixed-`T`
+    /// conveniences above are built on.
+    ///
+    /// Per round the observer receives a lazy [`RoundView`]; metrics it
+    /// does not read are never computed, so a pure-throughput observer
+    /// (e.g. [`abft_core::observe::NullObserver`]) skips the per-round
+    /// honest-cost pass entirely. Returning
+    /// [`abft_core::observe::ControlFlow::Halt`] stops the run with the
+    /// observed round as its final record — the estimate is not updated
+    /// again. The returned [`RunSummary`] is always present and its final
+    /// record is computed exactly once, at the last executed round.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdSimulation::run`].
+    pub fn run_observed(
+        &mut self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        workspace: &mut RoundWorkspace,
+        observer: &mut dyn RunObserver,
+    ) -> Result<ObservedRun, DgdError> {
         let dim = self.costs[0].dim();
         validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
 
         let honest = self.honest_agents();
-        let mut trace = Trace::new(filter.name());
+        let probe = observer.probe();
         // Agents eliminated via the S1 no-reply rule. The server-side view
         // (n, f) shrinks accordingly.
         let mut eliminated: Vec<bool> = vec![false; self.config.n()];
@@ -234,32 +337,36 @@ impl DgdSimulation {
         } = workspace;
 
         let mut x = options.projection.project(&options.x0);
-        for t in 0..options.iterations {
+        let mut summary = None;
+        for t in 0..=options.iterations {
+            let advance = t < options.iterations;
             self.collect_round(t, &x, &mut eliminated, &mut server_f, round);
             filter.aggregate_into(&round.batch, server_f, aggregated)?;
-            if aggregated.has_non_finite() || x.has_non_finite() {
+            if advance && (aggregated.has_non_finite() || x.has_non_finite()) {
                 return Err(DgdError::Diverged { iteration: t });
             }
-            trace.push(self.record(t, &x, aggregated, &honest, options));
+            {
+                let source = HonestCostMetrics::new(
+                    &self.costs,
+                    &honest,
+                    &x,
+                    &options.reference,
+                    aggregated,
+                );
+                let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
+                summary = observe_round(observer, &view, advance);
+            }
+            if summary.is_some() {
+                break;
+            }
             let eta = options.schedule.eta(t);
             x.axpy(-eta, aggregated);
             options.projection.project_in_place(&mut x);
         }
 
-        // Final record at x_T (gradient fields recomputed there).
-        self.collect_round(
-            options.iterations,
-            &x,
-            &mut eliminated,
-            &mut server_f,
-            round,
-        );
-        filter.aggregate_into(&round.batch, server_f, aggregated)?;
-        trace.push(self.record(options.iterations, &x, aggregated, &honest, options));
-
-        Ok(RunResult {
-            trace,
+        Ok(ObservedRun {
             final_estimate: x,
+            summary: summary.expect("the loop always observes a final round"),
         })
     }
 
@@ -350,25 +457,6 @@ impl DgdSimulation {
                     .copy_from_slice(round.forged.as_slice());
             }
             row += 1;
-        }
-    }
-
-    /// Builds one trace record at estimate `x` (allocation-free: distance
-    /// and φ are computed without materializing `x − reference`).
-    fn record(
-        &self,
-        t: usize,
-        x: &Vector,
-        aggregated: &Vector,
-        honest: &[usize],
-        options: &RunOptions,
-    ) -> IterationRecord {
-        IterationRecord {
-            iteration: t,
-            loss: total_value(&self.costs, honest, x),
-            distance: x.dist(&options.reference),
-            grad_norm: aggregated.norm(),
-            phi: offset_dot(x, &options.reference, aggregated),
         }
     }
 }

@@ -89,6 +89,44 @@ fn dgd_inner_loop_allocates_nothing_per_iteration() {
 }
 
 #[test]
+fn summary_only_observation_memory_does_not_grow_with_t() {
+    // A `SummaryOnly` run records nothing per round: unlike the dense
+    // trace (which grows a Vec with T), its allocation count must be
+    // *independent* of the horizon — not merely amortized-constant.
+    let run = |iterations: usize| {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem
+            .subset_minimizer(&[1, 2, 3, 4, 5])
+            .expect("full rank");
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .expect("valid")
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .expect("f = 1 budget");
+        let options =
+            RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1); // serial contract; see above
+        let filter = by_name("cge").expect("registered");
+        let mut workspace = abft_dgd::RoundWorkspace::new();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        sim.run_observed(
+            filter.as_ref(),
+            &options,
+            &mut workspace,
+            &mut abft_core::observe::NullObserver,
+        )
+        .expect("runs");
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    let _ = run(5);
+    let short = run(10);
+    let long = run(410);
+    assert_eq!(
+        long, short,
+        "a summary-only run's allocations must not scale with T \
+         ({short} at T = 10 vs {long} at T = 410)"
+    );
+}
+
+#[test]
 fn omniscient_attacks_stay_on_the_zero_copy_path() {
     // ALIE reads honest gradients as batch rows; its forgery is staged in
     // a reused scratch vector. Marginal allocations must still be ~zero.

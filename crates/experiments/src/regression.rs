@@ -121,7 +121,11 @@ pub fn figure2(out_dir: &Path, iterations: usize, tag: &str) -> Result<(), Box<d
         ]);
         for (label, maybe_attack, filter) in &runs {
             let result = run_execution(&problem, &x_h, *maybe_attack, filter, iterations)?;
-            for r in result.trace.records() {
+            let trace = result
+                .trace
+                .as_ref()
+                .expect("experiments record full traces");
+            for r in trace.records() {
                 series.push_row(vec![
                     r.iteration.to_string(),
                     label.to_string(),
@@ -129,7 +133,7 @@ pub fn figure2(out_dir: &Path, iterations: usize, tag: &str) -> Result<(), Box<d
                     format!("{:.6e}", r.distance),
                 ])?;
             }
-            let last = result.trace.final_record().expect("non-empty trace");
+            let last = trace.final_record().expect("non-empty trace");
             summary.push_row(vec![
                 attack.to_string(),
                 label.to_string(),

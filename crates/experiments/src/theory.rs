@@ -169,6 +169,7 @@ pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         .options(RunOptions::paper_defaults_with_iterations(x_h, 1000))
         .build()?;
     let run = InProcess.run(&scenario)?;
+    let trace = run.trace.as_ref().expect("experiments record full traces");
 
     let mut table = CsvTable::new(vec![
         "iteration".into(),
@@ -176,7 +177,7 @@ pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
         "phi".into(),
         "grad norm".into(),
     ]);
-    for r in run.trace.records().iter().step_by(50) {
+    for r in trace.records().iter().step_by(50) {
         table.push_row(vec![
             r.iteration.to_string(),
             format!("{:.6e}", r.distance),
@@ -189,16 +190,15 @@ pub fn phi_monitor(out_dir: &Path) -> Result<(), Box<dyn Error>> {
 
     // Empirical premise: the smallest D* such that φ > 0 whenever
     // distance ≥ D* over the recorded trajectory.
-    let d_star = run
-        .trace
+    let d_star = trace
         .records()
         .iter()
         .filter(|r| r.phi <= 0.0)
         .map(|r| r.distance)
         .fold(0.0f64, f64::max)
         .max(1e-6);
-    let premise_violated_at = phi_lower_bound_holds(&run.trace, d_star * 1.0001, 0.0);
-    let settles = settles_within(&run.trace, d_star, 0.01, 100);
+    let premise_violated_at = phi_lower_bound_holds(trace, d_star * 1.0001, 0.0);
+    let settles = settles_within(trace, d_star, 0.01, 100);
     println!("\nempirical D* (phi > 0 outside this radius): {d_star:.4e}");
     println!(
         "premise holds outside D*: {}",

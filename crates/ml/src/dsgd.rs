@@ -9,6 +9,9 @@
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
+use abft_core::observe::{
+    observe_round, MetricSource, NullObserver, RoundView, RunObserver, RunSummary,
+};
 use abft_filters::GradientFilter;
 use abft_linalg::rng::seeded_rng;
 use abft_linalg::{GradientBatch, Vector};
@@ -110,6 +113,73 @@ impl DsgdConfig {
     }
 }
 
+/// The fault plan of a D-SGD run: which agents misbehave, and how.
+#[derive(Debug, Clone, Copy)]
+pub struct DsgdFaults<'a> {
+    /// Indices of the faulty agents (distinct, in range).
+    pub agents: &'a [usize],
+    /// What the faulty agents do.
+    pub fault: MlFault,
+}
+
+impl<'a> DsgdFaults<'a> {
+    /// `agents` misbehave per `fault`.
+    pub fn new(agents: &'a [usize], fault: MlFault) -> Self {
+        DsgdFaults { agents, fault }
+    }
+
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        DsgdFaults {
+            agents: &[],
+            fault: MlFault::None,
+        }
+    }
+}
+
+/// The result of an observed D-SGD run: the evaluation series plus the
+/// always-present [`RunSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsgdOutcome {
+    /// Evaluation records every `eval_every` iterations plus the final one.
+    pub records: Vec<DsgdRecord>,
+    /// Final record, rounds observed (`iterations + 1` when training ran
+    /// its full budget), and halt reason. See
+    /// [`train_distributed_observed`] for how the DGD metric vocabulary
+    /// maps onto training.
+    pub summary: RunSummary,
+}
+
+/// The [`MetricSource`] of a D-SGD round. Training has no reference point
+/// `x_H`, so the DGD metric vocabulary maps as: `loss` is the honest
+/// agents' mean mini-batch loss (a by-product of the gradient pass —
+/// cheap), `grad_norm` **and** `distance` are the filtered update
+/// direction's norm (so [`abft_core::observe::ConvergenceHalt`] performs
+/// gradient-norm early stopping), and `φ`, defined only relative to a
+/// reference, is reported as `0`.
+struct DsgdMetrics<'a> {
+    honest_loss: f64,
+    direction: &'a Vector,
+}
+
+impl MetricSource for DsgdMetrics<'_> {
+    fn loss(&self) -> f64 {
+        self.honest_loss
+    }
+
+    fn distance(&self) -> f64 {
+        self.direction.norm()
+    }
+
+    fn grad_norm(&self) -> f64 {
+        self.direction.norm()
+    }
+
+    fn phi(&self) -> f64 {
+        0.0
+    }
+}
+
 /// One evaluation record of a D-SGD run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DsgdRecord {
@@ -139,6 +209,50 @@ pub fn train_distributed<M: Model>(
     test: &Dataset,
     config: &DsgdConfig,
 ) -> Result<Vec<DsgdRecord>, MlError> {
+    train_distributed_observed(
+        model,
+        shards,
+        DsgdFaults::new(faulty, fault),
+        filter,
+        test,
+        config,
+        &mut NullObserver,
+    )
+    .map(|outcome| outcome.records)
+}
+
+/// [`train_distributed`] with a caller-supplied [`RunObserver`] — the
+/// same streaming hook the DGD drivers expose, on the training loop.
+///
+/// The observer sees one lazy round view per SGD iteration — *after*
+/// aggregation, *before* the parameter update — plus the final record
+/// round at the parameters training ends with (never applied), exactly
+/// like the DGD drivers: `iterations + 1` rounds in total. Training has no
+/// reference point `x_H`, so the DGD metric vocabulary maps as: `loss`
+/// is the honest agents' mean mini-batch loss, `distance` **and**
+/// `grad_norm` are the filtered direction's norm (making
+/// `ConvergenceHalt` gradient-norm early stopping), and `φ` is reported
+/// as `0`. Returning
+/// [`abft_core::observe::ControlFlow::Halt`] stops training with the
+/// current parameters; the final evaluation record is still appended, so
+/// [`DsgdOutcome::records`] always ends with a measured accuracy.
+///
+/// # Errors
+///
+/// See [`train_distributed`].
+pub fn train_distributed_observed<M: Model>(
+    model: &mut M,
+    shards: &[Dataset],
+    faults: DsgdFaults<'_>,
+    filter: &dyn GradientFilter,
+    test: &Dataset,
+    config: &DsgdConfig,
+    observer: &mut dyn RunObserver,
+) -> Result<DsgdOutcome, MlError> {
+    let DsgdFaults {
+        agents: faulty,
+        fault,
+    } = faults;
     let n = shards.len();
     if n == 0 {
         return Err(MlError::InvalidConfig {
@@ -184,6 +298,8 @@ pub fn train_distributed<M: Model>(
     let mut rng = seeded_rng(config.seed);
     let lr = config.learning_rate();
     let mut records = Vec::new();
+    let probe = observer.probe();
+    let mut summary = None;
 
     // Round state reused across all iterations: the contiguous gradient
     // batch (one row per agent, refilled in place) and the filtered
@@ -198,7 +314,13 @@ pub fn train_distributed<M: Model>(
     }
     let mut direction = Vector::zeros(model.param_dim());
 
-    for t in 0..config.iterations {
+    // Like the DGD drivers, the loop runs a *final record round* at
+    // `t = iterations`: one more gradient pass + aggregation at the final
+    // parameters, observed but never applied, so the observer sees
+    // `iterations + 1` rounds and the summary's final record describes
+    // the parameters training actually ends with.
+    for t in 0..=config.iterations {
+        let advance = t < config.iterations;
         // Per-agent stochastic gradients of the current global model,
         // written straight into the batch rows.
         round.reset_rows(n);
@@ -217,42 +339,47 @@ pub fn train_distributed<M: Model>(
                 honest_count += 1;
             }
         }
+        let mean_loss = honest_loss_sum / honest_count as f64;
 
-        if t % config.eval_every == 0 {
+        if advance && t.is_multiple_of(config.eval_every) {
             records.push(DsgdRecord {
                 iteration: t,
-                loss: honest_loss_sum / honest_count as f64,
+                loss: mean_loss,
                 accuracy: model.accuracy(test),
             });
         }
 
         filter.aggregate_into(&round, f, &mut direction)?;
         let mut params = model.params();
+        {
+            let source = DsgdMetrics {
+                honest_loss: mean_loss,
+                direction: &direction,
+            };
+            let view = RoundView::new(t, params.as_slice(), direction.as_slice(), &source, probe);
+            summary = observe_round(observer, &view, advance);
+        }
+        if summary.is_some() {
+            // Final evaluation record at the (never again updated)
+            // parameters — unless the eval schedule already recorded this
+            // exact iteration a few lines up.
+            if records.last().is_none_or(|r| r.iteration != t) {
+                records.push(DsgdRecord {
+                    iteration: t,
+                    loss: mean_loss,
+                    accuracy: model.accuracy(test),
+                });
+            }
+            break;
+        }
         params.axpy(-lr, &direction);
         model.set_params(&params);
     }
 
-    // Final record.
-    let final_loss = {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for (i, shard) in effective_shards.iter().enumerate() {
-            if is_faulty[i] {
-                continue;
-            }
-            let batch = shard.sample_batch(&mut rng, config.batch_size);
-            let (loss, _) = model.loss_and_gradient(shard, &batch);
-            sum += loss;
-            count += 1;
-        }
-        sum / count as f64
-    };
-    records.push(DsgdRecord {
-        iteration: config.iterations,
-        loss: final_loss,
-        accuracy: model.accuracy(test),
-    });
-    Ok(records)
+    Ok(DsgdOutcome {
+        records,
+        summary: summary.expect("the loop always observes a final round"),
+    })
 }
 
 #[cfg(test)]
@@ -440,6 +567,132 @@ mod tests {
         // Iterations 0, 100, ..., 500 plus the final record at 600.
         let iters: Vec<usize> = records.iter().map(|r| r.iteration).collect();
         assert_eq!(iters, vec![0, 100, 200, 300, 400, 500, 600]);
+    }
+
+    #[test]
+    fn completed_observed_training_honours_the_summary_contract() {
+        use abft_core::observe::{HaltReason, NullObserver};
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let outcome = train_distributed_observed(
+            &mut model,
+            &shards,
+            DsgdFaults::none(),
+            &Mean::new(),
+            &test,
+            &quick_config(),
+            &mut NullObserver,
+        )
+        .unwrap();
+        // `rounds = iterations + 1`: the observer saw the final record
+        // round at the final parameters, like every DGD driver.
+        assert_eq!(outcome.summary.rounds, 601);
+        assert_eq!(outcome.summary.halt, HaltReason::Completed);
+        assert_eq!(outcome.summary.final_record.iteration, 600);
+    }
+
+    #[test]
+    fn halting_on_an_eval_iteration_does_not_duplicate_records() {
+        use abft_core::observe::{ControlFlow, HaltReason, Probe, RoundView, RunObserver};
+
+        /// Halts at a fixed iteration without reading any metric.
+        struct HaltAt(usize);
+        impl RunObserver for HaltAt {
+            fn probe(&self) -> Probe {
+                Probe::NONE
+            }
+            fn observe(&mut self, view: &RoundView<'_>) -> ControlFlow {
+                if view.iteration() >= self.0 {
+                    ControlFlow::Halt
+                } else {
+                    ControlFlow::Continue
+                }
+            }
+        }
+
+        let (shards, test) = setup();
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        // eval_every = 100 and a halt exactly at t = 100: the scheduled
+        // eval record doubles as the final record instead of appearing
+        // twice with contradictory values.
+        let outcome = train_distributed_observed(
+            &mut model,
+            &shards,
+            DsgdFaults::none(),
+            &Mean::new(),
+            &test,
+            &quick_config(),
+            &mut HaltAt(100),
+        )
+        .unwrap();
+        let iters: Vec<usize> = outcome.records.iter().map(|r| r.iteration).collect();
+        assert_eq!(iters, vec![0, 100]);
+        assert_eq!(
+            outcome.summary.halt,
+            HaltReason::Observer { at_iteration: 100 }
+        );
+        assert_eq!(outcome.summary.rounds, 101);
+        assert_eq!(outcome.summary.final_record.iteration, 100);
+    }
+
+    #[test]
+    fn observed_training_can_stop_on_gradient_norm() {
+        use abft_core::observe::{ConvergenceHalt, HaltReason};
+
+        let (shards, test) = setup();
+        // Reference run, full horizon.
+        let mut reference_model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let reference = train_distributed(
+            &mut reference_model,
+            &shards,
+            &[],
+            MlFault::None,
+            &Mean::new(),
+            &test,
+            &quick_config(),
+        )
+        .unwrap();
+
+        // D-SGD maps `distance` to the filtered direction's norm, so
+        // ConvergenceHalt implements gradient-norm early stopping. The
+        // fault-free run starts with direction norms well above 0 and
+        // this generous threshold fires quickly.
+        let mut model = Mlp::new(&[16, 8, 10], 1).unwrap();
+        let mut halt = ConvergenceHalt::new(10.0, 0.0, 5);
+        let outcome = train_distributed_observed(
+            &mut model,
+            &shards,
+            DsgdFaults::none(),
+            &Mean::new(),
+            &test,
+            &quick_config(),
+            &mut halt,
+        )
+        .unwrap();
+        let HaltReason::Observer { at_iteration } = outcome.summary.halt else {
+            panic!("run must halt early");
+        };
+        assert!(at_iteration < 600);
+        assert_eq!(outcome.summary.rounds, at_iteration + 1);
+        assert_eq!(
+            outcome.records.last().unwrap().iteration,
+            at_iteration,
+            "the final evaluation record is taken at the halt iteration"
+        );
+        assert_eq!(
+            outcome.summary.final_record.grad_norm,
+            outcome.summary.final_record.distance
+        );
+        // Observation did not perturb training up to the halt: the
+        // eval records before the halt match the reference run's.
+        let shared = outcome
+            .records
+            .iter()
+            .zip(&reference)
+            .take_while(|(a, b)| a.iteration == b.iteration && a.iteration < at_iteration);
+        for (a, b) in shared {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod net;
 pub mod svm;
 
 pub use dataset::{Dataset, DatasetSpec};
-pub use dsgd::{train_distributed, DsgdConfig, DsgdRecord, MlFault, Model};
+pub use dsgd::{
+    train_distributed, train_distributed_observed, DsgdConfig, DsgdFaults, DsgdOutcome, DsgdRecord,
+    MlFault, Model,
+};
 pub use error::MlError;
 pub use net::Mlp;
 pub use svm::LinearSvm;
@@ -44,7 +47,10 @@ pub use svm::LinearSvm;
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::dataset::{Dataset, DatasetSpec};
-    pub use crate::dsgd::{train_distributed, DsgdConfig, DsgdRecord, MlFault, Model};
+    pub use crate::dsgd::{
+        train_distributed, train_distributed_observed, DsgdConfig, DsgdFaults, DsgdOutcome,
+        DsgdRecord, MlFault, Model,
+    };
     pub use crate::error::MlError;
     pub use crate::net::Mlp;
     pub use crate::svm::LinearSvm;

@@ -64,15 +64,15 @@ pub use eig::{eig_broadcast, eig_broadcast_on, BroadcastOutcome, EigMessage, Equ
 pub use error::RuntimeError;
 pub use message::{FromAgent, ServerWire, ToAgent};
 pub use metrics::RuntimeMetrics;
-pub use peer_to_peer::PeerToPeerResult;
-pub use simulated::{SimTopology, SimulatedResult, SimulatedRun};
+pub use peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
+pub use simulated::{SimTopology, SimulatedOutcome, SimulatedResult, SimulatedRun};
 pub use task::DgdTask;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
     pub use crate::eig::eig_broadcast;
     pub use crate::error::RuntimeError;
-    pub use crate::peer_to_peer::PeerToPeerResult;
-    pub use crate::simulated::{SimTopology, SimulatedResult, SimulatedRun};
+    pub use crate::peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
+    pub use crate::simulated::{SimTopology, SimulatedOutcome, SimulatedResult, SimulatedRun};
     pub use crate::task::DgdTask;
 }

@@ -19,13 +19,12 @@ use crate::eig::{eig_broadcast_on, EigMessage, EquivocationPlan};
 use crate::error::RuntimeError;
 use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::observe::{observe_round, RoundView, RunObserver};
 use abft_core::validate::FaultBudget;
-use abft_core::{IterationRecord, Trace};
-use abft_dgd::{RunOptions, RunResult};
+use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector};
 use abft_net::{MessageBus, NetFault, NetMetrics, PerfectBus};
-use abft_problems::total_value;
 use std::collections::BTreeMap;
 
 /// A vector with bit-exact equality, usable as an EIG broadcast value.
@@ -61,7 +60,7 @@ impl BitsVector {
     }
 }
 
-/// The outcome of a peer-to-peer DGD execution.
+/// The outcome of a peer-to-peer DGD execution with dense recording.
 #[derive(Debug, Clone)]
 pub struct PeerToPeerResult {
     /// The honest agents' common trajectory — or, on a faulty network, the
@@ -79,6 +78,21 @@ pub struct PeerToPeerResult {
     pub final_spread: f64,
 }
 
+/// The outcome of an *observed* peer-to-peer DGD execution: the leader's
+/// [`ObservedRun`] plus the broadcast/network counters of
+/// [`PeerToPeerResult`].
+#[derive(Debug, Clone)]
+pub struct PeerToPeerOutcome {
+    /// The leader's (first honest agent's) run: final estimate + summary.
+    pub run: ObservedRun,
+    /// Total EIG broadcast instances executed (`n` per iteration).
+    pub broadcasts: usize,
+    /// Network counters reported by the bus the run executed on.
+    pub net: NetMetrics,
+    /// Largest final pairwise distance between honest agents' estimates.
+    pub final_spread: f64,
+}
+
 /// The EIG-broadcast lockstep loop behind [`DgdTask::run_peer_to_peer`],
 /// on a reliable in-memory bus.
 ///
@@ -91,9 +105,25 @@ pub(crate) fn execute(
     equivocate: bool,
     filter: &dyn GradientFilter,
     options: &RunOptions,
-) -> Result<PeerToPeerResult, RuntimeError> {
+    observer: &mut dyn RunObserver,
+) -> Result<PeerToPeerOutcome, RuntimeError> {
     let mut bus = PerfectBus::new(task.config().n());
-    execute_on(task, equivocate, filter, options, &mut bus, &[], true)
+    let link = P2pLink {
+        equivocate,
+        net_faults: &[],
+        enforce_lockstep: true,
+    };
+    execute_on(task, filter, options, &mut bus, link, observer)
+}
+
+/// How the peer-to-peer loop is wired to its network: legacy equivocation
+/// mode, network-level Byzantine faults, and whether lockstep is asserted
+/// (reliable bus) or merely measured (simulator).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct P2pLink<'a> {
+    pub(crate) equivocate: bool,
+    pub(crate) net_faults: &'a [(usize, NetFault)],
+    pub(crate) enforce_lockstep: bool,
 }
 
 /// The peer-to-peer DGD loop over an arbitrary [`MessageBus`] — shared by
@@ -121,13 +151,17 @@ pub(crate) fn execute(
 #[allow(clippy::needless_range_loop)]
 pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
     task: DgdTask,
-    equivocate: bool,
     filter: &dyn GradientFilter,
     options: &RunOptions,
     bus: &mut B,
-    net_faults: &[(usize, NetFault)],
-    enforce_lockstep: bool,
-) -> Result<PeerToPeerResult, RuntimeError> {
+    link: P2pLink<'_>,
+    observer: &mut dyn RunObserver,
+) -> Result<PeerToPeerOutcome, RuntimeError> {
+    let P2pLink {
+        equivocate,
+        net_faults,
+        enforce_lockstep,
+    } = link;
     let DgdTask {
         config,
         costs,
@@ -187,7 +221,8 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
         slot_of[agent] = Some(slot);
     }
     let mut estimates: Vec<Vector> = vec![options.projection.project(&options.x0); honest.len()];
-    let mut trace = Trace::new(filter.name());
+    let probe = observer.probe();
+    let mut summary = None;
     let mut broadcasts = 0usize;
     // One decided-gradient batch per honest perspective, plus a shared
     // aggregate vector — all reused across iterations. Rows are written in
@@ -280,44 +315,51 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
             }
         }
 
-        // Every honest agent filters and updates locally.
-        let mut record_norm = 0.0;
-        let mut record_phi = 0.0;
+        // The leader's (slot 0's) aggregate is computed first so the
+        // observer sees the round *before* any estimate moves — a halt
+        // therefore leaves every honest agent at `x_t`, matching the
+        // server drivers' halt semantics exactly.
         let x = leader_x;
-        for (slot, decided) in decided_batches.iter().enumerate() {
+        filter.aggregate_into(&decided_batches[0], config.f(), &mut aggregated)?;
+        {
+            let source =
+                HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
+            let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
+            summary = observe_round(observer, &view, advance);
+        }
+        if summary.is_some() {
+            // On the natural final round the non-leader perspectives still
+            // aggregate (no update follows) so a filter failure in any
+            // honest agent's decided multiset surfaces — only an observer
+            // *halt* skips the remaining slots, since the protocol stops
+            // mid-round there by design.
+            if !advance {
+                for decided in decided_batches.iter().skip(1) {
+                    filter.aggregate_into(decided, config.f(), &mut aggregated)?;
+                }
+            }
+            break;
+        }
+
+        // Every honest agent filters and updates locally (the leader's
+        // aggregate is already in hand).
+        let eta = options.schedule.eta(t);
+        estimates[0].axpy(-eta, &aggregated);
+        options.projection.project_in_place(&mut estimates[0]);
+        for (slot, decided) in decided_batches.iter().enumerate().skip(1) {
             filter.aggregate_into(decided, config.f(), &mut aggregated)?;
-            if slot == 0 {
-                record_norm = aggregated.norm();
-                record_phi = x
-                    .iter()
-                    .zip(options.reference.iter())
-                    .zip(aggregated.iter())
-                    .map(|((xi, ri), gi)| (xi - ri) * gi)
-                    .sum();
-            }
-            if advance {
-                let eta = options.schedule.eta(t);
-                estimates[slot].axpy(-eta, &aggregated);
-                options.projection.project_in_place(&mut estimates[slot]);
-            }
+            estimates[slot].axpy(-eta, &aggregated);
+            options.projection.project_in_place(&mut estimates[slot]);
         }
         // Lockstep check: on a reliable network every honest agent's
         // estimate must match the leader's bit-for-bit.
-        if enforce_lockstep && advance {
+        if enforce_lockstep {
             for est in estimates.iter().skip(1) {
                 if !est.approx_eq(&estimates[0], 0.0) {
                     return Err(RuntimeError::LockstepViolation { iteration: t });
                 }
             }
         }
-
-        trace.push(IterationRecord {
-            iteration: t,
-            loss: total_value(&costs, &honest, &x),
-            distance: x.dist(&options.reference),
-            grad_norm: record_norm,
-            phi: record_phi,
-        });
     }
 
     let final_spread = estimates
@@ -326,10 +368,10 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
         .flat_map(|(p, a)| estimates[p + 1..].iter().map(move |b| a.dist(b)))
         .fold(0.0f64, f64::max);
 
-    Ok(PeerToPeerResult {
-        result: RunResult {
-            trace,
+    Ok(PeerToPeerOutcome {
+        run: ObservedRun {
             final_estimate: estimates[0].clone(),
+            summary: summary.expect("the loop always observes a final round"),
         },
         broadcasts,
         net: bus.metrics(),
@@ -448,14 +490,18 @@ mod tests {
         let run = |net_faults: &[(usize, NetFault)]| {
             let task = DgdTask::new(*problem.config(), problem.costs());
             let mut bus = PerfectBus::new(task.config().n());
+            let link = P2pLink {
+                equivocate: false,
+                net_faults,
+                enforce_lockstep: true,
+            };
             execute_on(
                 task,
-                false,
                 &Cge::new(),
                 &options,
                 &mut bus,
-                net_faults,
-                true,
+                link,
+                &mut abft_core::observe::NullObserver,
             )
         };
         // Out-of-range agent.
@@ -481,13 +527,25 @@ mod tests {
             .byzantine(0, Box::new(GradientReverse::new()));
         let mut bus = PerfectBus::new(task.config().n());
         let faults = [(0, NetFault::EquivocateSplit { boundary: 2 })];
-        let outcome =
-            execute_on(task, false, &Cwtm::new(), &options, &mut bus, &faults, true).unwrap();
+        let link = P2pLink {
+            equivocate: false,
+            net_faults: &faults,
+            enforce_lockstep: true,
+        };
+        let outcome = execute_on(
+            task,
+            &Cwtm::new(),
+            &options,
+            &mut bus,
+            link,
+            &mut abft_core::observe::NullObserver,
+        )
+        .unwrap();
         assert_eq!(outcome.final_spread, 0.0);
         assert!(
-            outcome.result.final_distance() < 0.2,
+            outcome.run.summary.final_distance() < 0.2,
             "distance = {}",
-            outcome.result.final_distance()
+            outcome.run.summary.final_distance()
         );
     }
 
@@ -498,9 +556,21 @@ mod tests {
         let mut bus = PerfectBus::new(task.config().n());
         // Agent 0 never sends to agents 1 and 2 (and forges nothing).
         let faults = [(0, NetFault::SelectiveSend(vec![1, 2]))];
-        let outcome =
-            execute_on(task, false, &Cge::new(), &options, &mut bus, &faults, true).unwrap();
+        let link = P2pLink {
+            equivocate: false,
+            net_faults: &faults,
+            enforce_lockstep: true,
+        };
+        let outcome = execute_on(
+            task,
+            &Cge::new(),
+            &options,
+            &mut bus,
+            link,
+            &mut abft_core::observe::NullObserver,
+        )
+        .unwrap();
         assert_eq!(outcome.final_spread, 0.0, "EIG absorbs selective sending");
-        assert!(outcome.result.final_distance() < 0.2);
+        assert!(outcome.run.summary.final_distance() < 0.2);
     }
 }

@@ -28,13 +28,12 @@
 
 use crate::error::RuntimeError;
 use crate::message::{FromAgent, ServerWire, ToAgent};
-use crate::peer_to_peer;
+use crate::peer_to_peer::{self, P2pLink};
 use crate::task::DgdTask;
-use crate::threaded::record;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::observe::{observe_round, RoundView, RunObserver};
 use abft_core::validate::{self, FaultBudget};
-use abft_core::Trace;
-use abft_dgd::{RunOptions, RunResult};
+use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_net::{MessageBus, NetFault, NetMetrics, NetworkModel, SimulatedNetwork};
@@ -100,7 +99,25 @@ impl SimulatedRun {
     }
 }
 
-/// The outcome of a simulated execution.
+/// The outcome of an *observed* simulated execution: the recorded
+/// trajectory lives with the caller's observers; the run itself yields
+/// the [`ObservedRun`] plus the simulator's counters.
+#[derive(Debug, Clone)]
+pub struct SimulatedOutcome {
+    /// Final estimate + always-present summary (the first honest agent's
+    /// perspective in the peer-to-peer topology, the server's otherwise).
+    pub run: ObservedRun,
+    /// Network counters (see [`SimulatedResult::net`]).
+    pub net: NetMetrics,
+    /// EIG broadcast instances (see [`SimulatedResult::broadcasts`]).
+    pub broadcasts: usize,
+    /// Missed-deadline gradient count (see [`SimulatedResult::stragglers`]).
+    pub stragglers: usize,
+    /// Honest-estimate spread (see [`SimulatedResult::final_spread`]).
+    pub final_spread: f64,
+}
+
+/// The outcome of a simulated execution with dense recording.
 #[derive(Debug, Clone)]
 pub struct SimulatedResult {
     /// The recorded trajectory (the first honest agent's, in the
@@ -129,12 +146,13 @@ pub(crate) fn execute(
     sim: &SimulatedRun,
     filter: &dyn GradientFilter,
     options: &RunOptions,
-) -> Result<SimulatedResult, RuntimeError> {
+    observer: &mut dyn RunObserver,
+) -> Result<SimulatedOutcome, RuntimeError> {
     match sim.topology {
         SimTopology::PeerToPeer { equivocate } => {
-            execute_p2p(task, sim, equivocate, filter, options)
+            execute_p2p(task, sim, equivocate, filter, options, observer)
         }
-        SimTopology::Server => execute_server(task, sim, filter, options),
+        SimTopology::Server => execute_server(task, sim, filter, options, observer),
     }
 }
 
@@ -147,20 +165,18 @@ fn execute_p2p(
     equivocate: bool,
     filter: &dyn GradientFilter,
     options: &RunOptions,
-) -> Result<SimulatedResult, RuntimeError> {
+    observer: &mut dyn RunObserver,
+) -> Result<SimulatedOutcome, RuntimeError> {
     let n = task.config().n();
     let mut net: SimulatedNetwork<_> = sim.network.build(n);
-    let outcome = peer_to_peer::execute_on(
-        task,
+    let link = P2pLink {
         equivocate,
-        filter,
-        options,
-        &mut net,
-        &sim.net_faults,
-        false,
-    )?;
-    Ok(SimulatedResult {
-        result: outcome.result,
+        net_faults: &sim.net_faults,
+        enforce_lockstep: false,
+    };
+    let outcome = peer_to_peer::execute_on(task, filter, options, &mut net, link, observer)?;
+    Ok(SimulatedOutcome {
+        run: outcome.run,
         net: outcome.net,
         broadcasts: outcome.broadcasts,
         stragglers: 0,
@@ -176,7 +192,8 @@ fn execute_server(
     sim: &SimulatedRun,
     filter: &dyn GradientFilter,
     options: &RunOptions,
-) -> Result<SimulatedResult, RuntimeError> {
+    observer: &mut dyn RunObserver,
+) -> Result<SimulatedOutcome, RuntimeError> {
     let DgdTask {
         config,
         costs,
@@ -224,7 +241,8 @@ fn execute_server(
         .collect();
 
     let mut net: SimulatedNetwork<ServerWire> = sim.network.build(n + 1);
-    let mut trace = Trace::new(filter.name());
+    let probe = observer.probe();
+    let mut summary = None;
     let mut x = options.projection.project(&options.x0);
     let mut batch = GradientBatch::with_capacity(n, dim);
     if options.aggregation_threads > 1 {
@@ -340,18 +358,24 @@ fn execute_server(
             filter.aggregate_into(&batch, f_round, &mut aggregated)?;
         }
 
-        trace.push(record(&costs, &honest, t, &x, &aggregated, options));
-        if advance {
-            let eta = options.schedule.eta(t);
-            x.axpy(-eta, &aggregated);
-            options.projection.project_in_place(&mut x);
+        {
+            let source =
+                HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
+            let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
+            summary = observe_round(observer, &view, advance);
         }
+        if summary.is_some() {
+            break;
+        }
+        let eta = options.schedule.eta(t);
+        x.axpy(-eta, &aggregated);
+        options.projection.project_in_place(&mut x);
     }
 
-    Ok(SimulatedResult {
-        result: RunResult {
-            trace,
+    Ok(SimulatedOutcome {
+        run: ObservedRun {
             final_estimate: x,
+            summary: summary.expect("the loop always observes a final round"),
         },
         net: net.metrics(),
         broadcasts: 0,

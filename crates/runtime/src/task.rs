@@ -32,13 +32,25 @@
 
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeMetrics;
-use crate::peer_to_peer::PeerToPeerResult;
-use crate::simulated::{SimulatedResult, SimulatedRun};
+use crate::peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
+use crate::simulated::{SimulatedOutcome, SimulatedResult, SimulatedRun};
 use abft_attacks::ByzantineStrategy;
+use abft_core::observe::{RunObserver, TraceRecorder};
 use abft_core::SystemConfig;
-use abft_dgd::{RunOptions, RunResult};
+use abft_dgd::{ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_problems::SharedCost;
+
+/// Attaches a dense recorder's trace to an observed run — how the
+/// fixed-horizon conveniences rebuild the historical [`RunResult`] on top
+/// of the streaming entry points.
+fn dense_result(recorder: TraceRecorder, run: ObservedRun) -> RunResult {
+    RunResult {
+        trace: recorder.into_trace(),
+        final_estimate: run.final_estimate,
+        summary: run.summary,
+    }
+}
 
 /// One distributed DGD execution: the `(n, f)` system, the agents' costs,
 /// and the fault plan (Byzantine strategies and crash schedules).
@@ -100,7 +112,7 @@ impl DgdTask {
         filter: &dyn GradientFilter,
         options: &RunOptions,
     ) -> Result<RunResult, RuntimeError> {
-        crate::threaded::execute(self, filter, options, &RuntimeMetrics::new())
+        self.run_threaded_with_metrics(filter, options, &RuntimeMetrics::new())
     }
 
     /// [`DgdTask::run_threaded`] with an external metrics collector.
@@ -114,7 +126,30 @@ impl DgdTask {
         options: &RunOptions,
         metrics: &RuntimeMetrics,
     ) -> Result<RunResult, RuntimeError> {
-        crate::threaded::execute(self, filter, options, metrics)
+        let mut recorder = TraceRecorder::dense(filter.name());
+        let run = crate::threaded::execute(self, filter, options, metrics, &mut recorder)?;
+        Ok(dense_result(recorder, run))
+    }
+
+    /// [`DgdTask::run_threaded`] with a caller-supplied
+    /// [`RunObserver`] instead of dense recording — the streaming entry
+    /// point. The observer sees one lazy round view per synchronous round
+    /// and can stop the server early by returning
+    /// [`abft_core::observe::ControlFlow::Halt`]; the run then shuts the
+    /// agent threads down and reports the halt round in its
+    /// [`abft_core::observe::RunSummary`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_threaded`].
+    pub fn run_threaded_observed(
+        self,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        metrics: &RuntimeMetrics,
+        observer: &mut dyn RunObserver,
+    ) -> Result<ObservedRun, RuntimeError> {
+        crate::threaded::execute(self, filter, options, metrics, observer)
     }
 
     /// Runs the task on the peer-to-peer runtime: one EIG broadcast per
@@ -137,7 +172,34 @@ impl DgdTask {
         filter: &dyn GradientFilter,
         options: &RunOptions,
     ) -> Result<PeerToPeerResult, RuntimeError> {
-        crate::peer_to_peer::execute(self, equivocate, filter, options)
+        let mut recorder = TraceRecorder::dense(filter.name());
+        let outcome =
+            crate::peer_to_peer::execute(self, equivocate, filter, options, &mut recorder)?;
+        Ok(PeerToPeerResult {
+            result: dense_result(recorder, outcome.run),
+            broadcasts: outcome.broadcasts,
+            net: outcome.net,
+            final_spread: outcome.final_spread,
+        })
+    }
+
+    /// [`DgdTask::run_peer_to_peer`] with a caller-supplied
+    /// [`RunObserver`] instead of dense recording. The observer follows
+    /// the leader's (first honest agent's) perspective; a halt stops the
+    /// protocol *before* any estimate of that round moves, so every
+    /// honest agent ends at the halt round's estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_peer_to_peer`].
+    pub fn run_peer_to_peer_observed(
+        self,
+        equivocate: bool,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<PeerToPeerOutcome, RuntimeError> {
+        crate::peer_to_peer::execute(self, equivocate, filter, options, observer)
     }
 
     /// Runs the task over a seeded network simulator, in either
@@ -161,6 +223,33 @@ impl DgdTask {
         filter: &dyn GradientFilter,
         options: &RunOptions,
     ) -> Result<SimulatedResult, RuntimeError> {
-        crate::simulated::execute(self, sim, filter, options)
+        let mut recorder = TraceRecorder::dense(filter.name());
+        let outcome = crate::simulated::execute(self, sim, filter, options, &mut recorder)?;
+        Ok(SimulatedResult {
+            result: dense_result(recorder, outcome.run),
+            net: outcome.net,
+            broadcasts: outcome.broadcasts,
+            stragglers: outcome.stragglers,
+            final_spread: outcome.final_spread,
+        })
+    }
+
+    /// [`DgdTask::run_simulated`] with a caller-supplied [`RunObserver`]
+    /// instead of dense recording, in either topology. A halt stops the
+    /// protocol with the halt round's estimate as final, exactly like the
+    /// other runtimes — over ideal links the halt round is bit-identical
+    /// to theirs.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_simulated`].
+    pub fn run_simulated_observed(
+        self,
+        sim: &SimulatedRun,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<SimulatedOutcome, RuntimeError> {
+        crate::simulated::execute(self, sim, filter, options, observer)
     }
 }

@@ -21,12 +21,12 @@ use crate::error::RuntimeError;
 use crate::metrics::RuntimeMetrics;
 use crate::task::DgdTask;
 use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::observe::{observe_round, RoundView, RunObserver};
 use abft_core::validate::{self, FaultBudget};
-use abft_core::{IterationRecord, Trace};
-use abft_dgd::{RunOptions, RunResult};
+use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
-use abft_problems::{total_value, SharedCost};
+use abft_problems::SharedCost;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -127,14 +127,17 @@ fn agent_loop(
 /// other agents' in-flight gradients (use [`abft_dgd::DgdSimulation`] for
 /// omniscient attack studies).
 ///
-/// The recorded trace matches [`abft_dgd::DgdSimulation::run`] exactly for
-/// the same inputs — asserted by the cross-runtime equivalence test.
+/// The observed rounds match [`abft_dgd::DgdSimulation::run`] exactly for
+/// the same inputs — asserted by the cross-runtime equivalence test — and
+/// an observer halt stops the server loop the same way (the halt round's
+/// estimate is final; agents are shut down immediately).
 pub(crate) fn execute(
     task: DgdTask,
     filter: &dyn GradientFilter,
     options: &RunOptions,
     metrics: &RuntimeMetrics,
-) -> Result<RunResult, RuntimeError> {
+    observer: &mut dyn RunObserver,
+) -> Result<ObservedRun, RuntimeError> {
     let DgdTask {
         config,
         costs,
@@ -196,7 +199,6 @@ pub(crate) fn execute(
     // filter shards its kernels — bit-identically to serial.
     let mut eliminated = vec![false; n];
     let mut server_f = config.f();
-    let mut trace = Trace::new(filter.name());
     let mut x = options.projection.project(&options.x0);
     let mut batch = GradientBatch::with_capacity(n, dim);
     if options.aggregation_threads > 1 {
@@ -279,8 +281,11 @@ pub(crate) fn execute(
         Ok(())
     };
 
-    let result = (|| -> Result<RunResult, RuntimeError> {
-        for t in 0..options.iterations {
+    let result = (|| -> Result<ObservedRun, RuntimeError> {
+        let probe = observer.probe();
+        let mut summary = None;
+        for t in 0..=options.iterations {
+            let advance = t < options.iterations;
             run_round(
                 t,
                 &x,
@@ -291,32 +296,22 @@ pub(crate) fn execute(
                 &mut row_of,
                 &mut vacated,
             )?;
-            trace.push(record(&costs, &honest, t, &x, &aggregated, options));
+            {
+                let source =
+                    HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
+                let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
+                summary = observe_round(observer, &view, advance);
+            }
+            if summary.is_some() {
+                break;
+            }
             let eta = options.schedule.eta(t);
             x.axpy(-eta, &aggregated);
             options.projection.project_in_place(&mut x);
         }
-        run_round(
-            options.iterations,
-            &x,
-            &mut eliminated,
-            &mut server_f,
-            &mut batch,
-            &mut aggregated,
-            &mut row_of,
-            &mut vacated,
-        )?;
-        trace.push(record(
-            &costs,
-            &honest,
-            options.iterations,
-            &x,
-            &aggregated,
-            options,
-        ));
-        Ok(RunResult {
-            trace,
+        Ok(ObservedRun {
             final_estimate: x,
+            summary: summary.expect("the loop always observes a final round"),
         })
     })();
 
@@ -330,30 +325,6 @@ pub(crate) fn execute(
         }
     }
     result
-}
-
-/// Builds one trace record at estimate `x` (mirrors the in-process driver;
-/// allocation-free like it). Shared with the simulated server topology.
-pub(crate) fn record(
-    costs: &[SharedCost],
-    honest: &[usize],
-    t: usize,
-    x: &Vector,
-    aggregated: &Vector,
-    options: &RunOptions,
-) -> IterationRecord {
-    IterationRecord {
-        iteration: t,
-        loss: total_value(costs, honest, x),
-        distance: x.dist(&options.reference),
-        grad_norm: aggregated.norm(),
-        phi: x
-            .iter()
-            .zip(options.reference.iter())
-            .zip(aggregated.iter())
-            .map(|((xi, ri), gi)| (xi - ri) * gi)
-            .sum(),
-    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Runtimes a [`Scenario`] can execute on, and the unified [`RunReport`].
 
 use crate::error::ScenarioError;
-use crate::spec::Scenario;
+use crate::spec::{HaltRule, Recording, Scenario};
 use abft_core::csv::CsvTable;
+use abft_core::observe::{
+    ControlFlow, ConvergenceHalt, Probe, RoundView, RunObserver, RunSummary, TraceRecorder,
+};
 use abft_core::{CoreError, Trace};
 use abft_dgd::{DgdSimulation, RoundWorkspace};
 use abft_linalg::Vector;
@@ -41,8 +44,9 @@ pub struct BackendMetrics {
 }
 
 /// The unified result of running one [`Scenario`] on one [`Backend`]: the
-/// full per-iteration trace, the final estimate, wall-clock timing, and
-/// backend-level counters.
+/// recorded trace (if the scenario's [`Recording`] mode kept one), the
+/// always-present [`RunSummary`], the final estimate, wall-clock timing,
+/// and backend-level counters.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// The scenario's label.
@@ -51,10 +55,17 @@ pub struct RunReport {
     pub backend: &'static str,
     /// The gradient filter's registry name.
     pub filter: String,
-    /// Per-iteration records (`iterations + 1` entries, like
-    /// [`abft_dgd::RunResult`]).
-    pub trace: Trace,
-    /// The final estimate `x_T` — the paper's `x_out`.
+    /// The recorded per-iteration trace: `Some` with `rounds` records for
+    /// [`Recording::Full`] (bit-identical to the historical dense traces),
+    /// `Some` with the subsampled records for [`Recording::Every`], and
+    /// `None` for [`Recording::SummaryOnly`].
+    pub trace: Option<Trace>,
+    /// The always-present run summary: the final record (computed once, at
+    /// the last executed round), the number of rounds executed, and why
+    /// the run stopped (completed vs. halted by a [`HaltRule`]).
+    pub summary: RunSummary,
+    /// The final estimate — the paper's `x_out` (the halt round's estimate
+    /// when a halt rule fired).
     pub final_estimate: Vector,
     /// Wall-clock duration of the execution (excluding scenario
     /// materialization).
@@ -64,21 +75,29 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Final approximation error `‖x_T − reference‖`.
+    /// Final approximation error `‖x_out − reference‖` — infallible: read
+    /// from the [`RunSummary`], which every recording mode produces.
     pub fn final_distance(&self) -> f64 {
-        self.trace
-            .final_distance()
-            .expect("trace always has at least the initial record")
+        self.summary.final_distance()
     }
 
-    /// Writes the trace in the workspace's standard CSV format
+    /// Writes the recorded trace in the workspace's standard CSV format
     /// (`iteration,loss,distance,grad_norm,phi`).
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError::Io`] when the file cannot be written.
+    /// Returns [`ScenarioError::InvalidObservation`] when the scenario ran
+    /// with [`Recording::SummaryOnly`] (there is no trace to write) and
+    /// [`ScenarioError::Io`] when the file cannot be written.
     pub fn write_trace_csv(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
-        self.trace
+        let trace = self.trace.as_ref().ok_or_else(|| {
+            ScenarioError::InvalidObservation(format!(
+                "scenario '{}' recorded no trace (Recording::SummaryOnly); \
+                 use Recording::Full or Recording::Every to keep one",
+                self.scenario
+            ))
+        })?;
+        trace
             .write_csv(path)
             .map_err(|e: CoreError| ScenarioError::Io(e.to_string()))
     }
@@ -172,6 +191,56 @@ fn reject_net_faults(backend: &'static str, scenario: &Scenario) -> Result<(), S
     }
 }
 
+/// The observer a scenario's [`Recording`] mode and [`HaltRule`] compose
+/// to — the one sink every backend drives, so recording and halting
+/// behave identically everywhere.
+struct ScenarioObserver {
+    recorder: Option<TraceRecorder>,
+    halt: Option<ConvergenceHalt>,
+}
+
+impl ScenarioObserver {
+    fn for_scenario(scenario: &Scenario) -> Self {
+        let name = scenario.filter().name();
+        let recorder = match scenario.recording() {
+            Recording::Full => Some(TraceRecorder::dense(name)),
+            Recording::Every(k) => Some(TraceRecorder::every(name, k)),
+            Recording::SummaryOnly => None,
+        };
+        let halt = scenario.halt_rule().map(|rule| match rule {
+            HaltRule::Converged {
+                radius,
+                slack,
+                window,
+            } => ConvergenceHalt::new(radius, slack, window),
+        });
+        ScenarioObserver { recorder, halt }
+    }
+
+    fn into_trace(self) -> Option<Trace> {
+        self.recorder.map(TraceRecorder::into_trace)
+    }
+}
+
+impl RunObserver for ScenarioObserver {
+    fn probe(&self) -> Probe {
+        let recorder = self.recorder.as_ref().map_or(Probe::NONE, |r| r.probe());
+        let halt = self.halt.as_ref().map_or(Probe::NONE, |h| h.probe());
+        recorder.union(halt)
+    }
+
+    fn observe(&mut self, view: &RoundView<'_>) -> ControlFlow {
+        let mut flow = ControlFlow::Continue;
+        if let Some(recorder) = &mut self.recorder {
+            flow = flow.merge(recorder.observe(view));
+        }
+        if let Some(halt) = &mut self.halt {
+            flow = flow.merge(halt.observe(view));
+        }
+        flow
+    }
+}
+
 /// Materializes a scenario's fault plan onto a [`DgdTask`] — the single
 /// mapping every message-passing backend launches from, so they cannot
 /// diverge on assignment order (which the bit-exactness contract relies
@@ -211,19 +280,26 @@ impl Backend for InProcess {
         for (agent, at_iteration) in scenario.crash_assignments() {
             sim = sim.with_crash(agent, at_iteration)?;
         }
+        let mut observer = ScenarioObserver::for_scenario(scenario);
         let started = Instant::now();
-        let result = sim.run_with_workspace(scenario.filter(), scenario.options(), workspace)?;
+        let run = sim.run_observed(
+            scenario.filter(),
+            scenario.options(),
+            workspace,
+            &mut observer,
+        )?;
         let elapsed = started.elapsed();
         Ok(RunReport {
             scenario: scenario.label().to_string(),
             backend: self.name(),
             filter: scenario.filter().name().to_string(),
             metrics: BackendMetrics {
-                rounds: result.trace.len(),
+                rounds: run.summary.rounds,
                 ..BackendMetrics::default()
             },
-            final_estimate: result.final_estimate,
-            trace: result.trace,
+            final_estimate: run.final_estimate,
+            trace: observer.into_trace(),
+            summary: run.summary,
             elapsed,
         })
     }
@@ -247,9 +323,14 @@ impl Backend for Threaded {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let metrics = RuntimeMetrics::new();
+        let mut observer = ScenarioObserver::for_scenario(scenario);
         let started = Instant::now();
-        let result =
-            task.run_threaded_with_metrics(scenario.filter(), scenario.options(), &metrics)?;
+        let run = task.run_threaded_observed(
+            scenario.filter(),
+            scenario.options(),
+            &metrics,
+            &mut observer,
+        )?;
         let elapsed = started.elapsed();
         let snapshot = metrics.snapshot();
         Ok(RunReport {
@@ -263,8 +344,9 @@ impl Backend for Threaded {
                 agents_eliminated: snapshot.agents_eliminated,
                 ..BackendMetrics::default()
             },
-            final_estimate: result.final_estimate,
-            trace: result.trace,
+            final_estimate: run.final_estimate,
+            trace: observer.into_trace(),
+            summary: run.summary,
             elapsed,
         })
     }
@@ -292,23 +374,29 @@ impl Backend for PeerToPeer {
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
+        let mut observer = ScenarioObserver::for_scenario(scenario);
         let started = Instant::now();
-        let outcome =
-            task.run_peer_to_peer(self.equivocate, scenario.filter(), scenario.options())?;
+        let outcome = task.run_peer_to_peer_observed(
+            self.equivocate,
+            scenario.filter(),
+            scenario.options(),
+            &mut observer,
+        )?;
         let elapsed = started.elapsed();
         Ok(RunReport {
             scenario: scenario.label().to_string(),
             backend: self.name(),
             filter: scenario.filter().name().to_string(),
             metrics: BackendMetrics {
-                rounds: outcome.result.trace.len(),
+                rounds: outcome.run.summary.rounds,
                 eig_broadcasts: outcome.broadcasts,
                 eig_messages: outcome.net.sent as usize,
                 net: outcome.net,
                 ..BackendMetrics::default()
             },
-            final_estimate: outcome.result.final_estimate,
-            trace: outcome.result.trace,
+            final_estimate: outcome.run.final_estimate,
+            trace: observer.into_trace(),
+            summary: outcome.run.summary,
             elapsed,
         })
     }
@@ -371,8 +459,14 @@ impl Backend for Simulated {
         let task = task_for(scenario);
         let mut sim = self.plan.clone();
         sim.net_faults.extend(scenario.net_faults().iter().cloned());
+        let mut observer = ScenarioObserver::for_scenario(scenario);
         let started = Instant::now();
-        let outcome = task.run_simulated(&sim, scenario.filter(), scenario.options())?;
+        let outcome = task.run_simulated_observed(
+            &sim,
+            scenario.filter(),
+            scenario.options(),
+            &mut observer,
+        )?;
         let elapsed = started.elapsed();
         // EIG counters only exist in the peer-to-peer topology; the server
         // topology's wire traffic lives solely in the `net` counters.
@@ -385,15 +479,16 @@ impl Backend for Simulated {
             backend: self.name(),
             filter: scenario.filter().name().to_string(),
             metrics: BackendMetrics {
-                rounds: outcome.result.trace.len(),
+                rounds: outcome.run.summary.rounds,
                 eig_broadcasts: outcome.broadcasts,
                 eig_messages,
                 stragglers: outcome.stragglers,
                 net: outcome.net,
                 ..BackendMetrics::default()
             },
-            final_estimate: outcome.result.final_estimate,
-            trace: outcome.result.trace,
+            final_estimate: outcome.run.final_estimate,
+            trace: observer.into_trace(),
+            summary: outcome.run.summary,
             elapsed,
         })
     }
@@ -418,14 +513,18 @@ mod tests {
             .unwrap()
     }
 
+    fn records(report: &RunReport) -> &[abft_core::IterationRecord] {
+        report.trace.as_ref().expect("dense recording").records()
+    }
+
     #[test]
     fn one_scenario_runs_on_all_three_backends() {
         let scenario = scenario(40);
         let reference = InProcess.run(&scenario).unwrap();
         let threaded = Threaded.run(&scenario).unwrap();
         let p2p = PeerToPeer::default().run(&scenario).unwrap();
-        assert_eq!(reference.trace.records(), threaded.trace.records());
-        assert_eq!(reference.trace.records(), p2p.trace.records());
+        assert_eq!(records(&reference), records(&threaded));
+        assert_eq!(records(&reference), records(&p2p));
         assert!(reference
             .final_estimate
             .approx_eq(&threaded.final_estimate, 0.0));
@@ -460,7 +559,7 @@ mod tests {
             .run_with_workspace(&scenario, &mut workspace)
             .unwrap();
         // Fresh strategy instances per run → identical traces.
-        assert_eq!(a.trace.records(), b.trace.records());
+        assert_eq!(records(&a), records(&b));
     }
 
     #[test]

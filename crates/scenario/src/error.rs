@@ -32,6 +32,10 @@ pub enum ScenarioError {
     /// cannot express — e.g. network-level faults on a backend without a
     /// simulated network.
     Unsupported(String),
+    /// The observation plan is malformed (zero subsampling stride,
+    /// non-finite or zero-window halt rule), or a report was asked for a
+    /// trace its recording mode never produced.
+    InvalidObservation(String),
     /// Writing a report to disk failed.
     Io(String),
 }
@@ -55,6 +59,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Dgd(e) => write!(f, "dgd failure: {e}"),
             ScenarioError::Runtime(e) => write!(f, "runtime failure: {e}"),
             ScenarioError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
+            ScenarioError::InvalidObservation(msg) => {
+                write!(f, "invalid observation plan: {msg}")
+            }
             ScenarioError::Io(msg) => write!(f, "i/o failure: {msg}"),
         }
     }

@@ -18,9 +18,16 @@
 //!   [`NetworkModel`]). The same scenario value produces the identical
 //!   trace on every reliable backend, and on the simulator whenever its
 //!   network model is fault-free.
-//! * [`RunReport`] — the unified result: full per-iteration [`trace`]
-//!   (`iteration, loss, distance, grad_norm, phi`), the final estimate,
-//!   wall-clock timing, and [`BackendMetrics`].
+//! * [`RunReport`] — the unified result: the recorded [`trace`]
+//!   (`iteration, loss, distance, grad_norm, phi`; `None` for
+//!   summary-only runs), the always-present [`RunSummary`], the final
+//!   estimate, wall-clock timing, and [`BackendMetrics`].
+//! * [`Recording`] / [`HaltRule`] — the observation plan:
+//!   `builder().record(Recording::Every(10)).halt(HaltRule::Converged
+//!   { .. })` subsamples the trace and stops the run — deterministically,
+//!   at the same round on every backend — once the estimate has settled.
+//!   `Recording::SummaryOnly` turns per-round instrumentation off
+//!   entirely (no honest-cost pass, no memory growth with `T`).
 //! * [`ScenarioSuite`] — a filters × attacks grid (or any scenario list)
 //!   fanned out across worker threads, each worker reusing one gradient
 //!   batch, with deterministic scenario-ordered reports and CSV output.
@@ -51,8 +58,9 @@
 //! let a = InProcess.run(&scenario)?;
 //! let b = Threaded.run(&scenario)?;
 //! let c = PeerToPeer::default().run(&scenario)?;
-//! assert_eq!(a.trace.records(), b.trace.records());
-//! assert_eq!(a.trace.records(), c.trace.records());
+//! assert_eq!(a.trace, b.trace);
+//! assert_eq!(a.trace, c.trace);
+//! assert_eq!(a.summary, b.summary);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,8 +72,12 @@ pub mod suite;
 
 pub use backend::{Backend, BackendMetrics, InProcess, PeerToPeer, RunReport, Simulated, Threaded};
 pub use error::ScenarioError;
-pub use spec::{IntoCosts, Scenario, ScenarioBuilder};
+pub use spec::{HaltRule, IntoCosts, Recording, Scenario, ScenarioBuilder};
 pub use suite::{ScenarioSuite, SuiteOutcomes, SuiteReport};
+
+// The observation vocabulary reports are described with, re-exported so
+// scenario consumers need no direct `abft-core` dependency.
+pub use abft_core::observe::{HaltReason, RunSummary};
 
 // The network vocabulary a simulated scenario is described with, re-
 // exported so scenario authors need no direct `abft-net` dependency.
@@ -76,7 +88,8 @@ pub use abft_runtime::SimTopology;
 pub mod prelude {
     pub use crate::backend::{Backend, InProcess, PeerToPeer, RunReport, Simulated, Threaded};
     pub use crate::error::ScenarioError;
-    pub use crate::spec::{Scenario, ScenarioBuilder};
+    pub use crate::spec::{HaltRule, Recording, Scenario, ScenarioBuilder};
     pub use crate::suite::{ScenarioSuite, SuiteReport};
+    pub use abft_core::observe::{HaltReason, RunSummary};
     pub use abft_net::{LinkModel, NetFault, NetworkModel, Partition};
 }

@@ -15,6 +15,48 @@ use std::sync::Arc;
 /// bit-identical behaviour.
 type AttackFactory = Arc<dyn Fn() -> Box<dyn ByzantineStrategy> + Send + Sync>;
 
+/// What a scenario records while it runs.
+///
+/// Recording is pure observation: the estimate trajectory is bit-identical
+/// across all modes (pinned by the observation tests). What changes is the
+/// cost — [`Recording::Full`] pays the per-round honest-cost pass and grows
+/// a dense in-memory trace with `T`; [`Recording::SummaryOnly`] pays
+/// neither, computing the full record once at the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recording {
+    /// Record every round — the historical dense trace
+    /// (`RunReport::trace` is `Some`, with `rounds` records).
+    #[default]
+    Full,
+    /// Record iterations `0, k, 2k, …` only. The records present are
+    /// bit-identical to the dense trace's records at those iterations.
+    Every(usize),
+    /// Record nothing per round (`RunReport::trace` is `None`); only the
+    /// always-present `RunSummary` is produced. Zero per-round loss/φ cost
+    /// evaluations, zero allocations that scale with `T`.
+    SummaryOnly,
+}
+
+/// When a scenario stops before its iteration budget.
+///
+/// Halting is deterministic: the triggering series is bit-identical across
+/// backends and aggregation thread counts, so the halt round is too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HaltRule {
+    /// Stop once the distance `‖x_t − reference‖` has stayed at or below
+    /// `radius + slack` for `window` consecutive rounds — the streaming
+    /// form of the paper's "settles inside the ball" guarantees
+    /// (`abft_dgd::convergence::settles_within`).
+    Converged {
+        /// The ball radius (normally the theorem's `D*` or measured `ε`).
+        radius: f64,
+        /// Numerical tolerance added to the radius.
+        slack: f64,
+        /// Consecutive in-ball rounds required before halting (≥ 1).
+        window: usize,
+    },
+}
+
 /// One agent's fault behaviour inside a scenario.
 #[derive(Clone)]
 pub(crate) enum FaultKind {
@@ -78,6 +120,8 @@ pub struct Scenario {
     pub(crate) net_faults: Vec<(usize, NetFault)>,
     pub(crate) filter: Arc<dyn GradientFilter>,
     pub(crate) options: RunOptions,
+    pub(crate) recording: Recording,
+    pub(crate) halt: Option<HaltRule>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -140,6 +184,16 @@ impl Scenario {
     /// scenarios that carry any.
     pub fn net_faults(&self) -> &[(usize, NetFault)] {
         &self.net_faults
+    }
+
+    /// What this scenario records per round (default [`Recording::Full`]).
+    pub fn recording(&self) -> Recording {
+        self.recording
+    }
+
+    /// The early-stop rule, if any.
+    pub fn halt_rule(&self) -> Option<HaltRule> {
+        self.halt
     }
 
     /// Materializes fresh Byzantine strategy instances, in assignment order.
@@ -251,6 +305,8 @@ pub struct ScenarioBuilder {
     net_faults: Vec<(usize, NetFault)>,
     filter: Option<PendingFilter>,
     options: Option<RunOptions>,
+    recording: Recording,
+    halt: Option<HaltRule>,
 }
 
 impl ScenarioBuilder {
@@ -352,6 +408,26 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects what the run records per round (default
+    /// [`Recording::Full`]): dense, every-`k` subsampled, or summary-only.
+    /// Pure observation — the estimate trajectory is identical in every
+    /// mode.
+    #[must_use]
+    pub fn record(mut self, recording: Recording) -> Self {
+        self.recording = recording;
+        self
+    }
+
+    /// Installs an early-stop rule: the run halts as soon as the rule
+    /// fires (deterministically — same round on every backend and at any
+    /// aggregation thread count), recording the halt round and reason in
+    /// the report's `RunSummary`.
+    #[must_use]
+    pub fn halt(mut self, rule: HaltRule) -> Self {
+        self.halt = Some(rule);
+        self
+    }
+
     /// Overrides the auto-generated label.
     #[must_use]
     pub fn label(mut self, label: impl Into<String>) -> Self {
@@ -379,6 +455,32 @@ impl ScenarioBuilder {
 
         let options = self.options.ok_or(ScenarioError::MissingOptions)?;
         validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
+
+        if matches!(self.recording, Recording::Every(0)) {
+            return Err(ScenarioError::InvalidObservation(
+                "Recording::Every(0) is undefined: the subsampling stride must be ≥ 1".into(),
+            ));
+        }
+        if let Some(HaltRule::Converged {
+            radius,
+            slack,
+            window,
+        }) = self.halt
+        {
+            if !radius.is_finite() || !slack.is_finite() || radius < 0.0 || slack < 0.0 {
+                return Err(ScenarioError::InvalidObservation(format!(
+                    "HaltRule::Converged needs finite, non-negative radius and slack \
+                     (got radius = {radius}, slack = {slack})"
+                )));
+            }
+            if window == 0 {
+                return Err(ScenarioError::InvalidObservation(
+                    "HaltRule::Converged needs window ≥ 1 (a zero-round window would halt \
+                     before observing anything)"
+                        .into(),
+                ));
+            }
+        }
 
         let filter: Arc<dyn GradientFilter> = match self.filter {
             Some(PendingFilter::Named(name)) => Arc::from(by_name(&name)?),
@@ -432,6 +534,8 @@ impl ScenarioBuilder {
             net_faults: self.net_faults,
             filter,
             options,
+            recording: self.recording,
+            halt: self.halt,
         };
         scenario.label = self
             .label

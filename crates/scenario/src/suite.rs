@@ -326,11 +326,12 @@ impl SuiteReport {
         table
     }
 
-    /// Writes every scenario's trace under `dir` in the workspace's
-    /// standard CSV format, as `<scenario>_<backend>.csv` (label
-    /// sanitized for the filesystem; colliding names get a `_<index>`
-    /// suffix so no trace silently overwrites another). Returns the
-    /// written paths, one per report.
+    /// Writes every scenario's recorded trace under `dir` in the
+    /// workspace's standard CSV format, as `<scenario>_<backend>.csv`
+    /// (label sanitized for the filesystem; colliding names get a
+    /// `_<index>` suffix so no trace silently overwrites another).
+    /// Reports without a trace (`Recording::SummaryOnly`) are skipped.
+    /// Returns the written paths, one per recorded report.
     ///
     /// # Errors
     ///
@@ -343,6 +344,9 @@ impl SuiteReport {
         let mut taken = std::collections::BTreeSet::new();
         let mut written = Vec::with_capacity(self.reports.len());
         for (index, report) in self.reports.iter().enumerate() {
+            if report.trace.is_none() {
+                continue;
+            }
             let stem = format!(
                 "{}_{}",
                 sanitize(&report.scenario),

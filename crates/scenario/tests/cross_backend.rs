@@ -49,13 +49,11 @@ fn one_scenario_is_bit_identical_on_all_three_backends_across_the_grid() {
             let p2p = PeerToPeer::default().run(&scenario).expect("p2p runs");
 
             assert_eq!(
-                reference.trace.records(),
-                threaded.trace.records(),
+                reference.trace, threaded.trace,
                 "threaded trace diverged for {filter} × {attack}"
             );
             assert_eq!(
-                reference.trace.records(),
-                p2p.trace.records(),
+                reference.trace, p2p.trace,
                 "peer-to-peer trace diverged for {filter} × {attack}"
             );
             assert!(
@@ -106,13 +104,11 @@ fn the_grid_is_bit_identical_at_every_aggregation_thread_count() {
                 let in_process = InProcess.run(&scenario).expect("in-process runs");
                 let threaded = Threaded.run(&scenario).expect("threaded runs");
                 assert_eq!(
-                    serial.trace.records(),
-                    in_process.trace.records(),
+                    serial.trace, in_process.trace,
                     "in-process trace diverged for {filter} × {attack} at {threads} threads"
                 );
                 assert_eq!(
-                    serial.trace.records(),
-                    threaded.trace.records(),
+                    serial.trace, threaded.trace,
                     "threaded trace diverged for {filter} × {attack} at {threads} threads"
                 );
                 assert!(
@@ -152,8 +148,7 @@ fn parallel_suites_share_one_pool_and_stay_deterministic() {
     assert_eq!(serial.reports().len(), pooled.reports().len());
     for (a, b) in serial.reports().iter().zip(pooled.reports()) {
         assert_eq!(
-            a.trace.records(),
-            b.trace.records(),
+            a.trace, b.trace,
             "suite cell {} diverged under shared-pool parallel aggregation",
             a.scenario
         );
@@ -172,7 +167,7 @@ fn crash_scenarios_agree_between_in_process_and_threaded() {
         .expect("builds");
     let reference = InProcess.run(&scenario).expect("in-process runs");
     let threaded = Threaded.run(&scenario).expect("threaded runs");
-    assert_eq!(reference.trace.records(), threaded.trace.records());
+    assert_eq!(reference.trace, threaded.trace);
     assert_eq!(threaded.metrics.agents_eliminated, 1);
     // …and the peer-to-peer backend reports the restriction as a
     // configuration error instead of silently ignoring the crash.
@@ -204,5 +199,5 @@ fn repeated_runs_of_one_scenario_are_deterministic() {
     let first = InProcess.run(&scenario).expect("runs");
     let _interleaved = Threaded.run(&scenario).expect("runs");
     let second = InProcess.run(&scenario).expect("runs");
-    assert_eq!(first.trace.records(), second.trace.records());
+    assert_eq!(first.trace, second.trace);
 }

@@ -1,0 +1,256 @@
+//! Cross-backend observer semantics: recording modes are pure observation
+//! (the trajectory is bit-identical in every mode), subsampled traces
+//! equal the dense trace's k-th records, summaries agree everywhere, and
+//! `HaltRule::Converged` stops every backend — at every aggregation
+//! thread count — at the same round.
+
+use abft_core::observe::HaltReason;
+use abft_core::IterationRecord;
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{
+    Backend, HaltRule, InProcess, NetworkModel, PeerToPeer, Recording, Scenario, ScenarioBuilder,
+    ScenarioError, ScenarioSuite, Simulated, Threaded,
+};
+
+fn template(iterations: usize, threads: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .attack_seeded(0, "gradient-reverse", 3)
+        .filter("cge")
+        .options(
+            RunOptions::paper_defaults_with_iterations(x_h, iterations)
+                .with_aggregation_threads(threads),
+        )
+}
+
+/// All four backends (the simulator in both topologies over ideal links).
+fn backends() -> Vec<(&'static str, Box<dyn Backend>)> {
+    vec![
+        ("in-process", Box::new(InProcess)),
+        ("threaded", Box::new(Threaded)),
+        ("peer-to-peer", Box::new(PeerToPeer::default())),
+        (
+            "simulated-p2p",
+            Box::new(Simulated::peer_to_peer(NetworkModel::ideal())),
+        ),
+        (
+            "simulated-server",
+            Box::new(Simulated::server(NetworkModel::ideal())),
+        ),
+    ]
+}
+
+fn records(report: &abft_scenario::RunReport) -> &[IterationRecord] {
+    report.trace.as_ref().expect("trace recorded").records()
+}
+
+#[test]
+fn recording_modes_are_pure_observation_on_every_backend() {
+    let dense_scenario = template(30, 1).build().expect("builds");
+    let every_scenario = template(30, 1)
+        .record(Recording::Every(7))
+        .build()
+        .expect("builds");
+    let summary_scenario = template(30, 1)
+        .record(Recording::SummaryOnly)
+        .build()
+        .expect("builds");
+
+    for (name, backend) in backends() {
+        let dense = backend.run(&dense_scenario).expect("dense runs");
+        let every = backend.run(&every_scenario).expect("subsampled runs");
+        let summary = backend.run(&summary_scenario).expect("summary-only runs");
+
+        // Dense mode: rounds records, k = 1 — the historical trace.
+        assert_eq!(records(&dense).len(), 31, "{name}");
+        assert_eq!(dense.summary.rounds, 31, "{name}");
+        assert_eq!(
+            *records(&dense).last().expect("non-empty"),
+            dense.summary.final_record,
+            "{name}: the dense trace ends in the summary's final record"
+        );
+
+        // Every(7): exactly the dense trace's records at 0, 7, 14, …,
+        // bit-identical.
+        let expected: Vec<IterationRecord> = records(&dense)
+            .iter()
+            .filter(|r| r.iteration % 7 == 0)
+            .copied()
+            .collect();
+        assert_eq!(records(&every), expected.as_slice(), "{name}");
+
+        // SummaryOnly: no trace, same summary.
+        assert!(summary.trace.is_none(), "{name}");
+        assert_eq!(summary.summary, dense.summary, "{name}");
+        assert_eq!(every.summary, dense.summary, "{name}");
+
+        // The trajectory itself is untouched by the recording mode.
+        assert!(
+            dense.final_estimate.approx_eq(&summary.final_estimate, 0.0)
+                && dense.final_estimate.approx_eq(&every.final_estimate, 0.0),
+            "{name}: recording mode must not perturb the estimate"
+        );
+    }
+}
+
+#[test]
+fn convergence_halt_stops_every_backend_at_the_same_round() {
+    // CGE under gradient-reverse settles near x_H; the rule fires well
+    // before the 500-iteration horizon.
+    let rule = HaltRule::Converged {
+        radius: 0.05,
+        slack: 0.0,
+        window: 10,
+    };
+    let mut halt_rounds = Vec::new();
+    for threads in [1usize, 4] {
+        let scenario = template(500, threads).halt(rule).build().expect("builds");
+        for (name, backend) in backends() {
+            let report = backend.run(&scenario).expect("runs");
+            let at = match report.summary.halt {
+                HaltReason::Observer { at_iteration } => at_iteration,
+                HaltReason::Completed => panic!("{name}@{threads}t: run must halt early"),
+            };
+            assert!(at < 500, "{name}@{threads}t halted at {at}");
+            assert_eq!(report.summary.rounds, at + 1, "{name}@{threads}t");
+            assert_eq!(
+                records(&report).len(),
+                at + 1,
+                "{name}@{threads}t: the trace ends at the halt round"
+            );
+            halt_rounds.push((format!("{name}@{threads}t"), at, report.final_estimate));
+        }
+    }
+    let (_, reference_round, reference_estimate) = halt_rounds[0].clone();
+    for (who, at, estimate) in &halt_rounds {
+        assert_eq!(
+            *at, reference_round,
+            "{who} halted at a different round than {}",
+            halt_rounds[0].0
+        );
+        assert!(
+            estimate.approx_eq(&reference_estimate, 0.0),
+            "{who} halted with a different estimate"
+        );
+    }
+}
+
+#[test]
+fn halted_trace_is_a_prefix_of_the_full_run() {
+    let full = InProcess
+        .run(&template(500, 1).build().expect("builds"))
+        .expect("runs");
+    let halted = InProcess
+        .run(
+            &template(500, 1)
+                .halt(HaltRule::Converged {
+                    radius: 0.05,
+                    slack: 0.0,
+                    window: 10,
+                })
+                .build()
+                .expect("builds"),
+        )
+        .expect("runs");
+    let n = records(&halted).len();
+    assert!(n < records(&full).len());
+    assert_eq!(records(&halted), &records(&full)[..n]);
+}
+
+#[test]
+fn invalid_observation_plans_fail_at_build_time() {
+    let every_zero = template(10, 1).record(Recording::Every(0)).build();
+    assert!(matches!(
+        every_zero,
+        Err(ScenarioError::InvalidObservation(_))
+    ));
+
+    let zero_window = template(10, 1)
+        .halt(HaltRule::Converged {
+            radius: 0.1,
+            slack: 0.0,
+            window: 0,
+        })
+        .build();
+    assert!(matches!(
+        zero_window,
+        Err(ScenarioError::InvalidObservation(_))
+    ));
+
+    let nan_radius = template(10, 1)
+        .halt(HaltRule::Converged {
+            radius: f64::NAN,
+            slack: 0.0,
+            window: 1,
+        })
+        .build();
+    assert!(matches!(
+        nan_radius,
+        Err(ScenarioError::InvalidObservation(_))
+    ));
+}
+
+#[test]
+fn summary_only_reports_refuse_trace_output_and_suites_skip_them() {
+    let scenario = template(5, 1)
+        .record(Recording::SummaryOnly)
+        .build()
+        .expect("builds");
+    let report = InProcess.run(&scenario).expect("runs");
+    let dir = std::env::temp_dir().join("abft_observation_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    assert!(matches!(
+        report.write_trace_csv(dir.join("nope.csv")),
+        Err(ScenarioError::InvalidObservation(_))
+    ));
+
+    // A mixed suite writes only the recorded traces.
+    let dense = template(5, 1).label("dense").build().expect("builds");
+    let suite = ScenarioSuite::from_scenarios(vec![scenario, dense]);
+    let suite_report = suite.run(&InProcess).expect("suite runs");
+    let written = suite_report.write_traces(&dir).expect("writes");
+    assert_eq!(written.len(), 1, "only the dense cell has a trace");
+    assert!(written[0].to_string_lossy().contains("dense"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn subsampled_suite_cells_agree_across_parallel_workers() {
+    // Observation state lives per run, so a parallel suite with mixed
+    // recording modes must reproduce the serial suite exactly.
+    let scenarios = vec![
+        template(20, 1).label("a").build().expect("builds"),
+        template(20, 1)
+            .record(Recording::Every(5))
+            .label("b")
+            .build()
+            .expect("builds"),
+        template(20, 1)
+            .record(Recording::SummaryOnly)
+            .label("c")
+            .build()
+            .expect("builds"),
+        template(20, 1)
+            .halt(HaltRule::Converged {
+                radius: 0.05,
+                slack: 0.0,
+                window: 3,
+            })
+            .label("d")
+            .build()
+            .expect("builds"),
+    ];
+    let suite = ScenarioSuite::from_scenarios(scenarios);
+    let serial = suite.run(&InProcess).expect("serial");
+    let parallel = suite.run_parallel(&InProcess, 3).expect("parallel");
+    for (s, p) in serial.reports().iter().zip(parallel.reports()) {
+        assert_eq!(s.trace, p.trace, "{}", s.scenario);
+        assert_eq!(s.summary, p.summary, "{}", s.scenario);
+    }
+}

@@ -29,7 +29,7 @@ fn template(iterations: usize) -> ScenarioBuilder {
 }
 
 fn assert_reports_identical(a: &RunReport, b: &RunReport, what: &str) {
-    assert_eq!(a.trace.records(), b.trace.records(), "trace: {what}");
+    assert_eq!(a.trace, b.trace, "trace: {what}");
     assert!(
         a.final_estimate.approx_eq(&b.final_estimate, 0.0),
         "final estimate: {what}"
@@ -51,8 +51,7 @@ fn ideal_simulated_p2p_is_bit_identical_to_peer_to_peer_across_the_grid() {
             let real = PeerToPeer::default().run(&scenario).expect("p2p runs");
             let simulated = Simulated::default().run(&scenario).expect("simulator runs");
             assert_eq!(
-                real.trace.records(),
-                simulated.trace.records(),
+                real.trace, simulated.trace,
                 "trace diverged for {filter} × {attack}"
             );
             assert!(
@@ -83,8 +82,8 @@ fn ideal_simulated_server_is_bit_identical_to_in_process_and_threaded() {
         .expect("simulator runs");
     let in_process = InProcess.run(&scenario).expect("in-process runs");
     let threaded = Threaded.run(&scenario).expect("threaded runs");
-    assert_eq!(simulated.trace.records(), in_process.trace.records());
-    assert_eq!(simulated.trace.records(), threaded.trace.records());
+    assert_eq!(simulated.trace, in_process.trace);
+    assert_eq!(simulated.trace, threaded.trace);
 
     // Crashes too: the simulator's per-round S1 rule degenerates to the
     // threaded runtime's permanent elimination over ideal links.
@@ -97,7 +96,7 @@ fn ideal_simulated_server_is_bit_identical_to_in_process_and_threaded() {
         .run(&crash)
         .expect("simulator runs");
     let threaded = Threaded.run(&crash).expect("threaded runs");
-    assert_eq!(simulated.trace.records(), threaded.trace.records());
+    assert_eq!(simulated.trace, threaded.trace);
     assert_eq!(simulated.metrics.stragglers, 0);
 }
 
@@ -231,7 +230,7 @@ fn partition_visibly_degrades_convergence_and_heals() {
     .expect("runs");
     assert!(partitioned.metrics.net.dropped > 0);
     // The partition really perturbed the trajectory…
-    assert_ne!(healthy.trace.records(), partitioned.trace.records());
+    assert_ne!(healthy.trace, partitioned.trace);
     // …but after healing, convergence recovers to a sane neighbourhood.
     assert!(
         partitioned.final_distance() < 0.5,
@@ -268,21 +267,21 @@ proptest! {
 
         let a = backend.run(&scenario).expect("runs");
         let b = backend.run(&scenario).expect("runs");
-        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert_eq!(&a.trace, &b.trace);
         prop_assert_eq!(a.metrics, b.metrics);
 
         // Across worker counts via a two-cell suite.
         let suite = ScenarioSuite::from_scenarios(vec![scenario.clone(), scenario.clone()]);
         let parallel = suite.run_parallel(&backend, 2).expect("suite runs");
         for report in parallel.reports() {
-            prop_assert_eq!(report.trace.records(), a.trace.records());
+            prop_assert_eq!(&report.trace, &a.trace);
             prop_assert_eq!(report.metrics, a.metrics);
         }
 
         // Fault-free models anchor to the real peer-to-peer backend.
         if model.is_fault_free() {
             let real = PeerToPeer::default().run(&scenario).expect("p2p runs");
-            prop_assert_eq!(real.trace.records(), a.trace.records());
+            prop_assert_eq!(&real.trace, &a.trace);
         }
     }
 }

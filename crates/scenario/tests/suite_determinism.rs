@@ -42,8 +42,7 @@ fn parallel_run_equals_serial_run_bit_for_bit() {
                 "report order must be scenario order"
             );
             assert_eq!(
-                s.trace.records(),
-                p.trace.records(),
+                s.trace, p.trace,
                 "trace diverged for {} at {workers} workers",
                 s.scenario
             );
@@ -59,7 +58,7 @@ fn parallel_run_on_a_threaded_backend_is_also_deterministic() {
     let serial = suite.run(&Threaded).expect("serial run");
     let parallel = suite.run_parallel(&Threaded, 2).expect("parallel run");
     for (s, p) in serial.reports().iter().zip(parallel.reports()) {
-        assert_eq!(s.trace.records(), p.trace.records());
+        assert_eq!(s.trace, p.trace);
     }
 }
 

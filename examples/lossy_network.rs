@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let real = PeerToPeer::default().run(&scenario)?;
     println!(
         "\nideal-link simulator matches the real peer-to-peer backend bit-for-bit: {}",
-        ideal.trace.records() == real.trace.records()
+        ideal.trace == real.trace
     );
 
     // ── 2. Scheduled partition ───────────────────────────────────────────

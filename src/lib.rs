@@ -17,7 +17,7 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`core`] | agent ids, `(n, f)` configuration, traces, subsets |
+//! | [`core`] | agent ids, `(n, f)` configuration, traces, subsets, and [`core::observe`] — the streaming `RunObserver` sink API (lazy per-round views, trace recorders, convergence-triggered halting, constant-memory CSV streaming) every driver reports through |
 //! | [`linalg`] | vectors, matrices, solvers, eigenvalues (from scratch), [`linalg::GradientBatch`] — the contiguous `n × d` arena the whole aggregation path runs on — and [`linalg::WorkerPool`], the deterministic pool that shards aggregation bit-identically across threads |
 //! | [`problems`] | cost functions with in-place `gradient_into`, the paper's regression dataset, µ/γ analysis |
 //! | [`filters`] | CGE, CWTM + nine baseline robust aggregators, each implementing the zero-copy `aggregate_into` batch path (the `&[Vector]` signature remains as a thin adapter) |
@@ -27,7 +27,7 @@
 //! | [`net`] | deterministic discrete-event network simulator: the `MessageBus` abstraction, seeded per-link delay/drop/reorder models, scheduled partitions, network-level Byzantine faults |
 //! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast over the shared `MessageBus`, aggregating off the wire into reused batches; `DgdTask::run_simulated` runs either architecture on faulty links |
 //! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
-//! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, peer-to-peer, and simulated-network backends, plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
+//! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, peer-to-peer, and simulated-network backends — with per-scenario [`scenario::Recording`] / [`scenario::HaltRule`] observation plans — plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
 //!
 //! The gradient data path — who produces into and who consumes out of a
 //! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
@@ -42,6 +42,16 @@
 //! serial, so every trace, equivalence guarantee, and test holds
 //! unchanged at any thread count — the knob is pure wall-clock for large
 //! `d`.
+//!
+//! Observation is a sink, not a return value: runs report through
+//! [`core::observe::RunObserver`]s (dense or subsampled trace recording,
+//! convergence-triggered early stop, constant-memory CSV streaming, or
+//! nothing at all), every report carries an always-present
+//! [`core::observe::RunSummary`], and
+//! `Scenario::builder().record(..).halt(..)` selects the plan
+//! declaratively. Recording modes never perturb the trajectory, and halt
+//! rules fire at the identical round on every backend — see `ROADMAP.md`
+//! §“The observation layer”.
 //!
 //! # Quickstart
 //!
