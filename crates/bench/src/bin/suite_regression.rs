@@ -1,0 +1,184 @@
+//! Throughput regression gate over `BENCH_suite.json`.
+//!
+//! Compares a freshly generated suite-throughput report against a
+//! committed baseline and fails (exit code 1) when any tracked backend's
+//! `scenarios_per_sec` drops by more than the tolerance — how CI keeps the
+//! event-loop runtime from quietly sliding back toward the historical
+//! thread-per-agent gap.
+//!
+//! ```text
+//! suite_regression <baseline.json> <current.json> [--backend threaded] [--tolerance 0.20]
+//! ```
+//!
+//! Rows are keyed by `(backend, threads, recording)`; only rows for the
+//! selected backend (default `threaded`) are compared, and a baseline row
+//! with no matching current row is itself a failure. The parser targets
+//! the writer in `benches/suite_throughput.rs` — one result object per
+//! line, stable field order — because the workspace deliberately carries
+//! no serde.
+
+use std::process::ExitCode;
+
+/// One `results` row of `BENCH_suite.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRow {
+    backend: String,
+    threads: usize,
+    recording: String,
+    scenarios_per_sec: f64,
+}
+
+/// Extracts the JSON value following `"key": ` in `line`, up to the next
+/// `,` or `}` — sufficient for the flat, one-object-per-line rows the
+/// bench writes.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// The same field, unquoting a JSON string value.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    field(line, key).map(|raw| raw.trim_matches('"').to_string())
+}
+
+/// Parses every `results` row in the report.
+fn parse_rows(json: &str) -> Vec<BenchRow> {
+    json.lines()
+        .filter(|line| line.trim_start().starts_with('{') && line.contains("\"backend\""))
+        .filter_map(|line| {
+            Some(BenchRow {
+                backend: string_field(line, "backend")?,
+                threads: field(line, "threads")?.parse().ok()?,
+                recording: string_field(line, "recording")?,
+                scenarios_per_sec: field(line, "scenarios_per_sec")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut backend = "threaded".to_string();
+    let mut tolerance = 0.20f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--backend" => match iter.next() {
+                Some(value) => backend = value.clone(),
+                None => return usage("--backend needs a value"),
+            },
+            "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(value) if (0.0..1.0).contains(&value) => tolerance = value,
+                _ => return usage("--tolerance needs a fraction in [0, 1)"),
+            },
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage("expected exactly two report paths");
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("suite_regression: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline_json), Some(current_json)) = (read(baseline_path), read(current_path))
+    else {
+        return ExitCode::FAILURE;
+    };
+    let baseline: Vec<BenchRow> = parse_rows(&baseline_json)
+        .into_iter()
+        .filter(|row| row.backend == backend)
+        .collect();
+    if baseline.is_empty() {
+        eprintln!("suite_regression: no '{backend}' rows in baseline {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    let current = parse_rows(&current_json);
+
+    let mut failed = false;
+    for base in &baseline {
+        let Some(now) = current.iter().find(|row| {
+            row.backend == base.backend
+                && row.threads == base.threads
+                && row.recording == base.recording
+        }) else {
+            eprintln!(
+                "FAIL {backend} threads={} recording={}: row missing from {current_path}",
+                base.threads, base.recording
+            );
+            failed = true;
+            continue;
+        };
+        let floor = base.scenarios_per_sec * (1.0 - tolerance);
+        let verdict = if now.scenarios_per_sec < floor {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!(
+            "{verdict} {backend} threads={} recording={:>12}: {:.1}/s vs baseline {:.1}/s \
+             (floor {:.1}/s at {:.0}% tolerance)",
+            base.threads,
+            base.recording,
+            now.scenarios_per_sec,
+            base.scenarios_per_sec,
+            floor,
+            tolerance * 100.0
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "suite_regression: {problem}\n\
+         usage: suite_regression <baseline.json> <current.json> \
+         [--backend <name>] [--tolerance <fraction>]"
+    );
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "results": [
+    {"backend": "in-process", "threads": 1, "recording": "full", "grid": {"filters": 7, "attacks": 12}, "scenarios": 84, "completed": 84, "failed": 0, "elapsed_s": 0.0235, "scenarios_per_sec": 3569.27},
+    {"backend": "threaded", "threads": 4, "recording": "summary-only", "grid": {"filters": 7, "attacks": 8}, "scenarios": 56, "completed": 56, "failed": 0, "elapsed_s": 0.2299, "scenarios_per_sec": 243.58}
+  ]
+}"#;
+
+    #[test]
+    fn rows_parse_with_their_keys() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].backend, "in-process");
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[0].recording, "full");
+        assert!((rows[0].scenarios_per_sec - 3569.27).abs() < 1e-9);
+        assert_eq!(rows[1].backend, "threaded");
+        assert_eq!(rows[1].threads, 4);
+        assert_eq!(rows[1].recording, "summary-only");
+    }
+
+    #[test]
+    fn nested_grid_object_does_not_confuse_the_field_scan() {
+        let line = SAMPLE.lines().nth(2).unwrap();
+        assert_eq!(field(line, "scenarios"), Some("84"));
+        assert_eq!(field(line, "failed"), Some("0"));
+    }
+}

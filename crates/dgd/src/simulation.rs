@@ -35,6 +35,12 @@ pub struct RunOptions {
     /// pure throughput: traces, estimates, and equivalence guarantees are
     /// unchanged at any value.
     pub aggregation_threads: usize,
+    /// Event-loop workers the server runtime's agent fleet is multiplexed
+    /// over (default 1 = every agent runs inline on the server's thread).
+    /// Only the threaded backend reads this. Like `aggregation_threads`
+    /// it is pure throughput: the fleet's fixed agent→worker schedule
+    /// keeps traces bit-identical at any worker count.
+    pub fleet_workers: usize,
 }
 
 impl RunOptions {
@@ -53,6 +59,7 @@ impl RunOptions {
             projection: ProjectionSet::paper(),
             reference,
             aggregation_threads: Self::default_aggregation_threads(),
+            fleet_workers: Self::default_fleet_workers(),
         }
     }
 
@@ -76,6 +83,26 @@ impl RunOptions {
     #[must_use]
     pub fn with_aggregation_threads(mut self, threads: usize) -> Self {
         self.aggregation_threads = threads.max(1);
+        self
+    }
+
+    /// The default event-loop worker count for the server runtime's agent
+    /// fleet: 1 (inline) unless the `ABFT_FLEET_WORKERS` environment
+    /// variable overrides it — how CI forces the tier-1 suite through the
+    /// multi-worker event loop without a feature flag.
+    pub fn default_fleet_workers() -> usize {
+        std::env::var("ABFT_FLEET_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Overrides the fleet's event-loop worker count (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_fleet_workers(mut self, workers: usize) -> Self {
+        self.fleet_workers = workers.max(1);
         self
     }
 }
@@ -773,6 +800,7 @@ mod tests {
             projection: ProjectionSet::paper(),
             reference: Vector::zeros(2),
             aggregation_threads: 1,
+            fleet_workers: 1,
         };
         assert!(matches!(
             sim.run(&Cge::new(), &options),

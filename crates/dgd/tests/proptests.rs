@@ -17,6 +17,7 @@ fn options(x_h: Vector, iterations: usize) -> RunOptions {
         projection: ProjectionSet::paper(),
         reference: x_h,
         aggregation_threads: RunOptions::default_aggregation_threads(),
+        fleet_workers: RunOptions::default_fleet_workers(),
     }
 }
 
@@ -96,6 +97,7 @@ proptest! {
             projection: w.clone(),
             reference: x_h,
             aggregation_threads: RunOptions::default_aggregation_threads(),
+        fleet_workers: RunOptions::default_fleet_workers(),
         };
         let run = sim.run(&Mean::new(), &opts).expect("runs");
         prop_assert!(w.contains(&run.final_estimate));

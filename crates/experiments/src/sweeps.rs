@@ -310,6 +310,7 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
                 projection: ProjectionSet::paper(),
                 reference: x_h.clone(),
                 aggregation_threads: RunOptions::default_aggregation_threads(),
+                fleet_workers: RunOptions::default_fleet_workers(),
             };
             let scenario = Scenario::builder()
                 .problem(&problem)

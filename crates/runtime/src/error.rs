@@ -12,11 +12,6 @@ pub enum RuntimeError {
     /// Configuration problem (duplicate fault assignment, out-of-range
     /// agent, omniscient strategy in a threaded run, …).
     Config(String),
-    /// A communication channel broke unexpectedly (agent thread panicked).
-    ChannelBroken {
-        /// The agent whose channel failed.
-        agent: usize,
-    },
     /// The peer-to-peer execution lost lockstep: two honest agents computed
     /// different estimates. This indicates a broadcast-agreement violation
     /// and should be impossible for `3f < n`.
@@ -31,9 +26,6 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Dgd(e) => write!(f, "dgd failure: {e}"),
             RuntimeError::Config(msg) => write!(f, "runtime configuration error: {msg}"),
-            RuntimeError::ChannelBroken { agent } => {
-                write!(f, "communication channel to agent {agent} broke")
-            }
             RuntimeError::LockstepViolation { iteration } => {
                 write!(f, "honest agents diverged at iteration {iteration}")
             }
@@ -82,9 +74,6 @@ mod tests {
     fn conversions_and_display() {
         let e = RuntimeError::from(DgdError::Config("x".into()));
         assert!(matches!(e, RuntimeError::Dgd(_)));
-        assert!(RuntimeError::ChannelBroken { agent: 3 }
-            .to_string()
-            .contains("3"));
         assert!(RuntimeError::LockstepViolation { iteration: 9 }
             .to_string()
             .contains("9"));

@@ -1,0 +1,297 @@
+//! The event-driven server runtime behind [`DgdTask::run_threaded`].
+//!
+//! This realizes the paper's Figure-1 server architecture as a persistent
+//! event loop instead of the historical thread-per-agent topology: one DGD
+//! iteration is still one synchronous round — broadcast, collect, filter,
+//! update — but the "broadcast" is a `RoundStart` event dispatched to
+//! [`AgentCell`](crate::fleet::AgentCell) state machines multiplexed over
+//! the fleet's worker pool, and the "reply" is the cell writing its
+//! gradient straight into its loaned batch row. A cell whose crash
+//! schedule fires goes silent, which the server treats as the "no gradient
+//! received" case of step S1 and eliminates the agent (updating its
+//! `(n, f)` view) — exactly as the thread-per-agent runtime treated a
+//! disconnected channel.
+//!
+//! The OS-thread round-trip per agent per round — the scheduling cost that
+//! made the threaded backend ~15× slower than the in-process driver — is
+//! gone: a 1-worker fleet runs every agent inline with no threads at all,
+//! and a k-worker fleet pays one pool dispatch per round. Because the
+//! pool's **fixed schedule** makes agent→worker assignment a pure function
+//! of `(active agents, workers)`, the rows see the same floating-point
+//! operations in the same order at any worker count, and the traces stay
+//! bit-identical to the in-process driver (pinned by the cross-runtime and
+//! cross-backend equivalence suites).
+
+use crate::error::RuntimeError;
+use crate::fleet::Fleet;
+use crate::metrics::RuntimeMetrics;
+use crate::task::DgdTask;
+use abft_attacks::ByzantineStrategy;
+use abft_core::observe::{observe_round, RoundView, RunObserver};
+use abft_core::validate::{self, FaultBudget};
+use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions};
+use abft_filters::GradientFilter;
+use abft_linalg::Vector;
+
+/// The event-loop server execution behind [`DgdTask::run_threaded`] and
+/// friends, driving a caller-supplied (and caller-reused) [`Fleet`].
+///
+/// Omniscient strategies are rejected: a server agent cannot observe the
+/// other agents' in-flight gradients (use [`abft_dgd::DgdSimulation`] for
+/// omniscient attack studies).
+///
+/// The observed rounds match [`abft_dgd::DgdSimulation::run`] exactly for
+/// the same inputs — asserted by the cross-runtime equivalence tests — and
+/// an observer halt stops the loop the same way (the halt round's estimate
+/// is final).
+pub(crate) fn execute(
+    task: DgdTask,
+    fleet: &mut Fleet,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+    metrics: &RuntimeMetrics,
+    observer: &mut dyn RunObserver,
+) -> Result<ObservedRun, RuntimeError> {
+    let DgdTask {
+        config,
+        costs,
+        byzantine,
+        crashes,
+    } = task;
+    let n = config.n();
+    let dim = validate::cost_dimension(n, costs.iter().map(|c| c.dim()))?;
+    validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
+
+    // Validate and index fault assignments.
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
+    let mut crash_at: Vec<Option<usize>> = vec![None; n];
+    let mut budget = FaultBudget::new(&config);
+    for (agent, strategy) in byzantine {
+        budget.assign(agent)?;
+        if strategy.is_omniscient() {
+            return Err(RuntimeError::Config(format!(
+                "strategy '{}' is omniscient; threaded agents cannot observe \
+                 other agents' in-flight gradients",
+                strategy.name()
+            )));
+        }
+        strategies[agent] = Some(strategy);
+    }
+    for (agent, iteration) in crashes {
+        budget.assign(agent)?;
+        crash_at[agent] = Some(iteration);
+    }
+    let honest: Vec<usize> = (0..n)
+        .filter(|&i| strategies[i].is_none() && crash_at[i].is_none())
+        .collect();
+
+    // Program the fleet: agent cells, the round batch, and the aggregation
+    // pool are installed (or reused) here. Everything after this line is
+    // the per-round hot path.
+    let warm = fleet.load(
+        &costs,
+        strategies,
+        &crash_at,
+        dim,
+        options.aggregation_threads,
+    );
+    if warm {
+        metrics.record_fleet_reuse();
+    }
+
+    let mut eliminated = vec![false; n];
+    let mut server_f = config.f();
+    let mut x = options.projection.project(&options.x0);
+    let mut aggregated = Vector::zeros(dim);
+    let mut vacated: Vec<usize> = Vec::with_capacity(n);
+
+    let probe = observer.probe();
+    let mut summary = None;
+    for t in 0..=options.iterations {
+        let advance = t < options.iterations;
+
+        // S1 broadcast: one RoundStart event per non-eliminated agent,
+        // dispatched across the fleet's workers; every cell streams its
+        // gradient into its loaned row (rows in agent-id order).
+        let events = fleet.begin_round(&eliminated);
+        metrics.record_broadcasts(events);
+        fleet.dispatch_round(t, &x);
+        metrics.record_dispatch(events);
+
+        // Collect: a silent cell is the no-reply case of step S1 and
+        // vacates the agent's loaned row.
+        vacated.clear();
+        for (agent, row) in fleet.silent_agents() {
+            eliminated[agent] = true;
+            server_f = server_f.saturating_sub(1);
+            metrics.record_elimination();
+            vacated.push(row);
+        }
+        // Compact away unwritten rows (descending order keeps the earlier
+        // indices stable), restoring agent-id row order over survivors.
+        let batch = fleet.batch_mut();
+        for &row in vacated.iter().rev() {
+            batch.remove_row(row);
+        }
+        metrics.record_replies(batch.len());
+        metrics.record_round();
+        filter.aggregate_into(batch, server_f, &mut aggregated)?;
+
+        {
+            let source =
+                HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
+            let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
+            summary = observe_round(observer, &view, advance);
+        }
+        if summary.is_some() {
+            break;
+        }
+        let eta = options.schedule.eta(t);
+        x.axpy(-eta, &aggregated);
+        options.projection.project_in_place(&mut x);
+    }
+    Ok(ObservedRun {
+        final_estimate: x,
+        summary: summary.expect("the loop always observes a final round"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_attacks::{GradientReverse, LittleIsEnough, RandomGaussian};
+    use abft_dgd::DgdSimulation;
+    use abft_filters::{Cge, Cwtm};
+    use abft_problems::RegressionProblem;
+
+    fn paper_options(iterations: usize) -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        (problem, options)
+    }
+
+    #[test]
+    fn event_loop_matches_in_process_driver_exactly() {
+        let (problem, options) = paper_options(100);
+
+        let threaded = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap();
+
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
+        let in_process = sim.run(&Cge::new(), &options).unwrap();
+
+        assert!(threaded
+            .final_estimate
+            .approx_eq(&in_process.final_estimate, 0.0));
+        assert_eq!(threaded.trace.records(), in_process.trace.records());
+    }
+
+    #[test]
+    fn event_loop_matches_with_seeded_random_attack_at_every_worker_count() {
+        let (problem, options) = paper_options(60);
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(RandomGaussian::paper(99)))
+            .unwrap();
+        let in_process = sim.run(&Cwtm::new(), &options).unwrap();
+        for workers in [1usize, 2, 4] {
+            let mut fleet = Fleet::new(workers);
+            let threaded = DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(RandomGaussian::paper(99)))
+                .run_threaded_with_fleet(&mut fleet, &Cwtm::new(), &options, &RuntimeMetrics::new())
+                .unwrap();
+            assert!(
+                threaded
+                    .final_estimate
+                    .approx_eq(&in_process.final_estimate, 0.0),
+                "diverged at {workers} workers"
+            );
+            assert_eq!(threaded.trace.records(), in_process.trace.records());
+        }
+    }
+
+    #[test]
+    fn crash_is_eliminated_and_run_completes() {
+        let (problem, options) = paper_options(120);
+        let metrics = RuntimeMetrics::new();
+        let result = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_threaded_with_metrics(&Cge::new(), &options, &metrics)
+            .unwrap();
+        assert!(
+            result.final_distance() < 0.15,
+            "d = {}",
+            result.final_distance()
+        );
+        assert_eq!(metrics.snapshot().agents_eliminated, 1);
+        assert_eq!(metrics.snapshot().rounds, 121);
+    }
+
+    #[test]
+    fn a_reused_fleet_reproduces_the_fresh_fleet_run() {
+        let (problem, options) = paper_options(50);
+        let run = |fleet: &mut Fleet, metrics: &RuntimeMetrics| {
+            DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(RandomGaussian::paper(7)))
+                .run_threaded_with_fleet(fleet, &Cge::new(), &options, metrics)
+                .unwrap()
+        };
+        let mut reused = Fleet::new(2);
+        let metrics = RuntimeMetrics::new();
+        let first = run(&mut reused, &metrics);
+        assert_eq!(metrics.snapshot().fleet_reuse_hits, 0);
+        let second = run(&mut reused, &metrics);
+        assert_eq!(metrics.snapshot().fleet_reuse_hits, 1);
+        let fresh = run(&mut Fleet::new(2), &RuntimeMetrics::new());
+        assert_eq!(first.trace.records(), second.trace.records());
+        assert_eq!(first.trace.records(), fresh.trace.records());
+        assert_eq!(reused.runs_served(), 2);
+    }
+
+    #[test]
+    fn omniscient_strategies_are_rejected() {
+        let (problem, options) = paper_options(5);
+        let err = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(LittleIsEnough::new(1.0)))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Config(_)));
+    }
+
+    #[test]
+    fn fault_budget_is_enforced() {
+        let (problem, options) = paper_options(5);
+        let err = DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .byzantine(1, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), &options)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Config(_)));
+    }
+
+    #[test]
+    fn metrics_count_events() {
+        let (problem, options) = paper_options(10);
+        let metrics = RuntimeMetrics::new();
+        DgdTask::new(*problem.config(), problem.costs())
+            .run_threaded_with_metrics(&Cge::new(), &options, &metrics)
+            .unwrap();
+        let s = metrics.snapshot();
+        // 11 rounds (10 iterations + final record) × 6 agents.
+        assert_eq!(s.rounds, 11);
+        assert_eq!(s.broadcasts_sent, 66);
+        assert_eq!(s.replies_received, 66);
+        assert_eq!(s.agents_eliminated, 0);
+        // Scheduler counters: one dispatch cycle per round, one RoundStart
+        // event per active agent per round, no fleet reuse (fresh fleet).
+        assert_eq!(s.rounds_dispatched, 11);
+        assert_eq!(s.events_processed, 66);
+        assert_eq!(s.fleet_reuse_hits, 0);
+    }
+}

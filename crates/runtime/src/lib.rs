@@ -8,8 +8,13 @@
 //!
 //! * **server-based** — a trustworthy server and `n` agents, up to `f`
 //!   Byzantine. [`DgdTask::run_threaded`] realizes each DGD iteration as a
-//!   real message-passing round over OS threads: broadcast `x_t`, collect
-//!   `n` replies, eliminate silent agents (step S1), filter and update (S2).
+//!   synchronous event-loop round over a persistent agent [`Fleet`]:
+//!   dispatch a `RoundStart` event to every agent cell (broadcast `x_t`),
+//!   collect the rows they streamed into the gradient batch, eliminate
+//!   silent agents (step S1), filter and update (S2). Agents are state
+//!   machines multiplexed over a fixed-schedule worker pool, so traces are
+//!   bit-identical at any worker count — and a fleet survives across runs,
+//!   so scenario grids pay agent construction once.
 //! * **peer-to-peer** — a complete network of `n` agents, `f < n/3` faulty,
 //!   where the server algorithm is simulated with Byzantine broadcast.
 //!   [`eig_broadcast`] implements the classic `f + 1`-round EIG protocol
@@ -42,8 +47,8 @@
 //! let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("full rank");
 //! let mut options = RunOptions::paper_defaults(x_h);
 //! options.iterations = 50;
-//! // All-honest threaded run: six agent threads, one synchronous round per
-//! // iteration.
+//! // All-honest threaded run: six agent cells on the event loop, one
+//! // synchronous round per iteration.
 //! let result = DgdTask::new(*problem.config(), problem.costs())
 //!     .run_threaded(&Cge::new(), &options)?;
 //! assert_eq!(result.trace.len(), 51);
@@ -53,15 +58,17 @@
 
 pub mod eig;
 pub mod error;
+pub mod event_loop;
+pub mod fleet;
 pub mod message;
 pub mod metrics;
 pub mod peer_to_peer;
 pub mod simulated;
 pub mod task;
-pub mod threaded;
 
 pub use eig::{eig_broadcast, eig_broadcast_on, BroadcastOutcome, EigMessage, EquivocationPlan};
 pub use error::RuntimeError;
+pub use fleet::{AgentCell, Fleet};
 pub use message::{FromAgent, ServerWire, ToAgent};
 pub use metrics::RuntimeMetrics;
 pub use peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
@@ -72,6 +79,7 @@ pub use task::DgdTask;
 pub mod prelude {
     pub use crate::eig::eig_broadcast;
     pub use crate::error::RuntimeError;
+    pub use crate::fleet::Fleet;
     pub use crate::peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
     pub use crate::simulated::{SimTopology, SimulatedOutcome, SimulatedResult, SimulatedRun};
     pub use crate::task::DgdTask;

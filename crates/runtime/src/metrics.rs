@@ -3,7 +3,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// Counters collected during a threaded run.
+/// Counters collected during a threaded (event-loop server) run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Synchronous rounds completed.
@@ -14,6 +14,15 @@ pub struct MetricsSnapshot {
     pub replies_received: usize,
     /// Agents eliminated via the S1 no-reply rule.
     pub agents_eliminated: usize,
+    /// Scheduler dispatch cycles executed by the event-loop runtime (one
+    /// per synchronous round).
+    pub rounds_dispatched: usize,
+    /// `RoundStart` events processed by agent cells (one per active agent
+    /// per round, crashed cells included).
+    pub events_processed: usize,
+    /// Runs that found their [`crate::Fleet`] already warm — agent
+    /// construction and worker threads were reused instead of rebuilt.
+    pub fleet_reuse_hits: usize,
 }
 
 /// Thread-safe metrics collector handed to the server loop.
@@ -48,6 +57,19 @@ impl RuntimeMetrics {
         self.inner.lock().agents_eliminated += 1;
     }
 
+    /// Records one scheduler dispatch cycle that processed `events`
+    /// `RoundStart` events.
+    pub fn record_dispatch(&self, events: usize) {
+        let mut inner = self.inner.lock();
+        inner.rounds_dispatched += 1;
+        inner.events_processed += events;
+    }
+
+    /// Records a run served by an already-warm fleet.
+    pub fn record_fleet_reuse(&self) {
+        self.inner.lock().fleet_reuse_hits += 1;
+    }
+
     /// A consistent snapshot of the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         *self.inner.lock()
@@ -66,11 +88,17 @@ mod tests {
         m.record_broadcasts(6);
         m.record_replies(5);
         m.record_elimination();
+        m.record_dispatch(6);
+        m.record_dispatch(5);
+        m.record_fleet_reuse();
         let s = m.snapshot();
         assert_eq!(s.rounds, 2);
         assert_eq!(s.broadcasts_sent, 6);
         assert_eq!(s.replies_received, 5);
         assert_eq!(s.agents_eliminated, 1);
+        assert_eq!(s.rounds_dispatched, 2);
+        assert_eq!(s.events_processed, 11);
+        assert_eq!(s.fleet_reuse_hits, 1);
     }
 
     #[test]

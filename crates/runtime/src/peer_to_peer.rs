@@ -23,9 +23,10 @@ use abft_core::observe::{observe_round, RoundView, RunObserver};
 use abft_core::validate::FaultBudget;
 use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
-use abft_linalg::{GradientBatch, Vector};
+use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_net::{MessageBus, NetFault, NetMetrics, PerfectBus};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A vector with bit-exact equality, usable as an EIG broadcast value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -231,6 +232,16 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
         .iter()
         .map(|_| GradientBatch::with_capacity(n, dim))
         .collect();
+    // One pool serves every honest perspective's aggregation — the
+    // perspectives run serially, so sharing threads is free, and a pool's
+    // workers spawn lazily (a run whose rounds stay below the kernels'
+    // sharding floor never starts a thread).
+    if options.aggregation_threads > 1 {
+        let pool = Arc::new(WorkerPool::new(options.aggregation_threads));
+        for batch in decided_batches.iter_mut() {
+            batch.set_worker_pool(Some(Arc::clone(&pool)));
+        }
+    }
     let mut aggregated = Vector::zeros(dim);
 
     for t in 0..=options.iterations {
@@ -462,6 +473,31 @@ mod tests {
             p2p.result.final_distance()
         );
         assert_eq!(p2p.final_spread, 0.0);
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_serial_p2p() {
+        // The shared pool only changes *where* each honest perspective's
+        // rows are summed, never the per-row operation order — traces are
+        // bit-identical to the serial path.
+        let (problem, options) = paper_options(40);
+        let run = |threads: usize| {
+            let options = options.clone().with_aggregation_threads(threads);
+            DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_peer_to_peer(false, &Cge::new(), &options)
+                .unwrap()
+        };
+        let serial = run(1);
+        let sharded = run(4);
+        assert_eq!(
+            serial.result.trace.records(),
+            sharded.result.trace.records()
+        );
+        assert!(serial
+            .result
+            .final_estimate
+            .approx_eq(&sharded.result.final_estimate, 0.0));
     }
 
     #[test]

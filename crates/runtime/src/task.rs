@@ -31,6 +31,7 @@
 //! ```
 
 use crate::error::RuntimeError;
+use crate::fleet::Fleet;
 use crate::metrics::RuntimeMetrics;
 use crate::peer_to_peer::{PeerToPeerOutcome, PeerToPeerResult};
 use crate::simulated::{SimulatedOutcome, SimulatedResult, SimulatedRun};
@@ -98,15 +99,18 @@ impl DgdTask {
         &self.config
     }
 
-    /// Runs the task on the thread-per-agent server runtime.
+    /// Runs the task on the event-loop server runtime with a transient
+    /// [`Fleet`] of [`RunOptions::fleet_workers`] workers. Callers running
+    /// many tasks (suites, sweeps) should keep a fleet and launch through
+    /// [`DgdTask::run_threaded_with_fleet`] so agent construction and the
+    /// worker threads are paid for once.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Config`] for invalid fault assignments or
-    /// omniscient strategies (a threaded agent cannot observe other agents'
-    /// in-flight gradients), [`RuntimeError::Dgd`] for filter/dimension
-    /// failures, and [`RuntimeError::ChannelBroken`] if an agent thread
-    /// dies unexpectedly.
+    /// omniscient strategies (a server agent cannot observe other agents'
+    /// in-flight gradients) and [`RuntimeError::Dgd`] for filter/dimension
+    /// failures.
     pub fn run_threaded(
         self,
         filter: &dyn GradientFilter,
@@ -126,8 +130,31 @@ impl DgdTask {
         options: &RunOptions,
         metrics: &RuntimeMetrics,
     ) -> Result<RunResult, RuntimeError> {
+        let mut fleet = Fleet::new(options.fleet_workers);
+        self.run_threaded_with_fleet(&mut fleet, filter, options, metrics)
+    }
+
+    /// [`DgdTask::run_threaded`] on a caller-owned persistent [`Fleet`] —
+    /// the fleet-reuse entry point. The fleet's worker pool, gradient
+    /// batch, and agent cells survive this run and are reused by the next
+    /// one, so a grid of tasks pays fleet setup once (each reuse is
+    /// counted in [`MetricsSnapshot::fleet_reuse_hits`]).
+    ///
+    /// [`MetricsSnapshot::fleet_reuse_hits`]:
+    /// crate::metrics::MetricsSnapshot::fleet_reuse_hits
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_threaded`].
+    pub fn run_threaded_with_fleet(
+        self,
+        fleet: &mut Fleet,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        metrics: &RuntimeMetrics,
+    ) -> Result<RunResult, RuntimeError> {
         let mut recorder = TraceRecorder::dense(filter.name());
-        let run = crate::threaded::execute(self, filter, options, metrics, &mut recorder)?;
+        let run = crate::event_loop::execute(self, fleet, filter, options, metrics, &mut recorder)?;
         Ok(dense_result(recorder, run))
     }
 
@@ -135,8 +162,8 @@ impl DgdTask {
     /// [`RunObserver`] instead of dense recording — the streaming entry
     /// point. The observer sees one lazy round view per synchronous round
     /// and can stop the server early by returning
-    /// [`abft_core::observe::ControlFlow::Halt`]; the run then shuts the
-    /// agent threads down and reports the halt round in its
+    /// [`abft_core::observe::ControlFlow::Halt`]; the run then stops
+    /// dispatching round events and reports the halt round in its
     /// [`abft_core::observe::RunSummary`].
     ///
     /// # Errors
@@ -149,7 +176,26 @@ impl DgdTask {
         metrics: &RuntimeMetrics,
         observer: &mut dyn RunObserver,
     ) -> Result<ObservedRun, RuntimeError> {
-        crate::threaded::execute(self, filter, options, metrics, observer)
+        let mut fleet = Fleet::new(options.fleet_workers);
+        self.run_threaded_observed_with_fleet(&mut fleet, filter, options, metrics, observer)
+    }
+
+    /// [`DgdTask::run_threaded_observed`] on a caller-owned persistent
+    /// [`Fleet`] — streaming observation plus fleet reuse, the combination
+    /// the scenario suite workers drive.
+    ///
+    /// # Errors
+    ///
+    /// See [`DgdTask::run_threaded`].
+    pub fn run_threaded_observed_with_fleet(
+        self,
+        fleet: &mut Fleet,
+        filter: &dyn GradientFilter,
+        options: &RunOptions,
+        metrics: &RuntimeMetrics,
+        observer: &mut dyn RunObserver,
+    ) -> Result<ObservedRun, RuntimeError> {
+        crate::event_loop::execute(self, fleet, filter, options, metrics, observer)
     }
 
     /// Runs the task on the peer-to-peer runtime: one EIG broadcast per

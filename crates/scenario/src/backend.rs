@@ -2,12 +2,13 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{HaltRule, Recording, Scenario};
+use crate::workspace::SuiteWorkspace;
 use abft_core::csv::CsvTable;
 use abft_core::observe::{
     ControlFlow, ConvergenceHalt, Probe, RoundView, RunObserver, RunSummary, TraceRecorder,
 };
 use abft_core::{CoreError, Trace};
-use abft_dgd::{DgdSimulation, RoundWorkspace};
+use abft_dgd::DgdSimulation;
 use abft_linalg::Vector;
 use abft_net::{NetMetrics, NetworkModel};
 use abft_runtime::{DgdTask, RuntimeMetrics, SimTopology, SimulatedRun};
@@ -27,6 +28,16 @@ pub struct BackendMetrics {
     pub replies_received: usize,
     /// Agents eliminated via the S1 no-reply rule (threaded backend).
     pub agents_eliminated: usize,
+    /// Scheduler dispatch cycles executed by the event-loop runtime, one
+    /// per synchronous round (threaded backend).
+    pub rounds_dispatched: usize,
+    /// `RoundStart` events processed by agent cells — one per active agent
+    /// per round, crashed cells included (threaded backend).
+    pub events_processed: usize,
+    /// Runs that found their agent [`Fleet`](abft_runtime::Fleet) already
+    /// warm, reusing its worker threads and batch instead of rebuilding
+    /// them (threaded backend under a reused [`SuiteWorkspace`]).
+    pub fleet_reuse_hits: usize,
     /// EIG broadcast instances executed (peer-to-peer and simulated
     /// peer-to-peer backends).
     pub eig_broadcasts: usize,
@@ -153,9 +164,10 @@ pub trait Backend: Send + Sync {
 
     /// Runs the scenario with caller-owned working memory.
     ///
-    /// Backends that drive the in-process simulation reuse `workspace`'s
-    /// gradient batch across runs (one batch per suite worker); message-
-    /// passing backends own their round state and ignore it.
+    /// The in-process backend reuses `workspace`'s gradient batch across
+    /// runs; the threaded backend reuses its persistent agent
+    /// [`Fleet`](abft_runtime::Fleet) (one workspace per suite worker).
+    /// Message-passing backends own their round state and ignore it.
     ///
     /// # Errors
     ///
@@ -164,7 +176,7 @@ pub trait Backend: Send + Sync {
     fn run_with_workspace(
         &self,
         scenario: &Scenario,
-        workspace: &mut RoundWorkspace,
+        workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError>;
 
     /// Runs the scenario with a fresh workspace.
@@ -173,7 +185,7 @@ pub trait Backend: Send + Sync {
     ///
     /// See [`Backend::run_with_workspace`].
     fn run(&self, scenario: &Scenario) -> Result<RunReport, ScenarioError> {
-        self.run_with_workspace(scenario, &mut RoundWorkspace::new())
+        self.run_with_workspace(scenario, &mut SuiteWorkspace::new())
     }
 }
 
@@ -270,7 +282,7 @@ impl Backend for InProcess {
     fn run_with_workspace(
         &self,
         scenario: &Scenario,
-        workspace: &mut RoundWorkspace,
+        workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
         let mut sim = DgdSimulation::new(*scenario.config(), scenario.costs().to_vec())?;
@@ -285,7 +297,7 @@ impl Backend for InProcess {
         let run = sim.run_observed(
             scenario.filter(),
             scenario.options(),
-            workspace,
+            workspace.round_mut(),
             &mut observer,
         )?;
         let elapsed = started.elapsed();
@@ -305,8 +317,14 @@ impl Backend for InProcess {
     }
 }
 
-/// The thread-per-agent server runtime: one OS thread per agent, real
-/// message passing over channels, S1 crash elimination.
+/// The event-loop server runtime: agent state machines multiplexed over a
+/// persistent [`Fleet`](abft_runtime::Fleet) worker pool, with S1 crash
+/// elimination. The fleet lives in the [`SuiteWorkspace`], so consecutive
+/// runs on one workspace reuse agents, batch, and worker threads
+/// (reported as [`BackendMetrics::fleet_reuse_hits`]); the per-run worker
+/// count comes from [`RunOptions::fleet_workers`].
+///
+/// [`RunOptions::fleet_workers`]: abft_dgd::RunOptions::fleet_workers
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Threaded;
 
@@ -318,14 +336,16 @@ impl Backend for Threaded {
     fn run_with_workspace(
         &self,
         scenario: &Scenario,
-        _workspace: &mut RoundWorkspace,
+        workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let metrics = RuntimeMetrics::new();
         let mut observer = ScenarioObserver::for_scenario(scenario);
+        let fleet = workspace.fleet_mut(scenario.options().fleet_workers);
         let started = Instant::now();
-        let run = task.run_threaded_observed(
+        let run = task.run_threaded_observed_with_fleet(
+            fleet,
             scenario.filter(),
             scenario.options(),
             &metrics,
@@ -342,6 +362,9 @@ impl Backend for Threaded {
                 broadcasts_sent: snapshot.broadcasts_sent,
                 replies_received: snapshot.replies_received,
                 agents_eliminated: snapshot.agents_eliminated,
+                rounds_dispatched: snapshot.rounds_dispatched,
+                events_processed: snapshot.events_processed,
+                fleet_reuse_hits: snapshot.fleet_reuse_hits,
                 ..BackendMetrics::default()
             },
             final_estimate: run.final_estimate,
@@ -370,7 +393,7 @@ impl Backend for PeerToPeer {
     fn run_with_workspace(
         &self,
         scenario: &Scenario,
-        _workspace: &mut RoundWorkspace,
+        _workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
@@ -454,7 +477,7 @@ impl Backend for Simulated {
     fn run_with_workspace(
         &self,
         scenario: &Scenario,
-        _workspace: &mut RoundWorkspace,
+        _workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         let task = task_for(scenario);
         let mut sim = self.plan.clone();
@@ -542,6 +565,9 @@ mod tests {
         assert_eq!(threaded.metrics.rounds, 11);
         assert_eq!(threaded.metrics.broadcasts_sent, 66);
         assert_eq!(threaded.metrics.replies_received, 66);
+        assert_eq!(threaded.metrics.rounds_dispatched, 11);
+        assert_eq!(threaded.metrics.events_processed, 66);
+        assert_eq!(threaded.metrics.fleet_reuse_hits, 0);
 
         let p2p = PeerToPeer::default().run(&scenario).unwrap();
         assert_eq!(p2p.metrics.eig_broadcasts, 66);
@@ -551,7 +577,7 @@ mod tests {
     #[test]
     fn in_process_reuses_one_workspace_across_runs() {
         let scenario = scenario(5);
-        let mut workspace = RoundWorkspace::new();
+        let mut workspace = SuiteWorkspace::new();
         let a = InProcess
             .run_with_workspace(&scenario, &mut workspace)
             .unwrap();

@@ -69,11 +69,13 @@ pub mod backend;
 pub mod error;
 pub mod spec;
 pub mod suite;
+pub mod workspace;
 
 pub use backend::{Backend, BackendMetrics, InProcess, PeerToPeer, RunReport, Simulated, Threaded};
 pub use error::ScenarioError;
 pub use spec::{HaltRule, IntoCosts, Recording, Scenario, ScenarioBuilder};
 pub use suite::{ScenarioSuite, SuiteOutcomes, SuiteReport};
+pub use workspace::SuiteWorkspace;
 
 // The observation vocabulary reports are described with, re-exported so
 // scenario consumers need no direct `abft-core` dependency.

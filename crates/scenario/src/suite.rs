@@ -3,8 +3,8 @@
 use crate::backend::{Backend, RunReport};
 use crate::error::ScenarioError;
 use crate::spec::{Scenario, ScenarioBuilder};
+use crate::workspace::SuiteWorkspace;
 use abft_core::csv::CsvTable;
-use abft_dgd::RoundWorkspace;
 use abft_linalg::WorkerPool;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,9 +19,11 @@ use std::time::{Duration, Instant};
 /// order regardless of thread scheduling (each scenario materializes its
 /// own seeded strategies, so execution order cannot leak into results —
 /// asserted by the suite determinism test). Each worker thread owns one
-/// [`RoundWorkspace`], so in-process grids reuse a single gradient batch
-/// per worker across all their runs, preserving the zero-per-iteration-
-/// allocation property of the batch pipeline.
+/// [`SuiteWorkspace`]: in-process grids reuse a single gradient batch per
+/// worker across all their runs (preserving the zero-per-iteration-
+/// allocation property of the batch pipeline), and threaded grids reuse
+/// one persistent agent fleet per worker instead of rebuilding agents
+/// per cell.
 ///
 /// # Example
 ///
@@ -171,7 +173,7 @@ impl ScenarioSuite {
     /// Returns the first scenario's failure, if any.
     pub fn run(&self, backend: &dyn Backend) -> Result<SuiteReport, ScenarioError> {
         let started = Instant::now();
-        let mut workspace = RoundWorkspace::new();
+        let mut workspace = SuiteWorkspace::new();
         if let Some(pool) = self.shared_aggregation_pool() {
             workspace.set_shared_pool(pool);
         }
@@ -189,7 +191,7 @@ impl ScenarioSuite {
     /// `workers = 1` degenerates to [`ScenarioSuite::run`]).
     ///
     /// Scenarios are pulled from a shared work queue, each worker owns one
-    /// reused [`RoundWorkspace`], and reports are returned in scenario
+    /// reused [`SuiteWorkspace`], and reports are returned in scenario
     /// order — bit-identical to a serial run.
     ///
     /// # Errors
@@ -228,7 +230,7 @@ impl ScenarioSuite {
         // `suite workers × aggregation threads` never multiplies.
         let shared_pool = self.shared_aggregation_pool();
         if workers <= 1 {
-            let mut workspace = RoundWorkspace::new();
+            let mut workspace = SuiteWorkspace::new();
             if let Some(pool) = shared_pool {
                 workspace.set_shared_pool(pool);
             }
@@ -252,7 +254,7 @@ impl ScenarioSuite {
                 let scenarios = &self.scenarios;
                 let shared_pool = shared_pool.clone();
                 scope.spawn(move || {
-                    let mut workspace = RoundWorkspace::new();
+                    let mut workspace = SuiteWorkspace::new();
                     if let Some(pool) = shared_pool {
                         workspace.set_shared_pool(pool);
                     }

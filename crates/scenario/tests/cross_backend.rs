@@ -126,6 +126,58 @@ fn the_grid_is_bit_identical_at_every_aggregation_thread_count() {
 }
 
 #[test]
+fn the_event_loop_is_bit_identical_at_every_worker_and_thread_count() {
+    // `RunOptions::fleet_workers` multiplexes the agent cells over more
+    // event-loop workers; the pool's fixed schedule keeps the agent→worker
+    // assignment a pure function of `(n, workers)`, so the threaded trace
+    // must reproduce the in-process one exactly at every `fleet_workers ×
+    // aggregation_threads` combination.
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    for attack in ["gradient-reverse", "random"] {
+        for filter in FILTERS {
+            let build = |workers: usize, threads: usize| {
+                Scenario::builder()
+                    .problem(&problem)
+                    .faults(1)
+                    .options(
+                        RunOptions::paper_defaults_with_iterations(x_h.clone(), 25)
+                            .with_fleet_workers(workers)
+                            .with_aggregation_threads(threads),
+                    )
+                    .filter(filter)
+                    .attack_seeded(0, attack, 9)
+                    .label(format!("{filter}+{attack}@{workers}w{threads}t"))
+                    .build()
+                    .expect("grid cell builds")
+            };
+            let reference = InProcess.run(&build(1, 1)).expect("in-process runs");
+            for workers in [1usize, 2, 4] {
+                for threads in [1usize, 4] {
+                    let threaded = Threaded
+                        .run(&build(workers, threads))
+                        .expect("threaded runs");
+                    assert_eq!(
+                        reference.trace, threaded.trace,
+                        "threaded trace diverged for {filter} × {attack} at \
+                         {workers} workers × {threads} aggregation threads"
+                    );
+                    assert!(
+                        reference
+                            .final_estimate
+                            .approx_eq(&threaded.final_estimate, 0.0),
+                        "estimate diverged for {filter} × {attack} at \
+                         {workers} workers × {threads} aggregation threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_suites_share_one_pool_and_stay_deterministic() {
     // A suite whose scenarios request aggregation threads creates one
     // shared pool; its reports must match the serial suite bit for bit.

@@ -1,0 +1,162 @@
+//! Fleet reuse: a persistent agent fleet serving many runs must be
+//! observationally identical to building a fresh fleet per run.
+//!
+//! The event-loop runtime's whole point is that a `SuiteWorkspace` keeps
+//! one warm [`abft_runtime::Fleet`] across a scenario grid. These tests
+//! pin the contract that warmth is *only* a throughput property: reports
+//! are bit-identical whether the fleet is fresh or reused, at every
+//! worker count, and the reuse actually happens (visible through
+//! `BackendMetrics::fleet_reuse_hits`).
+
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{
+    Backend, RunReport, Scenario, ScenarioBuilder, ScenarioSuite, SuiteWorkspace, Threaded,
+};
+
+fn template(iterations: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(RunOptions::paper_defaults_with_iterations(x_h, iterations))
+}
+
+fn with_workers(builder: ScenarioBuilder, workers: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    builder.options(RunOptions::paper_defaults_with_iterations(x_h, 20).with_fleet_workers(workers))
+}
+
+fn assert_same_observable(a: &RunReport, b: &RunReport, context: &str) {
+    assert_eq!(a.trace, b.trace, "trace diverged: {context}");
+    assert_eq!(a.summary, b.summary, "summary diverged: {context}");
+    assert!(
+        a.final_estimate.approx_eq(&b.final_estimate, 0.0),
+        "estimate diverged: {context}"
+    );
+    assert_eq!(
+        a.metrics.rounds, b.metrics.rounds,
+        "rounds diverged: {context}"
+    );
+    assert_eq!(
+        a.metrics.broadcasts_sent, b.metrics.broadcasts_sent,
+        "broadcasts diverged: {context}"
+    );
+    assert_eq!(
+        a.metrics.replies_received, b.metrics.replies_received,
+        "replies diverged: {context}"
+    );
+    assert_eq!(
+        a.metrics.agents_eliminated, b.metrics.agents_eliminated,
+        "eliminations diverged: {context}"
+    );
+    assert_eq!(
+        a.metrics.events_processed, b.metrics.events_processed,
+        "events diverged: {context}"
+    );
+}
+
+#[test]
+fn a_reused_fleet_reproduces_the_fresh_fleet_report() {
+    // Same scenario twice on one workspace: the second run is a fleet-
+    // reuse hit and must be bit-identical to a fresh-fleet run.
+    // Attack + crash need f = 2 of the budget; the server architecture
+    // supports it and it exercises S1 elimination on the warm path too.
+    let scenario = template(20)
+        .faults(2)
+        .filter("cge")
+        .attack_seeded(0, "random", 7)
+        .crash(3, 9)
+        .build()
+        .expect("builds");
+    let mut workspace = SuiteWorkspace::new();
+    let cold = Threaded
+        .run_with_workspace(&scenario, &mut workspace)
+        .expect("cold run");
+    let warm = Threaded
+        .run_with_workspace(&scenario, &mut workspace)
+        .expect("warm run");
+    assert_eq!(cold.metrics.fleet_reuse_hits, 0);
+    assert_eq!(warm.metrics.fleet_reuse_hits, 1);
+    assert_same_observable(&cold, &warm, "same scenario, warm vs cold fleet");
+
+    let fresh = Threaded.run(&scenario).expect("fresh run");
+    assert_same_observable(&fresh, &warm, "fresh workspace vs reused fleet");
+}
+
+#[test]
+fn one_fleet_serves_a_whole_suite_at_every_worker_count() {
+    // A suite's grid cells share one workspace (serial run), so every cell
+    // after the first reuses the fleet — and each cell's report must match
+    // a per-run fresh fleet, at workers ∈ {1, 2, 4}.
+    const FILTERS: [&str; 3] = ["cge", "cwtm", "mean"];
+    const ATTACKS: [&str; 2] = ["gradient-reverse", "zero"];
+    for workers in [1usize, 2, 4] {
+        let suite = ScenarioSuite::grid_seeded(
+            &with_workers(template(20), workers),
+            0,
+            &FILTERS,
+            &ATTACKS,
+            5,
+        )
+        .expect("grid builds");
+        let shared = suite.run(&Threaded).expect("suite runs");
+        assert_eq!(shared.reports().len(), FILTERS.len() * ATTACKS.len());
+        for (index, report) in shared.reports().iter().enumerate() {
+            // The suite reuses one fleet: every cell after the first finds
+            // it warm (the counter is per run, not cumulative).
+            assert_eq!(
+                report.metrics.fleet_reuse_hits,
+                usize::from(index > 0),
+                "cell {} at {workers} workers",
+                report.scenario
+            );
+            let fresh = Threaded
+                .run(&suite.scenarios()[index])
+                .expect("fresh-fleet run");
+            assert_eq!(fresh.metrics.fleet_reuse_hits, 0);
+            assert_same_observable(
+                &fresh,
+                report,
+                &format!("suite cell {} at {workers} workers", report.scenario),
+            );
+        }
+    }
+}
+
+#[test]
+fn changing_the_worker_count_mid_workspace_rebuilds_the_fleet() {
+    // A workspace serving scenarios with different `fleet_workers` values
+    // rebuilds the fleet on the boundary — reuse counting restarts, and
+    // results stay identical.
+    let build = |workers: usize| {
+        with_workers(template(20), workers)
+            .filter("cge")
+            .attack_seeded(0, "random", 3)
+            .build()
+            .expect("builds")
+    };
+    let mut workspace = SuiteWorkspace::new();
+    let one = Threaded
+        .run_with_workspace(&build(1), &mut workspace)
+        .expect("runs");
+    let two = Threaded
+        .run_with_workspace(&build(2), &mut workspace)
+        .expect("runs");
+    assert_eq!(
+        two.metrics.fleet_reuse_hits, 0,
+        "new worker count, new fleet"
+    );
+    let two_again = Threaded
+        .run_with_workspace(&build(2), &mut workspace)
+        .expect("runs");
+    assert_eq!(two_again.metrics.fleet_reuse_hits, 1);
+    assert_same_observable(&one, &two, "1 worker vs 2 workers");
+    assert_same_observable(&two, &two_again, "cold vs warm at 2 workers");
+}

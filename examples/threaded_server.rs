@@ -1,15 +1,18 @@
-//! The server-based architecture over real OS threads: one thread per
-//! agent, synchronous rounds over channels, with a crash mid-run that the
+//! The server-based architecture on the event-loop runtime: agent state
+//! machines multiplexed over a persistent fleet worker pool, synchronous
+//! rounds as dispatched `RoundStart` events, with a crash mid-run that the
 //! server detects and eliminates (step S1 of Section 4.1).
 //!
 //! Both runs are plain `Scenario` specs handed to the `Threaded` backend;
-//! the unified `RunReport` carries the runtime's message counters.
+//! the unified `RunReport` carries the runtime's message and scheduler
+//! counters. Running both through one `SuiteWorkspace` shows fleet reuse:
+//! the second run finds the agents, batch, and workers already warm.
 //!
 //! Run with: `cargo run --release --example threaded_server`
 
 use approx_bft::dgd::RunOptions;
 use approx_bft::problems::RegressionProblem;
-use approx_bft::scenario::{Backend, Scenario, Threaded};
+use approx_bft::scenario::{Backend, Scenario, SuiteWorkspace, Threaded};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = RegressionProblem::paper_instance();
@@ -18,18 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .problem(&problem)
         .faults(1)
         .filter("cge")
-        .options(RunOptions::paper_defaults_with_iterations(x_h.clone(), 300));
+        // Two event-loop workers share the six agents; the fixed schedule
+        // keeps the trace bit-identical to fleet_workers = 1.
+        .options(
+            RunOptions::paper_defaults_with_iterations(x_h.clone(), 300).with_fleet_workers(2),
+        );
 
-    // Run 1: agent 0 is Byzantine (gradient reversal) on live threads.
-    let byzantine_run = Threaded.run(
+    // One workspace for both runs: the second run reuses the first's fleet.
+    let mut workspace = SuiteWorkspace::new();
+
+    // Run 1: agent 0 is Byzantine (gradient reversal) on the event loop.
+    let byzantine_run = Threaded.run_with_workspace(
         &template
             .clone()
             .attack(0, "gradient-reverse")
             .label("byzantine-agent-0")
             .build()?,
+        &mut workspace,
     )?;
     let m = &byzantine_run.metrics;
-    println!("byzantine agent on threads:");
+    println!("byzantine agent on the event loop:");
     println!(
         "  dist = {:.6}  rounds = {}  broadcasts = {}  replies = {}",
         byzantine_run.final_distance(),
@@ -37,10 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.broadcasts_sent,
         m.replies_received
     );
+    println!(
+        "  rounds dispatched = {}  events processed = {}  fleet reuse = {}",
+        m.rounds_dispatched, m.events_processed, m.fleet_reuse_hits
+    );
 
-    // Run 2: agent 3 crashes at iteration 40. Its channel disconnects, the
-    // server eliminates it (S1) and finishes with the survivors.
-    let crash_run = Threaded.run(&template.crash(3, 40).label("crash-at-40").build()?)?;
+    // Run 2: agent 3 crashes at iteration 40. Its RoundStart event finds
+    // it silent, the server eliminates it (S1) and finishes with the
+    // survivors — on the *same* fleet, now warm.
+    let crash_run = Threaded.run_with_workspace(
+        &template.crash(3, 40).label("crash-at-40").build()?,
+        &mut workspace,
+    )?;
     let m = &crash_run.metrics;
     println!("\ncrash at iteration 40:");
     println!(
@@ -49,6 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.rounds,
         m.agents_eliminated,
         m.replies_received
+    );
+    println!(
+        "  rounds dispatched = {}  events processed = {}  fleet reuse = {}",
+        m.rounds_dispatched, m.events_processed, m.fleet_reuse_hits
     );
     println!("\nboth runs land within eps = 0.0890 of x_H = {x_h}");
     Ok(())

@@ -25,7 +25,7 @@
 //! | [`redundancy`] | ε measurement, Theorem-2 exact algorithm, bounds, necessity witness |
 //! | [`dgd`] | the Section-4 DGD loop with projection and schedules; one batch + scratch reused across all `T` iterations (zero per-iteration gradient allocations) |
 //! | [`net`] | deterministic discrete-event network simulator: the `MessageBus` abstraction, seeded per-link delay/drop/reorder models, scheduled partitions, network-level Byzantine faults |
-//! | [`runtime`] | thread-per-agent server runtime + EIG Byzantine broadcast over the shared `MessageBus`, aggregating off the wire into reused batches; `DgdTask::run_simulated` runs either architecture on faulty links |
+//! | [`runtime`] | event-loop server runtime (agent state machines on a persistent [`runtime::Fleet`] worker pool) + EIG Byzantine broadcast over the shared `MessageBus`, aggregating off the wire into reused batches; `DgdTask::run_simulated` runs either architecture on faulty links |
 //! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
 //! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, peer-to-peer, and simulated-network backends — with per-scenario [`scenario::Recording`] / [`scenario::HaltRule`] observation plans — plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
 //!

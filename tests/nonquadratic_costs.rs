@@ -49,6 +49,7 @@ fn run_logistic(filter: &dyn GradientFilter, byzantine: bool) -> Vector {
         projection: ProjectionSet::centered_box(-50.0, 50.0),
         reference: Vector::zeros(2), // distance series unused here
         aggregation_threads: RunOptions::default_aggregation_threads(),
+        fleet_workers: RunOptions::default_fleet_workers(),
     };
     sim.run(filter, &options).expect("runs").final_estimate
 }
@@ -107,6 +108,7 @@ fn huber_regression_with_a_byzantine_agent() {
         projection: ProjectionSet::paper(),
         reference: x_h.clone(),
         aggregation_threads: RunOptions::default_aggregation_threads(),
+        fleet_workers: RunOptions::default_fleet_workers(),
     };
     let run = sim.run(&Cge::new(), &options).expect("runs");
     assert!(
