@@ -63,8 +63,7 @@ mod legacy {
         order.sort_by(|&i, &j| {
             gradients[i]
                 .norm()
-                .partial_cmp(&gradients[j].norm())
-                .expect("finite norms")
+                .total_cmp(&gradients[j].norm())
                 .then(i.cmp(&j))
         });
         order.truncate(gradients.len() - f);

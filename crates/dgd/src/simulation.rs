@@ -393,6 +393,7 @@ impl DgdSimulation {
 
         Ok(ObservedRun {
             final_estimate: x,
+            // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
         })
     }

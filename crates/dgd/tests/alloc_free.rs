@@ -16,18 +16,25 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method delegates to `System`, preserving its guarantees.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System.alloc`, to which this forwards.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's layout contract to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System.dealloc`, to which this forwards.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's pointer and layout to `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System.realloc`, to which this forwards.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's pointer and layout to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

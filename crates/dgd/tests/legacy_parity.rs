@@ -16,8 +16,7 @@ fn legacy_cge(gradients: &[Vector], f: usize) -> Vector {
     order.sort_by(|&i, &j| {
         gradients[i]
             .norm()
-            .partial_cmp(&gradients[j].norm())
-            .expect("finite norms")
+            .total_cmp(&gradients[j].norm())
             .then(i.cmp(&j))
     });
     order.truncate(gradients.len() - f);

@@ -76,6 +76,7 @@ impl GradientFilter for Bulyan {
                         .then_with(|| rowops::lex_cmp(batch.row(pool[*i]), batch.row(pool[*j])))
                 })
                 .map(|(i, _)| i)
+                // LINT-ALLOW(no-panic-hot-path): the pool is non-empty until selection completes
                 .expect("pool is non-empty while selection is incomplete");
             let winner = s.pool.remove(winner_in_pool);
             s.selection.push(winner);

@@ -66,6 +66,7 @@ impl GradientFilter for Faba {
                         .total_cmp(&dists[*q])
                         .then_with(|| rowops::lex_cmp(rows.row(i), rows.row(j)))
                 })
+                // LINT-ALLOW(no-panic-hot-path): peeling keeps the member set non-empty
                 .expect("remaining is non-empty while peeling");
             s.pool.remove(slot);
         }

@@ -94,6 +94,7 @@ impl Krum {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
+            // LINT-ALLOW(no-panic-hot-path): validate_krum guarantees a non-empty batch
             .expect("non-empty scores"))
     }
 

@@ -84,7 +84,7 @@ proptest! {
         let out = Cwtm::new().aggregate(&gs, f).expect("n > 2f holds");
         for k in 0..3 {
             let mut column: Vec<f64> = gs.iter().map(|g| g[k]).collect();
-            column.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            column.sort_by(|a, b| a.total_cmp(b));
             let lo = column[f];
             let hi = column[column.len() - 1 - f];
             prop_assert!(out[k] >= lo - 1e-9 && out[k] <= hi + 1e-9);

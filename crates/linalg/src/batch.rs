@@ -89,6 +89,7 @@ impl GradientBatch {
     ///
     /// Panics when `dim == 0` (see [`GradientBatch::new`]).
     pub fn with_capacity(rows: usize, dim: usize) -> Self {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(dim > 0, "GradientBatch requires dim > 0");
         GradientBatch {
             data: Vec::with_capacity(rows * dim),
@@ -150,6 +151,7 @@ impl GradientBatch {
     ///
     /// Panics when `src.len() != self.dim()`.
     pub fn push_row(&mut self, src: &[f64]) -> usize {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert_eq!(src.len(), self.dim, "row length must equal batch dim");
         self.data.extend_from_slice(src);
         self.rows += 1;
@@ -162,6 +164,7 @@ impl GradientBatch {
     ///
     /// Panics when `i` is out of range.
     pub fn row(&self, i: usize) -> &[f64] {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -172,6 +175,7 @@ impl GradientBatch {
     ///
     /// Panics when `i` is out of range.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
         &mut self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -184,6 +188,7 @@ impl GradientBatch {
     ///
     /// Panics when `i` is out of range.
     pub fn remove_row(&mut self, i: usize) {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
         let start = i * self.dim;
         self.data.copy_within((i + 1) * self.dim.., start);

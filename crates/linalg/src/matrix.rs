@@ -139,6 +139,7 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
         self.data[i * self.cols + j]
     }
@@ -149,6 +150,7 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
         self.data[i * self.cols + j] = value;
     }
@@ -159,6 +161,7 @@ impl Matrix {
     ///
     /// Panics when `i` is out of bounds.
     pub fn row(&self, i: usize) -> &[f64] {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row index out of bounds");
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -174,6 +177,7 @@ impl Matrix {
     ///
     /// Panics when `j` is out of bounds.
     pub fn col_vector(&self, j: usize) -> Vector {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(j < self.cols, "column index out of bounds");
         Vector::from_fn(self.rows, |i| self.get(i, j))
     }

@@ -108,6 +108,9 @@ impl WorkerPool {
                     let thread = std::thread::Builder::new()
                         .name(format!("abft-agg-{w}"))
                         .spawn(move || worker_loop(rx))
+                        // LINT-ALLOW(no-panic-hot-path): spawn failure is
+                        // resource exhaustion at pool creation, before any
+                        // aggregation runs — not a hot-path data panic.
                         .expect("worker thread spawn");
                     Worker {
                         jobs: tx,
@@ -156,6 +159,9 @@ impl WorkerPool {
                 range: chunk(units, chunks, w),
                 done: done_tx.clone(),
             });
+            // LINT-ALLOW(no-panic-hot-path): a send can only fail if a
+            // worker thread died, which itself requires a panic already in
+            // flight; this assert turns that corruption into a clean stop.
             assert!(sent.is_ok(), "pool workers outlive the pool");
         }
         let caller_outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -163,6 +169,9 @@ impl WorkerPool {
         }));
         let mut worker_panic = None;
         for _ in 1..chunks {
+            // LINT-ALLOW(no-panic-hot-path): every dispatched job sends a
+            // completion even when the task panics (catch_unwind in the
+            // worker loop), so recv can only fail on pool teardown bugs.
             if let Err(payload) = done_rx.recv().expect("worker completes its chunk") {
                 worker_panic.get_or_insert(payload);
             }
@@ -259,6 +268,7 @@ pub struct SharedSlots<'a> {
 // SAFETY: all access goes through `unsafe` methods whose callers promise
 // disjoint indices; the underlying storage outlives `'a`.
 unsafe impl Send for SharedSlots<'_> {}
+// SAFETY: see `Send` above — concurrent access is to disjoint indices.
 unsafe impl Sync for SharedSlots<'_> {}
 
 impl<'a> SharedSlots<'a> {
@@ -288,7 +298,9 @@ impl<'a> SharedSlots<'a> {
     /// `i < len()`, and no other thread accesses slot `i` concurrently.
     pub unsafe fn write(&self, i: usize, value: f64) {
         debug_assert!(i < self.len);
-        *self.ptr.add(i) = value;
+        // SAFETY: `i < len` per the contract above, and the caller promises
+        // no concurrent access to slot `i`.
+        unsafe { *self.ptr.add(i) = value };
     }
 
     /// Mutably borrows the sub-slice `range`.
@@ -300,7 +312,11 @@ impl<'a> SharedSlots<'a> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice(&self, range: Range<usize>) -> &mut [f64] {
         debug_assert!(range.start <= range.end && range.end <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        // SAFETY: `range` is in bounds per the contract above, and the
+        // caller promises it is disjoint from every concurrent access.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        }
     }
 }
 
@@ -332,6 +348,7 @@ mod tests {
         let slots = SharedSlots::new(&mut out);
         pool.run(8, &|range| {
             for i in range {
+                // SAFETY: `i` comes from this chunk's disjoint range.
                 unsafe { slots.write(i, i as f64) };
             }
         });
@@ -346,6 +363,7 @@ mod tests {
                 for i in range {
                     // A slot computation with nontrivial rounding.
                     let v = (0..40).fold(0.1 * i as f64, |acc, k| acc + 1.0 / (k as f64 + 1.1));
+                    // SAFETY: `i` comes from this chunk's disjoint range.
                     unsafe { slots.write(i, v) };
                 }
             });
@@ -377,6 +395,7 @@ mod tests {
                 scratch.clear();
                 scratch.resize(4, round as f64);
                 for i in range {
+                    // SAFETY: `i` comes from this chunk's disjoint range.
                     unsafe { slots.write(i, scratch[0] + i as f64) };
                 }
             });
@@ -404,6 +423,7 @@ mod tests {
         let slots = SharedSlots::new(&mut out);
         pool.run(2, &|range| {
             for i in range {
+                // SAFETY: `i` comes from this chunk's disjoint range.
                 unsafe { slots.write(i, 1.0) };
             }
         });
@@ -429,6 +449,7 @@ mod tests {
         let slots = SharedSlots::new(&mut out);
         pool.run(2, &|range| {
             for i in range {
+                // SAFETY: `i` comes from this chunk's disjoint range.
                 unsafe { slots.write(i, 2.0) };
             }
         });

@@ -55,15 +55,10 @@ pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
     let mut rhs = b.clone();
 
     for col in 0..n {
-        // Partial pivoting: bring the largest |entry| in this column to the top.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m.get(i, col)
-                    .abs()
-                    .partial_cmp(&m.get(j, col).abs())
-                    .expect("pivot magnitudes are comparable")
-            })
-            .expect("non-empty pivot range");
+        // Partial pivoting: bring the largest |entry| in this column to the
+        // top. Ties keep the later row (matching the historical `max_by`
+        // choice); `total_cmp` keeps the scan deterministic even for NaN.
+        let pivot_row = pivot_row(&m, col, n);
         if m.get(pivot_row, col).abs() < SINGULAR_TOL {
             return Err(LinalgError::Singular);
         }
@@ -102,6 +97,23 @@ pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
     Ok(x)
 }
 
+/// The partial-pivoting row for `col`: the row in `col..n` with the
+/// largest `|entry|` in that column, later rows winning ties — the same
+/// selection the historical `Iterator::max_by` scan made, but total (no
+/// panic on NaN: `total_cmp` orders it deterministically).
+fn pivot_row(m: &Matrix, col: usize, n: usize) -> usize {
+    let mut best = col;
+    let mut best_mag = m.get(col, col).abs();
+    for i in (col + 1)..n {
+        let mag = m.get(i, col).abs();
+        if mag.total_cmp(&best_mag) != std::cmp::Ordering::Less {
+            best = i;
+            best_mag = mag;
+        }
+    }
+    best
+}
+
 /// Determinant via LU decomposition with partial pivoting.
 ///
 /// # Errors
@@ -118,14 +130,7 @@ pub fn determinant(a: &Matrix) -> Result<f64, LinalgError> {
     let mut m = a.clone();
     let mut det = 1.0;
     for col in 0..n {
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m.get(i, col)
-                    .abs()
-                    .partial_cmp(&m.get(j, col).abs())
-                    .expect("comparable")
-            })
-            .expect("non-empty");
+        let pivot_row = pivot_row(&m, col, n);
         let pivot = m.get(pivot_row, col);
         if pivot.abs() < SINGULAR_TOL {
             return Ok(0.0);

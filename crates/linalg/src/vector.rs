@@ -59,6 +59,7 @@ impl Vector {
     ///
     /// Panics if `i >= dim`.
     pub fn basis(dim: usize, i: usize) -> Self {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < dim, "basis index {i} out of range for dimension {dim}");
         let mut v = Self::zeros(dim);
         v.data[i] = 1.0;
@@ -102,6 +103,7 @@ impl Vector {
     /// Panics if dimensions differ; use [`Vector::checked_dot`] for a
     /// fallible variant.
     pub fn dot(&self, other: &Vector) -> f64 {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert_eq!(
             self.dim(),
             other.dim(),
@@ -150,6 +152,7 @@ impl Vector {
     ///
     /// Panics if dimensions differ.
     pub fn dist(&self, other: &Vector) -> f64 {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert_eq!(
             self.dim(),
             other.dim(),
@@ -183,6 +186,7 @@ impl Vector {
     ///
     /// Panics if dimensions differ.
     pub fn axpy(&mut self, factor: f64, other: &Vector) {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert_eq!(self.dim(), other.dim(), "axpy requires equal dimensions");
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += factor * b;
@@ -195,6 +199,7 @@ impl Vector {
     ///
     /// Panics if dimensions differ.
     pub fn hadamard(&self, other: &Vector) -> Vector {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert_eq!(
             self.dim(),
             other.dim(),
@@ -218,6 +223,7 @@ impl Vector {
     ///
     /// Panics if `lo > hi`.
     pub fn clamp_box(&self, lo: f64, hi: f64) -> Vector {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(lo <= hi, "clamp_box requires lo <= hi");
         Vector {
             data: self.data.iter().map(|a| a.clamp(lo, hi)).collect(),
@@ -231,6 +237,7 @@ impl Vector {
     ///
     /// Panics if `lo > hi`.
     pub fn clamp_box_mut(&mut self, lo: f64, hi: f64) {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(lo <= hi, "clamp_box requires lo <= hi");
         for a in &mut self.data {
             *a = a.clamp(lo, hi);
@@ -261,6 +268,7 @@ impl Vector {
     ///
     /// Panics on the empty vector.
     pub fn mean(&self) -> f64 {
+        // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(!self.is_empty(), "mean of empty vector");
         self.sum() / self.dim() as f64
     }
@@ -367,6 +375,7 @@ macro_rules! impl_binary_op {
         impl $trait<&Vector> for &Vector {
             type Output = Vector;
             fn $method(self, rhs: &Vector) -> Vector {
+                // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
                 assert_eq!(
                     self.dim(),
                     rhs.dim(),

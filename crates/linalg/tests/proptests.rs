@@ -164,7 +164,7 @@ proptest! {
     ) {
         if xs.len() <= 2 * trim { return Ok(()); }
         let tm = abft_linalg::stats::trimmed_mean(&xs, trim).expect("non-empty");
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         prop_assert!(tm >= xs[0] - 1e-12 && tm <= xs[xs.len() - 1] + 1e-12);
     }
 

@@ -1,0 +1,31 @@
+//! The workspace itself must satisfy its own invariants: running the
+//! linter over the real tree inside tier-1 makes `cargo test` fail the
+//! moment a `partial_cmp`, an unjustified panic, an undocumented `unsafe`,
+//! a hashed collection, or a stray spawn/clock lands on a guarded path.
+
+use abft_lint::{default_root, lint_workspace};
+
+#[test]
+fn the_workspace_has_no_lint_violations() {
+    let root = default_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let (violations, scanned) = lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        scanned > 100,
+        "suspiciously few files scanned ({scanned}) — did the tree move?"
+    );
+    assert!(
+        violations.is_empty(),
+        "abft-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -131,7 +131,7 @@ impl Mlp {
         let activations = self.forward(x);
         let logits = activations.last().expect("non-empty");
         (0..logits.dim())
-            .max_by(|&i, &j| logits[i].partial_cmp(&logits[j]).expect("finite logits"))
+            .max_by(|&i, &j| logits[i].total_cmp(&logits[j]))
             .expect("at least one class")
     }
 }

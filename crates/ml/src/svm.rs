@@ -58,7 +58,7 @@ impl LinearSvm {
     pub fn predict(&self, x: &Vector) -> usize {
         let scores = self.weights.matvec(x).expect("dimension checked");
         (0..scores.dim())
-            .max_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("finite scores"))
+            .max_by(|&i, &j| scores[i].total_cmp(&scores[j]))
             .expect("at least one class")
     }
 }

@@ -152,6 +152,7 @@ pub(crate) fn execute(
     }
     Ok(ObservedRun {
         final_estimate: x,
+        // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
         summary: summary.expect("the loop always observes a final round"),
     })
 }

@@ -89,27 +89,82 @@ impl AgentCell {
     }
 }
 
+/// Debug-build loan tracker: one flag per loanable slot, set on first
+/// loan and never cleared for the table's lifetime (one dispatch).
+///
+/// This is the dynamic half of the `abft-lint` fixed-schedule contract:
+/// the raw-pointer wrappers below are sound *because* the pool's fixed
+/// schedule hands every slot to exactly one worker per dispatch. The
+/// tracker turns that safety argument into a checked property — a
+/// schedule bug that loaned the same row (or cell) to two workers would
+/// be a silent data race in release; in debug builds it aborts the
+/// dispatch on the spot instead. Release builds compile it away
+/// entirely, so the hot path stays untouched.
+#[cfg(debug_assertions)]
+struct LoanTable {
+    flags: Vec<std::sync::atomic::AtomicBool>,
+}
+
+#[cfg(debug_assertions)]
+impl LoanTable {
+    fn new(slots: usize) -> Self {
+        LoanTable {
+            flags: (0..slots)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Records the loan of slot `i`, aborting if it is already out.
+    fn claim(&self, i: usize, what: &str) {
+        let taken = self.flags[i].swap(true, std::sync::atomic::Ordering::Relaxed);
+        debug_assert!(
+            !taken,
+            "abft race detector: {what} {i} loaned twice within one dispatch — \
+             the fixed schedule must hand every slot to exactly one worker"
+        );
+    }
+}
+
 /// A shared view of the cell table for disjoint-cell parallel dispatch —
 /// the `AgentCell` counterpart of [`abft_linalg::SharedSlots`].
 struct SharedCells {
     ptr: *mut AgentCell,
+    #[cfg(debug_assertions)]
+    loans: LoanTable,
 }
 
 // SAFETY: the fixed worker schedule hands every active agent index to
 // exactly one chunk, so no two workers ever touch the same cell; cell
-// contents are `Send`.
+// contents are `Send`. Debug builds verify the disjointness with a loan
+// table that aborts on overlap.
 unsafe impl Send for SharedCells {}
+// SAFETY: see `Send` above — all shared access is to disjoint cells.
 unsafe impl Sync for SharedCells {}
 
 impl SharedCells {
+    /// A shared view over the `cells` cell table.
+    fn new(cells: &mut [AgentCell]) -> Self {
+        SharedCells {
+            ptr: cells.as_mut_ptr(),
+            #[cfg(debug_assertions)]
+            loans: LoanTable::new(cells.len()),
+        }
+    }
+
     /// # Safety
     ///
     /// `agent` must be handed to exactly one worker for the duration of
     /// the dispatch (guaranteed by the pool's fixed schedule), which is
-    /// exactly why the `&self -> &mut` shape is sound here.
+    /// exactly why the `&self -> &mut` shape is sound here. Debug builds
+    /// abort on an overlapping loan.
     #[allow(clippy::mut_from_ref)]
     unsafe fn cell(&self, agent: usize) -> &mut AgentCell {
-        &mut *self.ptr.add(agent)
+        #[cfg(debug_assertions)]
+        self.loans.claim(agent, "cell");
+        // SAFETY: `agent` is in bounds of the table this view was built
+        // over, and per the contract above no other loan of it exists.
+        unsafe { &mut *self.ptr.add(agent) }
     }
 }
 
@@ -118,22 +173,43 @@ impl SharedCells {
 struct SharedRows {
     base: *mut f64,
     dim: usize,
+    #[cfg(debug_assertions)]
+    loans: LoanTable,
 }
 
 // SAFETY: rows of distinct active agents never alias, and the schedule
-// assigns each row to exactly one worker.
+// assigns each row to exactly one worker. Debug builds verify the
+// disjointness with a loan table that aborts on overlap.
 unsafe impl Send for SharedRows {}
+// SAFETY: see `Send` above — all shared access is to disjoint rows.
 unsafe impl Sync for SharedRows {}
 
 impl SharedRows {
+    /// A shared view over the first `rows` rows of width `dim` at `base`.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    fn new(base: *mut f64, dim: usize, rows: usize) -> Self {
+        SharedRows {
+            base,
+            dim,
+            #[cfg(debug_assertions)]
+            loans: LoanTable::new(rows),
+        }
+    }
+
     /// # Safety
     ///
     /// Row `i` must be handed to exactly one worker for the duration of
     /// the dispatch (guaranteed by the pool's fixed schedule), which is
-    /// exactly why the `&self -> &mut` shape is sound here.
+    /// exactly why the `&self -> &mut` shape is sound here. Debug builds
+    /// abort on an overlapping loan.
     #[allow(clippy::mut_from_ref)]
     unsafe fn row(&self, i: usize) -> &mut [f64] {
-        std::slice::from_raw_parts_mut(self.base.add(i * self.dim), self.dim)
+        #[cfg(debug_assertions)]
+        self.loans.claim(i, "row");
+        // SAFETY: row `i` lies inside the batch storage this view was
+        // built over, and per the contract above no other loan of it
+        // exists.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(i * self.dim), self.dim) }
     }
 }
 
@@ -280,13 +356,8 @@ impl Fleet {
         let units = self.active.len();
         let dim = self.shape.1;
         self.batch.reset_rows(units);
-        let rows = SharedRows {
-            base: self.batch.as_flat_mut().as_mut_ptr(),
-            dim,
-        };
-        let cells = SharedCells {
-            ptr: self.cells.as_mut_ptr(),
-        };
+        let rows = SharedRows::new(self.batch.as_flat_mut().as_mut_ptr(), dim, units);
+        let cells = SharedCells::new(&mut self.cells);
         let active = &self.active;
         self.pool.run(units, &|range| {
             for i in range {
@@ -387,5 +458,41 @@ mod tests {
         fleet.dispatch_round(5, &Vector::zeros(2));
         let silent: Vec<(usize, usize)> = fleet.silent_agents().collect();
         assert_eq!(silent, vec![(2, 2)]);
+    }
+
+    /// The debug race detector must abort when one row is loaned to two
+    /// borrowers within a single dispatch — the exact bug a broken worker
+    /// schedule would introduce.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "loaned twice")]
+    fn overlapping_row_loan_aborts_in_debug_builds() {
+        let mut storage = vec![0.0f64; 3 * 2];
+        let rows = SharedRows::new(storage.as_mut_ptr(), 2, 3);
+        // SAFETY: distinct rows — sound on its own; the claim below is
+        // the violation under test.
+        let _first = unsafe { rows.row(0) };
+        // SAFETY: deliberately loans row 0 a second time; the loan table
+        // must catch it before the aliasing references could coexist.
+        let _second = unsafe { rows.row(0) };
+    }
+
+    /// Same contract for the cell table view.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "loaned twice")]
+    fn overlapping_cell_loan_aborts_in_debug_builds() {
+        let problem = RegressionProblem::paper_instance();
+        let costs = problem.costs();
+        let mut fleet = Fleet::new(1);
+        let n = costs.len();
+        fleet.load(&costs, (0..n).map(|_| None).collect(), &vec![None; n], 2, 1);
+        let cells = SharedCells::new(&mut fleet.cells);
+        // SAFETY: a single loan of cell 1 is sound; the second claim is
+        // the violation under test.
+        let _first = unsafe { cells.cell(1) };
+        // SAFETY: deliberately loans cell 1 a second time to exercise the
+        // debug loan table.
+        let _second = unsafe { cells.cell(1) };
     }
 }

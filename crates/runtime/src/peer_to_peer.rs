@@ -54,6 +54,7 @@ impl BitsVector {
     ///
     /// Panics when `out.len()` differs from the encoded length.
     fn write_into(&self, out: &mut [f64]) {
+        // LINT-ALLOW(no-panic-hot-path): wire-format invariant; decode restores the encoded dimension
         assert_eq!(out.len(), self.0.len(), "decoded gradient dimension");
         for (slot, &bits) in out.iter_mut().zip(&self.0) {
             *slot = f64::from_bits(bits);
@@ -382,6 +383,7 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
     Ok(PeerToPeerOutcome {
         run: ObservedRun {
             final_estimate: estimates[0].clone(),
+            // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
         },
         broadcasts,

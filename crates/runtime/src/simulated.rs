@@ -375,6 +375,7 @@ fn execute_server(
     Ok(SimulatedOutcome {
         run: ObservedRun {
             final_estimate: x,
+            // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
         },
         net: net.metrics(),

@@ -293,6 +293,7 @@ impl Backend for InProcess {
             sim = sim.with_crash(agent, at_iteration)?;
         }
         let mut observer = ScenarioObserver::for_scenario(scenario);
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         let run = sim.run_observed(
             scenario.filter(),
@@ -343,6 +344,7 @@ impl Backend for Threaded {
         let metrics = RuntimeMetrics::new();
         let mut observer = ScenarioObserver::for_scenario(scenario);
         let fleet = workspace.fleet_mut(scenario.options().fleet_workers);
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         let run = task.run_threaded_observed_with_fleet(
             fleet,
@@ -398,6 +400,7 @@ impl Backend for PeerToPeer {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let mut observer = ScenarioObserver::for_scenario(scenario);
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         let outcome = task.run_peer_to_peer_observed(
             self.equivocate,
@@ -483,6 +486,7 @@ impl Backend for Simulated {
         let mut sim = self.plan.clone();
         sim.net_faults.extend(scenario.net_faults().iter().cloned());
         let mut observer = ScenarioObserver::for_scenario(scenario);
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         let outcome = task.run_simulated_observed(
             &sim,

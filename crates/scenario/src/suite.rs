@@ -172,6 +172,7 @@ impl ScenarioSuite {
     ///
     /// Returns the first scenario's failure, if any.
     pub fn run(&self, backend: &dyn Backend) -> Result<SuiteReport, ScenarioError> {
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         let mut workspace = SuiteWorkspace::new();
         if let Some(pool) = self.shared_aggregation_pool() {
@@ -225,6 +226,7 @@ impl ScenarioSuite {
     /// violates — while the remaining cells still report.
     pub fn run_parallel_collect(&self, backend: &dyn Backend, workers: usize) -> SuiteOutcomes {
         let workers = workers.clamp(1, self.scenarios.len().max(1));
+        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
         let started = Instant::now();
         // One aggregation pool for the whole run — workers *share* it, so
         // `suite workers × aggregation threads` never multiplies.
@@ -253,6 +255,7 @@ impl ScenarioSuite {
                 let next = &next;
                 let scenarios = &self.scenarios;
                 let shared_pool = shared_pool.clone();
+                // LINT-ALLOW(fixed-schedule): results carry their scenario index and are reassembled in order
                 scope.spawn(move || {
                     let mut workspace = SuiteWorkspace::new();
                     if let Some(pool) = shared_pool {
