@@ -24,6 +24,10 @@
 //!   loss/φ evaluation, no trace memory) — the JSON rows put the
 //!   instrumentation cost next to the threads axis. Recording is pure
 //!   observation, so the trajectories are identical on both rows.
+//! * **Fleet workers.** The threaded backend additionally runs at
+//!   `fleet_workers ∈ {1, 4}` (the event-loop worker knob). The other
+//!   backends never consult the knob, so they run only at the default —
+//!   duplicating their rows would time identical work twice.
 //!
 //! Run with: `cargo bench -p abft-bench --bench suite_throughput`
 
@@ -50,9 +54,13 @@ const RECORDING_AXIS: [(&str, Recording); 2] = [
     ("summary-only", Recording::SummaryOnly),
 ];
 
+/// The event-loop fleet-worker axis (threaded backend only).
+const FLEET_AXIS: [usize; 2] = [1, 4];
+
 struct Row {
     backend: &'static str,
     threads: usize,
+    fleet_workers: usize,
     recording: &'static str,
     filters: usize,
     attacks: usize,
@@ -63,13 +71,14 @@ struct Row {
     scenarios_per_sec: f64,
 }
 
-fn template(threads: usize, recording: Recording) -> ScenarioBuilder {
+fn template(threads: usize, fleet_workers: usize, recording: Recording) -> ScenarioBuilder {
     // n = 9, f = 1 admits every registered filter (Bulyan needs 4f + 3).
     let (problem, x_h) = fan_fixture(9, 1);
     let mut options = RunOptions::paper_defaults(x_h);
     options.x0 = Vector::zeros(2);
     options.iterations = ITERATIONS;
     options.aggregation_threads = threads;
+    options.fleet_workers = fleet_workers;
     Scenario::builder()
         .problem(&problem)
         .faults(1)
@@ -96,14 +105,15 @@ fn main() {
     println!(
         "suite_throughput: {} filters x {} attacks (omniscient columns in-process only), \
          {ITERATIONS} iterations, {workers} workers, aggregation threads in {THREADS_AXIS:?}, \
-         recording in [full, summary-only]\n",
+         fleet workers in {FLEET_AXIS:?} (threaded only), recording in [full, summary-only]\n",
         all_filters.len(),
         all_attacks.len(),
     );
     println!(
-        "{:<18} {:>7} {:>13} {:>5} {:>9} {:>7} {:>10} {:>15}",
+        "{:<18} {:>7} {:>6} {:>13} {:>5} {:>9} {:>7} {:>10} {:>15}",
         "backend",
         "aggthr",
+        "fleet",
         "recording",
         "cells",
         "completed",
@@ -115,64 +125,71 @@ fn main() {
     let mut rows = Vec::new();
     for threads in THREADS_AXIS {
         for (recording_name, recording) in RECORDING_AXIS {
-            let full_grid = ScenarioSuite::grid_seeded(
-                &template(threads, recording),
-                0,
-                all_filters,
-                all_attacks,
-                42,
-            )
-            .expect("registry grid builds");
-            let wire_grid = ScenarioSuite::grid_seeded(
-                &template(threads, recording),
-                0,
-                all_filters,
-                &observable,
-                42,
-            )
-            .expect("registry grid builds");
+            for fleet_workers in FLEET_AXIS {
+                let full_grid = ScenarioSuite::grid_seeded(
+                    &template(threads, fleet_workers, recording),
+                    0,
+                    all_filters,
+                    all_attacks,
+                    42,
+                )
+                .expect("registry grid builds");
+                let wire_grid = ScenarioSuite::grid_seeded(
+                    &template(threads, fleet_workers, recording),
+                    0,
+                    all_filters,
+                    &observable,
+                    42,
+                )
+                .expect("registry grid builds");
 
-            let backends: Vec<(&'static str, &ScenarioSuite, usize, Box<dyn Backend>)> = vec![
-                (
-                    "in-process",
-                    &full_grid,
-                    all_attacks.len(),
-                    Box::new(InProcess),
-                ),
-                ("threaded", &wire_grid, observable.len(), Box::new(Threaded)),
-                (
-                    "simulated-server",
-                    &wire_grid,
-                    observable.len(),
-                    Box::new(Simulated::server(NetworkModel::ideal())),
-                ),
-            ];
+                // Only the threaded (event-loop) backend consults
+                // `fleet_workers`; the other backends run once, on the
+                // axis' first value.
+                let mut backends: Vec<(&'static str, &ScenarioSuite, usize, Box<dyn Backend>)> =
+                    vec![("threaded", &wire_grid, observable.len(), Box::new(Threaded))];
+                if fleet_workers == FLEET_AXIS[0] {
+                    backends.push((
+                        "in-process",
+                        &full_grid,
+                        all_attacks.len(),
+                        Box::new(InProcess),
+                    ));
+                    backends.push((
+                        "simulated-server",
+                        &wire_grid,
+                        observable.len(),
+                        Box::new(Simulated::server(NetworkModel::ideal())),
+                    ));
+                }
 
-            for (name, suite, attacks, backend) in &backends {
-                let started = Instant::now();
-                let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
-                let elapsed_s = started.elapsed().as_secs_f64();
-                let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
-                let failed = outcome.outcomes.len() - completed;
-                let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
-                println!(
-                    "{name:<18} {threads:>7} {recording_name:>13} {:>5} {completed:>9} \
-                 {failed:>7} {:>9.2}s {scenarios_per_sec:>15.1}",
-                    suite.len(),
-                    elapsed_s
-                );
-                rows.push(Row {
-                    backend: name,
-                    threads,
-                    recording: recording_name,
-                    filters: all_filters.len(),
-                    attacks: *attacks,
-                    scenarios: suite.len(),
-                    completed,
-                    failed,
-                    elapsed_s,
-                    scenarios_per_sec,
-                });
+                for (name, suite, attacks, backend) in &backends {
+                    let started = Instant::now();
+                    let outcome = suite.run_parallel_collect(backend.as_ref(), workers);
+                    let elapsed_s = started.elapsed().as_secs_f64();
+                    let completed = outcome.outcomes.iter().filter(|o| o.is_ok()).count();
+                    let failed = outcome.outcomes.len() - completed;
+                    let scenarios_per_sec = outcome.outcomes.len() as f64 / elapsed_s;
+                    println!(
+                        "{name:<18} {threads:>7} {fleet_workers:>6} {recording_name:>13} {:>5} \
+                         {completed:>9} {failed:>7} {:>9.2}s {scenarios_per_sec:>15.1}",
+                        suite.len(),
+                        elapsed_s
+                    );
+                    rows.push(Row {
+                        backend: name,
+                        threads,
+                        fleet_workers,
+                        recording: recording_name,
+                        filters: all_filters.len(),
+                        attacks: *attacks,
+                        scenarios: suite.len(),
+                        completed,
+                        failed,
+                        elapsed_s,
+                        scenarios_per_sec,
+                    });
+                }
             }
         }
     }
@@ -185,8 +202,8 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the workspace has no serde): stable field order, one
-/// object per (backend, threads) cell, each carrying the grid it actually
-/// ran.
+/// object per (backend, threads, fleet_workers, recording) cell, each
+/// carrying the grid it actually ran.
 fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"suite_throughput\",");
@@ -196,6 +213,11 @@ fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
         out,
         "  \"threads_axis\": [{}],",
         THREADS_AXIS.map(|t| t.to_string()).join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"fleet_axis\": [{}],",
+        FLEET_AXIS.map(|t| t.to_string()).join(", ")
     );
     let _ = writeln!(
         out,
@@ -209,12 +231,14 @@ fn to_json(iterations: usize, workers: usize, rows: &[Row]) -> String {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"backend\": \"{}\", \"threads\": {}, \"recording\": \"{}\", \
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"fleet_workers\": {}, \
+             \"recording\": \"{}\", \
              \"grid\": {{\"filters\": {}, \"attacks\": {}}}, \"scenarios\": {}, \
              \"completed\": {}, \"failed\": {}, \"elapsed_s\": {:.4}, \
              \"scenarios_per_sec\": {:.2}}}{comma}",
             row.backend,
             row.threads,
+            row.fleet_workers,
             row.recording,
             row.filters,
             row.attacks,

@@ -4,26 +4,33 @@
 //! committed baseline and fails (exit code 1) when any tracked backend's
 //! `scenarios_per_sec` drops by more than the tolerance — how CI keeps the
 //! event-loop runtime from quietly sliding back toward the historical
-//! thread-per-agent gap.
+//! thread-per-agent gap, and the in-process and simulated-server drivers
+//! from absorbing hidden per-round costs.
 //!
 //! ```text
-//! suite_regression <baseline.json> <current.json> [--backend threaded] [--tolerance 0.20]
+//! suite_regression <baseline.json> <current.json> \
+//!     [--backend <name>]... [--tolerance 0.20]
 //! ```
 //!
-//! Rows are keyed by `(backend, threads, recording)`; only rows for the
-//! selected backend (default `threaded`) are compared, and a baseline row
-//! with no matching current row is itself a failure. The parser targets
-//! the writer in `benches/suite_throughput.rs` — one result object per
-//! line, stable field order — because the workspace deliberately carries
-//! no serde.
+//! Rows are keyed by `(backend, threads, fleet_workers, recording)`; only
+//! rows for the selected backends are compared (`--backend` repeats; the
+//! default tracks `threaded`, `in-process`, and `simulated-server`), and a
+//! baseline row with no matching current row is itself a failure. The
+//! parser targets the writer in `benches/suite_throughput.rs` — one result
+//! object per line, stable field order — because the workspace
+//! deliberately carries no serde.
 
 use std::process::ExitCode;
+
+/// The backends gated by default when no `--backend` flag is given.
+const DEFAULT_BACKENDS: [&str; 3] = ["threaded", "in-process", "simulated-server"];
 
 /// One `results` row of `BENCH_suite.json`.
 #[derive(Debug, Clone, PartialEq)]
 struct BenchRow {
     backend: String,
     threads: usize,
+    fleet_workers: usize,
     recording: String,
     scenarios_per_sec: f64,
 }
@@ -44,7 +51,9 @@ fn string_field(line: &str, key: &str) -> Option<String> {
     field(line, key).map(|raw| raw.trim_matches('"').to_string())
 }
 
-/// Parses every `results` row in the report.
+/// Parses every `results` row in the report. Reports from before the
+/// fleet-worker axis carry no `fleet_workers` field; those rows ran at the
+/// default of 1.
 fn parse_rows(json: &str) -> Vec<BenchRow> {
     json.lines()
         .filter(|line| line.trim_start().starts_with('{') && line.contains("\"backend\""))
@@ -52,6 +61,9 @@ fn parse_rows(json: &str) -> Vec<BenchRow> {
             Some(BenchRow {
                 backend: string_field(line, "backend")?,
                 threads: field(line, "threads")?.parse().ok()?,
+                fleet_workers: field(line, "fleet_workers")
+                    .and_then(|raw| raw.parse().ok())
+                    .unwrap_or(1),
                 recording: string_field(line, "recording")?,
                 scenarios_per_sec: field(line, "scenarios_per_sec")?.parse().ok()?,
             })
@@ -62,13 +74,13 @@ fn parse_rows(json: &str) -> Vec<BenchRow> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut backend = "threaded".to_string();
+    let mut backends: Vec<String> = Vec::new();
     let mut tolerance = 0.20f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--backend" => match iter.next() {
-                Some(value) => backend = value.clone(),
+                Some(value) => backends.push(value.clone()),
                 None => return usage("--backend needs a value"),
             },
             "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
@@ -77,6 +89,9 @@ fn main() -> ExitCode {
             },
             path => paths.push(path.to_string()),
         }
+    }
+    if backends.is_empty() {
+        backends = DEFAULT_BACKENDS.map(String::from).to_vec();
     }
     let [baseline_path, current_path] = paths.as_slice() else {
         return usage("expected exactly two report paths");
@@ -95,11 +110,13 @@ fn main() -> ExitCode {
     };
     let baseline: Vec<BenchRow> = parse_rows(&baseline_json)
         .into_iter()
-        .filter(|row| row.backend == backend)
+        .filter(|row| backends.contains(&row.backend))
         .collect();
-    if baseline.is_empty() {
-        eprintln!("suite_regression: no '{backend}' rows in baseline {baseline_path}");
-        return ExitCode::FAILURE;
+    for backend in &backends {
+        if !baseline.iter().any(|row| row.backend == *backend) {
+            eprintln!("suite_regression: no '{backend}' rows in baseline {baseline_path}");
+            return ExitCode::FAILURE;
+        }
     }
     let current = parse_rows(&current_json);
 
@@ -108,11 +125,12 @@ fn main() -> ExitCode {
         let Some(now) = current.iter().find(|row| {
             row.backend == base.backend
                 && row.threads == base.threads
+                && row.fleet_workers == base.fleet_workers
                 && row.recording == base.recording
         }) else {
             eprintln!(
-                "FAIL {backend} threads={} recording={}: row missing from {current_path}",
-                base.threads, base.recording
+                "FAIL {} threads={} fleet={} recording={}: row missing from {current_path}",
+                base.backend, base.threads, base.fleet_workers, base.recording
             );
             failed = true;
             continue;
@@ -125,9 +143,11 @@ fn main() -> ExitCode {
             "ok  "
         };
         println!(
-            "{verdict} {backend} threads={} recording={:>12}: {:.1}/s vs baseline {:.1}/s \
-             (floor {:.1}/s at {:.0}% tolerance)",
+            "{verdict} {:<18} threads={} fleet={} recording={:>12}: {:.1}/s vs baseline \
+             {:.1}/s (floor {:.1}/s at {:.0}% tolerance)",
+            base.backend,
             base.threads,
+            base.fleet_workers,
             base.recording,
             now.scenarios_per_sec,
             base.scenarios_per_sec,
@@ -146,7 +166,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "suite_regression: {problem}\n\
          usage: suite_regression <baseline.json> <current.json> \
-         [--backend <name>] [--tolerance <fraction>]"
+         [--backend <name>]... [--tolerance <fraction>]"
     );
     ExitCode::FAILURE
 }
@@ -157,8 +177,8 @@ mod tests {
 
     const SAMPLE: &str = r#"{
   "results": [
-    {"backend": "in-process", "threads": 1, "recording": "full", "grid": {"filters": 7, "attacks": 12}, "scenarios": 84, "completed": 84, "failed": 0, "elapsed_s": 0.0235, "scenarios_per_sec": 3569.27},
-    {"backend": "threaded", "threads": 4, "recording": "summary-only", "grid": {"filters": 7, "attacks": 8}, "scenarios": 56, "completed": 56, "failed": 0, "elapsed_s": 0.2299, "scenarios_per_sec": 243.58}
+    {"backend": "in-process", "threads": 1, "fleet_workers": 1, "recording": "full", "grid": {"filters": 7, "attacks": 12}, "scenarios": 84, "completed": 84, "failed": 0, "elapsed_s": 0.0235, "scenarios_per_sec": 3569.27},
+    {"backend": "threaded", "threads": 4, "fleet_workers": 4, "recording": "summary-only", "grid": {"filters": 7, "attacks": 8}, "scenarios": 56, "completed": 56, "failed": 0, "elapsed_s": 0.2299, "scenarios_per_sec": 243.58}
   ]
 }"#;
 
@@ -168,11 +188,21 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].backend, "in-process");
         assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[0].fleet_workers, 1);
         assert_eq!(rows[0].recording, "full");
         assert!((rows[0].scenarios_per_sec - 3569.27).abs() < 1e-9);
         assert_eq!(rows[1].backend, "threaded");
         assert_eq!(rows[1].threads, 4);
+        assert_eq!(rows[1].fleet_workers, 4);
         assert_eq!(rows[1].recording, "summary-only");
+    }
+
+    #[test]
+    fn rows_without_a_fleet_field_default_to_one_worker() {
+        let legacy = r#"    {"backend": "threaded", "threads": 1, "recording": "full", "scenarios": 56, "scenarios_per_sec": 100.00}"#;
+        let rows = parse_rows(legacy);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].fleet_workers, 1);
     }
 
     #[test]

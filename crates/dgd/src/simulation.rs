@@ -12,6 +12,7 @@ use abft_core::{SystemConfig, Trace};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_problems::{total_value, SharedCost};
+use abft_telemetry::{Counter, Phase, Telemetry, TelemetryConfig, TelemetryReport};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -41,6 +42,11 @@ pub struct RunOptions {
     /// it is pure throughput: the fleet's fixed agent→worker schedule
     /// keeps traces bit-identical at any worker count.
     pub fleet_workers: usize,
+    /// Instrumentation switch (default [`TelemetryConfig::Off`], overridden
+    /// by the `ABFT_TELEMETRY` environment variable in the paper-default
+    /// constructors). Telemetry is observational only: enabling it never
+    /// changes traces, estimates, or the per-round schedule.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RunOptions {
@@ -60,6 +66,7 @@ impl RunOptions {
             reference,
             aggregation_threads: Self::default_aggregation_threads(),
             fleet_workers: Self::default_fleet_workers(),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 
@@ -105,6 +112,13 @@ impl RunOptions {
         self.fleet_workers = workers.max(1);
         self
     }
+
+    /// Overrides the telemetry switch.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
 }
 
 /// The result of one DGD execution with dense recording.
@@ -141,6 +155,9 @@ pub struct ObservedRun {
     pub final_estimate: Vector,
     /// Final record, rounds executed, and halt reason.
     pub summary: RunSummary,
+    /// Phase timings and counters, present when the run options enabled
+    /// telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// The [`MetricSource`] every server-architecture driver derives its
@@ -363,16 +380,35 @@ impl DgdSimulation {
             round, aggregated, ..
         } = workspace;
 
+        // Telemetry is observational: disabled handles are pure no-ops
+        // (no clock reads, no allocation), so the hot loop below is
+        // bit-identical and allocation-free with telemetry off.
+        let mut telemetry = Telemetry::wall(options.telemetry);
+        round
+            .batch
+            .set_dispatch_profile(telemetry.dispatch_profile());
+
         let mut x = options.projection.project(&options.x0);
         let mut summary = None;
         for t in 0..=options.iterations {
             let advance = t < options.iterations;
+            let round_span = telemetry.begin(Phase::Round);
+            let fill_span = telemetry.begin(Phase::GradientFill);
             self.collect_round(t, &x, &mut eliminated, &mut server_f, round);
-            filter.aggregate_into(&round.batch, server_f, aggregated)?;
+            telemetry.end(fill_span);
+            let agg_span = telemetry.begin(Phase::Aggregate);
+            let aggregate = filter.aggregate_into(&round.batch, server_f, aggregated);
+            telemetry.end(agg_span);
+            if let Err(err) = aggregate {
+                round.batch.set_dispatch_profile(None);
+                return Err(err.into());
+            }
             if advance && (aggregated.has_non_finite() || x.has_non_finite()) {
+                round.batch.set_dispatch_profile(None);
                 return Err(DgdError::Diverged { iteration: t });
             }
             {
+                let observe_span = telemetry.begin(Phase::Observe);
                 let source = HonestCostMetrics::new(
                     &self.costs,
                     &honest,
@@ -382,19 +418,28 @@ impl DgdSimulation {
                 );
                 let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
                 summary = observe_round(observer, &view, advance);
+                telemetry.end(observe_span);
             }
+            telemetry.add(Counter::Rounds, 1);
             if summary.is_some() {
+                telemetry.end(round_span);
                 break;
             }
             let eta = options.schedule.eta(t);
             x.axpy(-eta, aggregated);
             options.projection.project_in_place(&mut x);
+            telemetry.end(round_span);
+        }
+
+        if let Some(profile) = round.batch.take_dispatch_profile() {
+            telemetry.absorb_dispatch(&profile.snapshot());
         }
 
         Ok(ObservedRun {
             final_estimate: x,
             // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
+            telemetry: telemetry.finish(),
         })
     }
 
@@ -802,6 +847,7 @@ mod tests {
             reference: Vector::zeros(2),
             aggregation_threads: 1,
             fleet_workers: 1,
+            telemetry: TelemetryConfig::Off,
         };
         assert!(matches!(
             sim.run(&Cge::new(), &options),

@@ -9,6 +9,7 @@ use abft_attacks::{GradientReverse, LittleIsEnough};
 use abft_dgd::{DgdSimulation, RunOptions};
 use abft_filters::by_name;
 use abft_problems::RegressionProblem;
+use abft_telemetry::{Counter, Phase, Telemetry, TelemetryConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -57,9 +58,11 @@ fn allocations_for_run(filter_name: &str, byzantine: bool, iterations: usize) ->
     // The zero-per-iteration-allocation property is a contract of the
     // *serial* default; the parallel path trades a handful of dispatch
     // allocations per round for wall-clock. Pin serial explicitly so a CI
-    // run with ABFT_AGGREGATION_THREADS set still measures the contract.
-    let options =
-        RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1);
+    // run with ABFT_AGGREGATION_THREADS set still measures the contract —
+    // and pin telemetry off so an ABFT_TELEMETRY override can't either.
+    let options = RunOptions::paper_defaults_with_iterations(x_h, iterations)
+        .with_aggregation_threads(1)
+        .with_telemetry(TelemetryConfig::Off);
     let filter = by_name(filter_name).expect("registered");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -109,8 +112,9 @@ fn summary_only_observation_memory_does_not_grow_with_t() {
             .expect("valid")
             .with_byzantine(0, Box::new(GradientReverse::new()))
             .expect("f = 1 budget");
-        let options =
-            RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1); // serial contract; see above
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations)
+            .with_aggregation_threads(1) // serial contract; see above
+            .with_telemetry(TelemetryConfig::Off);
         let filter = by_name("cge").expect("registered");
         let mut workspace = abft_dgd::RoundWorkspace::new();
         let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -134,6 +138,41 @@ fn summary_only_observation_memory_does_not_grow_with_t() {
 }
 
 #[test]
+fn telemetry_hot_path_allocates_nothing() {
+    // A disabled handle must be free: no clock reads is a contract checked
+    // elsewhere; here we pin *no allocator traffic at all*.
+    let mut off = Telemetry::wall(TelemetryConfig::Off);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let round = off.begin(Phase::Round);
+        let fill = off.begin(Phase::GradientFill);
+        off.end(fill);
+        off.add(Counter::Rounds, 1);
+        off.end(round);
+    }
+    assert!(off.finish().is_none(), "disabled handles produce no report");
+    let disabled = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(disabled, 0, "disabled telemetry touched the allocator");
+
+    // An enabled handle allocates once up front (the preallocated span
+    // ring); its begin/end/add hot path must then stay allocation-free
+    // even past ring wrap-around.
+    let mut on = Telemetry::wall(TelemetryConfig::On);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100_000 {
+        let round = on.begin(Phase::Round);
+        let fill = on.begin(Phase::GradientFill);
+        on.end(fill);
+        on.add(Counter::Rounds, 1);
+        on.end(round);
+    }
+    let enabled = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(enabled, 0, "enabled hot path touched the allocator");
+    let report = on.finish().expect("enabled handles report");
+    assert_eq!(report.counter("rounds"), 100_000);
+}
+
+#[test]
 fn omniscient_attacks_stay_on_the_zero_copy_path() {
     // ALIE reads honest gradients as batch rows; its forgery is staged in
     // a reused scratch vector. Marginal allocations must still be ~zero.
@@ -146,8 +185,9 @@ fn omniscient_attacks_stay_on_the_zero_copy_path() {
             .expect("valid")
             .with_byzantine(0, Box::new(LittleIsEnough::new(1.0)))
             .expect("f = 1 budget");
-        let options =
-            RunOptions::paper_defaults_with_iterations(x_h, iterations).with_aggregation_threads(1); // serial contract; see above
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations)
+            .with_aggregation_threads(1) // serial contract; see above
+            .with_telemetry(TelemetryConfig::Off);
         let filter = by_name("cwtm").expect("registered");
         let before = ALLOCATIONS.load(Ordering::Relaxed);
         sim.run(filter.as_ref(), &options).expect("runs");

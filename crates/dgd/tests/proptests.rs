@@ -18,6 +18,7 @@ fn options(x_h: Vector, iterations: usize) -> RunOptions {
         reference: x_h,
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
+        telemetry: abft_telemetry::TelemetryConfig::Off,
     }
 }
 
@@ -97,7 +98,8 @@ proptest! {
             projection: w.clone(),
             reference: x_h,
             aggregation_threads: RunOptions::default_aggregation_threads(),
-        fleet_workers: RunOptions::default_fleet_workers(),
+            fleet_workers: RunOptions::default_fleet_workers(),
+            telemetry: abft_telemetry::TelemetryConfig::Off,
         };
         let run = sim.run(&Mean::new(), &opts).expect("runs");
         prop_assert!(w.contains(&run.final_estimate));

@@ -311,6 +311,7 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
                 reference: x_h.clone(),
                 aggregation_threads: RunOptions::default_aggregation_threads(),
                 fleet_workers: RunOptions::default_fleet_workers(),
+                telemetry: Default::default(),
             };
             let scenario = Scenario::builder()
                 .problem(&problem)

@@ -60,9 +60,13 @@ impl Cge {
         let rows = Rows::of(batch);
         scratch.keys.clear();
         scratch.keys.resize(n, 0.0);
-        fill_slots(batch.worker_pool(), batch.dim(), &mut scratch.keys, |i| {
-            rowops::norm(rows.row(i))
-        });
+        fill_slots(
+            batch.worker_pool(),
+            batch.dispatch_profile(),
+            batch.dim(),
+            &mut scratch.keys,
+            |i| rowops::norm(rows.row(i)),
+        );
         scratch.order.clear();
         scratch.order.extend(0..n);
         let keys = &scratch.keys;
@@ -86,6 +90,7 @@ impl GradientFilter for Cge {
         let acc = zeroed_out(out, dim);
         weighted_sum_into(
             batch.worker_pool(),
+            batch.dispatch_profile(),
             Rows::of(batch),
             Some(&scratch.order),
             None,

@@ -32,6 +32,7 @@ impl GradientFilter for Faba {
         let dim = validate_batch("faba", batch, f)?;
         let rows = Rows::of(batch);
         let pool = batch.worker_pool();
+        let profile = batch.dispatch_profile();
         let mut scratch = batch.scratch();
         let s = &mut *scratch;
         s.pool.clear();
@@ -42,7 +43,15 @@ impl GradientFilter for Faba {
             // order per coordinate is the pool order either way).
             s.vec_a.clear();
             s.vec_a.resize(dim, 0.0);
-            weighted_sum_into(pool, rows, Some(&s.pool), None, s.pool.len(), &mut s.vec_a);
+            weighted_sum_into(
+                pool,
+                profile,
+                rows,
+                Some(&s.pool),
+                None,
+                s.pool.len(),
+                &mut s.vec_a,
+            );
             rowops::scale(&mut s.vec_a, 1.0 / s.pool.len() as f64);
 
             // Distance-to-mean per remaining gradient, one slot each.
@@ -50,7 +59,7 @@ impl GradientFilter for Faba {
             let members = &s.pool;
             s.keys.clear();
             s.keys.resize(members.len(), 0.0);
-            fill_slots(pool, dim, &mut s.keys, |p| {
+            fill_slots(pool, profile, dim, &mut s.keys, |p| {
                 rowops::dist(rows.row(members[p]), mean)
             });
 
@@ -72,7 +81,7 @@ impl GradientFilter for Faba {
         }
 
         let acc = zeroed_out(out, dim);
-        weighted_sum_into(pool, rows, Some(&s.pool), None, s.pool.len(), acc);
+        weighted_sum_into(pool, profile, rows, Some(&s.pool), None, s.pool.len(), acc);
         rowops::scale(acc, 1.0 / s.pool.len() as f64);
         Ok(())
     }

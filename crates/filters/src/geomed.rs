@@ -5,6 +5,7 @@ use crate::par::{fill_slots, weighted_sum_into, Rows};
 use crate::traits::{validate_batch, zeroed_out, GradientFilter};
 use abft_linalg::pool::WorkerPool;
 use abft_linalg::{rowops, GradientBatch, Vector};
+use abft_telemetry::DispatchProfile;
 
 /// Geometric median via the (smoothed) Weiszfeld algorithm.
 ///
@@ -83,6 +84,7 @@ impl GeometricMedian {
         count: usize,
         dim: usize,
         pool: Option<&WorkerPool>,
+        profile: Option<&DispatchProfile>,
         weights: &mut Vec<f64>,
         z: &mut Vec<f64>,
         numerator: &mut Vec<f64>,
@@ -91,7 +93,7 @@ impl GeometricMedian {
         // Start from the coordinate-wise mean.
         z.clear();
         z.resize(dim, 0.0);
-        weighted_sum_into(pool, rows, None, None, count, z);
+        weighted_sum_into(pool, profile, rows, None, None, count, z);
         rowops::scale(z, 1.0 / count as f64);
 
         numerator.clear();
@@ -102,13 +104,13 @@ impl GeometricMedian {
             let epsilon = self.epsilon;
             {
                 let z = &*z;
-                fill_slots(pool, dim, weights, |p| {
+                fill_slots(pool, profile, dim, weights, |p| {
                     1.0 / (rowops::dist(z, rows.row(p)) + epsilon)
                 });
             }
             let denominator: f64 = weights.iter().sum();
             rowops::fill_zero(numerator);
-            weighted_sum_into(pool, rows, None, Some(weights), count, numerator);
+            weighted_sum_into(pool, profile, rows, None, Some(weights), count, numerator);
             rowops::scale(numerator, 1.0 / denominator);
             let step = rowops::dist(numerator, z);
             z.copy_from_slice(numerator);
@@ -136,6 +138,7 @@ impl GradientFilter for GeometricMedian {
             batch.len(),
             dim,
             batch.worker_pool(),
+            batch.dispatch_profile(),
             &mut s.keys,
             &mut s.vec_a,
             &mut s.vec_b,
@@ -246,6 +249,7 @@ impl GradientFilter for GeometricMedianOfMeans {
             self.groups,
             dim,
             batch.worker_pool(),
+            batch.dispatch_profile(),
             &mut s.keys,
             &mut s.vec_a,
             &mut s.vec_b,

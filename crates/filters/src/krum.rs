@@ -29,6 +29,7 @@ pub(crate) fn krum_scores_into(
     // Each score visits every other member once: O(|pool| · dim) work.
     fill_slots_with_scratch(
         batch.worker_pool(),
+        batch.dispatch_profile(),
         pool.len().saturating_mul(batch.dim()),
         dists,
         scores,
@@ -182,6 +183,7 @@ impl GradientFilter for MultiKrum {
         let acc = zeroed_out(out, dim);
         weighted_sum_into(
             batch.worker_pool(),
+            batch.dispatch_profile(),
             Rows::of(batch),
             Some(&s.order),
             None,

@@ -35,6 +35,7 @@ impl GradientFilter for Mean {
         let acc = zeroed_out(out, dim);
         weighted_sum_into(
             batch.worker_pool(),
+            batch.dispatch_profile(),
             Rows::of(batch),
             None,
             None,

@@ -22,6 +22,7 @@
 
 use abft_linalg::pool::{SharedSlots, WorkerPool};
 use abft_linalg::{GradientBatch, LinalgError};
+use abft_telemetry::DispatchProfile;
 
 /// Columns transposed per tile pass. At 32 columns × 8 bytes each row
 /// segment spans four cache lines, so the row-major batch streams through
@@ -42,6 +43,21 @@ const MIN_PARALLEL_WORK: usize = 8192;
 /// worth the dispatch.
 fn worth_sharding(pool: Option<&WorkerPool>, work: usize) -> Option<&WorkerPool> {
     pool.filter(|_| work >= MIN_PARALLEL_WORK)
+}
+
+/// Runs one pool dispatch, timing the caller-blocking duration into
+/// `profile` when a driver installed one (wall-clock telemetry only; see
+/// [`GradientBatch::set_dispatch_profile`]). Timing wraps only the
+/// dispatch itself — the serial fallback paths never read a clock.
+fn timed_dispatch(profile: Option<&DispatchProfile>, dispatch: impl FnOnce()) {
+    match profile {
+        Some(profile) => {
+            let start = profile.start();
+            dispatch();
+            profile.record_since(start);
+        }
+        None => dispatch(),
+    }
 }
 
 /// A `Copy + Sync` view of a batch's rows (or any contiguous
@@ -96,15 +112,17 @@ pub(crate) fn for_each_column(
     match worth_sharding(batch.worker_pool(), count * dim) {
         Some(pool) if tiles > 1 => {
             let out = SharedSlots::new(slots);
-            pool.run_with_scratch(tiles, tile, &|buf, tile_range| {
-                for t in tile_range {
-                    let k0 = t * TILE_COLUMNS;
-                    let width = TILE_COLUMNS.min(dim - k0);
-                    // SAFETY: tile `t` owns columns `k0..k0 + width`, and
-                    // the fixed schedule hands every tile to one chunk.
-                    let tile_slots = unsafe { out.slice(k0..k0 + width) };
-                    reduce_tile(view, rows, count, k0, tile_slots, buf, &reduce);
-                }
+            timed_dispatch(batch.dispatch_profile(), || {
+                pool.run_with_scratch(tiles, tile, &|buf, tile_range| {
+                    for t in tile_range {
+                        let k0 = t * TILE_COLUMNS;
+                        let width = TILE_COLUMNS.min(dim - k0);
+                        // SAFETY: tile `t` owns columns `k0..k0 + width`, and
+                        // the fixed schedule hands every tile to one chunk.
+                        let tile_slots = unsafe { out.slice(k0..k0 + width) };
+                        reduce_tile(view, rows, count, k0, tile_slots, buf, &reduce);
+                    }
+                });
             });
         }
         _ => {
@@ -159,6 +177,7 @@ fn reduce_tile(
 /// serial.
 pub(crate) fn fill_slots(
     pool: Option<&WorkerPool>,
+    profile: Option<&DispatchProfile>,
     unit_work: usize,
     slots: &mut [f64],
     compute: impl Fn(usize) -> f64 + Sync,
@@ -166,11 +185,13 @@ pub(crate) fn fill_slots(
     match worth_sharding(pool, slots.len().saturating_mul(unit_work)) {
         Some(pool) if slots.len() > 1 => {
             let out = SharedSlots::new(slots);
-            pool.run(out.len(), &|range| {
-                for i in range {
-                    // SAFETY: `i` is owned by exactly one chunk.
-                    unsafe { out.write(i, compute(i)) };
-                }
+            timed_dispatch(profile, || {
+                pool.run(out.len(), &|range| {
+                    for i in range {
+                        // SAFETY: `i` is owned by exactly one chunk.
+                        unsafe { out.write(i, compute(i)) };
+                    }
+                });
             });
         }
         _ => {
@@ -186,6 +207,7 @@ pub(crate) fn fill_slots(
 /// buffers.
 pub(crate) fn fill_slots_with_scratch(
     pool: Option<&WorkerPool>,
+    profile: Option<&DispatchProfile>,
     unit_work: usize,
     scratch: &mut Vec<f64>,
     slots: &mut [f64],
@@ -194,11 +216,13 @@ pub(crate) fn fill_slots_with_scratch(
     match worth_sharding(pool, slots.len().saturating_mul(unit_work)) {
         Some(pool) if slots.len() > 1 => {
             let out = SharedSlots::new(slots);
-            pool.run_with_scratch(out.len(), scratch, &|buf, range| {
-                for i in range {
-                    // SAFETY: `i` is owned by exactly one chunk.
-                    unsafe { out.write(i, compute(buf, i)) };
-                }
+            timed_dispatch(profile, || {
+                pool.run_with_scratch(out.len(), scratch, &|buf, range| {
+                    for i in range {
+                        // SAFETY: `i` is owned by exactly one chunk.
+                        unsafe { out.write(i, compute(buf, i)) };
+                    }
+                });
             });
         }
         _ => {
@@ -214,8 +238,10 @@ pub(crate) fn fill_slots_with_scratch(
 /// row-major loop, so splitting columns across the pool changes nothing
 /// bitwise. `indices = None` means rows `0..count` in order; `weights =
 /// None` means all ones (plain accumulation).
+#[allow(clippy::too_many_arguments)] // internal kernel: shard + profile plumbing
 pub(crate) fn weighted_sum_into(
     pool: Option<&WorkerPool>,
+    profile: Option<&DispatchProfile>,
     rows: Rows<'_>,
     indices: Option<&[usize]>,
     weights: Option<&[f64]>,
@@ -227,25 +253,27 @@ pub(crate) fn weighted_sum_into(
     match worth_sharding(pool, count.saturating_mul(acc.len())) {
         Some(pool) if acc.len() > 1 => {
             let out = SharedSlots::new(acc);
-            pool.run(out.len(), &|range| {
-                // SAFETY: this chunk owns exactly the columns in `range`.
-                let acc = unsafe { out.slice(range.clone()) };
-                for p in 0..count {
-                    let row = &rows.row(indices.map_or(p, |idx| idx[p]))[range.clone()];
-                    match weights {
-                        None => {
-                            for (a, &v) in acc.iter_mut().zip(row) {
-                                *a += v;
+            timed_dispatch(profile, || {
+                pool.run(out.len(), &|range| {
+                    // SAFETY: this chunk owns exactly the columns in `range`.
+                    let acc = unsafe { out.slice(range.clone()) };
+                    for p in 0..count {
+                        let row = &rows.row(indices.map_or(p, |idx| idx[p]))[range.clone()];
+                        match weights {
+                            None => {
+                                for (a, &v) in acc.iter_mut().zip(row) {
+                                    *a += v;
+                                }
                             }
-                        }
-                        Some(w) => {
-                            let w = w[p];
-                            for (a, &v) in acc.iter_mut().zip(row) {
-                                *a += w * v;
+                            Some(w) => {
+                                let w = w[p];
+                                for (a, &v) in acc.iter_mut().zip(row) {
+                                    *a += w * v;
+                                }
                             }
                         }
                     }
-                }
+                });
             });
         }
         _ => {
@@ -336,10 +364,18 @@ mod tests {
         let rows = Rows::of(&batch);
         let weights: Vec<f64> = (0..7).map(|p| 0.3 + 0.1 * p as f64).collect();
         let mut serial = vec![0.0; 1500];
-        weighted_sum_into(None, rows, None, Some(&weights), 7, &mut serial);
+        weighted_sum_into(None, None, rows, None, Some(&weights), 7, &mut serial);
         let pool = WorkerPool::new(4);
         let mut parallel = vec![0.0; 1500];
-        weighted_sum_into(Some(&pool), rows, None, Some(&weights), 7, &mut parallel);
+        weighted_sum_into(
+            Some(&pool),
+            None,
+            rows,
+            None,
+            Some(&weights),
+            7,
+            &mut parallel,
+        );
         assert!(serial
             .iter()
             .zip(&parallel)
@@ -347,18 +383,43 @@ mod tests {
     }
 
     #[test]
+    fn installed_dispatch_profile_counts_pool_dispatches_only() {
+        let mut batch = demo_batch(9, 2000);
+        let mut tile = Vec::new();
+        let mut slots = vec![0.0; 2000];
+
+        batch.set_worker_pool(Some(Arc::new(WorkerPool::new(2))));
+        batch.set_dispatch_profile(Some(DispatchProfile::new()));
+        for_each_column(&batch, None, &mut tile, &mut slots, stats::median_in_place);
+        let profile = batch.take_dispatch_profile().expect("installed above");
+        let snap = profile.snapshot();
+        assert!(snap.dispatches >= 1, "the pool path times its dispatch");
+        assert_eq!(snap.hist.count(), snap.dispatches);
+
+        // The serial path never touches the profile (or any clock).
+        batch.set_worker_pool(None);
+        batch.set_dispatch_profile(Some(DispatchProfile::new()));
+        for_each_column(&batch, None, &mut tile, &mut slots, stats::median_in_place);
+        let profile = batch.take_dispatch_profile().expect("installed above");
+        assert_eq!(profile.snapshot().dispatches, 0);
+    }
+
+    #[test]
     fn fill_slots_covers_every_slot_in_parallel() {
         let pool = WorkerPool::new(3);
         let mut serial = vec![0.0; 11];
-        fill_slots(None, 10_000, &mut serial, |i| (i as f64).sqrt());
+        fill_slots(None, None, 10_000, &mut serial, |i| (i as f64).sqrt());
         let mut parallel = vec![0.0; 11];
-        fill_slots(Some(&pool), 10_000, &mut parallel, |i| (i as f64).sqrt());
+        fill_slots(Some(&pool), None, 10_000, &mut parallel, |i| {
+            (i as f64).sqrt()
+        });
         assert_eq!(serial, parallel);
 
         let mut scratch = Vec::new();
         let mut with_scratch = vec![0.0; 11];
         fill_slots_with_scratch(
             Some(&pool),
+            None,
             10_000,
             &mut scratch,
             &mut with_scratch,

@@ -26,6 +26,7 @@
 //! ```
 
 use crate::pool::WorkerPool;
+use abft_telemetry::DispatchProfile;
 use std::cell::{RefCell, RefMut};
 use std::sync::Arc;
 
@@ -69,6 +70,7 @@ pub struct GradientBatch {
     rows: usize,
     scratch: RefCell<BatchScratch>,
     pool: Option<Arc<WorkerPool>>,
+    profile: Option<DispatchProfile>,
 }
 
 impl GradientBatch {
@@ -97,6 +99,7 @@ impl GradientBatch {
             rows: 0,
             scratch: RefCell::new(BatchScratch::default()),
             pool: None,
+            profile: None,
         }
     }
 
@@ -112,6 +115,25 @@ impl GradientBatch {
     /// serial path.
     pub fn worker_pool(&self) -> Option<&WorkerPool> {
         self.pool.as_deref().filter(|pool| pool.threads() > 1)
+    }
+
+    /// Installs (or removes, with `None`) a telemetry profile that the
+    /// parallel kernels time their pool dispatches into. Drivers install
+    /// one per run when wall-clock telemetry is enabled and
+    /// [`take_dispatch_profile`](GradientBatch::take_dispatch_profile)
+    /// it back at run end; a batch without one times nothing.
+    pub fn set_dispatch_profile(&mut self, profile: Option<DispatchProfile>) {
+        self.profile = profile;
+    }
+
+    /// The installed dispatch profile, if any.
+    pub fn dispatch_profile(&self) -> Option<&DispatchProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Removes and returns the installed dispatch profile.
+    pub fn take_dispatch_profile(&mut self) -> Option<DispatchProfile> {
+        self.profile.take()
     }
 
     /// Row dimension `d`.

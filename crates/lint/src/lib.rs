@@ -26,7 +26,7 @@
 //! | `no-panic-hot-path` | no `unwrap`/`expect`/`panic!`/`assert!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code of the aggregation-path crates (`filters`, `linalg`, `runtime`, `dgd`); `debug_assert!` is exempt |
 //! | `unsafe-needs-safety` | every `unsafe` occurrence carries a `// SAFETY:` comment (or a `# Safety` doc section) on the line or directly above it |
 //! | `deterministic-collections` | no `HashMap`/`HashSet` in crate sources: iteration order must not depend on hashing, use `BTreeMap`/`BTreeSet`/`Vec` |
-//! | `fixed-schedule` | no `thread::spawn`/`.spawn(` outside `linalg/src/pool.rs` and `runtime/src/fleet.rs`, and no `Instant::now` outside the bench crate — work schedules are pure functions of the input, never of timing |
+//! | `fixed-schedule` | no `thread::spawn`/`.spawn(` outside `linalg/src/pool.rs` and `runtime/src/fleet.rs`, and no `Instant::now` outside the bench crate and `telemetry/src/clock.rs` (the sanctioned clock home) — work schedules are pure functions of the input, never of timing |
 //!
 //! The library half ([`lint_source`], [`lint_workspace`]) exists so the
 //! fixture tests and the `workspace_clean` gate run in-process under
@@ -53,6 +53,11 @@ const NO_PANIC_CRATES: &[&str] = &["filters", "linalg", "runtime", "dgd"];
 
 /// Files allowed to spawn threads: the two fixed-schedule pools.
 const SPAWN_ALLOWED: &[&str] = &["crates/linalg/src/pool.rs", "crates/runtime/src/fleet.rs"];
+
+/// Files allowed to read the wall clock (besides the bench crate): the
+/// telemetry crate's sanctioned clock home, which every metrics-only
+/// wall-clock read in the stack funnels through.
+const CLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs"];
 
 /// One diagnostic: where, which rule, and what the line looked like.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -592,12 +597,16 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                         .to_string(),
                 );
             }
-            if code.contains("Instant::now") && !allowed(idx, "fixed-schedule") {
+            if code.contains("Instant::now")
+                && !CLOCK_ALLOWED.contains(&scope.rel)
+                && !allowed(idx, "fixed-schedule")
+            {
                 push(
                     idx,
                     "fixed-schedule",
-                    "`Instant::now` outside the bench crate — timing must never feed \
-                     control flow; justify wall-clock metrics with a pragma"
+                    "`Instant::now` outside the bench crate and `telemetry::clock` — \
+                     timing must never feed control flow; route wall-clock metrics \
+                     through `abft_telemetry::clock`"
                         .to_string(),
                 );
             }

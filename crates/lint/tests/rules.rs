@@ -201,6 +201,18 @@ fn instant_now_is_flagged_outside_bench() {
     assert!(rules("crates/bench/src/fixture.rs", src).is_empty());
 }
 
+#[test]
+fn instant_now_is_sanctioned_in_the_telemetry_clock_home() {
+    let src = "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    // The telemetry crate's clock module is the third sanctioned home …
+    assert!(rules("crates/telemetry/src/clock.rs", src).is_empty());
+    // … but only that file: the rest of the telemetry crate stays banned.
+    assert_eq!(
+        rules("crates/telemetry/src/lib.rs", src),
+        vec!["fixed-schedule"]
+    );
+}
+
 // --------------------------------------------------------------- pragma
 
 #[test]

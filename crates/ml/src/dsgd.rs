@@ -15,6 +15,7 @@ use abft_core::observe::{
 use abft_filters::GradientFilter;
 use abft_linalg::rng::seeded_rng;
 use abft_linalg::{GradientBatch, Vector};
+use abft_telemetry::{Counter, Phase, Telemetry, TelemetryConfig, TelemetryReport};
 
 /// A trainable model exposing flat parameter/gradient vectors, so gradient
 /// filters can treat learning exactly like the paper's DGD: aggregation of
@@ -92,6 +93,10 @@ pub struct DsgdConfig {
     /// Parallel aggregation is bit-identical to serial (fixed tile
     /// schedule), so this is pure throughput for large `param_dim`.
     pub aggregation_threads: usize,
+    /// Instrumentation switch (default off; `ABFT_TELEMETRY` overrides in
+    /// [`DsgdConfig::paper`]). Observational only: enabling it never
+    /// changes the trained model or the evaluation series.
+    pub telemetry: TelemetryConfig,
 }
 
 impl DsgdConfig {
@@ -104,6 +109,7 @@ impl DsgdConfig {
             eval_every: 50,
             seed,
             aggregation_threads: abft_linalg::pool::env_aggregation_threads(1),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 
@@ -148,6 +154,9 @@ pub struct DsgdOutcome {
     /// [`train_distributed_observed`] for how the DGD metric vocabulary
     /// maps onto training.
     pub summary: RunSummary,
+    /// Phase timings and counters, present when the config enabled
+    /// telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// The [`MetricSource`] of a D-SGD round. Training has no reference point
@@ -314,6 +323,11 @@ pub fn train_distributed_observed<M: Model>(
     }
     let mut direction = Vector::zeros(model.param_dim());
 
+    // Observational only: disabled handles never touch the clock, so the
+    // training loop is bit-identical with telemetry off.
+    let mut telemetry = Telemetry::wall(config.telemetry);
+    round.set_dispatch_profile(telemetry.dispatch_profile());
+
     // Like the DGD drivers, the loop runs a *final record round* at
     // `t = iterations`: one more gradient pass + aggregation at the final
     // parameters, observed but never applied, so the observer sees
@@ -321,8 +335,10 @@ pub fn train_distributed_observed<M: Model>(
     // the parameters training actually ends with.
     for t in 0..=config.iterations {
         let advance = t < config.iterations;
+        let round_span = telemetry.begin(Phase::Round);
         // Per-agent stochastic gradients of the current global model,
         // written straight into the batch rows.
+        let fill_span = telemetry.begin(Phase::GradientFill);
         round.reset_rows(n);
         let mut honest_loss_sum = 0.0;
         let mut honest_count = 0usize;
@@ -340,6 +356,9 @@ pub fn train_distributed_observed<M: Model>(
             }
         }
         let mean_loss = honest_loss_sum / honest_count as f64;
+        telemetry.end(fill_span);
+        telemetry.add(Counter::Replies, n as u64);
+        telemetry.add(Counter::Rounds, 1);
 
         if advance && t.is_multiple_of(config.eval_every) {
             records.push(DsgdRecord {
@@ -349,15 +368,23 @@ pub fn train_distributed_observed<M: Model>(
             });
         }
 
-        filter.aggregate_into(&round, f, &mut direction)?;
+        let agg_span = telemetry.begin(Phase::Aggregate);
+        let aggregate = filter.aggregate_into(&round, f, &mut direction);
+        telemetry.end(agg_span);
+        if let Err(err) = aggregate {
+            round.set_dispatch_profile(None);
+            return Err(err.into());
+        }
         let mut params = model.params();
         {
+            let observe_span = telemetry.begin(Phase::Observe);
             let source = DsgdMetrics {
                 honest_loss: mean_loss,
                 direction: &direction,
             };
             let view = RoundView::new(t, params.as_slice(), direction.as_slice(), &source, probe);
             summary = observe_round(observer, &view, advance);
+            telemetry.end(observe_span);
         }
         if summary.is_some() {
             // Final evaluation record at the (never again updated)
@@ -370,15 +397,22 @@ pub fn train_distributed_observed<M: Model>(
                     accuracy: model.accuracy(test),
                 });
             }
+            telemetry.end(round_span);
             break;
         }
         params.axpy(-lr, &direction);
         model.set_params(&params);
+        telemetry.end(round_span);
+    }
+
+    if let Some(profile) = round.take_dispatch_profile() {
+        telemetry.absorb_dispatch(&profile.snapshot());
     }
 
     Ok(DsgdOutcome {
         records,
         summary: summary.expect("the loop always observes a final round"),
+        telemetry: telemetry.finish(),
     })
 }
 

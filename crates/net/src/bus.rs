@@ -53,6 +53,15 @@ pub trait MessageBus<P> {
 
     /// Counters accumulated so far.
     fn metrics(&self) -> NetMetrics;
+
+    /// The bus's virtual clock in nanoseconds, when it keeps a meaningful
+    /// one. Simulated buses report their schedule-driven time here so
+    /// drivers can profile in virtual time (deterministic across runs);
+    /// reliable buses return `None`, telling drivers to profile on the
+    /// wall clock instead. The default is `None`.
+    fn virtual_time(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The reliable reference bus: every message is delivered within its

@@ -201,6 +201,10 @@ impl<P> MessageBus<P> for SimulatedNetwork<P> {
     fn metrics(&self) -> NetMetrics {
         self.metrics
     }
+
+    fn virtual_time(&self) -> Option<u64> {
+        Some(self.now)
+    }
 }
 
 #[cfg(test)]

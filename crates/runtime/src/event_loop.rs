@@ -32,6 +32,7 @@ use abft_core::validate::{self, FaultBudget};
 use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions};
 use abft_filters::GradientFilter;
 use abft_linalg::Vector;
+use abft_telemetry::{Counter, Phase, Telemetry};
 
 /// The event-loop server execution behind [`DgdTask::run_threaded`] and
 /// friends, driving a caller-supplied (and caller-reused) [`Fleet`].
@@ -105,18 +106,29 @@ pub(crate) fn execute(
     let mut aggregated = Vector::zeros(dim);
     let mut vacated: Vec<usize> = Vec::with_capacity(n);
 
+    // Observational only: disabled handles never read the clock, so the
+    // event loop stays bit-identical and allocation-free with telemetry
+    // off.
+    let mut telemetry = Telemetry::wall(options.telemetry);
+    fleet
+        .batch_mut()
+        .set_dispatch_profile(telemetry.dispatch_profile());
+
     let probe = observer.probe();
     let mut summary = None;
     for t in 0..=options.iterations {
         let advance = t < options.iterations;
+        let round_span = telemetry.begin(Phase::Round);
 
         // S1 broadcast: one RoundStart event per non-eliminated agent,
         // dispatched across the fleet's workers; every cell streams its
         // gradient into its loaned row (rows in agent-id order).
+        let fill_span = telemetry.begin(Phase::GradientFill);
         let events = fleet.begin_round(&eliminated);
         metrics.record_broadcasts(events);
         fleet.dispatch_round(t, &x);
         metrics.record_dispatch(events);
+        telemetry.add(Counter::Broadcasts, events as u64);
 
         // Collect: a silent cell is the no-reply case of step S1 and
         // vacates the agent's loaned row.
@@ -125,6 +137,7 @@ pub(crate) fn execute(
             eliminated[agent] = true;
             server_f = server_f.saturating_sub(1);
             metrics.record_elimination();
+            telemetry.add(Counter::Eliminations, 1);
             vacated.push(row);
         }
         // Compact away unwritten rows (descending order keeps the earlier
@@ -135,25 +148,44 @@ pub(crate) fn execute(
         }
         metrics.record_replies(batch.len());
         metrics.record_round();
-        filter.aggregate_into(batch, server_f, &mut aggregated)?;
+        telemetry.add(Counter::Replies, batch.len() as u64);
+        telemetry.add(Counter::Rounds, 1);
+        telemetry.end(fill_span);
+        let agg_span = telemetry.begin(Phase::Aggregate);
+        let aggregate = filter.aggregate_into(batch, server_f, &mut aggregated);
+        telemetry.end(agg_span);
+        if let Err(err) = aggregate {
+            fleet.batch_mut().set_dispatch_profile(None);
+            return Err(err.into());
+        }
 
         {
+            let observe_span = telemetry.begin(Phase::Observe);
             let source =
                 HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
             let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
             summary = observe_round(observer, &view, advance);
+            telemetry.end(observe_span);
         }
         if summary.is_some() {
+            telemetry.end(round_span);
             break;
         }
         let eta = options.schedule.eta(t);
         x.axpy(-eta, &aggregated);
         options.projection.project_in_place(&mut x);
+        telemetry.end(round_span);
     }
+
+    if let Some(profile) = fleet.batch_mut().take_dispatch_profile() {
+        telemetry.absorb_dispatch(&profile.snapshot());
+    }
+
     Ok(ObservedRun {
         final_estimate: x,
         // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
         summary: summary.expect("the loop always observes a final round"),
+        telemetry: telemetry.finish(),
     })
 }
 

@@ -25,6 +25,7 @@ use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_net::{MessageBus, NetFault, NetMetrics, PerfectBus};
+use abft_telemetry::{Counter, Phase, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -245,14 +246,32 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
     }
     let mut aggregated = Vector::zeros(dim);
 
+    // Profile in the bus's clock domain: a simulated bus keeps a virtual
+    // clock (deterministic reports, pinned by the determinism tests), the
+    // reliable bus does not, so the real runtime profiles on the wall
+    // clock. Disabled handles are pure no-ops either way.
+    let mut telemetry = match bus.virtual_time() {
+        Some(now) => {
+            let mut telemetry = Telemetry::virtual_time(options.telemetry);
+            telemetry.set_virtual_ns(now);
+            telemetry
+        }
+        None => Telemetry::wall(options.telemetry),
+    };
+    for batch in decided_batches.iter_mut() {
+        batch.set_dispatch_profile(telemetry.dispatch_profile());
+    }
+
     for t in 0..=options.iterations {
         let advance = t < options.iterations;
         bus.begin_iteration(t);
+        let round_span = telemetry.begin(Phase::Round);
 
         // Each honest agent broadcasts the gradient at its own estimate;
         // a faulty agent forges from the leader's estimate (the historical
         // behaviour) and its per-recipient plan layers any net fault over
         // the forged value.
+        let fill_span = telemetry.begin(Phase::GradientFill);
         let leader_x = estimates[0].clone();
         let mut plans: BTreeMap<usize, EquivocationPlan<BitsVector>> = BTreeMap::new();
         let mut sender_values: Vec<BitsVector> = Vec::with_capacity(n);
@@ -306,9 +325,11 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
             }
             sender_values.push(bits);
         }
+        telemetry.end(fill_span);
 
         // One broadcast instance per agent; every process records the
         // decided gradient multiset — straight into its reused batch.
+        let net_span = telemetry.begin(Phase::NetDelivery);
         for batch in decided_batches.iter_mut() {
             batch.reset_rows(n);
         }
@@ -326,18 +347,28 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
                 outcome.decisions[p].write_into(decided_batches[slot].row_mut(sender));
             }
         }
+        telemetry.add(Counter::Broadcasts, n as u64);
+        if let Some(now) = bus.virtual_time() {
+            telemetry.set_virtual_ns(now);
+        }
+        telemetry.end(net_span);
 
         // The leader's (slot 0's) aggregate is computed first so the
         // observer sees the round *before* any estimate moves — a halt
         // therefore leaves every honest agent at `x_t`, matching the
         // server drivers' halt semantics exactly.
         let x = leader_x;
+        let agg_span = telemetry.begin(Phase::Aggregate);
         filter.aggregate_into(&decided_batches[0], config.f(), &mut aggregated)?;
+        telemetry.end(agg_span);
+        telemetry.add(Counter::Rounds, 1);
         {
+            let observe_span = telemetry.begin(Phase::Observe);
             let source =
                 HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
             let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
             summary = observe_round(observer, &view, advance);
+            telemetry.end(observe_span);
         }
         if summary.is_some() {
             // On the natural final round the non-leader perspectives still
@@ -350,6 +381,7 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
                     filter.aggregate_into(decided, config.f(), &mut aggregated)?;
                 }
             }
+            telemetry.end(round_span);
             break;
         }
 
@@ -372,6 +404,7 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
                 }
             }
         }
+        telemetry.end(round_span);
     }
 
     let final_spread = estimates
@@ -380,14 +413,28 @@ pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
         .flat_map(|(p, a)| estimates[p + 1..].iter().map(move |b| a.dist(b)))
         .fold(0.0f64, f64::max);
 
+    for batch in decided_batches.iter_mut() {
+        if let Some(profile) = batch.take_dispatch_profile() {
+            telemetry.absorb_dispatch(&profile.snapshot());
+        }
+    }
+    let net_metrics = bus.metrics();
+    telemetry.record_net(
+        net_metrics.sent,
+        net_metrics.delivered,
+        net_metrics.dropped,
+        net_metrics.late,
+    );
+
     Ok(PeerToPeerOutcome {
         run: ObservedRun {
             final_estimate: estimates[0].clone(),
             // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
+            telemetry: telemetry.finish(),
         },
         broadcasts,
-        net: bus.metrics(),
+        net: net_metrics,
         final_spread,
     })
 }

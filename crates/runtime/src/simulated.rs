@@ -37,6 +37,7 @@ use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions, RunResult};
 use abft_filters::GradientFilter;
 use abft_linalg::{GradientBatch, Vector, WorkerPool};
 use abft_net::{MessageBus, NetFault, NetMetrics, NetworkModel, SimulatedNetwork};
+use abft_telemetry::{Counter, Phase, Telemetry};
 use std::sync::Arc;
 
 /// Which architecture the simulated network carries.
@@ -251,11 +252,19 @@ fn execute_server(
     let mut aggregated = Vector::zeros(dim);
     let mut stragglers = 0usize;
 
+    // Simulated runs profile in *virtual* time: spans advance only when
+    // the network's schedule-driven clock does, so two identical seeded
+    // runs produce identical reports (pinned by the determinism tests).
+    let mut telemetry = Telemetry::virtual_time(options.telemetry);
+    telemetry.set_virtual_ns(net.now());
+
     for t in 0..=options.iterations {
         let advance = t < options.iterations;
         net.begin_iteration(t);
+        let round_span = telemetry.begin(Phase::Round);
 
         // Phase 1 — S1 broadcast: the server sends x_t to every agent.
+        let down_span = telemetry.begin(Phase::NetDelivery);
         for agent in 0..n {
             net.send(
                 server,
@@ -266,6 +275,7 @@ fn execute_server(
                 }),
             );
         }
+        telemetry.add(Counter::Broadcasts, n as u64);
         // Agents that heard the estimate this round compute a reply.
         let mut heard = vec![false; n];
         for delivery in net.end_round() {
@@ -274,8 +284,11 @@ fn execute_server(
                 heard[delivery.to] = true;
             }
         }
+        telemetry.set_virtual_ns(net.now());
+        telemetry.end(down_span);
 
         // Phase 2 — replies: honest gradient, forged gradient, or silence.
+        let fill_span = telemetry.begin(Phase::GradientFill);
         let mut expected = 0usize;
         for agent in 0..n {
             if !heard[agent] {
@@ -312,13 +325,17 @@ fn execute_server(
                 }),
             );
         }
+        telemetry.end(fill_span);
 
         // Collect what made the deadline and stream it straight into the
         // batch: deliveries re-ordered by sender (stable, deterministic —
         // at most one reply per agent per round) so rows land in agent-id
         // order, the filter-input order every backend shares, without the
         // per-agent staging slots replies used to be parked in.
+        let up_span = telemetry.begin(Phase::NetDelivery);
         let mut deliveries = net.end_round();
+        telemetry.set_virtual_ns(net.now());
+        telemetry.end(up_span);
         deliveries.sort_by_key(|delivery| delivery.from);
         batch.clear();
         let mut received = 0usize;
@@ -340,10 +357,14 @@ fn execute_server(
             }
         }
         stragglers += expected - received;
+        telemetry.add(Counter::Replies, received as u64);
+        telemetry.add(Counter::Stragglers, (expected - received) as u64);
+        telemetry.add(Counter::Rounds, 1);
 
         // Per-round S1: an agent whose gradient never arrived is treated
         // exactly like a crashed agent for this round — its row is absent
         // and it counts against the fault budget the filter is run with.
+        let agg_span = telemetry.begin(Phase::Aggregate);
         if batch.is_empty() {
             // A fully silent round (every reply lost or late) carries no
             // gradient information: the server holds its estimate instead
@@ -357,28 +378,42 @@ fn execute_server(
             let f_round = config.f().saturating_sub(silent);
             filter.aggregate_into(&batch, f_round, &mut aggregated)?;
         }
+        telemetry.end(agg_span);
 
         {
+            let observe_span = telemetry.begin(Phase::Observe);
             let source =
                 HonestCostMetrics::new(&costs, &honest, &x, &options.reference, &aggregated);
             let view = RoundView::new(t, x.as_slice(), aggregated.as_slice(), &source, probe);
             summary = observe_round(observer, &view, advance);
+            telemetry.end(observe_span);
         }
         if summary.is_some() {
+            telemetry.end(round_span);
             break;
         }
         let eta = options.schedule.eta(t);
         x.axpy(-eta, &aggregated);
         options.projection.project_in_place(&mut x);
+        telemetry.end(round_span);
     }
+
+    let net_metrics = net.metrics();
+    telemetry.record_net(
+        net_metrics.sent,
+        net_metrics.delivered,
+        net_metrics.dropped,
+        net_metrics.late,
+    );
 
     Ok(SimulatedOutcome {
         run: ObservedRun {
             final_estimate: x,
             // LINT-ALLOW(no-panic-hot-path): the loop always runs at least one round, so a summary exists
             summary: summary.expect("the loop always observes a final round"),
+            telemetry: telemetry.finish(),
         },
-        net: net.metrics(),
+        net: net_metrics,
         broadcasts: 0,
         stragglers,
         final_spread: 0.0,

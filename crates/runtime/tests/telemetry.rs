@@ -1,0 +1,147 @@
+//! Telemetry contract tests: enabling instrumentation never changes a
+//! run, and virtual-time reports are pure functions of the simulation
+//! schedule.
+
+use abft_attacks::GradientReverse;
+use abft_core::observe::NullObserver;
+use abft_dgd::{DgdSimulation, RunOptions};
+use abft_filters::Cge;
+use abft_net::{LinkModel, NetworkModel};
+use abft_problems::RegressionProblem;
+use abft_runtime::{DgdTask, RuntimeMetrics, SimulatedRun};
+use abft_telemetry::TelemetryConfig;
+
+fn paper_options(iterations: usize, telemetry: TelemetryConfig) -> (RegressionProblem, RunOptions) {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+    let options =
+        RunOptions::paper_defaults_with_iterations(x_h, iterations).with_telemetry(telemetry);
+    (problem, options)
+}
+
+/// Telemetry on produces bit-for-bit the trace telemetry off does, on
+/// every backend: the instrumentation is observational only.
+#[test]
+fn telemetry_on_is_bit_identical_to_off_on_every_backend() {
+    let (problem, off) = paper_options(40, TelemetryConfig::Off);
+    let on = off.clone().with_telemetry(TelemetryConfig::On);
+
+    // In-process driver.
+    let run_in_process = |options: &RunOptions| {
+        let mut sim = DgdSimulation::new(*problem.config(), problem.costs())
+            .unwrap()
+            .with_byzantine(0, Box::new(GradientReverse::new()))
+            .unwrap();
+        sim.run(&Cge::new(), options).unwrap()
+    };
+    let a = run_in_process(&off);
+    let b = run_in_process(&on);
+    assert_eq!(a.trace.records(), b.trace.records());
+    assert!(a.final_estimate.approx_eq(&b.final_estimate, 0.0));
+
+    // Event-loop (threaded) runtime.
+    let run_threaded = |options: &RunOptions| {
+        DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_threaded(&Cge::new(), options)
+            .unwrap()
+    };
+    let a = run_threaded(&off);
+    let b = run_threaded(&on);
+    assert_eq!(a.trace.records(), b.trace.records());
+
+    // Peer-to-peer runtime.
+    let run_p2p = |options: &RunOptions| {
+        DgdTask::new(*problem.config(), problem.costs())
+            .byzantine(0, Box::new(GradientReverse::new()))
+            .run_peer_to_peer(false, &Cge::new(), options)
+            .unwrap()
+    };
+    let a = run_p2p(&off);
+    let b = run_p2p(&on);
+    assert_eq!(a.result.trace.records(), b.result.trace.records());
+
+    // Simulated server and simulated peer-to-peer, over a *lossy* seeded
+    // network (the regime where a telemetry-induced perturbation of the
+    // event schedule would be most visible).
+    for sim in [
+        SimulatedRun::server(
+            NetworkModel::seeded(7)
+                .with_default_link(LinkModel::ideal().with_drop(0.05).with_reorder_ns(500)),
+        ),
+        SimulatedRun::peer_to_peer(
+            NetworkModel::seeded(7)
+                .with_default_link(LinkModel::ideal().with_drop(0.05).with_reorder_ns(500)),
+        ),
+    ] {
+        let run_sim = |options: &RunOptions| {
+            DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_simulated(&sim, &Cge::new(), options)
+                .unwrap()
+        };
+        let a = run_sim(&off);
+        let b = run_sim(&on);
+        assert_eq!(a.result.trace.records(), b.result.trace.records());
+        assert_eq!(a.net, b.net, "telemetry must not perturb the schedule");
+    }
+}
+
+/// Disabled runs carry no report; enabled runs carry one with the
+/// expected per-round span counts.
+#[test]
+fn reports_are_present_exactly_when_enabled() {
+    let (problem, off) = paper_options(10, TelemetryConfig::Off);
+    let on = off.clone().with_telemetry(TelemetryConfig::On);
+
+    let run = |options: &RunOptions| {
+        DgdTask::new(*problem.config(), problem.costs())
+            .run_threaded_observed(
+                &Cge::new(),
+                options,
+                &RuntimeMetrics::new(),
+                &mut NullObserver,
+            )
+            .unwrap()
+    };
+    assert!(run(&off).telemetry.is_none());
+    let report = run(&on).telemetry.expect("enabled runs carry a report");
+    // 11 rounds: 10 iterations + the final record round.
+    assert_eq!(report.phase("round").expect("round spans").count(), 11);
+    assert_eq!(report.counter("rounds"), 11);
+    assert_eq!(report.counter("broadcasts"), 66);
+    assert_eq!(report.counter("replies"), 66);
+    assert!(report.phase_total_ns("round") > 0, "wall spans advance");
+}
+
+/// Two identical seeded simulated runs produce *identical* virtual-time
+/// reports: simulated telemetry is a pure function of the event schedule.
+#[test]
+fn seeded_simulated_runs_reproduce_identical_virtual_reports() {
+    let (problem, on) = paper_options(30, TelemetryConfig::On);
+    for sim in [
+        SimulatedRun::server(
+            NetworkModel::seeded(42)
+                .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(2_000)),
+        ),
+        SimulatedRun::peer_to_peer(
+            NetworkModel::seeded(42)
+                .with_default_link(LinkModel::ideal().with_drop(0.02).with_reorder_ns(500)),
+        ),
+    ] {
+        let run = || {
+            DgdTask::new(*problem.config(), problem.costs())
+                .run_simulated_observed(&sim, &Cge::new(), &on, &mut NullObserver)
+                .unwrap()
+        };
+        let a = run().run.telemetry.expect("enabled");
+        let b = run().run.telemetry.expect("enabled");
+        assert_eq!(a, b, "virtual-time reports must reproduce exactly");
+        assert_eq!(a.clock.name(), "virtual");
+        assert!(a.counter("net-sent") > 0);
+        assert!(
+            a.phase_total_ns("net-delivery") > 0,
+            "virtual spans advance with the network clock"
+        );
+    }
+}

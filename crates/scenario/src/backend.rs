@@ -12,8 +12,10 @@ use abft_dgd::DgdSimulation;
 use abft_linalg::Vector;
 use abft_net::{NetMetrics, NetworkModel};
 use abft_runtime::{DgdTask, RuntimeMetrics, SimTopology, SimulatedRun};
+use abft_telemetry::clock::Stopwatch;
+use abft_telemetry::TelemetryReport;
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Backend-level counters, unified across runtimes. Fields that a backend
 /// does not produce stay zero (e.g. the in-process driver passes no
@@ -83,6 +85,11 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Backend-level counters.
     pub metrics: BackendMetrics,
+    /// Phase timings and counters from the run's instrumented driver,
+    /// present when the scenario's [`RunOptions`](abft_dgd::RunOptions)
+    /// enabled telemetry. Wall-clock on the real backends, virtual-time on
+    /// the simulated ones.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -293,8 +300,7 @@ impl Backend for InProcess {
             sim = sim.with_crash(agent, at_iteration)?;
         }
         let mut observer = ScenarioObserver::for_scenario(scenario);
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let run = sim.run_observed(
             scenario.filter(),
             scenario.options(),
@@ -314,6 +320,7 @@ impl Backend for InProcess {
             trace: observer.into_trace(),
             summary: run.summary,
             elapsed,
+            telemetry: run.telemetry,
         })
     }
 }
@@ -344,8 +351,7 @@ impl Backend for Threaded {
         let metrics = RuntimeMetrics::new();
         let mut observer = ScenarioObserver::for_scenario(scenario);
         let fleet = workspace.fleet_mut(scenario.options().fleet_workers);
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let run = task.run_threaded_observed_with_fleet(
             fleet,
             scenario.filter(),
@@ -373,6 +379,7 @@ impl Backend for Threaded {
             trace: observer.into_trace(),
             summary: run.summary,
             elapsed,
+            telemetry: run.telemetry,
         })
     }
 }
@@ -400,8 +407,7 @@ impl Backend for PeerToPeer {
         reject_net_faults(self.name(), scenario)?;
         let task = task_for(scenario);
         let mut observer = ScenarioObserver::for_scenario(scenario);
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let outcome = task.run_peer_to_peer_observed(
             self.equivocate,
             scenario.filter(),
@@ -424,6 +430,7 @@ impl Backend for PeerToPeer {
             trace: observer.into_trace(),
             summary: outcome.run.summary,
             elapsed,
+            telemetry: outcome.run.telemetry,
         })
     }
 }
@@ -486,8 +493,7 @@ impl Backend for Simulated {
         let mut sim = self.plan.clone();
         sim.net_faults.extend(scenario.net_faults().iter().cloned());
         let mut observer = ScenarioObserver::for_scenario(scenario);
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let outcome = task.run_simulated_observed(
             &sim,
             scenario.filter(),
@@ -517,6 +523,7 @@ impl Backend for Simulated {
             trace: observer.into_trace(),
             summary: outcome.run.summary,
             elapsed,
+            telemetry: outcome.run.telemetry,
         })
     }
 }

@@ -6,11 +6,13 @@ use crate::spec::{Scenario, ScenarioBuilder};
 use crate::workspace::SuiteWorkspace;
 use abft_core::csv::CsvTable;
 use abft_linalg::WorkerPool;
+use abft_telemetry::clock::Stopwatch;
+use abft_telemetry::TelemetryReport;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A batch of scenarios executed on one backend, serially or across worker
 /// threads, producing one [`SuiteReport`].
@@ -172,8 +174,7 @@ impl ScenarioSuite {
     ///
     /// Returns the first scenario's failure, if any.
     pub fn run(&self, backend: &dyn Backend) -> Result<SuiteReport, ScenarioError> {
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut workspace = SuiteWorkspace::new();
         if let Some(pool) = self.shared_aggregation_pool() {
             workspace.set_shared_pool(pool);
@@ -226,8 +227,7 @@ impl ScenarioSuite {
     /// violates — while the remaining cells still report.
     pub fn run_parallel_collect(&self, backend: &dyn Backend, workers: usize) -> SuiteOutcomes {
         let workers = workers.clamp(1, self.scenarios.len().max(1));
-        // LINT-ALLOW(fixed-schedule): wall-clock metric only; the duration never feeds control flow
-        let started = Instant::now();
+        let started = Stopwatch::start();
         // One aggregation pool for the whole run — workers *share* it, so
         // `suite workers × aggregation threads` never multiplies.
         let shared_pool = self.shared_aggregation_pool();
@@ -317,6 +317,24 @@ impl SuiteReport {
     /// The per-scenario reports, in scenario order.
     pub fn reports(&self) -> &[RunReport] {
         &self.reports
+    }
+
+    /// The suite's telemetry, merged across every report that carries one:
+    /// phase histograms and counters sum; per-span timelines are dropped
+    /// (per-run time bases do not concatenate meaningfully). Returns
+    /// `None` when no report was instrumented — i.e. telemetry was off.
+    pub fn merged_telemetry(&self) -> Option<TelemetryReport> {
+        let mut merged: Option<TelemetryReport> = None;
+        for report in &self.reports {
+            let Some(telemetry) = &report.telemetry else {
+                continue;
+            };
+            match &mut merged {
+                Some(acc) => acc.merge(telemetry),
+                None => merged = Some(telemetry.clone()),
+            }
+        }
+        merged
     }
 
     /// A summary table with one row per scenario (scenario, backend,

@@ -1,0 +1,125 @@
+//! Caller-side timing of [`WorkerPool`] dispatches.
+//!
+//! The pool's fixed tile schedule is a pure function of the input, so the
+//! interesting number is not what each worker does but how long the
+//! *caller* blocks per dispatch. A [`DispatchProfile`] is installed on a
+//! `GradientBatch` by the driver (only when telemetry is enabled and the
+//! clock domain is wall — virtual-time reports must stay bit-reproducible
+//! and wall durations are not), the `par` helpers in `abft-filters` time
+//! each pool dispatch around it, and the driver folds the snapshot into
+//! the run's report as the `pool-dispatch` phase.
+//!
+//! Lock-free by construction: plain relaxed atomics, written by whichever
+//! thread called into the pool (in practice one driver thread at a time).
+//!
+//! [`WorkerPool`]: https://docs.rs/abft-linalg
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::clock;
+use crate::hist::{Histogram, BUCKETS};
+
+/// Snapshot of a [`DispatchProfile`]: dispatch count plus the latency
+/// histogram of caller-observed dispatch durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchStats {
+    /// Number of pool dispatches timed.
+    pub dispatches: u64,
+    /// Caller-blocking duration per dispatch, log₂-bucketed nanoseconds.
+    pub hist: Histogram,
+}
+
+/// A lock-free accumulator for pool-dispatch latencies, owned by the
+/// `GradientBatch` the dispatches operate on.
+#[derive(Debug, Default)]
+pub struct DispatchProfile {
+    dispatches: AtomicU64,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl DispatchProfile {
+    /// A fresh, empty profile.
+    pub fn new() -> Self {
+        DispatchProfile::default()
+    }
+
+    /// Wall-clock start marker for one dispatch; pass the returned value
+    /// to [`DispatchProfile::record_since`] when the dispatch returns.
+    pub fn start(&self) -> u64 {
+        clock::monotonic_ns()
+    }
+
+    /// Records one dispatch that began at `start_ns` (from
+    /// [`DispatchProfile::start`]) and just returned.
+    pub fn record_since(&self, start_ns: u64) {
+        let dur = clock::monotonic_ns().saturating_sub(start_ns);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur, Ordering::Relaxed);
+        self.buckets[Histogram::bucket_index(dur)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot (exact once dispatching has ceased,
+    /// which is when drivers read it).
+    pub fn snapshot(&self) -> DispatchStats {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        DispatchStats {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            hist: Histogram::from_raw(
+                counts,
+                self.count.load(Ordering::Relaxed),
+                self.total_ns.load(Ordering::Relaxed),
+                self.max_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+impl Clone for DispatchProfile {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        let profile = DispatchProfile::new();
+        profile.dispatches.store(snap.dispatches, Ordering::Relaxed);
+        profile.count.store(snap.hist.count(), Ordering::Relaxed);
+        profile
+            .total_ns
+            .store(snap.hist.total_ns(), Ordering::Relaxed);
+        profile.max_ns.store(snap.hist.max_ns(), Ordering::Relaxed);
+        for (slot, bucket) in profile.buckets.iter().zip(0..BUCKETS) {
+            slot.store(snap.hist.bucket_count(bucket), Ordering::Relaxed);
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_dispatches_into_the_histogram() {
+        let profile = DispatchProfile::new();
+        let t0 = profile.start();
+        profile.record_since(t0);
+        profile.record_since(t0);
+        let snap = profile.snapshot();
+        assert_eq!(snap.dispatches, 2);
+        assert_eq!(snap.hist.count(), 2);
+        assert!(snap.hist.max_ns() >= snap.hist.percentile_ns(0.5));
+    }
+
+    #[test]
+    fn clone_copies_the_snapshot() {
+        let profile = DispatchProfile::new();
+        profile.record_since(profile.start());
+        let copy = profile.clone();
+        assert_eq!(copy.snapshot(), profile.snapshot());
+    }
+}

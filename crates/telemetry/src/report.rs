@@ -1,0 +1,277 @@
+//! The aggregated result of one instrumented run, and its exporters.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::hist::Histogram;
+
+/// Which clock stamped a report's spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Real monotonic wall time (`telemetry::clock`).
+    Wall,
+    /// Virtual nanoseconds from a simulated network — bit-reproducible
+    /// across identically seeded runs.
+    Virtual,
+    /// A merge of reports from different clock domains; per-phase totals
+    /// still add up but are no longer one consistent time base.
+    Mixed,
+}
+
+impl ClockDomain {
+    /// Stable lower-case name used by the JSON exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockDomain::Wall => "wall",
+            ClockDomain::Virtual => "virtual",
+            ClockDomain::Mixed => "mixed",
+        }
+    }
+}
+
+/// Aggregate statistics for one named phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Underlying fixed-bucket log₂ histogram of span durations.
+    pub hist: Histogram,
+}
+
+impl PhaseStats {
+    /// Number of spans recorded for this phase.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total time spent in this phase, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.hist.total_ns()
+    }
+
+    /// Longest single span, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.hist.max_ns()
+    }
+
+    /// Median span duration (log₂-bucket floor), in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.hist.percentile_ns(0.50)
+    }
+
+    /// 99th-percentile span duration (log₂-bucket floor), in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.hist.percentile_ns(0.99)
+    }
+}
+
+/// One span as captured in the ring buffer: phase name, recording lane,
+/// and start/duration in the report's clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The phase name (one of [`Phase::name`](crate::Phase::name)).
+    pub phase: &'static str,
+    /// Recording lane (0 is the driver thread).
+    pub lane: u32,
+    /// Span start, in nanoseconds of the report's clock domain.
+    pub start_ns: u64,
+    /// Span duration, in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything one instrumented run measured: per-phase totals and
+/// percentiles, the counter map, and the (possibly wrapped) span
+/// timeline.
+///
+/// Reports from a [`ClockDomain::Virtual`] run are pure functions of the
+/// run's inputs — two identically seeded simulated runs produce `==`
+/// reports, which is how determinism tests pin the profile itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryReport {
+    /// The clock that stamped the spans.
+    pub clock: ClockDomain,
+    /// Per-phase aggregate statistics, keyed by phase name.
+    pub phases: BTreeMap<&'static str, PhaseStats>,
+    /// Monotonic counters, keyed by counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// The span timeline, oldest first. When a run records more spans
+    /// than the ring capacity, only the most recent survive here (the
+    /// aggregates in [`TelemetryReport::phases`] still cover everything).
+    pub spans: Vec<SpanRecord>,
+    /// Spans overwritten by ring wrap-around (not present in `spans`).
+    pub dropped_spans: u64,
+}
+
+impl TelemetryReport {
+    /// The stats for `phase`, if any spans were recorded under that name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.get(name)
+    }
+
+    /// Total nanoseconds recorded under `phase` (0 when absent).
+    pub fn phase_total_ns(&self, name: &str) -> u64 {
+        self.phases.get(name).map_or(0, PhaseStats::total_ns)
+    }
+
+    /// The value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into this report: counters add, per-phase histograms
+    /// merge element-wise. Span timelines are per-run artifacts — the
+    /// merged report keeps no timeline (`spans` empties, with everything
+    /// accounted under `dropped_spans`), because concatenating spans from
+    /// different runs would interleave unrelated time bases.
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        if self.clock != other.clock {
+            self.clock = ClockDomain::Mixed;
+        }
+        for (name, stats) in &other.phases {
+            self.phases.entry(name).or_default().hist.merge(&stats.hist);
+        }
+        for (name, value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        self.dropped_spans +=
+            self.spans.len() as u64 + other.spans.len() as u64 + other.dropped_spans;
+        self.spans.clear();
+    }
+
+    /// The machine-readable JSON summary (no span timeline): clock
+    /// domain, per-phase `{count, total_ns, max_ns, p50_ns, p99_ns}`,
+    /// and the counter map.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clock\": \"{}\",\n", self.clock.name()));
+        out.push_str("  \"phases\": {\n");
+        let mut first = true;
+        for (name, stats) in &self.phases {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}}}",
+                name,
+                stats.count(),
+                stats.total_ns(),
+                stats.max_ns(),
+                stats.p50_ns(),
+                stats.p99_ns()
+            ));
+        }
+        out.push_str("\n  },\n  \"counters\": {\n");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("    \"{name}\": {value}"));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"spans_recorded\": {},\n  \"spans_dropped\": {}\n}}\n",
+            self.spans.len(),
+            self.dropped_spans
+        ));
+        out
+    }
+
+    /// Writes [`TelemetryReport::to_json`] to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+
+    /// The span timeline as a Chrome trace-event JSON array — load it in
+    /// `chrome://tracing` or Perfetto. Each span becomes one complete
+    /// (`"ph": "X"`) event; timestamps and durations are microseconds, as
+    /// the format requires.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"name\": \"{}\", \"cat\": \"abft\", \"ph\": \"X\", \
+                 \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 0, \"tid\": {}}}",
+                span.phase,
+                span.start_ns / 1_000,
+                span.start_ns % 1_000,
+                span.dur_ns / 1_000,
+                span.dur_ns % 1_000,
+                span.lane
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Writes [`TelemetryReport::chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.chrome_trace().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Counter, Phase, Telemetry, TelemetryConfig};
+
+    /// A small virtual-time run with hand-picked timestamps, so both
+    /// exporters have an exact expected output.
+    fn fixture_report() -> super::TelemetryReport {
+        let mut telemetry = Telemetry::virtual_time(TelemetryConfig::On);
+        telemetry.set_virtual_ns(1_000);
+        let round = telemetry.begin(Phase::Round);
+        telemetry.set_virtual_ns(2_500);
+        let fill = telemetry.begin(Phase::GradientFill);
+        telemetry.set_virtual_ns(4_000);
+        telemetry.end(fill);
+        telemetry.set_virtual_ns(5_000);
+        telemetry.end(round);
+        telemetry.add(Counter::Rounds, 1);
+        telemetry.finish().expect("enabled")
+    }
+
+    /// Pins the Chrome trace-event schema verbatim: complete (`"ph": "X"`)
+    /// events with microsecond `ts`/`dur`, `cat: abft`, and the recording
+    /// lane as `tid`. Anything loading these files (chrome://tracing,
+    /// Perfetto, the CI JSON check) depends on this exact shape.
+    #[test]
+    fn chrome_trace_schema_fixture() {
+        let expected = concat!(
+            "[\n",
+            "  {\"name\": \"gradient-fill\", \"cat\": \"abft\", \"ph\": \"X\", ",
+            "\"ts\": 2.500, \"dur\": 1.500, \"pid\": 0, \"tid\": 0},\n",
+            "  {\"name\": \"round\", \"cat\": \"abft\", \"ph\": \"X\", ",
+            "\"ts\": 1.000, \"dur\": 4.000, \"pid\": 0, \"tid\": 0}\n",
+            "]\n"
+        );
+        assert_eq!(fixture_report().chrome_trace(), expected);
+    }
+
+    /// Pins the JSON summary schema verbatim for the same fixture run.
+    #[test]
+    fn json_summary_schema_fixture() {
+        let expected = concat!(
+            "{\n",
+            "  \"clock\": \"virtual\",\n",
+            "  \"phases\": {\n",
+            "    \"gradient-fill\": {\"count\": 1, \"total_ns\": 1500, ",
+            "\"max_ns\": 1500, \"p50_ns\": 1024, \"p99_ns\": 1024},\n",
+            "    \"round\": {\"count\": 1, \"total_ns\": 4000, ",
+            "\"max_ns\": 4000, \"p50_ns\": 2048, \"p99_ns\": 2048}\n",
+            "  },\n",
+            "  \"counters\": {\n",
+            "    \"rounds\": 1\n",
+            "  },\n",
+            "  \"spans_recorded\": 2,\n",
+            "  \"spans_dropped\": 0\n",
+            "}\n"
+        );
+        assert_eq!(fixture_report().to_json(), expected);
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`runtime`] | event-loop server runtime (agent state machines on a persistent [`runtime::Fleet`] worker pool) + EIG Byzantine broadcast over the shared `MessageBus`, aggregating off the wire into reused batches; `DgdTask::run_simulated` runs either architecture on faulty links |
 //! | [`ml`] | MLP/SVM substrate + synthetic datasets + robust D-SGD on the same batch path |
 //! | [`scenario`] | **the public entry point**: declarative [`scenario::Scenario`] specs that run unmodified on the in-process, threaded, peer-to-peer, and simulated-network backends — with per-scenario [`scenario::Recording`] / [`scenario::HaltRule`] observation plans — plus [`scenario::ScenarioSuite`] grids fanned across worker threads |
+//! | [`telemetry`] | low-overhead phase spans, counters, and log₂ latency histograms behind a [`telemetry::Telemetry`] handle that no-ops when disabled (`ABFT_TELEMETRY=on` to enable); every backend reports a [`telemetry::TelemetryReport`] with JSON and Chrome-trace exporters, in deterministic virtual time on the simulated backends |
 //!
 //! The gradient data path — who produces into and who consumes out of a
 //! `GradientBatch` — is documented in `ROADMAP.md` §“Architecture: the
@@ -96,6 +97,7 @@ pub use abft_problems as problems;
 pub use abft_redundancy as redundancy;
 pub use abft_runtime as runtime;
 pub use abft_scenario as scenario;
+pub use abft_telemetry as telemetry;
 
 /// One-stop prelude for downstream users.
 pub mod prelude {
@@ -112,4 +114,5 @@ pub mod prelude {
     pub use abft_redundancy::prelude::*;
     pub use abft_runtime::prelude::*;
     pub use abft_scenario::prelude::*;
+    pub use abft_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 }

@@ -50,6 +50,7 @@ fn run_logistic(filter: &dyn GradientFilter, byzantine: bool) -> Vector {
         reference: Vector::zeros(2), // distance series unused here
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
+        telemetry: Default::default(),
     };
     sim.run(filter, &options).expect("runs").final_estimate
 }
@@ -109,6 +110,7 @@ fn huber_regression_with_a_byzantine_agent() {
         reference: x_h.clone(),
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
+        telemetry: Default::default(),
     };
     let run = sim.run(&Cge::new(), &options).expect("runs");
     assert!(
