@@ -10,8 +10,9 @@
 //! Two axes:
 //!
 //! * **Backend.** The in-process backend runs the full grid (it is the
-//!   only backend allowing omniscient attacks); the threaded and
-//!   simulated-server backends run the grid minus the omniscient columns.
+//!   only backend allowing omniscient attacks); the threaded,
+//!   simulated-server, and asynchronous simulated-server backends run the
+//!   grid minus the omniscient columns.
 //!   Each JSON row records its **own** `grid` — the per-backend filter ×
 //!   attack counts actually executed — so the file cannot claim 84 cells
 //!   for a 56-cell run.
@@ -35,8 +36,8 @@ use abft_bench::fan_fixture;
 use abft_dgd::RunOptions;
 use abft_linalg::Vector;
 use abft_scenario::{
-    Backend, InProcess, NetworkModel, Recording, Scenario, ScenarioBuilder, ScenarioSuite,
-    Simulated, Threaded,
+    AsyncConfig, Backend, InProcess, NetworkModel, Recording, Scenario, ScenarioBuilder,
+    ScenarioSuite, Simulated, Threaded,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -160,6 +161,15 @@ fn main() {
                         &wire_grid,
                         observable.len(),
                         Box::new(Simulated::server(NetworkModel::ideal())),
+                    ));
+                    backends.push((
+                        "simulated-async",
+                        &wire_grid,
+                        observable.len(),
+                        Box::new(Simulated::async_server(
+                            NetworkModel::ideal(),
+                            AsyncConfig::new(),
+                        )),
                     ));
                 }
 

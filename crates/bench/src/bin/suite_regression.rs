@@ -14,7 +14,8 @@
 //!
 //! Rows are keyed by `(backend, threads, fleet_workers, recording)`; only
 //! rows for the selected backends are compared (`--backend` repeats; the
-//! default tracks `threaded`, `in-process`, and `simulated-server`), and a
+//! default tracks `threaded`, `in-process`, `simulated-server`, and
+//! `simulated-async`), and a
 //! baseline row with no matching current row is itself a failure. The
 //! parser targets the writer in `benches/suite_throughput.rs` — one result
 //! object per line, stable field order — because the workspace
@@ -23,7 +24,12 @@
 use std::process::ExitCode;
 
 /// The backends gated by default when no `--backend` flag is given.
-const DEFAULT_BACKENDS: [&str; 3] = ["threaded", "in-process", "simulated-server"];
+const DEFAULT_BACKENDS: [&str; 4] = [
+    "threaded",
+    "in-process",
+    "simulated-server",
+    "simulated-async",
+];
 
 /// One `results` row of `BENCH_suite.json`.
 #[derive(Debug, Clone, PartialEq)]

@@ -11,7 +11,11 @@
 //! * [`RunObserver`] — the per-round hook. A driver calls
 //!   [`RunObserver::observe`] once per synchronous round with a
 //!   [`RoundView`] and stops the run early when the observer returns
-//!   [`ControlFlow::Halt`].
+//!   [`ControlFlow::Halt`]. "Round" here means *one aggregation of the
+//!   estimate*: the asynchronous bounded-staleness server has no
+//!   synchronous rounds, but it aggregates on a fixed step cadence and
+//!   reports one view per aggregation step, so recorders, halt rules,
+//!   and streamers compose with it unchanged.
 //! * [`RoundView`] — a lazy window onto one round. Iteration index,
 //!   estimate, and filtered gradient are free; the derived series
 //!   (`loss`, `distance`, `grad_norm`, `phi`) are computed **on first

@@ -47,6 +47,14 @@ pub struct RunOptions {
     /// constructors). Telemetry is observational only: enabling it never
     /// changes traces, estimates, or the per-round schedule.
     pub telemetry: TelemetryConfig,
+    /// Bounded-staleness override τ for the asynchronous simulated-server
+    /// driver, in virtual nanoseconds: a gradient row older than τ at an
+    /// aggregation step is excluded and counted stale (`u64::MAX` means
+    /// unbounded — every known row stays eligible). `None` (the default)
+    /// keeps the driver's configured bound. Only the asynchronous backend
+    /// consults it; the synchronous drivers reject runs that set it, since
+    /// round-lockstep execution has no notion of row age.
+    pub staleness_ns: Option<u64>,
 }
 
 impl RunOptions {
@@ -67,6 +75,7 @@ impl RunOptions {
             aggregation_threads: Self::default_aggregation_threads(),
             fleet_workers: Self::default_fleet_workers(),
             telemetry: TelemetryConfig::from_env(),
+            staleness_ns: None,
         }
     }
 
@@ -117,6 +126,14 @@ impl RunOptions {
     #[must_use]
     pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
         self.telemetry = config;
+        self
+    }
+
+    /// Sets the bounded-staleness override τ (virtual nanoseconds) for the
+    /// asynchronous simulated-server driver. `u64::MAX` means unbounded.
+    #[must_use]
+    pub fn with_staleness_ns(mut self, tau_ns: u64) -> Self {
+        self.staleness_ns = Some(tau_ns);
         self
     }
 }
@@ -848,6 +865,7 @@ mod tests {
             aggregation_threads: 1,
             fleet_workers: 1,
             telemetry: TelemetryConfig::Off,
+            staleness_ns: None,
         };
         assert!(matches!(
             sim.run(&Cge::new(), &options),

@@ -19,6 +19,7 @@ fn options(x_h: Vector, iterations: usize) -> RunOptions {
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
         telemetry: abft_telemetry::TelemetryConfig::Off,
+        staleness_ns: None,
     }
 }
 
@@ -100,6 +101,7 @@ proptest! {
             aggregation_threads: RunOptions::default_aggregation_threads(),
             fleet_workers: RunOptions::default_fleet_workers(),
             telemetry: abft_telemetry::TelemetryConfig::Off,
+            staleness_ns: None,
         };
         let run = sim.run(&Mean::new(), &opts).expect("runs");
         prop_assert!(w.contains(&run.final_estimate));

@@ -312,6 +312,7 @@ pub fn ablation(out_dir: &Path) -> Result<(), Box<dyn Error>> {
                 aggregation_threads: RunOptions::default_aggregation_threads(),
                 fleet_workers: RunOptions::default_fleet_workers(),
                 telemetry: Default::default(),
+                staleness_ns: None,
             };
             let scenario = Scenario::builder()
                 .problem(&problem)

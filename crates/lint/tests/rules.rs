@@ -213,6 +213,25 @@ fn instant_now_is_sanctioned_in_the_telemetry_clock_home() {
     );
 }
 
+#[test]
+fn the_async_driver_is_not_a_timing_or_panic_home() {
+    // The asynchronous server schedules agents on *virtual* clocks; a
+    // wall-clock read there would silently break seeded reproducibility,
+    // so the driver home gets no sanction.
+    let timed = "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    assert_eq!(
+        rules("crates/runtime/src/async_server.rs", timed),
+        vec!["fixed-schedule"]
+    );
+    // And it sits on the aggregation hot path, so the no-panic rule
+    // applies exactly as it does to the synchronous drivers.
+    let panicking = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(
+        rules("crates/runtime/src/async_server.rs", panicking),
+        vec!["no-panic-hot-path"]
+    );
+}
+
 // --------------------------------------------------------------- pragma
 
 #[test]

@@ -19,30 +19,74 @@ pub struct Delivery<P> {
     pub payload: P,
 }
 
-/// A synchronous round-structured message path between `processes()`
-/// peers: the one abstraction both the real runtimes and the network
-/// simulator implement, so a protocol written against it runs unmodified
-/// on either.
+/// A timestamped message path between `processes()` peers: the one
+/// abstraction both the real runtimes and the network simulator implement,
+/// so a protocol written against it runs unmodified on either.
 ///
-/// The contract mirrors the paper's synchronous system model: a protocol
-/// round is "everyone sends, then everyone receives what arrived in time".
-/// Callers [`send`](MessageBus::send) any number of messages, then call
-/// [`end_round`](MessageBus::end_round) to close the round and collect the
-/// messages that made the round deadline, in a deterministic order.
-/// Messages that miss the deadline are *discarded*, not carried over — a
-/// synchronous protocol ignores stale-round messages, so a late gradient
-/// looks exactly like a crashed sender for that round.
+/// The bus keeps a virtual clock and offers the same traffic through two
+/// views of time:
+///
+/// * **Continuous** — [`advance_until`](MessageBus::advance_until) moves
+///   the clock to a caller-chosen deadline and returns exactly the
+///   messages delivered by then, leaving later traffic in flight. Every
+///   [`Delivery`] carries its `sent_at` stamp, so a receiver can compute
+///   message staleness (`now − sent_at`) itself — the substrate of the
+///   asynchronous bounded-staleness drivers.
+/// * **Round-structured** — [`end_round`](MessageBus::end_round) mirrors
+///   the paper's synchronous system model: a protocol round is "everyone
+///   sends, then everyone receives what arrived in time". Callers
+///   [`send`](MessageBus::send) any number of messages, then close the
+///   round and collect the messages that made the round deadline, in a
+///   deterministic order. Messages that miss the deadline are *discarded*,
+///   not carried over — a synchronous protocol ignores stale-round
+///   messages, so a late gradient looks exactly like a crashed sender for
+///   that round.
+///
+/// The two views compose: on buses with a continuous clock, `end_round` is
+/// required to behave as the thin adapter "`advance_until(now +
+/// round_timeout)`, then discard whatever is still in flight as late" —
+/// which is exactly how [`SimulatedNetwork`](crate::SimulatedNetwork)
+/// implements it. That adapter contract is what keeps every pre-existing
+/// round-lockstep backend bit-identical while the asynchronous drivers
+/// pull the very same event schedule one deadline at a time.
 pub trait MessageBus<P> {
     /// Number of addressable processes (`0..processes()`).
     fn processes(&self) -> usize;
 
-    /// Hands a message to the bus for delivery in the current round.
+    /// Hands a message to the bus for delivery at the current virtual
+    /// time.
     fn send(&mut self, from: usize, to: usize, payload: P);
 
     /// Closes the current round: advances the virtual clock to the round
     /// deadline and returns every message that arrived by it, ordered by
-    /// `(delivered_at, send sequence)` — fully deterministic.
+    /// `(delivered_at, send sequence)` — fully deterministic. Messages
+    /// still in flight at the deadline are discarded as late.
     fn end_round(&mut self) -> Vec<Delivery<P>>;
+
+    /// Continuous-time event pull: advances the virtual clock to
+    /// `deadline` and returns every message delivered by then, ordered by
+    /// `(delivered_at, send sequence)`. Messages whose delivery time lies
+    /// past `deadline` stay queued for a later call — nothing is
+    /// discarded.
+    ///
+    /// Round-structured buses with no finer clock (the default) interpret
+    /// any advance as closing the current round, so protocols written
+    /// against the continuous view still run on them; only buses that keep
+    /// a real event queue (see [`SimulatedNetwork`](crate::SimulatedNetwork))
+    /// can honor the deadline exactly.
+    fn advance_until(&mut self, deadline: u64) -> Vec<Delivery<P>> {
+        let _ = deadline;
+        self.end_round()
+    }
+
+    /// Virtual time of the earliest queued delivery, if the bus keeps a
+    /// continuous event queue — the event-pull companion to
+    /// [`advance_until`](MessageBus::advance_until): advancing to exactly
+    /// this time yields the next batch of deliveries without skipping any.
+    /// Buses with no such queue (the default) return `None`.
+    fn next_event_at(&self) -> Option<u64> {
+        None
+    }
 
     /// Announces the start of protocol iteration `iteration`, so
     /// schedule-driven faults (partitions) can key on the driver's notion

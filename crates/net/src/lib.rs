@@ -6,10 +6,15 @@
 //! Byzantine agents. This crate makes that gap explorable without giving
 //! up reproducibility:
 //!
-//! * [`MessageBus`] — the round-structured message path both the real
-//!   runtimes and the simulator implement. A protocol written against it
-//!   ("send, then collect what arrived by the deadline") runs unmodified
-//!   on either. [`PerfectBus`] is the reliable reference implementation.
+//! * [`MessageBus`] — the timestamped message path both the real runtimes
+//!   and the simulator implement, with two views of time: the synchronous
+//!   round view ("send, then collect what arrived by the deadline" via
+//!   [`end_round`](MessageBus::end_round)) and the continuous event-pull
+//!   view ([`advance_until`](MessageBus::advance_until) /
+//!   [`next_event_at`](MessageBus::next_event_at)) that the asynchronous
+//!   bounded-staleness drivers build on. A protocol written against either
+//!   view runs unmodified on any bus. [`PerfectBus`] is the reliable
+//!   reference implementation.
 //! * [`SimulatedNetwork`] — a seeded discrete-event simulator: virtual
 //!   clock, binary-heap event queue, per-link [`LinkModel`]s (fixed delay
 //!   plus a uniform reorder window, drop probability) and scheduled
@@ -52,7 +57,7 @@ pub mod fault;
 pub mod link;
 pub mod metrics;
 pub mod model;
-mod rng;
+pub mod rng;
 pub mod sim;
 
 pub use bus::{Delivery, MessageBus, PerfectBus};

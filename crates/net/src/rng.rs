@@ -6,20 +6,25 @@
 //! function of its *link and per-link sequence number only*. Traffic on one
 //! link can never perturb the schedule of another, which is what makes
 //! event schedules reproducible under refactors that reorder sends.
+//!
+//! The module is public so drivers layered on the simulator (notably the
+//! asynchronous runtime's per-agent compute clocks) can derive their own
+//! independent streams with the same `mix(seed, key)` discipline instead of
+//! inventing a second RNG.
 
 /// SplitMix64 (Steele, Lea, Flood 2014) — tiny, full-period, and good
 /// enough for fault sampling; not cryptographic.
 #[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> Self {
+    pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -28,13 +33,13 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)` with 53 bits of precision.
-    pub(crate) fn next_unit(&mut self) -> f64 {
+    pub fn next_unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[0, bound]` (inclusive; `bound + 1` buckets via modulo —
     /// the sub-ppm bias is irrelevant for fault sampling).
-    pub(crate) fn next_below_inclusive(&mut self, bound: u64) -> u64 {
+    pub fn next_below_inclusive(&mut self, bound: u64) -> u64 {
         if bound == 0 {
             return 0;
         }
@@ -44,7 +49,7 @@ impl SplitMix64 {
 
 /// One avalanche round of the SplitMix64 finalizer — used to derive
 /// per-link seeds and to fold delivery schedules into a digest.
-pub(crate) fn mix(a: u64, b: u64) -> u64 {
+pub fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

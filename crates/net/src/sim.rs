@@ -97,6 +97,17 @@ impl<P> SimulatedNetwork<P> {
         self.now
     }
 
+    /// Discards every message still in flight, counting each as late.
+    /// [`end_round`](MessageBus::end_round) uses this to enforce the
+    /// synchronous "stale messages look like crashes" rule; asynchronous
+    /// drivers call it once at shutdown so messages abandoned mid-flight
+    /// stay accounted (`NetMetrics::is_balanced` keeps holding).
+    pub fn drain_in_flight(&mut self) {
+        while self.in_flight.pop().is_some() {
+            self.metrics.record_late();
+        }
+    }
+
     /// The randomness stream of the directed link `from → to`.
     fn stream(&mut self, from: usize, to: usize) -> &mut SplitMix64 {
         let seed = self.model.seed;
@@ -161,37 +172,51 @@ impl<P> MessageBus<P> for SimulatedNetwork<P> {
         });
     }
 
+    /// The synchronous adapter over the continuous clock: advance to the
+    /// round deadline, deliver what made it, and discard the rest as late.
+    /// The heap pops in `(delivered_at, seq)` order, so every in-deadline
+    /// event surfaces before any late one and the delivery schedule (and
+    /// hence `schedule_digest`) is bit-identical to the historical
+    /// round-lockstep implementation.
     fn end_round(&mut self) -> Vec<Delivery<P>> {
         let deadline = self.now + self.model.round_timeout_ns;
-        let mut delivered = Vec::with_capacity(self.in_flight.len());
-        // The heap holds only this round's messages (every round drains it),
-        // so popping everything yields the round's schedule in
-        // (delivered_at, seq) order.
-        while let Some(event) = self.in_flight.pop() {
-            if event.delivered_at <= deadline {
-                self.metrics.record_delivery(
-                    event.from,
-                    event.to,
-                    event.sent_at,
-                    event.delivered_at,
-                );
-                delivered.push(Delivery {
-                    from: event.from,
-                    to: event.to,
-                    sent_at: event.sent_at,
-                    delivered_at: event.delivered_at,
-                    payload: event.payload,
-                });
-            } else {
-                // Missed the synchronous deadline: the recipient proceeds
-                // without it, exactly as if the sender had crashed for the
-                // round.
-                self.metrics.record_late();
+        let delivered = self.advance_until(deadline);
+        // Missed the synchronous deadline: the recipient proceeds without
+        // it, exactly as if the sender had crashed for the round.
+        self.drain_in_flight();
+        delivered
+    }
+
+    /// Continuous event pull: deliver everything due by `deadline` in
+    /// `(delivered_at, seq)` order and advance the clock (monotonically) to
+    /// `deadline`, leaving later traffic in flight.
+    fn advance_until(&mut self, deadline: u64) -> Vec<Delivery<P>> {
+        let mut delivered = Vec::new();
+        while let Some(head) = self.in_flight.peek() {
+            if head.delivered_at > deadline {
+                break;
             }
+            // The peek above guarantees the pop succeeds.
+            let Some(event) = self.in_flight.pop() else {
+                break;
+            };
+            self.metrics
+                .record_delivery(event.from, event.to, event.sent_at, event.delivered_at);
+            delivered.push(Delivery {
+                from: event.from,
+                to: event.to,
+                sent_at: event.sent_at,
+                delivered_at: event.delivered_at,
+                payload: event.payload,
+            });
         }
-        self.now = deadline;
+        self.now = self.now.max(deadline);
         self.metrics.virtual_ns = self.now;
         delivered
+    }
+
+    fn next_event_at(&self) -> Option<u64> {
+        self.in_flight.peek().map(|event| event.delivered_at)
     }
 
     fn begin_iteration(&mut self, iteration: usize) {
@@ -332,6 +357,96 @@ mod tests {
         };
         assert_eq!(schedule(5), schedule(5));
         assert_ne!(schedule(5).schedule_digest, schedule(6).schedule_digest);
+    }
+
+    #[test]
+    fn advance_until_leaves_later_traffic_in_flight() {
+        let model = NetworkModel::ideal()
+            .with_default_link(LinkModel::ideal().with_delay_ns(1_000))
+            .with_round_timeout_ns(10_000);
+        let mut net = model.build::<u32>(2);
+        net.send(0, 1, 1);
+        assert_eq!(net.next_event_at(), Some(1_000));
+        // Advance short of the delivery: clock moves, nothing arrives.
+        assert!(net.advance_until(500).is_empty());
+        assert_eq!(net.now(), 500);
+        assert_eq!(net.next_event_at(), Some(1_000), "message is still queued");
+        // Advancing to the delivery instant pulls exactly that event.
+        let delivered = net.advance_until(1_000);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].sent_at, 0);
+        assert_eq!(delivered[0].delivered_at, 1_000);
+        assert_eq!(net.next_event_at(), None);
+        assert!(net.metrics().is_balanced());
+    }
+
+    #[test]
+    fn advance_until_never_moves_the_clock_backwards() {
+        let mut net = NetworkModel::ideal().build::<u32>(2);
+        assert!(net.advance_until(5_000).is_empty());
+        assert!(net.advance_until(1_000).is_empty());
+        assert_eq!(net.now(), 5_000, "a stale deadline is a no-op");
+    }
+
+    #[test]
+    fn end_round_equals_advance_until_plus_drain() {
+        // Lossy, jittered, partly late traffic: the round view must be the
+        // continuous view advanced to the round deadline with the
+        // remainder drained as late — same deliveries, same order, same
+        // digest.
+        let model = NetworkModel::seeded(17).with_default_link(
+            LinkModel::ideal()
+                .with_drop(0.2)
+                .with_delay_ns(800_000)
+                .with_reorder_ns(400_000),
+        );
+        let drive = |net: &mut SimulatedNetwork<u32>| {
+            for k in 0..30 {
+                net.send(k % 4, (k + 1) % 4, k as u32);
+            }
+        };
+        let mut round_view = model.build::<u32>(4);
+        drive(&mut round_view);
+        let by_round = round_view.end_round();
+
+        let mut continuous = model.build::<u32>(4);
+        drive(&mut continuous);
+        let deadline = continuous.now() + NetworkModel::DEFAULT_ROUND_TIMEOUT_NS;
+        let by_advance = continuous.advance_until(deadline);
+        continuous.drain_in_flight();
+
+        assert_eq!(by_round, by_advance);
+        assert_eq!(round_view.metrics(), continuous.metrics());
+        assert_eq!(round_view.now(), continuous.now());
+    }
+
+    #[test]
+    fn piecewise_advance_matches_one_shot_advance() {
+        let model =
+            NetworkModel::seeded(23).with_default_link(LinkModel::ideal().with_reorder_ns(600_000));
+        let drive = |net: &mut SimulatedNetwork<u32>| {
+            for k in 0..24 {
+                net.send(k % 3, (k + 2) % 3, k as u32);
+            }
+        };
+        let mut one_shot = model.build::<u32>(3);
+        drive(&mut one_shot);
+        let all = one_shot.advance_until(2_000_000);
+
+        let mut piecewise = model.build::<u32>(3);
+        drive(&mut piecewise);
+        let mut pulled = Vec::new();
+        // Event-pull loop: hop deadline to deadline through the queue.
+        while let Some(at) = piecewise.next_event_at() {
+            if at > 2_000_000 {
+                break;
+            }
+            pulled.extend(piecewise.advance_until(at));
+        }
+        pulled.extend(piecewise.advance_until(2_000_000));
+
+        assert_eq!(all, pulled);
+        assert_eq!(one_shot.metrics(), piecewise.metrics());
     }
 
     #[test]

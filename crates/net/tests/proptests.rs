@@ -113,4 +113,44 @@ proptest! {
         }
         prop_assert_eq!(payloads, expected);
     }
+
+    /// The round view is exactly the continuous view: `end_round` must
+    /// equal "advance to the round deadline, then drain the remainder as
+    /// late" — even when the continuous side pulls its deliveries one
+    /// event deadline at a time. This is the adapter contract that lets
+    /// the asynchronous drivers share the simulator with every
+    /// round-lockstep backend bit-identically.
+    #[test]
+    fn end_round_is_the_continuous_view_round_adapter(
+        model in model_strategy(),
+        sends in prop::collection::vec((0usize..8, 0usize..8), 1..40),
+        rounds in 1usize..5,
+    ) {
+        let by_round = drive(&model, 4, &sends, rounds);
+
+        let mut net = model.build::<u64>(4);
+        let mut deliveries = Vec::new();
+        for round in 0..rounds {
+            net.begin_iteration(round);
+            for (k, &(from, to)) in sends.iter().enumerate() {
+                net.send(from % 4, to % 4, (round * sends.len() + k) as u64);
+            }
+            let deadline = net.now() + NetworkModel::DEFAULT_ROUND_TIMEOUT_NS;
+            // Event-pull up to the deadline, one event time per hop.
+            while let Some(at) = net.next_event_at() {
+                if at > deadline {
+                    break;
+                }
+                deliveries.extend(net.advance_until(at));
+            }
+            deliveries.extend(net.advance_until(deadline));
+            net.drain_in_flight();
+        }
+
+        prop_assert_eq!(by_round.deliveries.len(), deliveries.len());
+        for (x, y) in by_round.deliveries.iter().zip(&deliveries) {
+            prop_assert_eq!(x, y);
+        }
+        prop_assert_eq!(by_round.metrics, net.metrics());
+    }
 }

@@ -1,0 +1,786 @@
+//! The asynchronous bounded-staleness simulated-server driver.
+//!
+//! The synchronous drivers run the paper's round lockstep: broadcast,
+//! collect what made the deadline, aggregate. This driver drops the
+//! lockstep. Agents fire gradient computations on their own per-agent
+//! clocks (base compute time plus seeded jitter, derived with the
+//! simulator's SplitMix64 discipline), replies cross the simulated network
+//! whenever they cross it, and the server aggregates on a fixed cadence:
+//! every [`AsyncConfig::step_interval_ns`] virtual nanoseconds it takes,
+//! per agent, the freshest gradient row it has heard — provided the row is
+//! no older than the staleness bound τ — and runs the filter with the
+//! per-step fault budget `f − #excluded`, the continuous-time
+//! generalization of the synchronous per-round S1 straggler rule.
+//!
+//! Determinism: the driver owns a seeded event queue (server steps and
+//! agent fires, ordered by `(virtual time, schedule sequence)`) and
+//! interleaves it with the network's own event queue through the bus's
+//! continuous [`advance_until`](MessageBus::advance_until) /
+//! [`next_event_at`](MessageBus::next_event_at) view — deliveries due at a
+//! driver event's time are processed first. Everything is a pure function
+//! of the task, the [`abft_net::NetworkModel`], and the
+//! [`AsyncConfig`], so two identically seeded runs produce bit-identical
+//! traces, schedules, and telemetry reports (pinned by tests).
+//!
+//! Synchronous anchor: with τ unbounded, ideal links, and zero compute
+//! jitter, every agent's round-`t` gradient lands well before server step
+//! `t`, each step aggregates exactly the synchronous round-`t` batch in
+//! agent order with the full budget `f`, and the trace is bit-identical to
+//! [`SimTopology::Server`](crate::SimTopology::Server) — the equivalence
+//! pin that anchors the asynchronous family to the paper's model. (One
+//! deliberate asymmetry: under *unbounded* τ a crashed agent's final
+//! gradient row never ages out, so crash parity with the synchronous
+//! drivers needs a finite τ of one step interval — then the stale-row rule
+//! reproduces the synchronous `f − #silent` elimination exactly.)
+
+use crate::error::RuntimeError;
+use crate::message::{FromAgent, ServerWire, ToAgent};
+use crate::simulated::{SimulatedOutcome, SimulatedRun};
+use crate::task::DgdTask;
+use abft_attacks::{AttackContext, ByzantineStrategy};
+use abft_core::observe::{observe_round, RoundView, RunObserver};
+use abft_core::validate::{self, FaultBudget};
+use abft_dgd::{HonestCostMetrics, ObservedRun, RunOptions};
+use abft_filters::GradientFilter;
+use abft_linalg::{GradientBatch, Vector, WorkerPool};
+use abft_net::rng::{mix, SplitMix64};
+use abft_net::{MessageBus, NetFault, NetworkModel, SimulatedNetwork};
+use abft_telemetry::{Counter, Phase, Telemetry};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Timing model of an asynchronous simulated-server run. All fields are
+/// virtual nanoseconds on the simulator's clock (or a seed); the whole
+/// struct is plain data so [`SimTopology`](crate::SimTopology) stays
+/// `Copy + Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// Staleness bound τ: at an aggregation step, a gradient row whose age
+    /// (`step time − sent_at`) exceeds τ is excluded and counted stale.
+    /// [`AsyncConfig::UNBOUNDED`] (the default) keeps every known row
+    /// eligible forever. [`RunOptions::staleness_ns`] overrides this
+    /// per run.
+    pub staleness_ns: u64,
+    /// Cadence of server aggregation steps: step `t` runs at virtual time
+    /// `(t + 1) · step_interval_ns`. Must be positive.
+    pub step_interval_ns: u64,
+    /// Base time an agent spends computing one gradient before its reply
+    /// hits the network.
+    pub compute_ns: u64,
+    /// Seeded per-compute jitter: each computation takes `compute_ns`
+    /// plus a uniform draw from `[0, compute_jitter_ns]` off the agent's
+    /// own SplitMix64 stream. Zero (the default) keeps agent clocks
+    /// perfectly regular — the synchronous-equivalence regime.
+    pub compute_jitter_ns: u64,
+    /// Seed for the per-agent clock streams, mixed with the agent id the
+    /// same way the simulator derives per-link streams — so one agent's
+    /// jitter never perturbs another's.
+    pub clock_seed: u64,
+}
+
+impl AsyncConfig {
+    /// The τ value meaning "no staleness bound": every known row stays
+    /// eligible, however old.
+    pub const UNBOUNDED: u64 = u64::MAX;
+
+    /// Defaults anchored to the synchronous drivers: unbounded τ, one
+    /// aggregation step per default round timeout, a 10 µs gradient
+    /// compute, zero jitter, seed 0. Over ideal links this configuration
+    /// reproduces the synchronous simulated server bit-for-bit.
+    pub fn new() -> Self {
+        AsyncConfig {
+            staleness_ns: Self::UNBOUNDED,
+            step_interval_ns: NetworkModel::DEFAULT_ROUND_TIMEOUT_NS,
+            compute_ns: 10_000,
+            compute_jitter_ns: 0,
+            clock_seed: 0,
+        }
+    }
+
+    /// Sets the staleness bound τ in virtual nanoseconds.
+    #[must_use]
+    pub fn with_staleness_ns(mut self, tau_ns: u64) -> Self {
+        self.staleness_ns = tau_ns;
+        self
+    }
+
+    /// Sets the aggregation-step cadence in virtual nanoseconds.
+    #[must_use]
+    pub fn with_step_interval_ns(mut self, interval_ns: u64) -> Self {
+        self.step_interval_ns = interval_ns;
+        self
+    }
+
+    /// Sets the base per-gradient compute time in virtual nanoseconds.
+    #[must_use]
+    pub fn with_compute_ns(mut self, compute_ns: u64) -> Self {
+        self.compute_ns = compute_ns;
+        self
+    }
+
+    /// Sets the per-compute jitter window in virtual nanoseconds.
+    #[must_use]
+    pub fn with_compute_jitter_ns(mut self, jitter_ns: u64) -> Self {
+        self.compute_jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Sets the seed of the per-agent clock streams.
+    #[must_use]
+    pub fn with_clock_seed(mut self, seed: u64) -> Self {
+        self.clock_seed = seed;
+        self
+    }
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One entry of the driver's own event queue. Network deliveries are not
+/// queued here — they live in the simulator's heap and are interleaved by
+/// time through the bus's continuous view, deliveries first on ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DriverEvent {
+    /// Server aggregation step `step` fires.
+    ServerStep { step: usize },
+    /// Agent `agent` finishes its in-progress gradient computation.
+    AgentFire { agent: usize },
+}
+
+/// The freshest gradient row the server has heard from one agent.
+struct LatestRow {
+    sent_at: u64,
+    gradient: Vector,
+}
+
+/// Per-agent asynchronous state.
+struct AgentState {
+    /// Newest estimate heard: `(iteration, x)`.
+    known: Option<(usize, Vector)>,
+    /// In-progress computation: `(iteration, captured estimate, started)`.
+    computing: Option<(usize, Vector, u64)>,
+    /// Newest iteration already computed and sent.
+    fired: Option<usize>,
+    /// Permanently silent (crash schedule reached).
+    crashed: bool,
+    /// This agent's own clock-jitter stream.
+    stream: SplitMix64,
+}
+
+/// Entry point behind [`SimTopology::AsyncServer`](crate::SimTopology):
+/// the bounded-staleness server loop over the simulated network.
+pub(crate) fn execute_async_server(
+    task: DgdTask,
+    sim: &SimulatedRun,
+    config: AsyncConfig,
+    filter: &dyn GradientFilter,
+    options: &RunOptions,
+    observer: &mut dyn RunObserver,
+) -> Result<SimulatedOutcome, RuntimeError> {
+    let DgdTask {
+        config: sys,
+        costs,
+        byzantine,
+        crashes,
+    } = task;
+    let n = sys.n();
+    let server = SimulatedRun::server_address(n);
+    let tau = options.staleness_ns.unwrap_or(config.staleness_ns);
+    if config.step_interval_ns == 0 {
+        return Err(RuntimeError::Config(
+            "async step_interval_ns must be positive: a zero cadence never advances \
+             virtual time, so no gradient could ever arrive before a step"
+                .into(),
+        ));
+    }
+    let dim = validate::cost_dimension(n, costs.iter().map(|c| c.dim()))?;
+    validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
+
+    // Fault assignment mirrors the synchronous simulated server exactly.
+    let mut strategies: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
+    let mut crash_at: Vec<Option<usize>> = vec![None; n];
+    let mut budget = FaultBudget::new(&sys);
+    for (agent, strategy) in byzantine {
+        budget.assign(agent)?;
+        if strategy.is_omniscient() {
+            return Err(RuntimeError::Config(format!(
+                "strategy '{}' is omniscient; simulated agents cannot observe \
+                 other agents' in-flight gradients",
+                strategy.name()
+            )));
+        }
+        strategies[agent] = Some(strategy);
+    }
+    for (agent, iteration) in crashes {
+        budget.assign(agent)?;
+        crash_at[agent] = Some(iteration);
+    }
+    let net_faults =
+        abft_net::validate_net_faults(&sim.net_faults, n, n + 1).map_err(RuntimeError::Config)?;
+    for &agent in net_faults.keys() {
+        if strategies[agent].is_none() && crash_at[agent].is_none() {
+            budget.assign(agent)?;
+        }
+    }
+    let honest: Vec<usize> = (0..n)
+        .filter(|&i| {
+            strategies[i].is_none() && crash_at[i].is_none() && !net_faults.contains_key(&i)
+        })
+        .collect();
+
+    let mut net: SimulatedNetwork<ServerWire> = sim.network.build(n + 1);
+    let probe = observer.probe();
+    let mut summary = None;
+    let mut x = options.projection.project(&options.x0);
+    let mut batch = GradientBatch::with_capacity(n, dim);
+    if options.aggregation_threads > 1 {
+        batch.set_worker_pool(Some(Arc::new(WorkerPool::new(options.aggregation_threads))));
+    }
+    let mut aggregated = Vector::zeros(dim);
+    let mut stragglers = 0usize;
+    let mut stale_rows = 0usize;
+    let mut async_steps = 0usize;
+    let mut clock_skew_ns = 0u64;
+
+    // Per-agent clock streams: same derivation discipline as the
+    // simulator's per-link streams, one independent stream per agent.
+    let mut agents: Vec<AgentState> = (0..n)
+        .map(|agent| AgentState {
+            known: None,
+            computing: None,
+            fired: None,
+            crashed: false,
+            stream: SplitMix64::new(mix(config.clock_seed, agent as u64)),
+        })
+        .collect();
+    let mut latest: Vec<Option<LatestRow>> = (0..n).map(|_| None).collect();
+
+    // The driver's own deterministic event queue: a min-heap over
+    // `(virtual time, schedule sequence)`, the same total order the
+    // simulator uses for deliveries.
+    let mut queue: BinaryHeap<Reverse<(u64, u64, DriverEvent)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let schedule = |queue: &mut BinaryHeap<Reverse<(u64, u64, DriverEvent)>>,
+                    seq: &mut u64,
+                    at: u64,
+                    event: DriverEvent| {
+        queue.push(Reverse((at, *seq, event)));
+        *seq += 1;
+    };
+
+    // Async runs profile in virtual time, like every simulated driver.
+    let mut telemetry = Telemetry::virtual_time(options.telemetry);
+    telemetry.set_virtual_ns(net.now());
+
+    // Kick-off at virtual time 0: broadcast x_0 and arm the first step.
+    net.begin_iteration(0);
+    for agent in 0..n {
+        net.send(
+            server,
+            agent,
+            ServerWire::Command(ToAgent::Estimate {
+                iteration: 0,
+                estimate: x.clone(),
+            }),
+        );
+    }
+    telemetry.add(Counter::Broadcasts, n as u64);
+    schedule(
+        &mut queue,
+        &mut seq,
+        config.step_interval_ns,
+        DriverEvent::ServerStep { step: 0 },
+    );
+    let mut round_span = telemetry.begin(Phase::Round);
+
+    'run: while let Some(&Reverse((at, _, _))) = queue.peek() {
+        // Interleave: every delivery due at or before the next driver
+        // event is processed first, one event time per hop. Handling a
+        // delivery may start a computation, i.e. push a driver event that
+        // precedes `at` — re-peeking each iteration keeps the merge exact.
+        if let Some(net_at) = net.next_event_at() {
+            if net_at <= at {
+                let span = telemetry.begin(Phase::NetDelivery);
+                let deliveries = net.advance_until(net_at);
+                telemetry.set_virtual_ns(net.now());
+                telemetry.end(span);
+                for delivery in deliveries {
+                    match delivery.payload {
+                        ServerWire::Command(ToAgent::Estimate {
+                            iteration,
+                            estimate,
+                        }) => {
+                            let state = &mut agents[delivery.to];
+                            if state.crashed {
+                                continue;
+                            }
+                            let newer = match &state.known {
+                                Some((known, _)) => iteration > *known,
+                                None => true,
+                            };
+                            if newer {
+                                state.known = Some((iteration, estimate));
+                            }
+                            start_compute(
+                                &mut agents[delivery.to],
+                                crash_at[delivery.to],
+                                &config,
+                                net_at,
+                                delivery.to,
+                                |fire_at, agent| {
+                                    schedule(
+                                        &mut queue,
+                                        &mut seq,
+                                        fire_at,
+                                        DriverEvent::AgentFire { agent },
+                                    );
+                                },
+                            );
+                        }
+                        ServerWire::Reply(FromAgent::Gradient { gradient, .. }) => {
+                            if gradient.dim() != dim {
+                                return Err(RuntimeError::Dgd(abft_dgd::DgdError::Dimension {
+                                    expected: format!("gradient of dim {dim}"),
+                                    actual: format!(
+                                        "agent {} sent dim {}",
+                                        delivery.from,
+                                        gradient.dim()
+                                    ),
+                                }));
+                            }
+                            telemetry.add(Counter::Replies, 1);
+                            let slot = &mut latest[delivery.from];
+                            let fresher = match slot {
+                                // `>=` so reordered duplicates resolve to
+                                // the later *delivery*, deterministically.
+                                Some(row) => delivery.sent_at >= row.sent_at,
+                                None => true,
+                            };
+                            if fresher {
+                                *slot = Some(LatestRow {
+                                    sent_at: delivery.sent_at,
+                                    gradient,
+                                });
+                            }
+                        }
+                        ServerWire::Command(ToAgent::Shutdown) => {}
+                    }
+                }
+                continue 'run;
+            }
+        }
+
+        let Some(Reverse((at, _, event))) = queue.pop() else {
+            break;
+        };
+        // Advance the shared clock to the event (no deliveries remain at
+        // or before `at` — the merge above pulled them all).
+        let _ = net.advance_until(at);
+        telemetry.set_virtual_ns(net.now());
+
+        match event {
+            DriverEvent::AgentFire { agent } => {
+                let Some((iteration, estimate, started)) = agents[agent].computing.take() else {
+                    continue;
+                };
+                agents[agent].fired = Some(iteration);
+                // Back-date the span to the compute's start: the fill
+                // phase occupies `[started, at]` on the virtual timeline.
+                telemetry.set_virtual_ns(started);
+                let fill_span = telemetry.begin(Phase::GradientFill);
+                telemetry.set_virtual_ns(at);
+                let true_gradient = costs[agent].gradient(&estimate);
+                let mut report = match strategies[agent].as_mut() {
+                    Some(strategy) => {
+                        let ctx = AttackContext::new(iteration, &true_gradient, &estimate);
+                        strategy.corrupt(&ctx)
+                    }
+                    None => true_gradient,
+                };
+                telemetry.end(fill_span);
+                let mut silenced = false;
+                match net_faults.get(&agent) {
+                    Some(NetFault::SelectiveSend(victims)) if victims.contains(&server) => {
+                        silenced = true;
+                    }
+                    Some(NetFault::EquivocateSplit { boundary }) if server >= *boundary => {
+                        report = report.scale(-1.0);
+                    }
+                    _ => {}
+                }
+                if !silenced {
+                    net.send(
+                        agent,
+                        server,
+                        ServerWire::Reply(FromAgent::Gradient {
+                            iteration,
+                            gradient: report,
+                        }),
+                    );
+                }
+                // A newer estimate may have arrived mid-compute.
+                start_compute(
+                    &mut agents[agent],
+                    crash_at[agent],
+                    &config,
+                    at,
+                    agent,
+                    |fire_at, agent| {
+                        schedule(
+                            &mut queue,
+                            &mut seq,
+                            fire_at,
+                            DriverEvent::AgentFire { agent },
+                        );
+                    },
+                );
+            }
+            DriverEvent::ServerStep { step } => {
+                let advance = step < options.iterations;
+                // Bounded staleness: per agent, the freshest row no older
+                // than τ joins the batch (agent-id order — the shared
+                // filter-input order); older rows are stale, absent rows
+                // missing, and both shrink this step's fault budget.
+                let agg_span = telemetry.begin(Phase::Aggregate);
+                batch.clear();
+                let mut step_stale = 0usize;
+                let mut step_missing = 0usize;
+                let mut oldest = u64::MAX;
+                let mut newest = 0u64;
+                for slot in &latest {
+                    match slot {
+                        Some(row) if at.saturating_sub(row.sent_at) <= tau => {
+                            batch.push_row(row.gradient.as_slice());
+                            oldest = oldest.min(row.sent_at);
+                            newest = newest.max(row.sent_at);
+                        }
+                        Some(_) => step_stale += 1,
+                        None => step_missing += 1,
+                    }
+                }
+                stale_rows += step_stale;
+                stragglers += step_missing;
+                async_steps += 1;
+                if !batch.is_empty() {
+                    // Clock skew: how far apart in virtual time the rows
+                    // aggregated together were produced (maximum over
+                    // steps).
+                    clock_skew_ns = clock_skew_ns.max(newest - oldest);
+                }
+                telemetry.add(Counter::StaleRows, step_stale as u64);
+                telemetry.add(Counter::Stragglers, step_missing as u64);
+                telemetry.add(Counter::AsyncSteps, 1);
+                telemetry.add(Counter::Rounds, 1);
+                if batch.is_empty() {
+                    // No eligible gradient information: hold the estimate,
+                    // exactly like a fully silent synchronous round.
+                    for slot in aggregated.as_mut_slice() {
+                        *slot = 0.0;
+                    }
+                } else {
+                    let excluded = n - batch.len();
+                    let f_step = sys.f().saturating_sub(excluded);
+                    filter.aggregate_into(&batch, f_step, &mut aggregated)?;
+                }
+                telemetry.end(agg_span);
+
+                {
+                    let observe_span = telemetry.begin(Phase::Observe);
+                    let source = HonestCostMetrics::new(
+                        &costs,
+                        &honest,
+                        &x,
+                        &options.reference,
+                        &aggregated,
+                    );
+                    let view =
+                        RoundView::new(step, x.as_slice(), aggregated.as_slice(), &source, probe);
+                    summary = observe_round(observer, &view, advance);
+                    telemetry.end(observe_span);
+                }
+                if summary.is_some() {
+                    telemetry.end(round_span);
+                    break 'run;
+                }
+                let eta = options.schedule.eta(step);
+                x.axpy(-eta, &aggregated);
+                options.projection.project_in_place(&mut x);
+
+                // Broadcast the new estimate and arm the next step.
+                net.begin_iteration(step + 1);
+                for agent in 0..n {
+                    net.send(
+                        server,
+                        agent,
+                        ServerWire::Command(ToAgent::Estimate {
+                            iteration: step + 1,
+                            estimate: x.clone(),
+                        }),
+                    );
+                }
+                telemetry.add(Counter::Broadcasts, n as u64);
+                schedule(
+                    &mut queue,
+                    &mut seq,
+                    at + config.step_interval_ns,
+                    DriverEvent::ServerStep { step: step + 1 },
+                );
+                telemetry.end(round_span);
+                round_span = telemetry.begin(Phase::Round);
+            }
+        }
+    }
+
+    // Messages abandoned in flight at shutdown stay accounted as late, so
+    // the sent/delivered/dropped/late balance holds for async runs too.
+    net.drain_in_flight();
+    let net_metrics = net.metrics();
+    telemetry.record_net(
+        net_metrics.sent,
+        net_metrics.delivered,
+        net_metrics.dropped,
+        net_metrics.late,
+    );
+
+    let summary = summary.ok_or_else(|| {
+        RuntimeError::Config(
+            "async run ended without a final observation (empty event queue \
+             before the last server step — a driver invariant violation)"
+                .into(),
+        )
+    })?;
+    Ok(SimulatedOutcome {
+        run: ObservedRun {
+            final_estimate: x,
+            summary,
+            telemetry: telemetry.finish(),
+        },
+        net: net_metrics,
+        broadcasts: 0,
+        stragglers,
+        stale_rows,
+        clock_skew_ns,
+        async_steps,
+        final_spread: 0.0,
+    })
+}
+
+/// Starts the next computation for `agent` at virtual time `now` when it
+/// is idle and a not-yet-computed estimate is known — honoring the crash
+/// schedule (an agent crashes the moment it would start working on an
+/// iteration at or past its crash point, matching the synchronous "no
+/// reply from iteration `c` on" semantics).
+fn start_compute(
+    state: &mut AgentState,
+    crash_at: Option<usize>,
+    config: &AsyncConfig,
+    now: u64,
+    agent: usize,
+    mut schedule_fire: impl FnMut(u64, usize),
+) {
+    if state.crashed || state.computing.is_some() {
+        return;
+    }
+    let (iteration, estimate) = match &state.known {
+        Some((iteration, estimate)) => (*iteration, estimate.clone()),
+        None => return,
+    };
+    if state.fired.is_some_and(|done| iteration <= done) {
+        return;
+    }
+    if crash_at.is_some_and(|crash| iteration >= crash) {
+        state.crashed = true;
+        return;
+    }
+    let jitter = if config.compute_jitter_ns > 0 {
+        state.stream.next_below_inclusive(config.compute_jitter_ns)
+    } else {
+        0
+    };
+    state.computing = Some((iteration, estimate, now));
+    schedule_fire(now + config.compute_ns + jitter, agent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulated::SimulatedRun;
+    use abft_attacks::GradientReverse;
+    use abft_filters::{Cge, Cwtm};
+    use abft_net::LinkModel;
+    use abft_problems::RegressionProblem;
+
+    fn paper_options(iterations: usize) -> (RegressionProblem, RunOptions) {
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).unwrap();
+        let options = RunOptions::paper_defaults_with_iterations(x_h, iterations);
+        (problem, options)
+    }
+
+    #[test]
+    fn unbounded_tau_over_ideal_links_matches_sync_server_exactly() {
+        // The equivalence pin: τ = ∞, ideal links, zero jitter — every
+        // step-t batch is the synchronous round-t batch, so the traces are
+        // bit-identical, serial and parallel aggregation alike.
+        let (problem, base) = paper_options(80);
+        for threads in [1, 4] {
+            let options = base.clone().with_aggregation_threads(threads);
+            let run_async = SimulatedRun::async_server(NetworkModel::ideal(), AsyncConfig::new());
+            let asynchronous = DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_simulated(&run_async, &Cge::new(), &options)
+                .unwrap();
+            let run_sync = SimulatedRun::server(NetworkModel::ideal());
+            let synchronous = DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_simulated(&run_sync, &Cge::new(), &options)
+                .unwrap();
+            assert_eq!(
+                asynchronous.result.trace.records(),
+                synchronous.result.trace.records(),
+                "threads = {threads}"
+            );
+            assert!(asynchronous
+                .result
+                .final_estimate
+                .approx_eq(&synchronous.result.final_estimate, 0.0));
+            assert_eq!(asynchronous.stale_rows, 0);
+            assert_eq!(
+                asynchronous.stragglers, 0,
+                "every agent's iteration-0 gradient lands before step 0"
+            );
+            assert_eq!(asynchronous.async_steps, 81);
+            assert_eq!(asynchronous.clock_skew_ns, 0, "identical agent clocks");
+            assert!(asynchronous.net.is_balanced());
+        }
+    }
+
+    #[test]
+    fn one_interval_tau_reproduces_sync_crash_elimination() {
+        // Under unbounded τ a crashed agent's last row lingers forever;
+        // with τ = one step interval the stale-row rule ages it out at
+        // exactly the synchronous elimination round, reproducing the
+        // lockstep `f − #silent` trace bit-for-bit.
+        let (problem, options) = paper_options(60);
+        let config = AsyncConfig::new().with_staleness_ns(AsyncConfig::new().step_interval_ns);
+        let run_async = SimulatedRun::async_server(NetworkModel::ideal(), config);
+        let asynchronous = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_simulated(&run_async, &Cge::new(), &options)
+            .unwrap();
+        let run_sync = SimulatedRun::server(NetworkModel::ideal());
+        let synchronous = DgdTask::new(*problem.config(), problem.costs())
+            .crash(3, 10)
+            .run_simulated(&run_sync, &Cge::new(), &options)
+            .unwrap();
+        assert_eq!(
+            asynchronous.result.trace.records(),
+            synchronous.result.trace.records()
+        );
+        // Steps 10..=60 each see agent 3's parked iteration-9 row as stale.
+        assert_eq!(asynchronous.stale_rows, 51);
+    }
+
+    #[test]
+    fn identically_seeded_lossy_jittered_runs_are_bit_identical() {
+        let (problem, options) = paper_options(50);
+        let run = || {
+            let config = AsyncConfig::new()
+                .with_staleness_ns(3 * NetworkModel::DEFAULT_ROUND_TIMEOUT_NS)
+                .with_compute_jitter_ns(400_000)
+                .with_clock_seed(7);
+            let sim = SimulatedRun::async_server(
+                NetworkModel::seeded(13)
+                    .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(50_000)),
+                config,
+            );
+            DgdTask::new(*problem.config(), problem.costs())
+                .byzantine(0, Box::new(GradientReverse::new()))
+                .run_simulated(&sim, &Cwtm::new(), &options)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.result.trace.records(), b.result.trace.records());
+        assert_eq!(a.net, b.net, "full event schedule (and digest) reproduced");
+        assert_eq!(a.stale_rows, b.stale_rows);
+        assert_eq!(a.clock_skew_ns, b.clock_skew_ns);
+        assert!(a.clock_skew_ns > 0, "jittered clocks actually drift");
+        assert!(a.net.is_balanced(), "drained in-flight stays accounted");
+    }
+
+    #[test]
+    fn bounded_tau_with_slow_agents_shrinks_the_step_budget_not_the_run() {
+        // Agents whose compute takes longer than a step interval miss
+        // steps; bounded τ excludes their old rows instead of aggregating
+        // them, and the run still completes.
+        let (problem, options) = paper_options(40);
+        let config = AsyncConfig::new()
+            .with_compute_ns(3 * NetworkModel::DEFAULT_ROUND_TIMEOUT_NS / 2)
+            .with_staleness_ns(NetworkModel::DEFAULT_ROUND_TIMEOUT_NS);
+        let sim = SimulatedRun::async_server(NetworkModel::ideal(), config);
+        let outcome = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        assert!(
+            outcome.stale_rows + outcome.stragglers > 0,
+            "slow agents miss steps: stale = {}, missing = {}",
+            outcome.stale_rows,
+            outcome.stragglers
+        );
+        assert_eq!(outcome.async_steps, 41);
+    }
+
+    #[test]
+    fn staleness_override_is_rejected_by_lockstep_topologies() {
+        let (problem, options) = paper_options(5);
+        let options = options.with_staleness_ns(AsyncConfig::UNBOUNDED);
+        for sim in [
+            SimulatedRun::server(NetworkModel::ideal()),
+            SimulatedRun::peer_to_peer(NetworkModel::ideal()),
+        ] {
+            let err = DgdTask::new(*problem.config(), problem.costs())
+                .run_simulated(&sim, &Cge::new(), &options)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("round lockstep"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_override_reaches_the_async_driver() {
+        // The same plan, overridden per run to a τ so tight every row has
+        // aged out by its aggregation step: the estimate never moves.
+        let (problem, options) = paper_options(10);
+        let sim = SimulatedRun::async_server(NetworkModel::ideal(), AsyncConfig::new());
+        let frozen = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options.clone().with_staleness_ns(0))
+            .unwrap();
+        let n = problem.config().n();
+        assert_eq!(frozen.stale_rows, n * 11, "all rows stale at all 11 steps");
+        let x0 = options.projection.project(&options.x0);
+        assert!(frozen.result.final_estimate.approx_eq(&x0, 0.0));
+        let live = DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .unwrap();
+        assert!(live.result.final_distance() < frozen.result.final_distance());
+    }
+
+    #[test]
+    fn zero_step_interval_is_a_config_error() {
+        let (problem, options) = paper_options(5);
+        let sim = SimulatedRun::async_server(
+            NetworkModel::ideal(),
+            AsyncConfig::new().with_step_interval_ns(0),
+        );
+        assert!(DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated(&sim, &Cge::new(), &options)
+            .is_err());
+    }
+}

@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod async_server;
 pub mod eig;
 pub mod error;
 pub mod event_loop;
@@ -66,6 +67,7 @@ pub mod peer_to_peer;
 pub mod simulated;
 pub mod task;
 
+pub use async_server::AsyncConfig;
 pub use eig::{eig_broadcast, eig_broadcast_on, BroadcastOutcome, EigMessage, EquivocationPlan};
 pub use error::RuntimeError;
 pub use fleet::{AgentCell, Fleet};
@@ -77,6 +79,7 @@ pub use task::DgdTask;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use crate::async_server::AsyncConfig;
     pub use crate::eig::eig_broadcast;
     pub use crate::error::RuntimeError;
     pub use crate::fleet::Fleet;

@@ -26,6 +26,7 @@
 //! registry: the attack decides *what* a faulty agent claims, the net
 //! fault decides *which links* hear it (or its negation).
 
+use crate::async_server::AsyncConfig;
 use crate::error::RuntimeError;
 use crate::message::{FromAgent, ServerWire, ToAgent};
 use crate::peer_to_peer::{self, P2pLink};
@@ -52,6 +53,11 @@ pub enum SimTopology {
         /// [`NetFault::EquivocateSplit`] for per-agent boundaries).
         equivocate: bool,
     },
+    /// Trusted server + `n` agents with **no round lockstep**: agents fire
+    /// gradient computations on their own seeded clocks and the server
+    /// aggregates bounded-staleness rows on a fixed virtual-time cadence
+    /// (see [`crate::async_server`]). The server is bus address `n`.
+    AsyncServer(AsyncConfig),
 }
 
 /// A simulated execution plan: topology, network behaviour, and
@@ -86,6 +92,15 @@ impl SimulatedRun {
         }
     }
 
+    /// An asynchronous bounded-staleness server plan over `network`.
+    pub fn async_server(network: NetworkModel, config: AsyncConfig) -> Self {
+        SimulatedRun {
+            topology: SimTopology::AsyncServer(config),
+            network,
+            net_faults: Vec::new(),
+        }
+    }
+
     /// Adds a network-level Byzantine behaviour for `agent`.
     #[must_use]
     pub fn with_net_fault(mut self, agent: usize, fault: NetFault) -> Self {
@@ -114,6 +129,12 @@ pub struct SimulatedOutcome {
     pub broadcasts: usize,
     /// Missed-deadline gradient count (see [`SimulatedResult::stragglers`]).
     pub stragglers: usize,
+    /// Stale gradient rows excluded (see [`SimulatedResult::stale_rows`]).
+    pub stale_rows: usize,
+    /// Peak aggregation clock skew (see [`SimulatedResult::clock_skew_ns`]).
+    pub clock_skew_ns: u64,
+    /// Asynchronous aggregation steps (see [`SimulatedResult::async_steps`]).
+    pub async_steps: usize,
     /// Honest-estimate spread (see [`SimulatedResult::final_spread`]).
     pub final_spread: f64,
 }
@@ -133,8 +154,20 @@ pub struct SimulatedResult {
     /// Rounds × agents in which an expected gradient missed the deadline
     /// or was lost (server topology; zero for peer-to-peer, whose
     /// omissions are per-transmission and counted in
-    /// [`SimulatedResult::net`]).
+    /// [`SimulatedResult::net`]). In the asynchronous topology: steps ×
+    /// agents the server had *no* row from at all.
     pub stragglers: usize,
+    /// Steps × agents whose freshest row was present but older than the
+    /// staleness bound τ at aggregation time, so it was excluded and the
+    /// step's fault budget shrank (asynchronous topology; zero otherwise).
+    pub stale_rows: usize,
+    /// The largest spread, over aggregation steps, between the `sent_at`
+    /// stamps of the rows aggregated together — how far out of lockstep
+    /// the agent clocks drifted (asynchronous topology; zero otherwise).
+    pub clock_skew_ns: u64,
+    /// Server aggregation steps executed (asynchronous topology; zero
+    /// otherwise — synchronous rounds are counted by the run summary).
+    pub async_steps: usize,
     /// Largest final pairwise distance between honest agents' estimates
     /// (peer-to-peer topology; zero for the server topology, which has one
     /// shared estimate by construction).
@@ -154,7 +187,23 @@ pub(crate) fn execute(
             execute_p2p(task, sim, equivocate, filter, options, observer)
         }
         SimTopology::Server => execute_server(task, sim, filter, options, observer),
+        SimTopology::AsyncServer(config) => {
+            crate::async_server::execute_async_server(task, sim, config, filter, options, observer)
+        }
     }
+}
+
+/// Round-lockstep drivers have no notion of row age, so a staleness
+/// override on the options is a configuration error rather than a silent
+/// no-op.
+fn reject_staleness(options: &RunOptions, topology: &str) -> Result<(), RuntimeError> {
+    if options.staleness_ns.is_some() {
+        return Err(RuntimeError::Config(format!(
+            "staleness_ns is an asynchronous-driver knob; the synchronous {topology} \
+             topology runs in round lockstep (use SimTopology::AsyncServer)"
+        )));
+    }
+    Ok(())
 }
 
 /// Peer-to-peer over the simulator: the shared loop of
@@ -168,6 +217,7 @@ fn execute_p2p(
     options: &RunOptions,
     observer: &mut dyn RunObserver,
 ) -> Result<SimulatedOutcome, RuntimeError> {
+    reject_staleness(options, "peer-to-peer")?;
     let n = task.config().n();
     let mut net: SimulatedNetwork<_> = sim.network.build(n);
     let link = P2pLink {
@@ -181,6 +231,9 @@ fn execute_p2p(
         net: outcome.net,
         broadcasts: outcome.broadcasts,
         stragglers: 0,
+        stale_rows: 0,
+        clock_skew_ns: 0,
+        async_steps: 0,
         final_spread: outcome.final_spread,
     })
 }
@@ -195,6 +248,7 @@ fn execute_server(
     options: &RunOptions,
     observer: &mut dyn RunObserver,
 ) -> Result<SimulatedOutcome, RuntimeError> {
+    reject_staleness(options, "server")?;
     let DgdTask {
         config,
         costs,
@@ -416,6 +470,9 @@ fn execute_server(
         net: net_metrics,
         broadcasts: 0,
         stragglers,
+        stale_rows: 0,
+        clock_skew_ns: 0,
+        async_steps: 0,
         final_spread: 0.0,
     })
 }

@@ -276,6 +276,9 @@ impl DgdTask {
             net: outcome.net,
             broadcasts: outcome.broadcasts,
             stragglers: outcome.stragglers,
+            stale_rows: outcome.stale_rows,
+            clock_skew_ns: outcome.clock_skew_ns,
+            async_steps: outcome.async_steps,
             final_spread: outcome.final_spread,
         })
     }

@@ -121,3 +121,68 @@ proptest! {
         prop_assert_eq!(a.messages, b.messages, "adversary changed message count");
     }
 }
+
+proptest! {
+    // Each case is a pair of full DGD runs; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The asynchronous equivalence pin as a property: at unbounded τ over
+    /// ideal links with zero clock jitter, the async server reproduces the
+    /// synchronous simulated server bit-for-bit across random attacks,
+    /// filters, horizon lengths, and aggregation-thread counts.
+    #[test]
+    fn async_unbounded_tau_matches_sync_server_for_random_tasks(
+        attack_sel in 0usize..4,
+        filter_sel in 0usize..2,
+        iterations in 5usize..40,
+        threads_sel in 0usize..2,
+    ) {
+        use abft_filters::{Cge, Cwtm, GradientFilter};
+        use abft_net::NetworkModel;
+        use abft_problems::RegressionProblem;
+        use abft_runtime::{AsyncConfig, DgdTask, SimulatedRun};
+
+        let problem = RegressionProblem::paper_instance();
+        let x_h = problem.subset_minimizer(&[1, 2, 3, 4, 5]).expect("honest subset");
+        let options = abft_dgd::RunOptions::paper_defaults_with_iterations(x_h, iterations)
+            .with_aggregation_threads([1, 4][threads_sel]);
+        let filter: Box<dyn GradientFilter> = match filter_sel {
+            0 => Box::new(Cge::new()),
+            _ => Box::new(Cwtm::new()),
+        };
+        // Attack 0 is "fault-free"; the rest come seeded off the registry,
+        // so the async and sync task each get an identically seeded
+        // instance.
+        let attacks = ["gradient-reverse", "random", "scaled-reverse"];
+        let task = || {
+            let task = DgdTask::new(*problem.config(), problem.costs());
+            match attack_sel {
+                0 => task,
+                sel => task.byzantine(
+                    0,
+                    abft_attacks::attack_by_name(attacks[sel - 1], 7).expect("registered"),
+                ),
+            }
+        };
+        let asynchronous = task()
+            .run_simulated(
+                &SimulatedRun::async_server(NetworkModel::ideal(), AsyncConfig::new()),
+                filter.as_ref(),
+                &options,
+            )
+            .expect("async run succeeds");
+        let synchronous = task()
+            .run_simulated(
+                &SimulatedRun::server(NetworkModel::ideal()),
+                filter.as_ref(),
+                &options,
+            )
+            .expect("sync run succeeds");
+        prop_assert_eq!(
+            asynchronous.result.trace.records(),
+            synchronous.result.trace.records()
+        );
+        prop_assert_eq!(asynchronous.stale_rows, 0);
+        prop_assert_eq!(asynchronous.stragglers, 0);
+    }
+}

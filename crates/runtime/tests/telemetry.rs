@@ -145,3 +145,42 @@ fn seeded_simulated_runs_reproduce_identical_virtual_reports() {
         );
     }
 }
+
+/// The asynchronous driver keeps the same contract: two identically
+/// seeded bounded-staleness runs (lossy links, jittered agent clocks)
+/// produce `==` virtual-time reports, stamped with the async counter
+/// vocabulary.
+#[test]
+fn seeded_async_runs_reproduce_identical_virtual_reports() {
+    use abft_runtime::AsyncConfig;
+    let (problem, on) = paper_options(30, TelemetryConfig::On);
+    let sim = SimulatedRun::async_server(
+        NetworkModel::seeded(42)
+            .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(2_000)),
+        AsyncConfig::new()
+            .with_staleness_ns(2 * NetworkModel::DEFAULT_ROUND_TIMEOUT_NS)
+            .with_compute_jitter_ns(300_000)
+            .with_clock_seed(9),
+    );
+    let run = || {
+        DgdTask::new(*problem.config(), problem.costs())
+            .run_simulated_observed(&sim, &Cge::new(), &on, &mut NullObserver)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    let report_a = a.run.telemetry.expect("enabled");
+    let report_b = b.run.telemetry.expect("enabled");
+    assert_eq!(report_a, report_b, "async virtual reports must reproduce");
+    assert_eq!(report_a.clock.name(), "virtual");
+    assert_eq!(report_a.counter("async-steps"), 31, "one per step");
+    assert_eq!(
+        report_a.counter("stale-rows-dropped") as usize,
+        a.stale_rows,
+        "the report and the outcome agree on staleness"
+    );
+    assert!(
+        report_a.phase_total_ns("gradient-fill") > 0,
+        "fill spans cover the agents' virtual compute time"
+    );
+}

@@ -11,7 +11,7 @@ use abft_core::{CoreError, Trace};
 use abft_dgd::DgdSimulation;
 use abft_linalg::Vector;
 use abft_net::{NetMetrics, NetworkModel};
-use abft_runtime::{DgdTask, RuntimeMetrics, SimTopology, SimulatedRun};
+use abft_runtime::{AsyncConfig, DgdTask, RuntimeMetrics, SimTopology, SimulatedRun};
 use abft_telemetry::clock::Stopwatch;
 use abft_telemetry::TelemetryReport;
 use std::path::Path;
@@ -49,6 +49,17 @@ pub struct BackendMetrics {
     /// Gradient replies that missed a round deadline or were lost
     /// (simulated server backend).
     pub stragglers: usize,
+    /// Gradient rows excluded from an aggregation step because they were
+    /// older than the staleness bound τ (asynchronous simulated-server
+    /// backend).
+    pub stale_rows: usize,
+    /// Largest spread of send timestamps inside one aggregated batch, in
+    /// virtual nanoseconds — how far apart the agents' clocks drifted over
+    /// the run (asynchronous simulated-server backend).
+    pub clock_skew_ns: u64,
+    /// Aggregation steps the asynchronous server executed (its analogue of
+    /// `rounds`; asynchronous simulated-server backend).
+    pub async_steps: usize,
     /// Network counters — sent / delivered / dropped / late message
     /// totals, virtual time elapsed, and the order-sensitive schedule
     /// digest — reported by every backend that moves messages over an
@@ -210,6 +221,23 @@ fn reject_net_faults(backend: &'static str, scenario: &Scenario) -> Result<(), S
     }
 }
 
+/// Rejects scenarios carrying a staleness bound on a round-lockstep
+/// backend: bounded staleness only means something to the asynchronous
+/// simulated server, whose agents run on their own clocks. (The simulated
+/// sync topologies reject at the runtime layer with the same contract.)
+fn reject_staleness(backend: &'static str, scenario: &Scenario) -> Result<(), ScenarioError> {
+    if scenario.options().staleness_ns.is_none() {
+        Ok(())
+    } else {
+        Err(ScenarioError::Unsupported(format!(
+            "scenario '{}' carries a staleness bound, which only the \
+             asynchronous simulated-server backend executes — the {backend} \
+             backend runs in round lockstep",
+            scenario.label()
+        )))
+    }
+}
+
 /// The observer a scenario's [`Recording`] mode and [`HaltRule`] compose
 /// to — the one sink every backend drives, so recording and halting
 /// behave identically everywhere.
@@ -292,6 +320,7 @@ impl Backend for InProcess {
         workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
+        reject_staleness(self.name(), scenario)?;
         let mut sim = DgdSimulation::new(*scenario.config(), scenario.costs().to_vec())?;
         for (agent, strategy) in scenario.byzantine_assignments() {
             sim = sim.with_byzantine(agent, strategy)?;
@@ -347,6 +376,7 @@ impl Backend for Threaded {
         workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
+        reject_staleness(self.name(), scenario)?;
         let task = task_for(scenario);
         let metrics = RuntimeMetrics::new();
         let mut observer = ScenarioObserver::for_scenario(scenario);
@@ -405,6 +435,7 @@ impl Backend for PeerToPeer {
         _workspace: &mut SuiteWorkspace,
     ) -> Result<RunReport, ScenarioError> {
         reject_net_faults(self.name(), scenario)?;
+        reject_staleness(self.name(), scenario)?;
         let task = task_for(scenario);
         let mut observer = ScenarioObserver::for_scenario(scenario);
         let started = Stopwatch::start();
@@ -469,6 +500,20 @@ impl Simulated {
             plan: SimulatedRun::server(network),
         }
     }
+
+    /// Asynchronous bounded-staleness server over `network` — agents fire
+    /// gradient computations on their own (seeded) clocks and the server
+    /// aggregates on a fixed step cadence, keeping only rows fresher than
+    /// the staleness bound τ. The only backend that executes scenarios
+    /// built with [`ScenarioBuilder::staleness`](crate::ScenarioBuilder);
+    /// reports as `"simulated-async"`. At unbounded τ over ideal links
+    /// with zero clock jitter it reproduces the synchronous server
+    /// backends bit-for-bit (pinned by the equivalence tests).
+    pub fn async_server(network: NetworkModel, config: AsyncConfig) -> Self {
+        Simulated {
+            plan: SimulatedRun::async_server(network, config),
+        }
+    }
 }
 
 impl Default for Simulated {
@@ -481,7 +526,10 @@ impl Default for Simulated {
 
 impl Backend for Simulated {
     fn name(&self) -> &'static str {
-        "simulated"
+        match self.plan.topology {
+            SimTopology::AsyncServer(_) => "simulated-async",
+            SimTopology::PeerToPeer { .. } | SimTopology::Server => "simulated",
+        }
     }
 
     fn run_with_workspace(
@@ -505,7 +553,7 @@ impl Backend for Simulated {
         // topology's wire traffic lives solely in the `net` counters.
         let eig_messages = match self.plan.topology {
             SimTopology::PeerToPeer { .. } => outcome.net.sent as usize,
-            SimTopology::Server => 0,
+            SimTopology::Server | SimTopology::AsyncServer(_) => 0,
         };
         Ok(RunReport {
             scenario: scenario.label().to_string(),
@@ -516,6 +564,9 @@ impl Backend for Simulated {
                 eig_broadcasts: outcome.broadcasts,
                 eig_messages,
                 stragglers: outcome.stragglers,
+                stale_rows: outcome.stale_rows,
+                clock_skew_ns: outcome.clock_skew_ns,
+                async_steps: outcome.async_steps,
                 net: outcome.net,
                 ..BackendMetrics::default()
             },

@@ -84,7 +84,7 @@ pub use abft_core::observe::{HaltReason, RunSummary};
 // The network vocabulary a simulated scenario is described with, re-
 // exported so scenario authors need no direct `abft-net` dependency.
 pub use abft_net::{LinkModel, NetFault, NetMetrics, NetworkModel, Partition};
-pub use abft_runtime::SimTopology;
+pub use abft_runtime::{AsyncConfig, SimTopology};
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
@@ -94,4 +94,5 @@ pub mod prelude {
     pub use crate::suite::{ScenarioSuite, SuiteReport};
     pub use abft_core::observe::{HaltReason, RunSummary};
     pub use abft_net::{LinkModel, NetFault, NetworkModel, Partition};
+    pub use abft_runtime::AsyncConfig;
 }

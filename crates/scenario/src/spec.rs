@@ -305,6 +305,7 @@ pub struct ScenarioBuilder {
     net_faults: Vec<(usize, NetFault)>,
     filter: Option<PendingFilter>,
     options: Option<RunOptions>,
+    staleness_ns: Option<u64>,
     recording: Recording,
     halt: Option<HaltRule>,
 }
@@ -408,6 +409,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Bounds the scenario's staleness: the asynchronous simulated-server
+    /// backend only aggregates gradient rows younger than `tau_ns` of
+    /// virtual time at each aggregation step ([`u64::MAX`] means
+    /// unbounded). Equivalent to setting
+    /// [`RunOptions::staleness_ns`](abft_dgd::RunOptions::staleness_ns) on
+    /// the options directly. Scenarios carrying a staleness bound only run
+    /// on the asynchronous backend — every round-lockstep backend rejects
+    /// them, exactly as it rejects network-level faults it cannot execute.
+    #[must_use]
+    pub fn staleness(mut self, tau_ns: u64) -> Self {
+        self.staleness_ns = Some(tau_ns);
+        self
+    }
+
     /// Selects what the run records per round (default
     /// [`Recording::Full`]): dense, every-`k` subsampled, or summary-only.
     /// Pure observation — the estimate trajectory is identical in every
@@ -453,7 +468,10 @@ impl ScenarioBuilder {
         let config = SystemConfig::new(self.costs.len(), self.f)?;
         let dim = validate::cost_dimension(config.n(), self.costs.iter().map(|c| c.dim()))?;
 
-        let options = self.options.ok_or(ScenarioError::MissingOptions)?;
+        let mut options = self.options.ok_or(ScenarioError::MissingOptions)?;
+        if let Some(tau_ns) = self.staleness_ns {
+            options.staleness_ns = Some(tau_ns);
+        }
         validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
 
         if matches!(self.recording, Recording::Every(0)) {

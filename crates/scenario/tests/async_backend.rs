@@ -1,0 +1,201 @@
+//! The asynchronous simulated-server backend's contracts at the scenario
+//! layer:
+//!
+//! 1. **Equivalence pin** — at unbounded τ over ideal links with zero
+//!    clock jitter, `Simulated::async_server` reproduces the synchronous
+//!    server backends bit for bit, at aggregation_threads ∈ {1, 4}.
+//! 2. **Seeded determinism** — identically seeded lossy, jittered async
+//!    runs reproduce the identical `RunReport`: trace, metrics (schedule
+//!    digest included), and virtual-time `TelemetryReport`.
+//! 3. **Exclusivity** — scenarios carrying a staleness bound run ONLY on
+//!    the async backend; every round-lockstep backend rejects them.
+//! 4. **Observation** — `HaltRule::Converged` halts the async driver per
+//!    aggregation step, at the sync halt round under the equivalence
+//!    regime.
+
+use abft_core::observe::HaltReason;
+use abft_dgd::RunOptions;
+use abft_problems::RegressionProblem;
+use abft_scenario::{
+    AsyncConfig, Backend, HaltRule, InProcess, LinkModel, NetworkModel, PeerToPeer, Scenario,
+    ScenarioBuilder, Simulated, Threaded,
+};
+use abft_telemetry::TelemetryConfig;
+
+fn template(iterations: usize) -> ScenarioBuilder {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    Scenario::builder()
+        .problem(&problem)
+        .faults(1)
+        .options(RunOptions::paper_defaults_with_iterations(x_h, iterations))
+}
+
+#[test]
+fn unbounded_async_backend_matches_the_sync_server_backends_bit_for_bit() {
+    let problem = RegressionProblem::paper_instance();
+    let x_h = problem
+        .subset_minimizer(&[1, 2, 3, 4, 5])
+        .expect("full rank");
+    let asynchronous = Simulated::async_server(NetworkModel::ideal(), AsyncConfig::new());
+    assert_eq!(asynchronous.name(), "simulated-async");
+    for threads in [1, 4] {
+        let scenario = Scenario::builder()
+            .problem(&problem)
+            .faults(1)
+            .attack(0, "gradient-reverse")
+            .filter("cge")
+            .options(
+                RunOptions::paper_defaults_with_iterations(x_h.clone(), 40)
+                    .with_aggregation_threads(threads),
+            )
+            .build()
+            .expect("builds");
+        let a = asynchronous.run(&scenario).expect("async runs");
+        let in_process = InProcess.run(&scenario).expect("in-process runs");
+        let threaded = Threaded.run(&scenario).expect("threaded runs");
+        let sync_sim = Simulated::server(NetworkModel::ideal())
+            .run(&scenario)
+            .expect("sync simulator runs");
+        assert_eq!(a.trace, in_process.trace, "{threads} threads");
+        assert_eq!(a.trace, threaded.trace, "{threads} threads");
+        assert_eq!(a.trace, sync_sim.trace, "{threads} threads");
+        assert!(a.final_estimate.approx_eq(&in_process.final_estimate, 0.0));
+        // One aggregation step per iteration plus the final record step;
+        // nothing was stale and the ideal clocks never drifted apart.
+        assert_eq!(a.metrics.async_steps, 41);
+        assert_eq!(a.metrics.stale_rows, 0);
+        assert_eq!(a.metrics.clock_skew_ns, 0);
+        assert_eq!(a.metrics.stragglers, 0);
+    }
+}
+
+#[test]
+fn seeded_async_runs_reproduce_identical_reports() {
+    let scenario = template(30)
+        .filter("cwtm")
+        .attack_seeded(0, "random", 13)
+        .staleness(2 * NetworkModel::DEFAULT_ROUND_TIMEOUT_NS)
+        .options(
+            RunOptions::paper_defaults_with_iterations(
+                RegressionProblem::paper_instance()
+                    .subset_minimizer(&[1, 2, 3, 4, 5])
+                    .expect("full rank"),
+                30,
+            )
+            .with_telemetry(TelemetryConfig::On),
+        )
+        .build()
+        .expect("builds");
+    let backend = Simulated::async_server(
+        NetworkModel::seeded(77)
+            .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(2_000)),
+        AsyncConfig::new()
+            .with_compute_jitter_ns(300_000)
+            .with_clock_seed(9),
+    );
+    let a = backend.run(&scenario).expect("runs");
+    let b = backend.run(&scenario).expect("runs");
+    assert_eq!(
+        a.trace, b.trace,
+        "repeated async runs must be bit-identical"
+    );
+    assert_eq!(a.metrics, b.metrics, "schedule digest included");
+    assert_eq!(a.telemetry, b.telemetry, "virtual reports reproduce");
+    assert!(a.final_estimate.approx_eq(&b.final_estimate, 0.0));
+    assert_eq!(a.backend, "simulated-async");
+    assert!(a.metrics.net.dropped > 0, "the lossy links actually fired");
+    assert!(a.metrics.clock_skew_ns > 0, "jittered clocks drifted");
+
+    // A different clock seed is a genuinely different execution.
+    let other = Simulated::async_server(
+        NetworkModel::seeded(77)
+            .with_default_link(LinkModel::ideal().with_drop(0.1).with_reorder_ns(2_000)),
+        AsyncConfig::new()
+            .with_compute_jitter_ns(300_000)
+            .with_clock_seed(10),
+    )
+    .run(&scenario)
+    .expect("runs");
+    assert_ne!(
+        a.metrics.net.schedule_digest, other.metrics.net.schedule_digest,
+        "the clock seed must steer the event schedule"
+    );
+}
+
+#[test]
+fn staleness_scenarios_run_only_on_the_async_backend() {
+    let scenario = template(10)
+        .filter("cge")
+        .staleness(NetworkModel::DEFAULT_ROUND_TIMEOUT_NS)
+        .build()
+        .expect("builds");
+    assert_eq!(
+        scenario.options().staleness_ns,
+        Some(NetworkModel::DEFAULT_ROUND_TIMEOUT_NS)
+    );
+
+    // The async backend honours the bound (τ's AsyncConfig default is
+    // overridden by the scenario's options).
+    let report = Simulated::async_server(NetworkModel::ideal(), AsyncConfig::new())
+        .run(&scenario)
+        .expect("async backend executes staleness bounds");
+    assert_eq!(report.metrics.async_steps, 11);
+
+    // Every round-lockstep backend rejects the same scenario.
+    for (name, result) in [
+        ("in-process", InProcess.run(&scenario)),
+        ("threaded", Threaded.run(&scenario)),
+        ("peer-to-peer", PeerToPeer::default().run(&scenario)),
+        (
+            "simulated-server",
+            Simulated::server(NetworkModel::ideal()).run(&scenario),
+        ),
+        (
+            "simulated-p2p",
+            Simulated::peer_to_peer(NetworkModel::ideal()).run(&scenario),
+        ),
+    ] {
+        let err = result.expect_err(name).to_string();
+        assert!(
+            err.contains("round lockstep"),
+            "{name} must reject staleness bounds, said: {err}"
+        );
+    }
+}
+
+#[test]
+fn halt_rules_fire_per_aggregation_step() {
+    let build = |halt: HaltRule| {
+        template(400)
+            .filter("cge")
+            .attack(0, "gradient-reverse")
+            .halt(halt)
+            .build()
+            .expect("builds")
+    };
+    let rule = HaltRule::Converged {
+        radius: 0.09,
+        slack: 0.0,
+        window: 3,
+    };
+    let asynchronous = Simulated::async_server(NetworkModel::ideal(), AsyncConfig::new())
+        .run(&build(rule))
+        .expect("async runs");
+    let halted_at = match asynchronous.summary.halt {
+        HaltReason::Observer { at_iteration } => at_iteration,
+        HaltReason::Completed => panic!("the async run must halt early"),
+    };
+    assert!(halted_at < 400, "halted at {halted_at}");
+    assert_eq!(asynchronous.metrics.async_steps, halted_at + 1);
+
+    // Under the equivalence regime the async halt step IS the sync halt
+    // round.
+    let sync = InProcess.run(&build(rule)).expect("in-process runs");
+    assert_eq!(asynchronous.summary, sync.summary);
+    assert!(asynchronous
+        .final_estimate
+        .approx_eq(&sync.final_estimate, 0.0));
+}

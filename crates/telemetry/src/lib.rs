@@ -139,11 +139,16 @@ pub enum Counter {
     NetLate = 8,
     /// Worker-pool dispatches (from [`DispatchProfile`]).
     PoolDispatches = 9,
+    /// Gradient rows excluded by an async server because their age
+    /// exceeded the staleness bound τ.
+    StaleRows = 10,
+    /// Asynchronous server aggregation steps driven to completion.
+    AsyncSteps = 11,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's fixed array).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -157,6 +162,8 @@ impl Counter {
         Counter::NetDropped,
         Counter::NetLate,
         Counter::PoolDispatches,
+        Counter::StaleRows,
+        Counter::AsyncSteps,
     ];
 
     /// The stable counter name used in reports.
@@ -172,6 +179,8 @@ impl Counter {
             Counter::NetDropped => "net-dropped",
             Counter::NetLate => "net-late",
             Counter::PoolDispatches => "pool-dispatches",
+            Counter::StaleRows => "stale-rows-dropped",
+            Counter::AsyncSteps => "async-steps",
         }
     }
 }

@@ -51,6 +51,7 @@ fn run_logistic(filter: &dyn GradientFilter, byzantine: bool) -> Vector {
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
         telemetry: Default::default(),
+        staleness_ns: None,
     };
     sim.run(filter, &options).expect("runs").final_estimate
 }
@@ -111,6 +112,7 @@ fn huber_regression_with_a_byzantine_agent() {
         aggregation_threads: RunOptions::default_aggregation_threads(),
         fleet_workers: RunOptions::default_fleet_workers(),
         telemetry: Default::default(),
+        staleness_ns: None,
     };
     let run = sim.run(&Cge::new(), &options).expect("runs");
     assert!(
