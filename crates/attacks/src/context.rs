@@ -43,6 +43,9 @@ impl<'a> HonestGradients<'a> {
     /// # Panics
     ///
     /// Panics when `i` is out of range (including when hidden).
+    // LINT-ALLOW(panic-reach): documented contract — strategies reach rows
+    // through `iter()`/`len()`, and every omniscient strategy checks for
+    // `Hidden` before touching a row.
     pub fn row(&self, i: usize) -> &'a [f64] {
         match self {
             HonestGradients::Hidden => panic!("honest gradients are hidden"),

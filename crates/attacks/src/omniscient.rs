@@ -22,6 +22,8 @@ impl LittleIsEnough {
     /// # Panics
     ///
     /// Panics when `z` is non-finite.
+    // LINT-ALLOW(panic-reach): constructor-time parameter validation —
+    // runs while the scenario is built, before any round executes.
     pub fn new(z: f64) -> Self {
         assert!(z.is_finite(), "z must be finite");
         LittleIsEnough { z }
@@ -29,6 +31,8 @@ impl LittleIsEnough {
 }
 
 impl ByzantineStrategy for LittleIsEnough {
+    // LINT-ALLOW(panic-reach): every honest row shares the run's validated
+    // dimension with `out`, and `k` enumerates `out`.
     fn corrupt_into(&mut self, ctx: &AttackContext<'_>, out: &mut [f64]) {
         debug_assert_eq!(out.len(), ctx.dim(), "little-is-enough dimension");
         let honest = &ctx.honest;
@@ -78,6 +82,8 @@ impl InnerProductManipulation {
     /// # Panics
     ///
     /// Panics when `scale` is non-finite.
+    // LINT-ALLOW(panic-reach): constructor-time parameter validation —
+    // runs while the scenario is built, before any round executes.
     pub fn new(scale: f64) -> Self {
         assert!(scale.is_finite(), "scale must be finite");
         InnerProductManipulation { scale }

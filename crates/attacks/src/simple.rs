@@ -51,6 +51,8 @@ impl RandomGaussian {
     /// # Panics
     ///
     /// Panics when `std` is negative or non-finite.
+    // LINT-ALLOW(panic-reach): constructor-time parameter validation —
+    // runs while the scenario is built, before any round executes.
     pub fn new(std: f64, seed: u64) -> Self {
         assert!(
             std >= 0.0 && std.is_finite(),
@@ -88,6 +90,8 @@ impl ScaledReverse {
     /// # Panics
     ///
     /// Panics when `factor` is non-finite.
+    // LINT-ALLOW(panic-reach): constructor-time parameter validation —
+    // runs while the scenario is built, before any round executes.
     pub fn new(factor: f64) -> Self {
         assert!(factor.is_finite(), "factor must be finite");
         ScaledReverse { factor }

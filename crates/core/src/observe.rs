@@ -595,7 +595,12 @@ impl<W: Write> CsvStreamer<W> {
     }
 
     fn write_row(&mut self, record: &IterationRecord) -> std::io::Result<()> {
-        let sink = self.sink.as_mut().expect("sink present until finish");
+        // The sink is only taken by `finish`; a row arriving after that
+        // would be an observer-protocol bug, and dropping it beats
+        // panicking mid-run.
+        let Some(sink) = self.sink.as_mut() else {
+            return Ok(());
+        };
         if !self.header_written {
             writeln!(sink, "iteration,loss,distance,grad_norm,phi")?;
             self.header_written = true;

@@ -373,6 +373,8 @@ impl DgdSimulation {
         workspace: &mut RoundWorkspace,
         observer: &mut dyn RunObserver,
     ) -> Result<ObservedRun, DgdError> {
+        // LINT-ALLOW(panic-reach): the constructor rejects an empty cost
+        // set, so agent 0 always exists
         let dim = self.costs[0].dim();
         validate::run_point_dimensions(dim, options.x0.dim(), options.reference.dim())?;
 
@@ -468,6 +470,9 @@ impl DgdSimulation {
     /// threaded runtime). Honest gradients are written first — directly
     /// into their rows — so omniscient strategies can inspect them before
     /// the faulty rows are forged in a second pass.
+    // LINT-ALLOW(panic-reach): `eliminated` and `costs` carry one entry
+    // per agent (length n) and `i` enumerates them; batch rows are
+    // assigned one per surviving agent just above the fill loops.
     fn collect_round(
         &mut self,
         t: usize,

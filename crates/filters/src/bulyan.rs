@@ -73,6 +73,8 @@ impl GradientFilter for Bulyan {
                 .enumerate()
                 .min_by(|(i, a), (j, b)| {
                     a.total_cmp(b)
+                        // LINT-ALLOW(panic-reach): keys holds one score per
+                        // pool member, so enumerate indices stay in bounds
                         .then_with(|| rowops::lex_cmp(batch.row(pool[*i]), batch.row(pool[*j])))
                 })
                 .map(|(i, _)| i)

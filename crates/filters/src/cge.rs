@@ -70,6 +70,8 @@ impl Cge {
         scratch.order.clear();
         scratch.order.extend(0..n);
         let keys = &scratch.keys;
+        // LINT-ALLOW(panic-reach): order holds 0..n and keys was resized
+        // to n just above, so both comparator indices are in bounds
         scratch
             .order
             .sort_unstable_by(|&i, &j| keys[i].total_cmp(&keys[j]).then(i.cmp(&j)));

@@ -60,6 +60,8 @@ impl GradientFilter for Faba {
             s.keys.clear();
             s.keys.resize(members.len(), 0.0);
             fill_slots(pool, profile, dim, &mut s.keys, |p| {
+                // LINT-ALLOW(panic-reach): keys was resized to
+                // members.len(), and fill_slots hands out slot indices
                 rowops::dist(rows.row(members[p]), mean)
             });
 
@@ -71,6 +73,8 @@ impl GradientFilter for Faba {
                 .iter()
                 .enumerate()
                 .max_by(|(p, &i), (q, &j)| {
+                    // LINT-ALLOW(panic-reach): dists holds one entry per
+                    // member, so enumerate indices stay in bounds
                     dists[*p]
                         .total_cmp(&dists[*q])
                         .then_with(|| rowops::lex_cmp(rows.row(i), rows.row(j)))

@@ -190,6 +190,9 @@ impl GeometricMedianOfMeans {
 }
 
 impl GradientFilter for GeometricMedianOfMeans {
+    // LINT-ALLOW(panic-reach): the flat workspace is resized to
+    // groups * dim and the count buffer to groups before the bucketing
+    // loops, whose bucket index is always `slot % groups`.
     fn aggregate_into(
         &self,
         batch: &GradientBatch,

@@ -34,6 +34,8 @@ pub(crate) fn krum_scores_into(
         dists,
         scores,
         |buf, p| {
+            // LINT-ALLOW(panic-reach): scores was resized to pool.len()
+            // and fill_slots_with_scratch hands out slot indices
             let i = pool[p];
             buf.clear();
             for &j in pool {
@@ -176,6 +178,8 @@ impl GradientFilter for MultiKrum {
         s.order.clear();
         s.order.extend(0..n);
         let scores = &s.keys;
+        // LINT-ALLOW(panic-reach): order holds 0..n and krum_scores_into
+        // filled one score per pool member (n of them)
         s.order
             .sort_unstable_by(|&i, &j| scores[i].total_cmp(&scores[j]).then(i.cmp(&j)));
         s.order.truncate(self.m);

@@ -82,6 +82,9 @@ impl<'a> Rows<'a> {
     }
 
     /// Row `i`.
+    // LINT-ALLOW(panic-reach): `data.len()` is a multiple of `dim`
+    // (checked in `new`) and callers pass row indices below that bound —
+    // the filters only index through validated batch shapes.
     pub(crate) fn row(&self, i: usize) -> &'a [f64] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -98,6 +101,8 @@ impl<'a> Rows<'a> {
 ///
 /// Panics if `reduce` fails — callers validate the batch shape first, and
 /// every per-column reduce in this crate is total on validated shapes.
+// LINT-ALLOW(panic-reach): tile arithmetic keeps `k0 + width <= dim =
+// slots.len()` by construction (`width = TILE_COLUMNS.min(dim - k0)`).
 pub(crate) fn for_each_column(
     batch: &GradientBatch,
     rows: Option<&[usize]>,
@@ -145,6 +150,9 @@ pub(crate) fn for_each_column(
 
 /// One tile of [`for_each_column`]: gather columns `k0..k0 + slots.len()`
 /// into `tile` (column-major) and reduce each into its slot.
+// LINT-ALLOW(panic-reach): `tile` is resized to `TILE_COLUMNS * count`
+// above the loops, `width <= TILE_COLUMNS`, rows come from the caller's
+// validated index list, and `k0 + width <= dim` per `for_each_column`.
 fn reduce_tile(
     view: Rows<'_>,
     rows: Option<&[usize]>,
@@ -239,6 +247,9 @@ pub(crate) fn fill_slots_with_scratch(
 /// bitwise. `indices = None` means rows `0..count` in order; `weights =
 /// None` means all ones (plain accumulation).
 #[allow(clippy::too_many_arguments)] // internal kernel: shard + profile plumbing
+                                     // LINT-ALLOW(panic-reach): `indices` and `weights` carry exactly `count`
+                                     // entries (debug-asserted below), `p` ranges over `0..count`, and column
+                                     // ranges come from the pool's schedule over `acc.len()`.
 pub(crate) fn weighted_sum_into(
     pool: Option<&WorkerPool>,
     profile: Option<&DispatchProfile>,

@@ -185,6 +185,8 @@ impl GradientBatch {
     /// # Panics
     ///
     /// Panics when `i` is out of range.
+    // LINT-ALLOW(panic-reach): the assert bounds `i`, so the slice
+    // arithmetic below it stays inside `data`.
     pub fn row(&self, i: usize) -> &[f64] {
         // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
@@ -196,6 +198,8 @@ impl GradientBatch {
     /// # Panics
     ///
     /// Panics when `i` is out of range.
+    // LINT-ALLOW(panic-reach): the assert bounds `i`, so the slice
+    // arithmetic below it stays inside `data`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         // LINT-ALLOW(no-panic-hot-path): documented panic contract for caller bugs, not a data-dependent failure
         assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);

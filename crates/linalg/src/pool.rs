@@ -154,6 +154,8 @@ impl WorkerPool {
         let workers = self.workers();
         let (done_tx, done_rx) = unbounded::<Completion>();
         for w in 1..chunks {
+            // LINT-ALLOW(panic-reach): `chunks <= threads() == workers.len() + 1`,
+            // so `w - 1` indexes in range.
             let sent = workers[w - 1].jobs.send(Job {
                 task: task_ptr,
                 range: chunk(units, chunks, w),

@@ -1,0 +1,254 @@
+//! The workspace-wide call graph: stage 1's parsed items resolved into
+//! nodes (functions) and edges (call sites), with a conservative
+//! class-hierarchy approximation for dispatch.
+//!
+//! Resolution is name-based — the parser has no type inference — and
+//! errs toward *more* edges, never fewer:
+//!
+//! - `.method(…)` fans out to **every** workspace method of that name:
+//!   impl methods and trait default bodies alike. This is what makes a
+//!   call through `GradientFilter`/`ByzantineStrategy`/`CostFunction`/
+//!   `RunObserver`/`MessageBus` reach every registered implementation —
+//!   the receiver's static type is unknown, so all candidates are
+//!   assumed callable.
+//! - `Type::assoc(…)` resolves to methods of impl blocks for `Type` when
+//!   the workspace defines any; `Trait::method(…)` fans out to every
+//!   impl of that trait plus its default bodies; `Self::assoc(…)`
+//!   resolves against the enclosing impl.
+//! - `free(…)` and `module::free(…)` resolve to every free function of
+//!   that name (module paths are not tracked — another over-
+//!   approximation in the conservative direction).
+//!
+//! Calls that resolve to nothing (std, vendored crates) produce no
+//! edges; their hazards are what the parser's *sink* extraction covers.
+
+use crate::parse::{FnItem, Owner, ParsedSource, Sink};
+use std::collections::BTreeMap;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// 0-based line of the call site in the **caller's** file.
+    pub call_line: usize,
+}
+
+/// One call-graph node: a function, its location, and its hazard sites.
+#[derive(Debug)]
+pub struct Node {
+    /// Workspace-relative file the function is defined in.
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` display form.
+    pub display: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    pub owner: Owner,
+    pub sinks: Vec<Sink>,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Out-edges per node, sorted by `(to, call_line)` for deterministic
+    /// traversal.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every parsed `src/` file. `files` must be
+    /// pre-sorted by path (the workspace walker sorts), which makes node
+    /// ids — and therefore every downstream ordering — deterministic.
+    pub fn build(files: &[ParsedSource]) -> CallGraph {
+        // Flatten nodes, remembering which FnItem each came from.
+        let mut nodes = Vec::new();
+        let mut fn_refs: Vec<(&ParsedSource, &FnItem)> = Vec::new();
+        for file in files {
+            for item in &file.items.fns {
+                nodes.push(Node {
+                    file: file.rel.clone(),
+                    name: item.name.clone(),
+                    display: item.display(),
+                    line: item.line,
+                    owner: item.owner.clone(),
+                    sinks: item.sinks.clone(),
+                });
+                fn_refs.push((file, item));
+            }
+        }
+
+        // Indexes. BTreeMap keeps candidate lists in deterministic order.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut type_methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut trait_methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut trait_names: Vec<&str> = Vec::new();
+        for file in files {
+            for (name, _) in &file.items.traits {
+                trait_names.push(name);
+            }
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            match &node.owner {
+                Owner::Free => free.entry(&node.name).or_default().push(id),
+                Owner::Impl {
+                    self_ty,
+                    trait_name,
+                } => {
+                    methods.entry(&node.name).or_default().push(id);
+                    type_methods
+                        .entry((self_ty, &node.name))
+                        .or_default()
+                        .push(id);
+                    if let Some(t) = trait_name {
+                        trait_methods.entry((t, &node.name)).or_default().push(id);
+                        if !trait_names.contains(&t.as_str()) {
+                            trait_names.push(t);
+                        }
+                    }
+                }
+                Owner::Trait { trait_name } => {
+                    methods.entry(&node.name).or_default().push(id);
+                    trait_methods
+                        .entry((trait_name, &node.name))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+
+        // Resolve calls.
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for (id, (_, item)) in fn_refs.iter().enumerate() {
+            let mut out: Vec<Edge> = Vec::new();
+            for call in &item.calls {
+                let callee = call.callee.as_str();
+                let targets: Vec<usize> = if call.method {
+                    // `.m(…)`: unknown receiver — every method named `m`.
+                    methods.get(callee).cloned().unwrap_or_default()
+                } else if let Some(q) = call.qualifier.as_deref() {
+                    let q = if q == "Self" {
+                        match &nodes[id].owner {
+                            Owner::Impl { self_ty, .. } => self_ty.as_str(),
+                            Owner::Trait { trait_name } => trait_name.as_str(),
+                            Owner::Free => q,
+                        }
+                    } else {
+                        q
+                    };
+                    let typed = type_methods.get(&(q, callee)).cloned().unwrap_or_default();
+                    if !typed.is_empty() {
+                        typed
+                    } else if trait_names.contains(&q) {
+                        // `Trait::method(recv, …)` — every impl + the
+                        // default body.
+                        trait_methods.get(&(q, callee)).cloned().unwrap_or_default()
+                    } else {
+                        // A module path (or a std type): free functions
+                        // by name.
+                        free.get(callee).cloned().unwrap_or_default()
+                    }
+                } else {
+                    free.get(callee).cloned().unwrap_or_default()
+                };
+                for to in targets {
+                    out.push(Edge {
+                        to,
+                        call_line: call.line,
+                    });
+                }
+            }
+            out.sort_by_key(|e| (e.to, e.call_line));
+            out.dedup();
+            edges[id] = out;
+        }
+
+        CallGraph { nodes, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<ParsedSource> = files
+            .iter()
+            .map(|(rel, src)| parse_source(rel, src))
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    fn edge_exists(g: &CallGraph, from: &str, to: &str) -> bool {
+        let from_id = g.nodes.iter().position(|n| n.display == from).unwrap();
+        g.edges[from_id].iter().any(|e| g.nodes[e.to].display == to)
+    }
+
+    #[test]
+    fn free_calls_resolve_across_crates() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() {\n    helper();\n}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert!(edge_exists(&g, "entry", "helper"));
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_every_impl() {
+        let src_trait =
+            "pub trait Filter {\n    fn apply(&self);\n}\npub struct A;\npub struct B;\nimpl Filter for A {\n    fn apply(&self) {}\n}\nimpl Filter for B {\n    fn apply(&self) {}\n}\n";
+        let src_caller = "pub fn run(f: &dyn Filter) {\n    f.apply();\n}\n";
+        let g = graph_of(&[
+            ("crates/f/src/lib.rs", src_trait),
+            ("crates/r/src/lib.rs", src_caller),
+        ]);
+        assert!(edge_exists(&g, "run", "A::apply"));
+        assert!(edge_exists(&g, "run", "B::apply"));
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_type() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub struct V;\nimpl V {\n    pub fn zeros() -> V { V }\n}\npub struct W;\nimpl W {\n    pub fn zeros() -> W { W }\n}\npub fn f() {\n    let _ = V::zeros();\n}\n",
+        )]);
+        assert!(edge_exists(&g, "f", "V::zeros"));
+        assert!(!edge_exists(&g, "f", "W::zeros"));
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_impl() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub struct V;\nimpl V {\n    pub fn a() {\n        Self::b();\n    }\n    pub fn b() {}\n}\n",
+        )]);
+        assert!(edge_exists(&g, "V::a", "V::b"));
+    }
+
+    #[test]
+    fn trait_default_bodies_are_nodes_with_edges() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub trait T {\n    fn base(&self);\n    fn derived(&self) {\n        self.base();\n    }\n}\npub struct X;\nimpl T for X {\n    fn base(&self) {}\n}\n",
+        )]);
+        assert!(edge_exists(&g, "T::derived", "T::base"));
+        assert!(edge_exists(&g, "T::derived", "X::base"));
+    }
+
+    #[test]
+    fn unresolvable_calls_produce_no_edges() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn f() {\n    let v: Vec<f64> = Vec::new();\n    drop(v);\n}\n",
+        )]);
+        let f = g.nodes.iter().position(|n| n.name == "f").unwrap();
+        assert!(g.edges[f].is_empty());
+    }
+}

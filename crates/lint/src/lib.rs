@@ -37,13 +37,22 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The registered rule names, in diagnostic order.
+pub mod graph;
+pub mod parse;
+pub mod reach;
+
+/// The registered rule names, in diagnostic order. The first five are
+/// line-level (stage 1); `panic-reach` and `determinism-taint` are the
+/// call-graph reachability rules (stage 2, see [`reach`]); `pragma`
+/// covers malformed `LINT-ALLOW` annotations themselves.
 pub const RULES: &[&str] = &[
     "float-total-order",
     "no-panic-hot-path",
     "unsafe-needs-safety",
     "deterministic-collections",
     "fixed-schedule",
+    "panic-reach",
+    "determinism-taint",
     "pragma",
 ];
 
@@ -59,6 +68,19 @@ const SPAWN_ALLOWED: &[&str] = &["crates/linalg/src/pool.rs", "crates/runtime/sr
 /// wall-clock read in the stack funnels through.
 const CLOCK_ALLOWED: &[&str] = &["crates/telemetry/src/clock.rs"];
 
+/// One hop of a reachability witness chain: a function on the path from
+/// a hot-path root to the offending site, located at its definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Display name (`Type::method` for impl methods, bare name for free
+    /// functions).
+    pub func: String,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the `fn` definition.
+    pub line: usize,
+}
+
 /// One diagnostic: where, which rule, and what the line looked like.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -72,6 +94,10 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// For the reachability rules: the witness call chain from a hot-path
+    /// root to the function containing the site, root first. Empty for
+    /// the line-level rules.
+    pub chain: Vec<Hop>,
 }
 
 impl fmt::Display for Violation {
@@ -81,20 +107,45 @@ impl fmt::Display for Violation {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
         )?;
-        write!(f, "    {}", self.excerpt)
+        write!(f, "    {}", self.excerpt)?;
+        if !self.chain.is_empty() {
+            let rendered: Vec<String> = self
+                .chain
+                .iter()
+                .map(|h| format!("{} ({}:{})", h.func, h.file, h.line))
+                .collect();
+            write!(f, "\n    chain: {}", rendered.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
 impl Violation {
-    /// The violation as one JSON object (std-only serialization).
+    /// The violation as one JSON object (std-only serialization). The
+    /// schema is stable: `file`, `line`, `rule`, `message`, `excerpt`,
+    /// and `chain` (always present; `[]` for line-level rules), with
+    /// every chain hop carrying `func`, `file`, `line`.
     pub fn to_json(&self) -> String {
+        let chain: Vec<String> = self
+            .chain
+            .iter()
+            .map(|h| {
+                format!(
+                    r#"{{"func":"{}","file":"{}","line":{}}}"#,
+                    escape_json(&h.func),
+                    escape_json(&h.file),
+                    h.line
+                )
+            })
+            .collect();
         format!(
-            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}","excerpt":"{}"}}"#,
+            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}","excerpt":"{}","chain":[{}]}}"#,
             escape_json(&self.file),
             self.line,
             self.rule,
             escape_json(&self.message),
-            escape_json(&self.excerpt)
+            escape_json(&self.excerpt),
+            chain.join(",")
         )
     }
 }
@@ -121,9 +172,9 @@ fn escape_json(s: &str) -> String {
 /// One source line after masking: `code` with comments/strings blanked,
 /// `comment` holding the line's comment text (for SAFETY / pragma checks).
 #[derive(Debug, Default, Clone)]
-struct MaskedLine {
-    code: String,
-    comment: String,
+pub(crate) struct MaskedLine {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// Splits `source` into per-line code and comment streams. String and char
@@ -131,7 +182,7 @@ struct MaskedLine {
 /// stay), so tokens inside literals never match a rule; comment text —
 /// line, block, and doc comments alike — lands in the comment stream, so
 /// `SAFETY:` and `LINT-ALLOW` annotations stay visible.
-fn mask(source: &str) -> Vec<MaskedLine> {
+pub(crate) fn mask(source: &str) -> Vec<MaskedLine> {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -315,7 +366,7 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
 /// Marks every line covered by a `#[cfg(test)]` item (attribute line
 /// through the matching closing brace, or through the `;` of a
 /// `mod tests;` declaration).
-fn test_regions(lines: &[MaskedLine]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[MaskedLine]) -> Vec<bool> {
     let mut in_test = vec![false; lines.len()];
     let mut line = 0;
     while line < lines.len() {
@@ -365,7 +416,7 @@ fn test_regions(lines: &[MaskedLine]) -> Vec<bool> {
 
 /// Whether `line` contains `token` with identifier boundaries on both
 /// sides (so `assert!` does not match inside `debug_assert!`).
-fn has_word(line: &str, token: &str) -> bool {
+pub(crate) fn has_word(line: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = line[start..].find(token) {
         let at = start + pos;
@@ -393,13 +444,13 @@ fn has_word(line: &str, token: &str) -> bool {
 
 /// A parsed `LINT-ALLOW` pragma: the rule it names and whether it carries
 /// a non-empty reason.
-struct Pragma {
-    rule: String,
-    has_reason: bool,
+pub(crate) struct Pragma {
+    pub(crate) rule: String,
+    pub(crate) has_reason: bool,
 }
 
 /// Extracts every pragma from one comment string.
-fn pragmas_in(comment: &str) -> Vec<Pragma> {
+pub(crate) fn pragmas_in(comment: &str) -> Vec<Pragma> {
     let mut found = Vec::new();
     let mut rest = comment;
     while let Some(pos) = rest.find("LINT-ALLOW") {
@@ -479,6 +530,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
             excerpt: orig
                 .get(line_idx)
                 .map_or(String::new(), |l| truncate(l.trim(), 160)),
+            chain: Vec::new(),
         });
     };
 
@@ -626,13 +678,25 @@ fn safety_documented(masked: &[MaskedLine], idx: usize) -> bool {
 
 /// Whether `matches` holds for line `idx`'s own comment or any comment in
 /// the run directly above it. The upward walk skips blank lines,
-/// attribute lines, and code lines that visibly continue the same
-/// statement (ending in `=`, `(`, `,`, or an operator) — so an annotation
-/// above a multi-line statement covers the whole statement.
-fn annotated(masked: &[MaskedLine], idx: usize, matches: &dyn Fn(&MaskedLine) -> bool) -> bool {
+/// attribute lines, and code lines that belong to the same multi-line
+/// statement — recognized from **either side** of the line break: the
+/// upper line visibly continuing (ending in `=`, `(`, `,`, or an
+/// operator), or the lower line visibly being a continuation (starting
+/// with `.`, `?`, a closing delimiter, or an operator). An annotation
+/// above (or on the first line of) a multi-line statement therefore
+/// covers the whole statement, including its continuation lines.
+pub(crate) fn annotated(
+    masked: &[MaskedLine],
+    idx: usize,
+    matches: &dyn Fn(&MaskedLine) -> bool,
+) -> bool {
     if matches(&masked[idx]) {
         return true;
     }
+    // The nearest non-blank code line at or below the walk position:
+    // the line whose "am I a continuation?" shape decides whether the
+    // line above it is part of the same statement.
+    let mut below = masked[idx].code.trim().to_string();
     let mut j = idx;
     while j > 0 {
         j -= 1;
@@ -641,23 +705,46 @@ fn annotated(masked: &[MaskedLine], idx: usize, matches: &dyn Fn(&MaskedLine) ->
         let transparent = code.is_empty()
             || code.starts_with("#[")
             || code.starts_with("#![")
-            || code.ends_with('=')
-            || code.ends_with('(')
-            || code.ends_with(',')
-            || code.ends_with("&&")
-            || code.ends_with("||")
-            || code.ends_with('+');
+            || ends_continued(code)
+            || starts_continuation(&below);
         if !transparent {
             return false;
         }
         if matches(line) {
             return true;
         }
+        if !code.is_empty() {
+            below = code.to_string();
+        }
     }
     false
 }
 
-fn truncate(s: &str, max: usize) -> String {
+/// Whether a line's code visibly continues onto the next line: it ends
+/// mid-expression.
+fn ends_continued(code: &str) -> bool {
+    code.ends_with('=')
+        || code.ends_with('(')
+        || code.ends_with(',')
+        || code.ends_with("&&")
+        || code.ends_with("||")
+        || code.ends_with('+')
+}
+
+/// Whether a line's code visibly continues the previous line: method
+/// chains, `?` propagation, closing delimiters of multi-line calls, and
+/// trailing binary operators broken before the operand.
+fn starts_continuation(code: &str) -> bool {
+    code.starts_with('.')
+        || code.starts_with('?')
+        || code.starts_with(')')
+        || code.starts_with(']')
+        || code.starts_with("&&")
+        || code.starts_with("||")
+        || code.starts_with('+')
+}
+
+pub(crate) fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_string()
     } else {
@@ -673,8 +760,14 @@ fn truncate(s: &str, max: usize) -> String {
 /// Lints every Rust source file of the workspace rooted at `root`:
 /// `crates/`, `src/`, `examples/`, and `tests/`, skipping `vendor/`
 /// (external code), `target/`, and `fixtures/` directories (lint-test
-/// inputs that violate rules on purpose). Returns the violations plus the
-/// number of files scanned.
+/// inputs that violate rules on purpose).
+///
+/// Two stages run over the tree: the line-level rules ([`lint_source`])
+/// per file, then the call-graph reachability rules (`panic-reach`,
+/// `determinism-taint` — see [`reach`]) over an item-level parse of the
+/// `src/` trees ([`parse`], [`graph`]). Returns the violations — sorted
+/// by `(file, line, rule)` so output ordering is stable across runs and
+/// platforms — plus the number of files scanned.
 pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Violation>, usize)> {
     let mut files = Vec::new();
     for top in ["crates", "src", "examples", "tests"] {
@@ -682,6 +775,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Violation>, usize)> {
     }
     files.sort();
     let mut violations = Vec::new();
+    let mut parsed = Vec::new();
     for path in &files {
         let source = std::fs::read_to_string(path)?;
         let rel = path
@@ -690,7 +784,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Violation>, usize)> {
             .to_string_lossy()
             .replace('\\', "/");
         violations.extend(lint_source(&rel, &source));
+        // The reachability stage audits the library/binary source trees:
+        // that is where hot-path roots and everything they can call live.
+        // The lint crate itself is tool code — it is never linked into a
+        // runtime binary, and name-based resolution would otherwise alias
+        // its helpers (`build`, `check`, …) into the runtime graph.
+        if FileScope::of(&rel).in_src && !rel.starts_with("crates/lint/") {
+            parsed.push(parse::parse_source(&rel, &source));
+        }
     }
+    let graph = graph::CallGraph::build(&parsed);
+    violations.extend(reach::check(&graph, &parsed));
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok((violations, files.len()))
 }
 

@@ -1,0 +1,8 @@
+//! The sanctioned clock home: wall-clock reads are allowed here and only
+//! here, so reachability must treat this file as a taint sink's safe
+//! terminus.
+
+pub fn now_ms() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}

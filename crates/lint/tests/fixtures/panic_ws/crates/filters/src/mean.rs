@@ -1,0 +1,10 @@
+//! Fixture filter whose hot path leaks into another crate: the panic it
+//! can reach lives three calls away, in `crates/util`.
+
+pub struct Mean;
+
+impl GradientFilter for Mean {
+    fn aggregate_into(&self, out: &mut Vec<f64>) {
+        checked_push(out, 1.0);
+    }
+}

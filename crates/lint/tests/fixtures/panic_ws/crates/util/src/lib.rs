@@ -1,0 +1,17 @@
+//! Fixture utility crate: not a hot-path crate for the line-level rules,
+//! so the seeded panic below is only reportable through reachability.
+
+pub fn checked_push(out: &mut Vec<f64>, v: f64) {
+    record(v);
+    out.push(v);
+}
+
+fn record(v: f64) {
+    verify(v);
+}
+
+fn verify(v: f64) {
+    if !v.is_finite() {
+        panic!("seeded transitive panic");
+    }
+}

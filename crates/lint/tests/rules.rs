@@ -273,6 +273,29 @@ fn pragma_naming_unknown_rule_is_flagged() {
 }
 
 #[test]
+fn pragma_covers_every_line_of_a_multi_line_statement() {
+    // The pragma sits above the first line of a statement whose violating
+    // token only appears on a continuation line; the whole statement is
+    // covered, not just its first line.
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // LINT-ALLOW(no-panic-hot-path): fixture justification\n    let y = x\n        .map(|v| v + 1)\n        .unwrap();\n    y\n}\n";
+    assert!(rules("crates/filters/src/fixture.rs", src).is_empty());
+    // Same for a sort chain split across lines.
+    let sort = "pub fn f(xs: &mut [f64]) {\n    // LINT-ALLOW(float-total-order): fixture justification\n    xs.sort_by(|a, b| a\n        .partial_cmp(b)\n        .unwrap());\n}\n";
+    assert!(rules("crates/ml/src/fixture.rs", sort).is_empty());
+}
+
+#[test]
+fn pragma_stops_where_the_multi_line_statement_ends() {
+    // Coverage extends to the statement's closing `;` and no further: the
+    // violation in the *next* statement stays flagged.
+    let src = "pub fn f(x: Option<u32>, z: Option<u32>) -> u32 {\n    // LINT-ALLOW(no-panic-hot-path): fixture justification\n    let y = x\n        .map(|v| v + 1)\n        .unwrap();\n    y + z.unwrap()\n}\n";
+    let found = lint_source("crates/filters/src/fixture.rs", src);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, "no-panic-hot-path");
+    assert_eq!(found[0].line, 6, "only the follow-up statement is flagged");
+}
+
+#[test]
 fn pragma_does_not_leak_past_an_intervening_statement() {
     // The pragma sits above a *complete* statement; the violation on the
     // line after it must stay flagged.

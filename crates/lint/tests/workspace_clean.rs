@@ -1,7 +1,10 @@
 //! The workspace itself must satisfy its own invariants: running the
 //! linter over the real tree inside tier-1 makes `cargo test` fail the
 //! moment a `partial_cmp`, an unjustified panic, an undocumented `unsafe`,
-//! a hashed collection, or a stray spawn/clock lands on a guarded path.
+//! a hashed collection, or a stray spawn/clock lands on a guarded path —
+//! or, since the reachability stage, the moment a panic or
+//! nondeterminism sink becomes *transitively* reachable from a hot-path
+//! root through any chain of calls, in any crate.
 
 use abft_lint::{default_root, lint_workspace};
 

@@ -95,6 +95,8 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics when out of range.
+    // LINT-ALLOW(panic-reach): documented panic contract for caller bugs —
+    // callers iterate `0..len()`.
     pub fn label(&self, i: usize) -> usize {
         self.labels[i]
     }

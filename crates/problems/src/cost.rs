@@ -50,6 +50,8 @@ pub type SharedCost = Arc<dyn CostFunction>;
 /// # Panics
 ///
 /// Panics when an index is out of range.
+// LINT-ALLOW(panic-reach): documented panic contract — subsets come from
+// scenario builders that validate agent ids against `n`.
 pub fn total_value(costs: &[SharedCost], subset: &[usize], x: &Vector) -> f64 {
     subset.iter().map(|&i| costs[i].value(x)).sum()
 }
@@ -59,6 +61,8 @@ pub fn total_value(costs: &[SharedCost], subset: &[usize], x: &Vector) -> f64 {
 /// # Panics
 ///
 /// Panics when `subset` is empty or an index is out of range.
+// LINT-ALLOW(panic-reach): documented panic contract — subsets come from
+// scenario builders that validate agent ids against `n`.
 pub fn total_gradient(costs: &[SharedCost], subset: &[usize], x: &Vector) -> Vector {
     assert!(!subset.is_empty(), "total_gradient over empty subset");
     let mut acc = Vector::zeros(x.dim());

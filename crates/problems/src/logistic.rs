@@ -99,6 +99,8 @@ impl CostFunction for LogisticCost {
         self.features.cols()
     }
 
+    // LINT-ALLOW(panic-reach): `k` enumerates `0..samples()`, and labels
+    // and feature rows share that length by construction.
     fn value(&self, x: &Vector) -> f64 {
         let m = self.samples() as f64;
         let mut total = 0.0;
@@ -109,6 +111,8 @@ impl CostFunction for LogisticCost {
         total / m + 0.5 * self.reg * x.norm_sq()
     }
 
+    // LINT-ALLOW(panic-reach): `k` enumerates `0..samples()`, and labels
+    // and feature rows share that length by construction.
     fn gradient(&self, x: &Vector) -> Vector {
         let m = self.samples() as f64;
         let mut grad = x.scale(self.reg);

@@ -149,12 +149,16 @@ impl CostFunction for QuadraticCost {
         self.q.dim()
     }
 
+    // LINT-ALLOW(panic-reach): `matvec` only errs on a dimension mismatch,
+    // which the constructor rules out.
     fn value(&self, x: &Vector) -> f64 {
         0.5 * x.dot(&self.p.matvec(x).expect("dimension checked at construction"))
             + self.q.dot(x)
             + self.c
     }
 
+    // LINT-ALLOW(panic-reach): `matvec` only errs on a dimension mismatch,
+    // which the constructor rules out.
     fn gradient(&self, x: &Vector) -> Vector {
         &self.p.matvec(x).expect("dimension checked at construction") + &self.q
     }

@@ -214,6 +214,8 @@ impl RegressionProblem {
     /// # Panics
     ///
     /// Panics when `i >= n`.
+    // LINT-ALLOW(panic-reach): documented panic contract — the assert
+    // bounds `i` before the row and label lookups.
     pub fn agent_cost(&self, i: usize) -> ScalarRegressionCost {
         assert!(i < self.config.n(), "agent index out of range");
         ScalarRegressionCost::new(self.a.row_vector(i), self.b[i])

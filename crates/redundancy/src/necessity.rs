@@ -54,6 +54,8 @@ impl NecessityScenario {
     /// Returns [`RedundancyError::InvalidInput`] when `f == 0` (no
     /// counterexample exists — exact optimization is possible) or when
     /// `ε` or `δ` are not positive and finite.
+    // LINT-ALLOW(panic-reach): every index written below comes from a
+    // range bounded by `n = config.n()`, the length of `centers`.
     pub fn build(config: SystemConfig, epsilon: f64, delta: f64) -> Result<Self, RedundancyError> {
         if config.f() == 0 {
             return Err(RedundancyError::InvalidInput {

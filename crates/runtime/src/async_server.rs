@@ -173,6 +173,10 @@ struct AgentState {
 
 /// Entry point behind [`SimTopology::AsyncServer`](crate::SimTopology):
 /// the bounded-staleness server loop over the simulated network.
+// LINT-ALLOW(panic-reach): every index is an agent address < n — the
+// per-agent tables (strategies, crash_at, agents, latest, costs) are all
+// allocated with length n up front, and delivery addresses come from the
+// simulator, which only routes to registered endpoints.
 pub(crate) fn execute_async_server(
     task: DgdTask,
     sim: &SimulatedRun,

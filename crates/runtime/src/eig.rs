@@ -168,6 +168,8 @@ pub fn eig_broadcast<V: Clone + Eq>(
 /// processes.
 // Process ids index the per-process tree table; ranging over the id is the
 // protocol's natural phrasing.
+// LINT-ALLOW(panic-reach): `trees` is allocated with one tree per process
+// and every index below ranges over `0..n`.
 #[allow(clippy::needless_range_loop)]
 pub fn eig_broadcast_on<V: Clone + Eq, B: MessageBus<EigMessage<V>>>(
     config: SystemConfig,

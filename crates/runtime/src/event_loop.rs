@@ -45,6 +45,10 @@ use abft_telemetry::{Counter, Phase, Telemetry};
 /// the same inputs — asserted by the cross-runtime equivalence tests — and
 /// an observer halt stops the loop the same way (the halt round's estimate
 /// is final).
+// LINT-ALLOW(panic-reach): every index is an agent id < n — the per-agent
+// tables (strategies, crash_at, eliminated) are allocated with length n,
+// and agent ids come from the validated fault assignments or the fleet's
+// own cell list.
 pub(crate) fn execute(
     task: DgdTask,
     fleet: &mut Fleet,

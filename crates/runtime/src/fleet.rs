@@ -116,6 +116,8 @@ impl LoanTable {
     }
 
     /// Records the loan of slot `i`, aborting if it is already out.
+    // LINT-ALLOW(panic-reach): `i` is a schedule slot < `slots`, and
+    // `flags` is allocated with exactly `slots` entries in `new`.
     fn claim(&self, i: usize, what: &str) {
         let taken = self.flags[i].swap(true, std::sync::atomic::Ordering::Relaxed);
         debug_assert!(
@@ -289,6 +291,8 @@ impl Fleet {
     /// Installs one run's agent programs, sizes the batch, and attaches
     /// the aggregation pool for `aggregation_threads`. Returns `true` when
     /// the fleet was already warm (a fleet-reuse hit).
+    // LINT-ALLOW(panic-reach): `strategies` and `crash_at` are built by the
+    // caller with one entry per cost, and `i` ranges over `costs`.
     pub(crate) fn load(
         &mut self,
         costs: &[SharedCost],
@@ -341,6 +345,8 @@ impl Fleet {
     /// Rebuilds the round's active-agent list (row order = agent-id order
     /// over survivors) and returns how many `RoundStart` events the round
     /// will dispatch.
+    // LINT-ALLOW(panic-reach): `eliminated` is the event loop's per-agent
+    // table of length n = cells.len(), and `i` ranges over the cells.
     pub(crate) fn begin_round(&mut self, eliminated: &[bool]) -> usize {
         self.active.clear();
         self.active
@@ -352,6 +358,8 @@ impl Fleet {
     /// writes its gradient into its loaned row (or goes silent). The fixed
     /// worker schedule shards the active list, so the row contents are
     /// bit-identical at any worker count.
+    // LINT-ALLOW(panic-reach): the schedule shards `0..units` over the
+    // workers, so `i < units = active.len()` in every shard.
     pub(crate) fn dispatch_round(&mut self, iteration: usize, estimate: &Vector) {
         let units = self.active.len();
         let dim = self.shape.1;
@@ -372,6 +380,8 @@ impl Fleet {
     /// The agents whose `RoundStart` event found them crashed this round,
     /// as `(agent id, loaned row)` pairs in row order — the event-loop
     /// analogue of the missing-`Ready` collect phase.
+    // LINT-ALLOW(panic-reach): `active` holds agent ids < cells.len() by
+    // construction in `begin_round`.
     pub(crate) fn silent_agents(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.active
             .iter()

@@ -150,7 +150,10 @@ pub(crate) struct P2pLink<'a> {
 /// Omniscient strategies are rejected (no agent can see others' in-flight
 /// gradients before sending its own in a broadcast round), and so are crash
 /// schedules (the peer-to-peer round structure has no S1 elimination rule).
-// Sender ids index the per-agent value/plan tables.
+// LINT-ALLOW(panic-reach): every index below is an agent id or honest slot
+// bounded by n, and every per-agent table (strategies, slot_of, estimates,
+// decided_batches, sender_values) is allocated with exactly that length
+// before the loop; ids arrive pre-validated by FaultBudget/validate_net_faults.
 #[allow(clippy::needless_range_loop)]
 pub(crate) fn execute_on<B: MessageBus<EigMessage<BitsVector>>>(
     task: DgdTask,

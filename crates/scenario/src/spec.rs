@@ -522,6 +522,8 @@ impl ScenarioBuilder {
                     FaultKind::Attack {
                         name,
                         factory: Arc::new(move || {
+                            // LINT-ALLOW(panic-reach): the same (name, seed) pair resolved
+                            // successfully a few lines above, at build time.
                             attack_by_name(&factory_name, seed).expect("validated at build time")
                         }),
                     }

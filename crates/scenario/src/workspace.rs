@@ -63,6 +63,8 @@ impl SuiteWorkspace {
         {
             self.fleet = Some(Fleet::new(workers));
         }
+        // LINT-ALLOW(panic-reach): the branch above installs a fleet
+        // whenever one is missing, so the option is always `Some` here.
         self.fleet.as_mut().expect("fleet installed above")
     }
 

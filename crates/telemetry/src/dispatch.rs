@@ -54,6 +54,8 @@ impl DispatchProfile {
 
     /// Records one dispatch that began at `start_ns` (from
     /// [`DispatchProfile::start`]) and just returned.
+    // LINT-ALLOW(panic-reach): `bucket_index` clamps to BUCKETS - 1, and
+    // `buckets` is a fixed BUCKETS-length array.
     pub fn record_since(&self, start_ns: u64) {
         let dur = clock::monotonic_ns().saturating_sub(start_ns);
         self.dispatches.fetch_add(1, Ordering::Relaxed);

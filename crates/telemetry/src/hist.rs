@@ -62,6 +62,8 @@ impl Histogram {
     }
 
     /// Records one duration.
+    // LINT-ALLOW(panic-reach): `bucket_index` clamps to BUCKETS - 1, and
+    // `counts` is a fixed `[u64; BUCKETS]` array.
     pub fn record(&mut self, ns: u64) {
         self.counts[Self::bucket_index(ns)] += 1;
         self.count += 1;

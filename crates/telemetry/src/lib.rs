@@ -221,6 +221,9 @@ impl Ring {
         }
     }
 
+    // LINT-ALLOW(panic-reach): `next < capacity` is the ring invariant —
+    // re-established by the modulo on every push — and the overwrite arm
+    // only runs once `len == capacity`.
     fn push(&mut self, event: SpanEvent) {
         let capacity = self.events.capacity();
         if self.events.len() < capacity {
@@ -233,6 +236,8 @@ impl Ring {
     }
 
     /// The retained events, oldest first.
+    // LINT-ALLOW(panic-reach): once events have been dropped the ring is
+    // full, so `next <= len` and both range slices are in bounds.
     fn into_ordered(self) -> (Vec<SpanEvent>, u64) {
         if self.dropped == 0 {
             (self.events, self.dropped)
@@ -363,6 +368,8 @@ impl Telemetry {
 
     /// Closes a span: records its duration into the phase histogram and
     /// the span ring. No-op for inert tokens.
+    // LINT-ALLOW(panic-reach): `phases` and `rings` are fixed arrays
+    // indexed by enum discriminants, which are in range by definition.
     pub fn end(&mut self, token: SpanToken) {
         if !token.live {
             return;
@@ -379,6 +386,8 @@ impl Telemetry {
     }
 
     /// Adds `amount` to a counter.
+    // LINT-ALLOW(panic-reach): `counters` is a fixed array indexed by the
+    // `Counter` discriminant, which is in range by definition.
     pub fn add(&mut self, counter: Counter, amount: u64) {
         if let Some(recorder) = self.recorder.as_deref_mut() {
             recorder.counters[counter as usize] += amount;
@@ -402,6 +411,7 @@ impl Telemetry {
     /// Folds a [`DispatchProfile`] snapshot into the report: its
     /// histogram becomes the `pool-dispatch` phase, its count the
     /// `pool-dispatches` counter.
+    // LINT-ALLOW(panic-reach): fixed arrays indexed by enum discriminants.
     pub fn absorb_dispatch(&mut self, stats: &DispatchStats) {
         if let Some(recorder) = self.recorder.as_deref_mut() {
             recorder.phases[Phase::PoolDispatch as usize].merge(&stats.hist);
@@ -411,6 +421,7 @@ impl Telemetry {
 
     /// Records the network-level counters a bus accumulated (drivers call
     /// this once, at run end, from the bus's `NetMetrics`).
+    // LINT-ALLOW(panic-reach): fixed arrays indexed by enum discriminants.
     pub fn record_net(&mut self, sent: u64, delivered: u64, dropped: u64, late: u64) {
         if let Some(recorder) = self.recorder.as_deref_mut() {
             recorder.counters[Counter::NetSent as usize] += sent;
@@ -422,6 +433,7 @@ impl Telemetry {
 
     /// Consumes the handle into its report — `None` when telemetry was
     /// off, so disabled runs carry no report at all.
+    // LINT-ALLOW(panic-reach): fixed arrays indexed by enum discriminants.
     pub fn finish(self) -> Option<TelemetryReport> {
         let recorder = self.recorder?;
         let clock = match recorder.time {
